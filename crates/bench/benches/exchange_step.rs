@@ -1,0 +1,80 @@
+//! Full exchange step per implementation under an *instantaneous*
+//! network: what remains is exactly the on-node cost of each method —
+//! the quantity the paper eliminates. Expect YASK (pack) and MPI_Types
+//! (walk) to scale with surface bytes while Layout stays at
+//! message-bookkeeping cost.
+//!
+//! Note: to keep iterations independent, every iteration rebuilds its
+//! storage (and, for MemMap, its memfd + views), so the `memmap` number
+//! here is dominated by that *one-time setup* the application amortizes
+//! across timesteps — its steady-state per-exchange on-node cost is
+//! zero, like `layout`'s. The `onnode_cost` bench isolates the setup
+//! explicitly.
+
+use brick::BrickDims;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::{run_cluster, CartTopo, NetworkModel};
+use packfree::baselines::ArrayExchanger;
+use packfree::decomp::BrickDecomp;
+use packfree::exchange::Exchanger;
+use packfree::memmap::{memmap_decomp, ExchangeView, MemMapStorage};
+use stencil::ArrayGrid;
+
+fn bench_exchanges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_onnode");
+    group.sample_size(10);
+    let topo = CartTopo::new(&[1, 1, 1], true);
+    let net = NetworkModel::instant();
+
+    for n in [32usize, 64] {
+        // Layout (pack-free).
+        let d = BrickDecomp::<3>::layout_mode([n; 3], 8, BrickDims::cubic(8), 1, layout::surface3d());
+        let ex = Exchanger::layout(&d);
+        group.bench_with_input(BenchmarkId::new("layout", n), &n, |b, _| {
+            b.iter(|| {
+                run_cluster(&topo, net, |ctx| {
+                    let mut st = d.allocate();
+                    ex.exchange(ctx, &mut st);
+                })
+            })
+        });
+
+        // MemMap (pack-free, one message per neighbor).
+        let dm = memmap_decomp([n; 3], 8, BrickDims::cubic(8), 1, layout::surface3d(), memview::PAGE_4K);
+        group.bench_with_input(BenchmarkId::new("memmap", n), &n, |b, _| {
+            b.iter(|| {
+                run_cluster(&topo, net, |ctx| {
+                    let mut st = MemMapStorage::allocate(&dm).unwrap();
+                    let ev = ExchangeView::build(&dm, &st).unwrap();
+                    ev.exchange(ctx, &mut st);
+                })
+            })
+        });
+
+        // YASK (packed).
+        group.bench_with_input(BenchmarkId::new("yask_packed", n), &n, |b, _| {
+            b.iter(|| {
+                run_cluster(&topo, net, |ctx| {
+                    let mut grid = ArrayGrid::new([n; 3], 8);
+                    let mut ex = ArrayExchanger::new(&grid);
+                    ex.exchange_packed(ctx, &mut grid);
+                })
+            })
+        });
+
+        // MPI_Types (datatype walk).
+        group.bench_with_input(BenchmarkId::new("mpi_types", n), &n, |b, _| {
+            b.iter(|| {
+                run_cluster(&topo, net, |ctx| {
+                    let mut grid = ArrayGrid::new([n; 3], 8);
+                    let mut ex = ArrayExchanger::new(&grid);
+                    ex.exchange_mpitypes(ctx, &mut grid);
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchanges);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Stencil kernel throughput: bricked vs lexicographic-array storage,
+//! 7-point and 125-point (the paper's Figure 10 claim is that block
+//! ordering does not change compute time; the brick-vs-array gap is a
+//! platform property documented in EXPERIMENTS.md).
+
+use brick::{BrickDims, BrickGrid, BrickInfo};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stencil::{apply_bricks, ArrayGrid, StencilShape};
+
+fn bench_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_kernel");
+    group.sample_size(15);
+    for n in [32usize, 64] {
+        for (name, shape) in [
+            ("star7", StencilShape::star7_default()),
+            ("cube125", StencilShape::cube125_default()),
+        ] {
+            let mut grid = ArrayGrid::new([n; 3], 8);
+            grid.fill_interior(|x, y, z| (x + y * z) as f64);
+            grid.fill_ghost_periodic_self();
+            let mut out = ArrayGrid::new([n; 3], 8);
+            group.throughput(Throughput::Elements((n * n * n) as u64));
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| grid.apply_into(&shape, &mut out))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bricks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brick_kernel");
+    group.sample_size(15);
+    for n in [32usize, 64] {
+        for (name, shape) in [
+            ("star7", StencilShape::star7_default()),
+            ("cube125", StencilShape::cube125_default()),
+        ] {
+            let gd = n / 8;
+            let grid = BrickGrid::<3>::lexicographic([gd; 3], true);
+            let info = BrickInfo::from_grid(BrickDims::cubic(8), &grid);
+            let mut input = info.allocate(1);
+            input.fill(1.0);
+            let mut output = info.allocate(1);
+            let mask = vec![true; info.bricks()];
+            group.throughput(Throughput::Elements((n * n * n) as u64));
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| apply_bricks(&shape, &info, &input, &mut output, &mask, 0))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_brick_sizes(c: &mut Criterion) {
+    // Ablation: 4^3 vs 8^3 vs 16^3 bricks for the same 64^3 domain.
+    let mut group = c.benchmark_group("brick_size_ablation");
+    group.sample_size(15);
+    let n = 64usize;
+    let shape = StencilShape::star7_default();
+    for bs in [4usize, 8, 16] {
+        let gd = n / bs;
+        let grid = BrickGrid::<3>::lexicographic([gd; 3], true);
+        let info = BrickInfo::from_grid(BrickDims::cubic(bs), &grid);
+        let mut input = info.allocate(1);
+        input.fill(1.0);
+        let mut output = info.allocate(1);
+        let mask = vec![true; info.bricks()];
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("star7_64cubed", bs), &bs, |b, _| {
+            b.iter(|| apply_bricks(&shape, &info, &input, &mut output, &mask, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_array, bench_bricks, bench_brick_sizes);
+criterion_main!(benches);

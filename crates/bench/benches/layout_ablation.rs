@@ -1,0 +1,92 @@
+//! Ablations over the design choices DESIGN.md calls out: layout
+//! permutation quality, message counting cost, optimizer cost, brick
+//! size vs padding, and multi-field interleaving.
+
+use brick::BrickDims;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layout::{optimize, SurfaceLayout};
+use packfree::decomp::BrickDecomp;
+use packfree::exchange::Exchanger;
+
+fn bench_message_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_counting");
+    for d in [2usize, 3, 4] {
+        let l = SurfaceLayout::lexicographic(d);
+        group.bench_with_input(BenchmarkId::new("count", d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(l.message_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_search");
+    group.sample_size(10);
+    group.bench_function("exhaustive_2d", |b| {
+        b.iter(|| std::hint::black_box(optimize::exhaustive(2).messages))
+    });
+    group.bench_function("greedy_3d", |b| {
+        b.iter(|| std::hint::black_box(optimize::greedy(3).messages))
+    });
+    group.bench_function("anneal_3d_short", |b| {
+        b.iter(|| std::hint::black_box(optimize::anneal(3, 7, 2_000, 1).messages))
+    });
+    group.finish();
+}
+
+fn bench_plan_construction(c: &mut Criterion) {
+    // The per-rank schedule is built once and reused; this measures how
+    // cheap that amortized setup is, across layout quality and padding.
+    let mut group = c.benchmark_group("schedule_construction");
+    group.sample_size(10);
+    for (name, layout) in [
+        ("surface3d", layout::surface3d()),
+        ("lexicographic", SurfaceLayout::lexicographic(3)),
+    ] {
+        let d = BrickDecomp::<3>::layout_mode([64; 3], 8, BrickDims::cubic(8), 1, layout);
+        group.bench_function(BenchmarkId::new("exchanger", name), |b| {
+            b.iter(|| std::hint::black_box(Exchanger::layout(&d).stats()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interleave(c: &mut Criterion) {
+    // AoSoA interleaving: more fields per exchange, same message count.
+    let mut group = c.benchmark_group("field_interleave");
+    group.sample_size(10);
+    for fields in [1usize, 2, 4] {
+        let d = BrickDecomp::<3>::new(
+            [32; 3],
+            8,
+            BrickDims::cubic(8),
+            fields,
+            layout::surface3d(),
+            1,
+        );
+        let ex = Exchanger::layout(&d);
+        assert_eq!(ex.stats().messages, 42);
+        group.bench_with_input(BenchmarkId::new("decomp_build", fields), &fields, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(BrickDecomp::<3>::new(
+                    [32; 3],
+                    8,
+                    BrickDims::cubic(8),
+                    fields,
+                    layout::surface3d(),
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_message_counting,
+    bench_optimizers,
+    bench_plan_construction,
+    bench_interleave
+);
+criterion_main!(benches);

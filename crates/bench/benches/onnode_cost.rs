@@ -1,0 +1,100 @@
+//! The paper's central quantity: on-node data movement per ghost-zone
+//! exchange. Packing (YASK-style row memcpy) and datatype walks
+//! (MPI_Types) are real work measured here; the pack-free methods'
+//! steady-state on-node cost is zero by construction, so what remains
+//! to measure is the *one-time* mmap view construction they amortize.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layout::all_regions;
+use packfree::memmap::{memmap_decomp, ExchangeView, MemMapStorage};
+use stencil::{ArrayGrid, Datatype};
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack_unpack");
+    group.sample_size(20);
+    for n in [16usize, 32, 64] {
+        let mut grid = ArrayGrid::new([n; 3], 8);
+        grid.fill_interior(|x, y, z| (x + y + z) as f64);
+        let dirs = all_regions(3);
+        let mut bufs: Vec<Vec<f64>> = dirs.iter().map(|_| Vec::new()).collect();
+        group.bench_with_input(BenchmarkId::new("yask_pack_26_regions", n), &n, |b, _| {
+            b.iter(|| {
+                for (d, buf) in dirs.iter().zip(bufs.iter_mut()) {
+                    grid.pack_surface(d, buf);
+                }
+                std::hint::black_box(&bufs);
+            })
+        });
+        // Unpack side.
+        let packed: Vec<Vec<f64>> = dirs
+            .iter()
+            .map(|d| {
+                let mut b = Vec::new();
+                grid.pack_surface(d, &mut b);
+                b
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("yask_unpack_26_regions", n), &n, |b, _| {
+            b.iter(|| {
+                for (d, buf) in dirs.iter().zip(packed.iter()) {
+                    grid.unpack_ghost(&d.mirror(), buf);
+                }
+                std::hint::black_box(&grid);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_datatype_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpitypes_walk");
+    group.sample_size(20);
+    for n in [16usize, 32, 64] {
+        let grid = {
+            let mut g = ArrayGrid::new([n; 3], 8);
+            g.fill_interior(|x, y, z| (x * y + z) as f64);
+            g
+        };
+        let full = grid.extents();
+        let types: Vec<Datatype> = all_regions(3)
+            .iter()
+            .map(|d| {
+                let ranges = grid.surface_range(d);
+                let start = std::array::from_fn(|a| (ranges[a].start + 8) as usize);
+                let sub = std::array::from_fn(|a| (ranges[a].end - ranges[a].start) as usize);
+                Datatype::subarray3(full, start, sub)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("walk_26_regions", n), &n, |b, _| {
+            b.iter(|| {
+                for t in &types {
+                    std::hint::black_box(t.pack(grid.as_slice()));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_view_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memmap_view_setup");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let d = memmap_decomp(
+            [n; 3],
+            8,
+            brick::BrickDims::cubic(8),
+            1,
+            layout::surface3d(),
+            memview::PAGE_4K,
+        );
+        let st = MemMapStorage::allocate(&d).unwrap();
+        group.bench_with_input(BenchmarkId::new("build_26_views", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(ExchangeView::build(&d, &st).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack, bench_datatype_walk, bench_view_construction);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Artifact-format output (paper Appendix A.6): for each implementation,
+//! the five metrics the original artifact's executables print —
+//! `calc`, `pack`, `call`, `wait` as `[minimum, average, maximum]`
+//! seconds per timestep across ranks, plus `perf` (overall throughput).
+
+use bench::steps;
+use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig};
+use stencil::StencilShape;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    println!("== Artifact metrics (paper Appendix A.6 format), {n}^3 per rank, 2x1x1 ranks ==\n");
+
+    for method in [
+        CpuMethod::Yask,
+        CpuMethod::MpiTypes,
+        CpuMethod::Layout,
+        CpuMethod::MemMap { page_size: memview::PAGE_4K },
+    ] {
+        let cfg = ExperimentConfig {
+            method: method.clone(),
+            subdomain: [n; 3],
+            ghost: 8,
+            brick: 8,
+            shape: StencilShape::star7_default(),
+            steps: steps(),
+            warmup: 1,
+            ranks: vec![2, 1, 1],
+            net: netsim::NetworkModel::theta_aries(),
+        };
+        let r = run_experiment(&cfg);
+        let s = r.summary;
+        println!("# {}", method.name());
+        let fmt = |name: &str, (min, avg, max): (f64, f64, f64)| {
+            println!("  {name} [{min:.6}, {avg:.6}, {max:.6}] s");
+        };
+        fmt("calc", s.calc);
+        fmt("pack", s.pack);
+        fmt("call", s.call);
+        fmt("wait", s.wait);
+        println!("  perf {:.4} GStencil/s/rank\n", r.gstencil());
+    }
+    println!("note: pack is identically [0, 0, 0] for the pack-free methods — the");
+    println!("artifact's observable definition of the paper's contribution");
+}

@@ -1,0 +1,39 @@
+//! Extension experiment (beyond the paper's evaluation; Section 8
+//! discusses the tradeoff): Put (all 26 neighbors at once, 42 messages)
+//! vs Shift (dimension-by-dimension, 6 messages, 3 serialized latency
+//! phases), both pack-free through the same machinery.
+
+use bench::harness::k1_report;
+use bench::table::ms;
+use bench::{subdomain_sweep, Table};
+use packfree::experiment::CpuMethod;
+use stencil::StencilShape;
+
+fn main() {
+    println!("== Extension: Put (MemMap, 26 msgs) vs Shift (6 msgs, 3 phases) ==\n");
+
+    let mut t = Table::new(&[
+        "Subdomain",
+        "Put comm ms", "Shift comm ms",
+        "Put msgs", "Shift msgs",
+        "Put bytes", "Shift bytes",
+    ]);
+    for n in subdomain_sweep() {
+        let shape = StencilShape::star7_default();
+        let put = k1_report(CpuMethod::MemMap { page_size: memview::PAGE_4K }, n, shape.clone());
+        let shift = k1_report(CpuMethod::Shift { page_size: memview::PAGE_4K }, n, shape);
+        t.row(vec![
+            format!("{n}^3"),
+            ms(put.comm_time()),
+            ms(shift.comm_time()),
+            put.stats.messages.to_string(),
+            shift.stats.messages.to_string(),
+            (put.stats.wire_bytes / 1024).to_string() + " KiB",
+            (shift.stats.wire_bytes / 1024).to_string() + " KiB",
+        ]);
+    }
+    t.print();
+    println!("\nexpected: Shift wins when per-message costs dominate (it posts 6 messages");
+    println!("instead of 26-42) but pays 3 serialized network latencies per exchange;");
+    println!("identical payload bytes either way — every ghost brick still arrives once");
+}

@@ -1,0 +1,31 @@
+//! Figure 4 — communication time for one 3D stencil step: YASK
+//! (packed) vs Basic (98 pack-free messages) vs Layout (42 messages).
+
+use bench::harness::k1_report;
+use bench::table::ms;
+use bench::{subdomain_sweep, Table};
+use packfree::experiment::CpuMethod;
+use stencil::StencilShape;
+
+fn main() {
+    println!("== Figure 4: communication time, YASK vs Basic vs Layout ==\n");
+
+    let mut t = Table::new(&["Subdomain", "YASK ms", "Basic ms", "Layout ms", "Basic msgs", "Layout msgs", "Layout/Basic"]);
+    for n in subdomain_sweep() {
+        let shape = StencilShape::star7_default();
+        let yask = k1_report(CpuMethod::Yask, n, shape.clone());
+        let basic = k1_report(CpuMethod::Basic, n, shape.clone());
+        let layout = k1_report(CpuMethod::Layout, n, shape);
+        t.row(vec![
+            format!("{n}^3"),
+            ms(yask.comm_time()),
+            ms(basic.comm_time()),
+            ms(layout.comm_time()),
+            basic.stats.messages.to_string(),
+            layout.stats.messages.to_string(),
+            format!("{:.2}x", basic.comm_time() / layout.comm_time()),
+        ]);
+    }
+    t.print();
+    println!("\npaper: Basic needs 98 messages, Layout 42; Layout up to 2.3x faster than Basic");
+}

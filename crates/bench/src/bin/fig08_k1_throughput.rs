@@ -1,0 +1,31 @@
+//! Figure 8 — (K1) 7-point stencil throughput vs subdomain size for
+//! MemMap, Layout, YASK, YASK-OL, and MPI_Types.
+
+use bench::harness::k1_report;
+use bench::table::gs;
+use bench::{subdomain_sweep, Table};
+use packfree::experiment::CpuMethod;
+use stencil::StencilShape;
+
+fn main() {
+    println!("== Figure 8: (K1) 7-point throughput (GStencil/s per rank) ==\n");
+
+    let methods = [
+        CpuMethod::MemMap { page_size: memview::PAGE_4K },
+        CpuMethod::Layout,
+        CpuMethod::Yask,
+        CpuMethod::YaskOverlap,
+        CpuMethod::MpiTypes,
+    ];
+    let mut t = Table::new(&["Subdomain", "MemMap", "Layout", "YASK", "YASK-OL", "MPI_Types"]);
+    for n in subdomain_sweep() {
+        let mut row = vec![format!("{n}^3")];
+        for m in &methods {
+            let r = k1_report(m.clone(), n, StencilShape::star7_default());
+            row.push(gs(r.gstencil()));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("\npaper: Layout ~ MemMap >> YASK(-OL) >> MPI_Types; gap widens as subdomains shrink");
+}

@@ -1,0 +1,57 @@
+//! Figure 11 — (K2) strong scaling of a fixed domain over 8..1024
+//! nodes, 7-point and 125-point stencils, MemMap vs YASK, with the
+//! theoretic compute (volume) and communication (surface) scaling
+//! lines.
+//!
+//! Default domain is 256³ (laptop memory); `BRICK_FULL=1` uses the
+//! paper's 1024³.
+
+use bench::harness::{ideal_scaling, node_sweep, strong_scaling_subdomain};
+use bench::table::gs;
+use bench::{full_scale, Table};
+use packfree::experiment::CpuMethod;
+use stencil::StencilShape;
+
+fn main() {
+    let domain = if full_scale() { 1024 } else { 256 };
+    println!("== Figure 11: (K2) strong scaling of a {domain}^3 domain (aggregate GStencil/s) ==\n");
+
+    let mut t = Table::new(&[
+        "Nodes", "Subdomain",
+        "MemMap 7pt", "YASK 7pt", "MemMap 125pt", "YASK 125pt",
+        "ideal-comp", "ideal-comm",
+    ]);
+    let mut anchor7 = None;
+    for nodes in node_sweep() {
+        let sub = strong_scaling_subdomain(domain, nodes);
+        if sub.iter().any(|&s| s < 16) {
+            break;
+        }
+        let run = |m: CpuMethod, shape: StencilShape| -> f64 {
+            let mut cfg = packfree::experiment::ExperimentConfig::k1(m, 0);
+            cfg.subdomain = sub;
+            cfg.steps = bench::steps();
+            cfg.shape = shape;
+            let r = packfree::experiment::run_experiment(&cfg);
+            r.gstencil() * nodes as f64
+        };
+        let m7 = run(CpuMethod::MemMap { page_size: memview::PAGE_4K }, StencilShape::star7_default());
+        let y7 = run(CpuMethod::Yask, StencilShape::star7_default());
+        let m125 = run(CpuMethod::MemMap { page_size: memview::PAGE_4K }, StencilShape::cube125_default());
+        let y125 = run(CpuMethod::Yask, StencilShape::cube125_default());
+        let anchor = *anchor7.get_or_insert((m7, nodes));
+        t.row(vec![
+            nodes.to_string(),
+            format!("{}x{}x{}", sub[0], sub[1], sub[2]),
+            gs(m7),
+            gs(y7),
+            gs(m125),
+            gs(y125),
+            gs(ideal_scaling(anchor.0, anchor.1, nodes, -1.0)), // throughput grows ~nodes
+            gs(ideal_scaling(anchor.0, anchor.1, nodes, -2.0 / 3.0)),
+        ]);
+    }
+    t.print();
+    println!("\npaper: MemMap strong-scales 9.3x (7pt) / 13.4x (125pt) better than YASK at 1024");
+    println!("nodes; compute-bound at few nodes, communication-scaling at many");
+}

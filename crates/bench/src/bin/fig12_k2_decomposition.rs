@@ -1,0 +1,41 @@
+//! Figure 12 — (K2) per-timestep communication vs computation
+//! decomposition for the 7-point strong-scaling runs of Figure 11.
+
+use bench::harness::{node_sweep, strong_scaling_subdomain};
+use bench::table::ms;
+use bench::{full_scale, Table};
+use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig};
+use stencil::StencilShape;
+
+fn main() {
+    let domain = if full_scale() { 1024 } else { 256 };
+    println!("== Figure 12: (K2) comm vs comp decomposition, 7-point on {domain}^3 (ms/step) ==\n");
+
+    let mut t = Table::new(&[
+        "Nodes", "YASK comm", "YASK comp", "MemMap comm", "MemMap comp",
+    ]);
+    for nodes in node_sweep() {
+        let sub = strong_scaling_subdomain(domain, nodes);
+        if sub.iter().any(|&s| s < 16) {
+            break;
+        }
+        let run = |m: CpuMethod| {
+            let mut cfg = ExperimentConfig::k1(m, 0);
+            cfg.subdomain = sub;
+            cfg.steps = bench::steps();
+            cfg.shape = StencilShape::star7_default();
+            run_experiment(&cfg)
+        };
+        let yask = run(CpuMethod::Yask);
+        let memmap = run(CpuMethod::MemMap { page_size: memview::PAGE_4K });
+        t.row(vec![
+            nodes.to_string(),
+            ms(yask.comm_time()),
+            ms(yask.timers.calc),
+            ms(memmap.comm_time()),
+            ms(memmap.timers.calc),
+        ]);
+    }
+    t.print();
+    println!("\npaper: the communication-time reduction is what produces the strong-scaling win");
+}

@@ -1,0 +1,32 @@
+//! Figure 13 — (V1) 7-point stencil throughput on 8 modeled V100
+//! nodes: Layout_CA, Layout_UM, MemMap_UM, MPI_Types_UM.
+
+use bench::harness::gpu_report;
+use bench::table::gs;
+use bench::{subdomain_sweep, Table};
+use packfree::gpu::{GpuMethod, GpuPlatform};
+use stencil::StencilShape;
+
+fn main() {
+    println!("== Figure 13: (V1) GPU 7-point throughput (GStencil/s per rank, modeled V100) ==\n");
+
+    let p = GpuPlatform::summit();
+    let shape = StencilShape::star7_default();
+    let methods = [
+        GpuMethod::LayoutCA,
+        GpuMethod::LayoutUM,
+        GpuMethod::MemMapUM,
+        GpuMethod::MpiTypesUM,
+    ];
+    let mut t = Table::new(&["Subdomain", "Layout_CA", "Layout_UM", "MemMap_UM", "MPI_Types_UM"]);
+    for n in subdomain_sweep() {
+        let mut row = vec![format!("{n}^3")];
+        for m in methods {
+            let timers = gpu_report(m, n, &shape, &p);
+            row.push(gs((n * n * n) as f64 / timers.total() / 1e9));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("\npaper: Layout and MemMap far outperform MPI_Types_UM; Layout_CA best overall");
+}

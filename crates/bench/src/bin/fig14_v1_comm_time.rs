@@ -1,0 +1,36 @@
+//! Figure 14 — (V1) GPU communication time per timestep with the
+//! `Network_CA` floor and `Comp` reference.
+
+use bench::harness::{gpu_report, gpu_stats};
+use bench::table::ms;
+use bench::{subdomain_sweep, Table};
+use packfree::gpu::{network_floor_ca, GpuMethod, GpuPlatform};
+use stencil::StencilShape;
+
+fn main() {
+    println!("== Figure 14: (V1) GPU communication time per timestep (ms) ==\n");
+
+    let p = GpuPlatform::summit();
+    let shape = StencilShape::star7_default();
+    let mut t = Table::new(&[
+        "Subdomain", "MPI_Types_UM", "MemMap_UM", "Layout_UM", "Layout_CA", "Network_CA", "Comp",
+    ]);
+    for n in subdomain_sweep() {
+        let ty = gpu_report(GpuMethod::MpiTypesUM, n, &shape, &p);
+        let mm = gpu_report(GpuMethod::MemMapUM, n, &shape, &p);
+        let um = gpu_report(GpuMethod::LayoutUM, n, &shape, &p);
+        let ca = gpu_report(GpuMethod::LayoutCA, n, &shape, &p);
+        let floor = network_floor_ca(&p, gpu_stats(n).layout.payload_bytes);
+        t.row(vec![
+            format!("{n}^3"),
+            ms(ty.comm()),
+            ms(mm.comm()),
+            ms(um.comm()),
+            ms(ca.comm()),
+            ms(floor),
+            ms(mm.calc),
+        ]);
+    }
+    t.print();
+    println!("\npaper: Layout_CA approaches the Network_CA floor (GPUDirect RDMA, no staging)");
+}

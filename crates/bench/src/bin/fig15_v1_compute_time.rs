@@ -1,0 +1,35 @@
+//! Figure 15 — (V1) GPU compute time per timestep: page-aligned
+//! methods (Layout_CA, MemMap_UM) compute fastest; unaligned UM
+//! communication (Layout_UM, MPI_Types_UM) drags pages back and forth
+//! through the kernel.
+
+use bench::harness::gpu_report;
+use bench::table::ms;
+use bench::{subdomain_sweep, Table};
+use packfree::gpu::{GpuMethod, GpuPlatform};
+use stencil::StencilShape;
+
+fn main() {
+    println!("== Figure 15: (V1) GPU compute time per timestep (ms) ==\n");
+
+    let p = GpuPlatform::summit();
+    let shape = StencilShape::star7_default();
+    let mut t = Table::new(&[
+        "Subdomain", "MPI_Types_UM", "MemMap_UM", "Layout_UM", "Layout_CA",
+    ]);
+    for n in subdomain_sweep() {
+        let mut row = vec![format!("{n}^3")];
+        for m in [
+            GpuMethod::MpiTypesUM,
+            GpuMethod::MemMapUM,
+            GpuMethod::LayoutUM,
+            GpuMethod::LayoutCA,
+        ] {
+            row.push(ms(gpu_report(m, n, &shape, &p).calc));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("\npaper: Layout_CA and MemMap_UM compute fastest; Layout_UM/MPI_Types_UM pay for");
+    println!("communication regions not aligned to page boundaries");
+}

@@ -1,0 +1,47 @@
+//! Figure 17 — (V2) per-timestep comm vs comp decomposition of the
+//! 7-point GPU strong-scaling runs: communication dominates at every
+//! scale on the GPU platform.
+
+use bench::harness::{gpu_report, node_sweep, strong_scaling_subdomain};
+use bench::table::ms;
+use bench::{full_scale, Table};
+use packfree::gpu::{GpuMethod, GpuPlatform};
+use stencil::StencilShape;
+
+fn main() {
+    let domain = if full_scale() { 2048 } else { 512 };
+    println!("== Figure 17: (V2) GPU comm vs comp, 7-point on {domain}^3 (ms/step) ==\n");
+
+    let p = GpuPlatform::summit();
+    let shape = StencilShape::star7_default();
+    let mut t = Table::new(&[
+        "Nodes",
+        "Types comm", "Types comp",
+        "MemMap comm", "MemMap comp",
+        "Layout_CA comm", "Layout_CA comp",
+    ]);
+    for nodes in node_sweep() {
+        let ranks = 6 * nodes;
+        let sub = strong_scaling_subdomain(domain, ranks);
+        if sub.iter().any(|&s| s < 16) {
+            break;
+        }
+        let n_eq = ((sub[0] * sub[1] * sub[2]) as f64).cbrt();
+        let n = ((n_eq / 8.0).round() as usize * 8).max(16);
+        let ty = gpu_report(GpuMethod::MpiTypesUM, n, &shape, &p);
+        let mm = gpu_report(GpuMethod::MemMapUM, n, &shape, &p);
+        let ca = gpu_report(GpuMethod::LayoutCA, n, &shape, &p);
+        t.row(vec![
+            nodes.to_string(),
+            ms(ty.comm()),
+            ms(ty.calc),
+            ms(mm.comm()),
+            ms(mm.calc),
+            ms(ca.comm()),
+            ms(ca.calc),
+        ]);
+    }
+    t.print();
+    println!("\npaper: application time is communication-dominated even at 8 nodes; optimizing");
+    println!("communication is the entire speedup");
+}

@@ -1,0 +1,42 @@
+//! Run every table/figure harness in sequence (the one-shot
+//! reproduction driver; see EXPERIMENTS.md for captured output).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "tab01_message_counts",
+        "fig01_breakdown",
+        "fig04_layout_vs_basic",
+        "fig08_k1_throughput",
+        "fig09_k1_comm_time",
+        "fig10_k1_compute_time",
+        "fig11_k2_strong_scaling",
+        "fig12_k2_decomposition",
+        "fig13_v1_throughput",
+        "fig14_v1_comm_time",
+        "fig15_v1_compute_time",
+        "tab02_padding_bandwidth",
+        "fig16_v2_strong_scaling",
+        "fig17_v2_decomposition",
+        "fig18_pagesize",
+        "ext_shift_vs_put",
+        "ext_knl_calibrated",
+        "ext_dimensionality",
+        "ext_brick_size",
+        "ext_message_trace",
+        "ext_weak_scaling",
+        "ext_overlap",
+        "artifact_metrics",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for b in bins {
+        println!("\n##### {b} #####\n");
+        let status = Command::new(dir.join(b))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {b}: {e}"));
+        assert!(status.success(), "{b} failed");
+    }
+    println!("\nAll experiments reproduced.");
+}

@@ -1,0 +1,141 @@
+//! Shared experiment runners for the figure/table binaries.
+
+use brick::BrickDims;
+use netsim::NetworkModel;
+use packfree::decomp::BrickDecomp;
+use packfree::exchange::{ExchangeStats, Exchanger};
+use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig, MethodReport};
+use packfree::gpu::{estimate_gpu_step, GpuMethod, GpuPlatform, GpuWorkload};
+use packfree::memmap::{memmap_decomp, ExchangeView, MemMapStorage};
+use stencil::StencilShape;
+
+use crate::steps;
+
+/// Run one K1-style configuration (single-rank proxy for the paper's
+/// 8-node periodic cube; every rank is identical by construction).
+pub fn k1_report(method: CpuMethod, n: usize, shape: StencilShape) -> MethodReport {
+    let mut cfg = ExperimentConfig::k1(method, n);
+    cfg.shape = shape;
+    cfg.steps = steps();
+    cfg.warmup = 1;
+    run_experiment(&cfg)
+}
+
+/// Exchange statistics for a subdomain under the three schedule shapes.
+pub struct GpuStats {
+    /// Layout schedule (42 messages, no padding).
+    pub layout: ExchangeStats,
+    /// MemMap schedule with 64 KiB (Summit) pages.
+    pub memmap: ExchangeStats,
+    /// Array/datatype schedule (26 messages, no padding).
+    pub types: ExchangeStats,
+}
+
+/// Build the real exchange schedules for an `n`³ subdomain and report
+/// their traffic statistics (these drive the GPU estimates).
+pub fn gpu_stats(n: usize) -> GpuStats {
+    let d = BrickDecomp::<3>::layout_mode([n; 3], 8, BrickDims::cubic(8), 1, layout::surface3d());
+    let layout = Exchanger::layout(&d).stats();
+    let dm = memmap_decomp([n; 3], 8, BrickDims::cubic(8), 1, layout::surface3d(), memview::PAGE_64K);
+    let st = MemMapStorage::allocate(&dm).expect("memfd");
+    let memmap = ExchangeView::build(&dm, &st).expect("views").stats();
+    let grid = stencil::ArrayGrid::new([n; 3], 8);
+    let types = ExchangeStats {
+        messages: 26,
+        payload_bytes: grid.exchange_bytes(),
+        wire_bytes: grid.exchange_bytes(),
+        region_instances: 26,
+    };
+    GpuStats { layout, memmap, types }
+}
+
+/// Per-timestep GPU estimate for one method on an `n`³ subdomain.
+pub fn gpu_report(method: GpuMethod, n: usize, shape: &StencilShape, p: &GpuPlatform) -> netsim::Timers {
+    let s = gpu_stats(n);
+    let stats = match method {
+        GpuMethod::LayoutCA | GpuMethod::LayoutUM => s.layout,
+        GpuMethod::MemMapUM => s.memmap,
+        GpuMethod::MpiTypesUM => s.types,
+    };
+    let w = GpuWorkload {
+        points: (n * n * n) as u64,
+        flops_per_point: shape.flops_per_point(),
+        stats,
+    };
+    estimate_gpu_step(method, &w, p)
+}
+
+/// Per-rank subdomain for strong scaling a `domain`³ cube over `ranks`
+/// ranks: balanced factorization, with extents rounded to the brick
+/// multiple (min 16) when the division is uneven.
+// Indexed loops read clearer than zip chains over parallel arrays here.
+#[allow(clippy::needless_range_loop)]
+pub fn strong_scaling_subdomain(domain: usize, ranks: usize) -> [usize; 3] {
+    let topo = netsim::CartTopo::balanced(ranks, 3, true);
+    let mut sub = [0usize; 3];
+    for a in 0..3 {
+        let raw = domain as f64 / topo.dims()[a] as f64;
+        let rounded = ((raw / 8.0).round() as usize * 8).max(16);
+        sub[a] = rounded;
+    }
+    sub
+}
+
+/// The node counts of the strong-scaling figures (8..1024, powers of 2).
+pub fn node_sweep() -> Vec<usize> {
+    (3..=10).map(|k| 1usize << k).collect()
+}
+
+/// Theoretic scaling anchors for the dashed lines of Figures 11/16:
+/// compute scales with volume (1/nodes), communication with surface
+/// ((1/nodes)^(2/3)).
+pub fn ideal_scaling(anchor: f64, anchor_nodes: usize, nodes: usize, exponent: f64) -> f64 {
+    anchor * (anchor_nodes as f64 / nodes as f64).powf(exponent)
+}
+
+/// The K1 wire model.
+pub fn theta() -> NetworkModel {
+    NetworkModel::theta_aries()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_scaling_subdomains_are_brick_multiples() {
+        for nodes in node_sweep() {
+            let s = strong_scaling_subdomain(1024, nodes);
+            assert!(s.iter().all(|&d| d % 8 == 0 && d >= 16), "{s:?}");
+        }
+        assert_eq!(strong_scaling_subdomain(1024, 8), [512, 512, 512]);
+        assert_eq!(strong_scaling_subdomain(1024, 64), [256, 256, 256]);
+        assert_eq!(strong_scaling_subdomain(1024, 1024), [128, 128, 64]);
+    }
+
+    #[test]
+    fn node_sweep_is_the_papers() {
+        assert_eq!(node_sweep(), vec![8, 16, 32, 64, 128, 256, 512, 1024]);
+    }
+
+    #[test]
+    fn ideal_scaling_laws() {
+        // Volume scaling: halving per-node work doubles throughput.
+        let t8 = 1.0;
+        assert!((ideal_scaling(t8, 8, 64, -1.0) - 8.0).abs() < 1e-12);
+        // Surface scaling: 8x nodes -> 4x throughput.
+        assert!((ideal_scaling(t8, 8, 64, -2.0 / 3.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_stats_consistency() {
+        let s = gpu_stats(32);
+        assert_eq!(s.layout.messages, 42);
+        assert_eq!(s.memmap.messages, 26);
+        assert_eq!(s.types.messages, 26);
+        assert_eq!(s.layout.payload_bytes, s.memmap.payload_bytes);
+        assert!(s.memmap.wire_bytes > s.memmap.payload_bytes);
+        // The array schedule moves the same payload as the brick one.
+        assert_eq!(s.types.payload_bytes, s.layout.payload_bytes);
+    }
+}

@@ -1,0 +1,381 @@
+//! The `Brick` accessor: logical element addressing with automatic
+//! resolution into neighboring bricks, mirroring the paper's Figure 6
+//! interface (`b[brickIndex][k][j][i]` where indices may step one brick
+//! past either face).
+
+use crate::dims::trits_to_code;
+use crate::info::{BrickInfo, NO_BRICK};
+use crate::storage::BrickStorage;
+
+/// Read-only accessor over one field of a [`BrickStorage`].
+///
+/// `get(b, pos)` accepts per-axis positions in
+/// `-extent .. 2*extent`; out-of-brick positions are transparently
+/// resolved through the adjacency list, exactly like the C++ library's
+/// `b[bidx][k-1][j][i+1]` accesses.
+pub struct BrickView<'a, const D: usize> {
+    info: &'a BrickInfo<D>,
+    data: &'a [f64],
+    step: usize,
+    field_base: usize,
+}
+
+impl<'a, const D: usize> BrickView<'a, D> {
+    /// View field `field` of `storage` through `info`'s logical order.
+    pub fn new(info: &'a BrickInfo<D>, storage: &'a BrickStorage, field: usize) -> Self {
+        assert!(field < storage.fields());
+        assert_eq!(info.bricks(), storage.bricks(), "info/storage brick count mismatch");
+        assert_eq!(
+            info.brick_dims().elements(),
+            storage.elements_per_brick(),
+            "info/storage brick size mismatch"
+        );
+        BrickView {
+            info,
+            data: storage.as_slice(),
+            step: storage.step(),
+            field_base: field * storage.elements_per_brick(),
+        }
+    }
+
+    /// The logical organization behind this view.
+    #[inline]
+    pub fn info(&self) -> &BrickInfo<D> {
+        self.info
+    }
+
+    /// Element at a possibly out-of-brick position relative to brick `b`.
+    /// Panics (debug) or returns 0.0 (release) when the access crosses a
+    /// non-periodic boundary.
+    #[inline]
+    pub fn get(&self, b: u32, pos: [isize; D]) -> f64 {
+        let (trits, local) = self.info.brick_dims().resolve(pos);
+        let code = trits_to_code(trits);
+        let target = if code == 0 { b } else { self.info.adjacent(b, code) };
+        if target == NO_BRICK {
+            debug_assert!(false, "access crosses a non-periodic boundary");
+            return 0.0;
+        }
+        let off = target as usize * self.step
+            + self.field_base
+            + self.info.brick_dims().flatten(local);
+        self.data[off]
+    }
+
+    /// In-brick element (all `pos[a] < extent(a)`), skipping neighbor
+    /// resolution.
+    #[inline]
+    pub fn get_local(&self, b: u32, pos: [usize; D]) -> f64 {
+        let off = b as usize * self.step
+            + self.field_base
+            + self.info.brick_dims().flatten(pos);
+        self.data[off]
+    }
+
+    /// Reference to the element at a possibly out-of-brick position
+    /// (the backing store of [`BrickView::get`]).
+    #[inline]
+    pub fn elem_ref(&self, b: u32, pos: [isize; D]) -> &f64 {
+        let (trits, local) = self.info.brick_dims().resolve(pos);
+        let code = trits_to_code(trits);
+        let target = if code == 0 { b } else { self.info.adjacent(b, code) };
+        assert_ne!(target, NO_BRICK, "access crosses a non-periodic boundary");
+        &self.data[target as usize * self.step
+            + self.field_base
+            + self.info.brick_dims().flatten(local)]
+    }
+}
+
+impl<'a, const D: usize> BrickView<'a, D> {
+    /// The paper's Figure 6 interface, spelled `view.at(b)[[k, j, i]]`
+    /// (stable Rust's `Index` cannot chain `[k][j][i]` by value, so the
+    /// three indices travel as one array — note the index order matches
+    /// the C++ `b[bidx][k][j][i]`: slowest axis first). Accesses that
+    /// step past a brick face resolve through the adjacency list.
+    ///
+    /// ```
+    /// use brick::{BrickDims, BrickGrid, BrickInfo, BrickView};
+    /// let grid = BrickGrid::<3>::lexicographic([2; 3], true);
+    /// let info = BrickInfo::from_grid(BrickDims::cubic(4), &grid);
+    /// let mut st = info.allocate(1);
+    /// st.field_mut(1, 0)[0] = 7.0; // brick 1 = grid (1,0,0)
+    /// let view = BrickView::new(&info, &st, 0);
+    /// // One step past brick 0's +x face lands in brick 1.
+    /// assert_eq!(view.at(0)[[0, 0, 4]], 7.0);
+    /// ```
+    pub fn at(&self, b: u32) -> At<'_, 'a, D> {
+        At { view: self, b }
+    }
+}
+
+/// A brick selected for Figure 6-style indexing.
+#[derive(Clone, Copy)]
+pub struct At<'v, 'a, const D: usize> {
+    view: &'v BrickView<'a, D>,
+    b: u32,
+}
+
+impl<'v, 'a, const D: usize> std::ops::Index<[isize; D]> for At<'v, 'a, D> {
+    type Output = f64;
+    /// Indices slowest-axis-first, matching the paper's `[k][j][i]`.
+    fn index(&self, kji: [isize; D]) -> &f64 {
+        let mut pos = [0isize; D];
+        for a in 0..D {
+            pos[a] = kji[D - 1 - a];
+        }
+        self.view.elem_ref(self.b, pos)
+    }
+}
+
+/// Write accessor over one field; in-brick writes only (stencil outputs
+/// never write into neighbors).
+pub struct BrickViewMut<'a, const D: usize> {
+    info: &'a BrickInfo<D>,
+    data: &'a mut [f64],
+    step: usize,
+    field_base: usize,
+}
+
+impl<'a, const D: usize> BrickViewMut<'a, D> {
+    /// Mutable view of field `field` of `storage`.
+    pub fn new(info: &'a BrickInfo<D>, storage: &'a mut BrickStorage, field: usize) -> Self {
+        assert!(field < storage.fields());
+        assert_eq!(info.bricks(), storage.bricks());
+        assert_eq!(info.brick_dims().elements(), storage.elements_per_brick());
+        let step = storage.step();
+        let field_base = field * storage.elements_per_brick();
+        BrickViewMut { info, data: storage.as_mut_slice(), step, field_base }
+    }
+
+    /// Write an in-brick element.
+    #[inline]
+    pub fn set(&mut self, b: u32, pos: [usize; D], v: f64) {
+        let off = b as usize * self.step
+            + self.field_base
+            + self.info.brick_dims().flatten(pos);
+        self.data[off] = v;
+    }
+
+    /// Read an in-brick element back.
+    #[inline]
+    pub fn get_local(&self, b: u32, pos: [usize; D]) -> f64 {
+        let off = b as usize * self.step
+            + self.field_base
+            + self.info.brick_dims().flatten(pos);
+        self.data[off]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::BrickDims;
+    use crate::grid::BrickGrid;
+
+    /// Fill a 2-brick 1D chain and read across the face.
+    #[test]
+    fn cross_brick_read_1d() {
+        let grid = BrickGrid::<1>::lexicographic([2], true);
+        let info = BrickInfo::from_grid(BrickDims::cubic(4), &grid);
+        let mut st = info.allocate(1);
+        for b in 0..2u32 {
+            for i in 0..4 {
+                st.field_mut(b, 0)[i] = (b * 10 + i as u32) as f64;
+            }
+        }
+        let v = BrickView::new(&info, &st, 0);
+        // In brick.
+        assert_eq!(v.get(0, [2]), 2.0);
+        // One step past the high face of brick 0 = element 0 of brick 1.
+        assert_eq!(v.get(0, [4]), 10.0);
+        // One step below brick 0 wraps (periodic) to last of brick 1.
+        assert_eq!(v.get(0, [-1]), 13.0);
+    }
+
+    /// Brick addressing must agree with plain array addressing on a
+    /// lexicographic grid: build a 2D domain both ways and compare.
+    #[test]
+    fn matches_array_semantics_2d() {
+        let bx = 4usize;
+        let gx = 3usize; // bricks per axis
+        let n = bx * gx; // elements per axis
+        let grid = BrickGrid::<2>::lexicographic([gx, gx], true);
+        let info = BrickInfo::from_grid(BrickDims::cubic(bx), &grid);
+        let mut st = info.allocate(1);
+
+        // Global value function.
+        let val = |x: usize, y: usize| (y * n + x) as f64;
+        let mut array = vec![0.0; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                array[y * n + x] = val(x, y);
+                let (bc, lc) = ([x / bx, y / bx], [x % bx, y % bx]);
+                let b = grid.brick_at(bc);
+                let off = lc[1] * bx + lc[0];
+                st.field_mut(b, 0)[off] = val(x, y);
+            }
+        }
+
+        let v = BrickView::new(&info, &st, 0);
+        // Every element and every ±1 offset agrees with periodic array
+        // indexing.
+        for y in 0..n {
+            for x in 0..n {
+                let b = grid.brick_at([x / bx, y / bx]);
+                let local = [(x % bx) as isize, (y % bx) as isize];
+                for dy in -1isize..=1 {
+                    for dx in -1isize..=1 {
+                        let ax = (x as isize + dx).rem_euclid(n as isize) as usize;
+                        let ay = (y as isize + dy).rem_euclid(n as isize) as usize;
+                        let expect = array[ay * n + ax];
+                        let got = v.get(b, [local[0] + dx, local[1] + dy]);
+                        assert_eq!(got, expect, "at ({x},{y}) offset ({dx},{dy})");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The physical order must be invisible to logical accesses: a
+    /// permuted grid returns identical values.
+    #[test]
+    fn layout_agnostic_access() {
+        let bx = 4usize;
+        let gx = 3usize;
+        let order: Vec<u32> = {
+            // An arbitrary fixed permutation.
+            let mut v: Vec<u32> = (0..(gx * gx) as u32).collect();
+            v.swap(0, 5);
+            v.swap(2, 7);
+            v.reverse();
+            v
+        };
+        let lex = BrickGrid::<2>::lexicographic([gx, gx], true);
+        let perm = BrickGrid::<2>::from_order([gx, gx], true, &order);
+
+        let mk = |grid: &BrickGrid<2>| {
+            let info = BrickInfo::from_grid(BrickDims::cubic(bx), grid);
+            let mut st = info.allocate(1);
+            let n = bx * gx;
+            for y in 0..n {
+                for x in 0..n {
+                    let b = grid.brick_at([x / bx, y / bx]);
+                    let off = (y % bx) * bx + (x % bx);
+                    st.field_mut(b, 0)[off] = (y * n + x) as f64;
+                }
+            }
+            (info, st)
+        };
+        let (i1, s1) = mk(&lex);
+        let (i2, s2) = mk(&perm);
+        let v1 = BrickView::new(&i1, &s1, 0);
+        let v2 = BrickView::new(&i2, &s2, 0);
+        let n = bx * gx;
+        for y in 0..n {
+            for x in 0..n {
+                let b1 = lex.brick_at([x / bx, y / bx]);
+                let b2 = perm.brick_at([x / bx, y / bx]);
+                let p = [(x % bx) as isize - 1, (y % bx) as isize + 1];
+                assert_eq!(v1.get(b1, p), v2.get(b2, p));
+            }
+        }
+    }
+
+    #[test]
+    fn mutable_view_roundtrip() {
+        let grid = BrickGrid::<1>::lexicographic([2], true);
+        let info = BrickInfo::from_grid(BrickDims::cubic(4), &grid);
+        let mut st = info.allocate(2);
+        {
+            let mut w = BrickViewMut::new(&info, &mut st, 1);
+            w.set(1, [3], 9.5);
+            assert_eq!(w.get_local(1, [3]), 9.5);
+        }
+        let r = BrickView::new(&info, &st, 1);
+        assert_eq!(r.get(1, [3]), 9.5);
+        // Field 0 untouched.
+        let r0 = BrickView::new(&info, &st, 0);
+        assert_eq!(r0.get(1, [3]), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod figure6_tests {
+    use super::*;
+    use crate::dims::BrickDims;
+    use crate::grid::BrickGrid;
+
+    /// The paper's Figure 6 loop, verbatim in spirit: a 7-point stencil
+    /// written with `at(b)[[k, j, i]]` indexing.
+    #[test]
+    fn figure6_style_stencil() {
+        let grid = BrickGrid::<3>::lexicographic([2; 3], true);
+        let info = BrickInfo::from_grid(BrickDims::cubic(4), &grid);
+        let mut st = info.allocate(1);
+        let n = 8;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let b = grid.brick_at([x / 4, y / 4, z / 4]);
+                    st.field_mut(b, 0)[((z % 4) * 4 + y % 4) * 4 + x % 4] =
+                        ((x + 2 * y + 3 * z) % 7) as f64;
+                }
+            }
+        }
+        let mut out = info.allocate(1);
+        let c = [0.4, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1];
+        {
+            let bview = BrickView::new(&info, &st, 0);
+            let mut aview = BrickViewMut::new(&info, &mut out, 0);
+            for brick_index in 0..info.bricks() as u32 {
+                let b = bview.at(brick_index);
+                for k in 0..4isize {
+                    for j in 0..4isize {
+                        for i in 0..4isize {
+                            let v = c[0] * b[[k, j, i]]
+                                + c[1] * b[[k - 1, j, i]]
+                                + c[2] * b[[k + 1, j, i]]
+                                + c[3] * b[[k, j - 1, i]]
+                                + c[4] * b[[k, j + 1, i]]
+                                + c[5] * b[[k, j, i - 1]]
+                                + c[6] * b[[k, j, i + 1]];
+                            aview.set(brick_index, [i as usize, j as usize, k as usize], v);
+                        }
+                    }
+                }
+            }
+        }
+        // Cross-check one point against get().
+        let bview = BrickView::new(&info, &st, 0);
+        let expect = c[0] * bview.get(0, [1, 1, 1])
+            + c[1] * bview.get(0, [1, 1, 0])
+            + c[2] * bview.get(0, [1, 1, 2])
+            + c[3] * bview.get(0, [1, 0, 1])
+            + c[4] * bview.get(0, [1, 2, 1])
+            + c[5] * bview.get(0, [0, 1, 1])
+            + c[6] * bview.get(0, [2, 1, 1]);
+        let got = BrickView::new(&info, &out, 0).get(0, [1, 1, 1]);
+        assert!((got - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn at_index_order_is_kji() {
+        let grid = BrickGrid::<3>::lexicographic([1; 3], true);
+        let info = BrickInfo::from_grid(BrickDims::new([4, 3, 2]), &grid);
+        let mut st = info.allocate(1);
+        // Element (x=3, y=2, z=1).
+        st.field_mut(0, 0)[(3 + 2) * 4 + 3] = 5.0;
+        let v = BrickView::new(&info, &st, 0);
+        assert_eq!(v.at(0)[[1, 2, 3]], 5.0); // [k, j, i] = [z, y, x]
+    }
+
+    #[test]
+    #[should_panic(expected = "non-periodic boundary")]
+    fn at_across_missing_neighbor_panics() {
+        let grid = BrickGrid::<3>::lexicographic([1; 3], false);
+        let info = BrickInfo::from_grid(BrickDims::cubic(4), &grid);
+        let st = info.allocate(1);
+        let v = BrickView::new(&info, &st, 0);
+        let _ = v.at(0)[[0, 0, -1]];
+    }
+}

@@ -1,0 +1,221 @@
+//! Logical brick grids: the map between grid coordinates and physical
+//! brick indices. The *ordering* of this map is exactly the layout
+//! indirection the paper exploits — computation never sees it, only the
+//! adjacency list derived from it.
+
+use crate::dims::{adjacency_size, code_to_trits};
+
+/// A `D`-dimensional logical grid of bricks with an arbitrary assignment
+/// of physical brick indices to grid coordinates.
+#[derive(Clone, Debug)]
+pub struct BrickGrid<const D: usize> {
+    dims: [usize; D],
+    periodic: bool,
+    /// `index[lex(coord)]` = physical brick index of the brick at `coord`.
+    index: Vec<u32>,
+    /// Inverse: `coord_of[brick] = lex(coord)`.
+    coord_of: Vec<u32>,
+}
+
+impl<const D: usize> BrickGrid<D> {
+    /// Grid with lexicographic physical order (brick index = lex(coord)),
+    /// the "No-Layout" baseline of the paper's Figure 10.
+    pub fn lexicographic(dims: [usize; D], periodic: bool) -> Self {
+        let n = dims.iter().product::<usize>();
+        assert!(n > 0 && n <= u32::MAX as usize);
+        let index: Vec<u32> = (0..n as u32).collect();
+        let coord_of = index.clone();
+        BrickGrid { dims, periodic, index, coord_of }
+    }
+
+    /// Grid with an explicit physical-order permutation: `order[i]` is the
+    /// lex coordinate of the brick stored `i`-th.
+    pub fn from_order(dims: [usize; D], periodic: bool, order: &[u32]) -> Self {
+        let n = dims.iter().product::<usize>();
+        assert_eq!(order.len(), n, "order must cover every grid cell");
+        let mut index = vec![u32::MAX; n];
+        for (brick, &lex) in order.iter().enumerate() {
+            assert!((lex as usize) < n, "coordinate out of range");
+            assert_eq!(index[lex as usize], u32::MAX, "duplicate coordinate in order");
+            index[lex as usize] = brick as u32;
+        }
+        BrickGrid { dims, periodic, index, coord_of: order.to_vec() }
+    }
+
+    /// Grid extents in bricks.
+    pub fn dims(&self) -> [usize; D] {
+        self.dims
+    }
+
+    /// Whether neighbor lookups wrap around the grid.
+    pub fn periodic(&self) -> bool {
+        self.periodic
+    }
+
+    /// Total bricks.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the grid is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Lexicographic rank of a grid coordinate (axis 0 fastest).
+    #[inline]
+    pub fn lex(&self, coord: [usize; D]) -> usize {
+        let mut r = 0usize;
+        for a in (0..D).rev() {
+            debug_assert!(coord[a] < self.dims[a]);
+            r = r * self.dims[a] + coord[a];
+        }
+        r
+    }
+
+    /// Inverse of [`BrickGrid::lex`].
+    #[inline]
+    // Indexed loops read clearer than zip chains over parallel arrays here.
+    #[allow(clippy::needless_range_loop)]
+    pub fn unlex(&self, mut r: usize) -> [usize; D] {
+        let mut c = [0usize; D];
+        for a in 0..D {
+            c[a] = r % self.dims[a];
+            r /= self.dims[a];
+        }
+        c
+    }
+
+    /// Physical brick index at a grid coordinate.
+    #[inline]
+    pub fn brick_at(&self, coord: [usize; D]) -> u32 {
+        self.index[self.lex(coord)]
+    }
+
+    /// Grid coordinate of a physical brick.
+    #[inline]
+    pub fn coord_of(&self, brick: u32) -> [usize; D] {
+        self.unlex(self.coord_of[brick as usize] as usize)
+    }
+
+    /// Neighbor brick of `coord` in the direction given by per-axis trits,
+    /// or `None` at a non-periodic boundary.
+    pub fn neighbor(&self, coord: [usize; D], trits: [i8; D]) -> Option<u32> {
+        let mut c = [0usize; D];
+        for a in 0..D {
+            let n = self.dims[a] as isize;
+            let mut p = coord[a] as isize + trits[a] as isize;
+            if p < 0 || p >= n {
+                if !self.periodic {
+                    return None;
+                }
+                p = (p + n) % n;
+            }
+            c[a] = p as usize;
+        }
+        Some(self.brick_at(c))
+    }
+
+    /// Build the dense adjacency table: for each physical brick, the
+    /// physical index of its neighbor for every base-3 direction code
+    /// (`3^D` entries; code 0 is the brick itself). Missing neighbors (at
+    /// a non-periodic boundary) map to [`crate::info::NO_BRICK`].
+    pub fn adjacency(&self) -> Vec<u32> {
+        let adj_n = adjacency_size(D);
+        let mut adj = vec![crate::info::NO_BRICK; self.len() * adj_n];
+        for brick in 0..self.len() as u32 {
+            let coord = self.coord_of(brick);
+            let base = brick as usize * adj_n;
+            for code in 0..adj_n {
+                let trits = code_to_trits::<D>(code);
+                if let Some(nb) = self.neighbor(coord, trits) {
+                    adj[base + code] = nb;
+                }
+            }
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::trits_to_code;
+    use crate::info::NO_BRICK;
+
+    #[test]
+    fn lex_roundtrip() {
+        let g = BrickGrid::lexicographic([3, 4, 5], true);
+        for r in 0..60 {
+            assert_eq!(g.lex(g.unlex(r)), r);
+        }
+    }
+
+    #[test]
+    fn lexicographic_identity() {
+        let g = BrickGrid::<2>::lexicographic([4, 4], false);
+        assert_eq!(g.brick_at([2, 1]), 6);
+        assert_eq!(g.coord_of(6), [2, 1]);
+    }
+
+    #[test]
+    fn periodic_neighbors_wrap() {
+        let g = BrickGrid::<1>::lexicographic([4], true);
+        assert_eq!(g.neighbor([0], [-1]), Some(3));
+        assert_eq!(g.neighbor([3], [1]), Some(0));
+    }
+
+    #[test]
+    fn nonperiodic_boundary_is_none() {
+        let g = BrickGrid::<1>::lexicographic([4], false);
+        assert_eq!(g.neighbor([0], [-1]), None);
+        assert_eq!(g.neighbor([3], [1]), None);
+        assert_eq!(g.neighbor([1], [1]), Some(2));
+    }
+
+    #[test]
+    fn permuted_order_roundtrips() {
+        // Reverse order: brick 0 stored where lex 5 is, etc.
+        let order: Vec<u32> = (0..6u32).rev().collect();
+        let g = BrickGrid::<2>::from_order([3, 2], true, &order);
+        for b in 0..6u32 {
+            let c = g.coord_of(b);
+            assert_eq!(g.brick_at(c), b);
+        }
+        assert_eq!(g.brick_at([0, 0]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_order_rejected() {
+        BrickGrid::<1>::from_order([3], true, &[0, 0, 2]);
+    }
+
+    #[test]
+    fn adjacency_table_consistency() {
+        let g = BrickGrid::<2>::lexicographic([3, 3], true);
+        let adj = g.adjacency();
+        let an = adjacency_size(2);
+        // Self code is 0.
+        for b in 0..9usize {
+            assert_eq!(adj[b * an], b as u32);
+        }
+        // Right neighbor of (2,0) wraps to (0,0).
+        let b = g.brick_at([2, 0]) as usize;
+        let right = trits_to_code::<2>([1, 0]);
+        assert_eq!(adj[b * an + right], g.brick_at([0, 0]));
+    }
+
+    #[test]
+    fn adjacency_nonperiodic_edges_missing() {
+        let g = BrickGrid::<2>::lexicographic([2, 2], false);
+        let adj = g.adjacency();
+        let an = adjacency_size(2);
+        let left = trits_to_code::<2>([-1, 0]);
+        assert_eq!(adj[g.brick_at([0, 0]) as usize * an + left], NO_BRICK);
+        assert_eq!(
+            adj[g.brick_at([1, 0]) as usize * an + left],
+            g.brick_at([0, 0])
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! `BrickInfo` — the logical organization of bricks: an adjacency list
+//! decoupling logical neighbor relationships from physical storage order.
+
+use crate::dims::{adjacency_size, trits_to_code, BrickDims};
+use crate::grid::BrickGrid;
+use crate::storage::BrickStorage;
+
+/// Sentinel for "no neighbor" (non-periodic boundary).
+pub const NO_BRICK: u32 = u32::MAX;
+
+/// Logical brick organization: per-brick adjacency over the `3^D`
+/// direction codes. Mirrors the paper's `BrickInfo` (Section 6): storage
+/// order can be arbitrary; computation follows this graph.
+#[derive(Clone, Debug)]
+pub struct BrickInfo<const D: usize> {
+    bdims: BrickDims<D>,
+    nbricks: usize,
+    adjacency: Vec<u32>,
+}
+
+impl<const D: usize> BrickInfo<D> {
+    /// Build from a logical grid.
+    pub fn from_grid(bdims: BrickDims<D>, grid: &BrickGrid<D>) -> Self {
+        BrickInfo { bdims, nbricks: grid.len(), adjacency: grid.adjacency() }
+    }
+
+    /// Build from a raw adjacency table (`nbricks * 3^D` entries).
+    pub fn from_adjacency(bdims: BrickDims<D>, nbricks: usize, adjacency: Vec<u32>) -> Self {
+        assert_eq!(adjacency.len(), nbricks * adjacency_size(D));
+        for (i, &nb) in adjacency.iter().enumerate() {
+            assert!(
+                nb == NO_BRICK || (nb as usize) < nbricks,
+                "adjacency entry {i} out of range"
+            );
+        }
+        BrickInfo { bdims, nbricks, adjacency }
+    }
+
+    /// Brick extents.
+    #[inline]
+    pub fn brick_dims(&self) -> BrickDims<D> {
+        self.bdims
+    }
+
+    /// Number of bricks.
+    #[inline]
+    pub fn bricks(&self) -> usize {
+        self.nbricks
+    }
+
+    /// Neighbor of brick `b` for a base-3 direction code (code 0 = self).
+    /// Returns [`NO_BRICK`] at non-periodic boundaries.
+    #[inline]
+    pub fn adjacent(&self, b: u32, code: usize) -> u32 {
+        debug_assert!(code < adjacency_size(D));
+        self.adjacency[b as usize * adjacency_size(D) + code]
+    }
+
+    /// Neighbor of brick `b` along per-axis trits.
+    #[inline]
+    pub fn adjacent_trits(&self, b: u32, trits: [i8; D]) -> u32 {
+        self.adjacent(b, trits_to_code(trits))
+    }
+
+    /// The full adjacency row of a brick (`3^D` entries).
+    #[inline]
+    pub fn adjacency_row(&self, b: u32) -> &[u32] {
+        let n = adjacency_size(D);
+        &self.adjacency[b as usize * n..(b as usize + 1) * n]
+    }
+
+    /// Heap-allocate storage matching this info, with `fields`
+    /// interleaved fields (the paper's `bInfo.allocate(bSize)`).
+    pub fn allocate(&self, fields: usize) -> BrickStorage {
+        BrickStorage::allocate(self.nbricks, self.bdims.elements(), fields)
+    }
+
+    /// Sanity-check the adjacency: self codes point to self, and mutual
+    /// neighbor links are inverse (a's +x neighbor has a as its -x
+    /// neighbor), which any grid-derived adjacency satisfies.
+    pub fn validate(&self) {
+        let n = adjacency_size(D);
+        for b in 0..self.nbricks as u32 {
+            assert_eq!(self.adjacent(b, 0), b, "self code must map to self");
+            for code in 1..n {
+                let nb = self.adjacent(b, code);
+                if nb == NO_BRICK {
+                    continue;
+                }
+                let trits = crate::dims::code_to_trits::<D>(code);
+                let mut inv = trits;
+                for t in inv.iter_mut() {
+                    *t = -*t;
+                }
+                let back = self.adjacent_trits(nb, inv);
+                assert_eq!(
+                    back, b,
+                    "neighbor links must be mutual (brick {b}, code {code})"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_info() -> BrickInfo<2> {
+        let grid = BrickGrid::<2>::lexicographic([3, 3], true);
+        BrickInfo::from_grid(BrickDims::cubic(4), &grid)
+    }
+
+    #[test]
+    fn from_grid_and_validate() {
+        let info = small_info();
+        assert_eq!(info.bricks(), 9);
+        info.validate();
+    }
+
+    #[test]
+    fn adjacent_matches_grid() {
+        let grid = BrickGrid::<2>::lexicographic([3, 3], true);
+        let info = BrickInfo::from_grid(BrickDims::cubic(4), &grid);
+        let b = grid.brick_at([1, 1]);
+        assert_eq!(info.adjacent_trits(b, [1, 0]), grid.brick_at([2, 1]));
+        assert_eq!(info.adjacent_trits(b, [-1, -1]), grid.brick_at([0, 0]));
+    }
+
+    #[test]
+    fn allocate_geometry() {
+        let info = small_info();
+        let st = info.allocate(2);
+        assert_eq!(st.bricks(), 9);
+        assert_eq!(st.elements_per_brick(), 16);
+        assert_eq!(st.fields(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_adjacency_rejected() {
+        BrickInfo::<1>::from_adjacency(BrickDims::cubic(4), 2, vec![0, 1, 1, 99, 0, 0]);
+    }
+
+    #[test]
+    fn validate_on_permuted_grid() {
+        let order: Vec<u32> = (0..9u32).rev().collect();
+        let grid = BrickGrid::<2>::from_order([3, 3], true, &order);
+        let info = BrickInfo::from_grid(BrickDims::cubic(4), &grid);
+        info.validate();
+    }
+
+    #[test]
+    fn nonperiodic_validate() {
+        let grid = BrickGrid::<2>::lexicographic([3, 3], false);
+        let info = BrickInfo::from_grid(BrickDims::cubic(4), &grid);
+        info.validate();
+        let corner = grid.brick_at([0, 0]);
+        assert_eq!(info.adjacent_trits(corner, [-1, 0]), NO_BRICK);
+    }
+}

@@ -1,0 +1,286 @@
+//! Argument parsing and execution for `brick-bench`, the artifact-style
+//! experiment runner (paper Appendix A.6: "Each executable takes
+//! command-line options to change the domain size and the number of
+//! timing iterations ... shown by running it with option -h").
+
+#![warn(missing_docs)]
+
+use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig, MethodReport};
+use stencil::StencilShape;
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// Implementation under test.
+    pub method: CpuMethod,
+    /// Per-rank cubic subdomain extent.
+    pub size: usize,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Warmup iterations.
+    pub warmup: usize,
+    /// Rank grid.
+    pub ranks: Vec<usize>,
+    /// Stencil selection.
+    pub stencil: Stencil,
+    /// Fabric model name.
+    pub net: Net,
+    /// Print help instead of running.
+    pub help: bool,
+}
+
+/// Stencil choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stencil {
+    /// 7-point star.
+    Star7,
+    /// 13-point radius-2 star.
+    Star13,
+    /// 125-point cube.
+    Cube125,
+}
+
+/// Fabric choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Net {
+    /// Cray Aries (Theta).
+    Aries,
+    /// EDR InfiniBand (Summit).
+    Edr,
+    /// Instantaneous (on-node costs only).
+    Instant,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            method: CpuMethod::MemMap { page_size: memview::PAGE_4K },
+            size: 64,
+            iters: 8,
+            warmup: 1,
+            ranks: vec![1, 1, 1],
+            stencil: Stencil::Star7,
+            net: Net::Aries,
+            help: false,
+        }
+    }
+}
+
+/// The `-h` text.
+pub const USAGE: &str = "\
+brick-bench — pack-free ghost-zone exchange benchmark (PPoPP'21 reproduction)
+
+USAGE: brick-bench [OPTIONS]
+
+OPTIONS:
+  -m, --method <name>   memmap | layout | basic | shift | yask | yask-ol |
+                        mpi-types   (default: memmap)
+  -d, --size <N>        cubic subdomain extent per rank, multiple of 8
+                        (default: 64)
+  -I, --iters <N>       timed iterations (default: 8)
+  -w, --warmup <N>      warmup iterations (default: 1)
+  -r, --ranks <XxYxZ>   rank grid, e.g. 2x2x2 (default: 1x1x1 self-periodic)
+  -s, --stencil <name>  star7 | star13 | cube125 (default: star7)
+  -n, --net <name>      aries | edr | instant (default: aries)
+  -p, --page <bytes>    MemMap page size: 4096 | 16384 | 65536
+                        (default: 4096; memmap/shift only)
+  -h, --help            print this help
+
+OUTPUT: the artifact's five metrics — calc/pack/call/wait as
+[minimum, average, maximum] seconds per timestep across ranks, and perf
+(GStencil/s per rank).";
+
+/// Parse arguments (excluding argv[0]).
+pub fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut page = memview::PAGE_4K;
+    let mut method_name = String::from("memmap");
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => o.help = true,
+            "-m" | "--method" => method_name = take("--method")?,
+            "-d" | "--size" => {
+                o.size = take("--size")?.parse().map_err(|e| format!("--size: {e}"))?;
+            }
+            "-I" | "--iters" => {
+                o.iters = take("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?;
+            }
+            "-w" | "--warmup" => {
+                o.warmup = take("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "-r" | "--ranks" => {
+                let spec = take("--ranks")?;
+                o.ranks = spec
+                    .split('x')
+                    .map(|v| v.parse::<usize>().map_err(|e| format!("--ranks: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if o.ranks.len() != 3 || o.ranks.contains(&0) {
+                    return Err("--ranks must be XxYxZ with positive extents".into());
+                }
+            }
+            "-s" | "--stencil" => {
+                o.stencil = match take("--stencil")?.as_str() {
+                    "star7" => Stencil::Star7,
+                    "star13" => Stencil::Star13,
+                    "cube125" => Stencil::Cube125,
+                    other => return Err(format!("unknown stencil '{other}'")),
+                };
+            }
+            "-n" | "--net" => {
+                o.net = match take("--net")?.as_str() {
+                    "aries" => Net::Aries,
+                    "edr" => Net::Edr,
+                    "instant" => Net::Instant,
+                    other => return Err(format!("unknown net '{other}'")),
+                };
+            }
+            "-p" | "--page" => {
+                page = take("--page")?.parse().map_err(|e| format!("--page: {e}"))?;
+                if !matches!(page, 4096 | 16384 | 65536) {
+                    return Err("--page must be 4096, 16384, or 65536".into());
+                }
+            }
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    o.method = match method_name.as_str() {
+        "memmap" => CpuMethod::MemMap { page_size: page },
+        "layout" => CpuMethod::Layout,
+        "basic" => CpuMethod::Basic,
+        "shift" => CpuMethod::Shift { page_size: page },
+        "yask" => CpuMethod::Yask,
+        "yask-ol" => CpuMethod::YaskOverlap,
+        "mpi-types" => CpuMethod::MpiTypes,
+        other => return Err(format!("unknown method '{other}'")),
+    };
+    if o.size % 8 != 0 || o.size < 16 {
+        return Err("--size must be a multiple of 8, at least 16".into());
+    }
+    if o.iters == 0 {
+        return Err("--iters must be positive".into());
+    }
+    Ok(o)
+}
+
+/// Build the experiment configuration from parsed options.
+pub fn config(o: &Options) -> ExperimentConfig {
+    ExperimentConfig {
+        method: o.method.clone(),
+        subdomain: [o.size; 3],
+        ghost: 8,
+        brick: 8,
+        shape: match o.stencil {
+            Stencil::Star7 => StencilShape::star7_default(),
+            Stencil::Star13 => StencilShape::star13_default(),
+            Stencil::Cube125 => StencilShape::cube125_default(),
+        },
+        steps: o.iters,
+        warmup: o.warmup,
+        ranks: o.ranks.clone(),
+        net: match o.net {
+            Net::Aries => netsim::NetworkModel::theta_aries(),
+            Net::Edr => netsim::NetworkModel::summit_edr(),
+            Net::Instant => netsim::NetworkModel::instant(),
+        },
+    }
+}
+
+/// Run and render the artifact metrics.
+pub fn run(o: &Options) -> String {
+    let r = run_experiment(&config(o));
+    render(o, &r)
+}
+
+/// Format a report in the artifact's style.
+pub fn render(o: &Options, r: &MethodReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# {} | {}^3/rank | {:?} ranks | {} iters\n",
+        o.method.name(),
+        o.size,
+        o.ranks,
+        o.iters
+    ));
+    let fmt = |name: &str, (min, avg, max): (f64, f64, f64)| {
+        format!("{name} [{min:.6}, {avg:.6}, {max:.6}] s\n")
+    };
+    out.push_str(&fmt("calc", r.summary.calc));
+    out.push_str(&fmt("pack", r.summary.pack));
+    out.push_str(&fmt("call", r.summary.call));
+    out.push_str(&fmt("wait", r.summary.wait));
+    out.push_str(&format!("perf {:.4} GStencil/s per rank\n", r.gstencil()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Options, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let o = p(&[]).unwrap();
+        assert_eq!(o.size, 64);
+        assert_eq!(o.ranks, vec![1, 1, 1]);
+        assert_eq!(o.method, CpuMethod::MemMap { page_size: 4096 });
+    }
+
+    #[test]
+    fn full_line() {
+        let o = p(&[
+            "-m", "yask", "-d", "32", "-I", "5", "-w", "2", "-r", "2x2x1", "-s", "cube125",
+            "-n", "edr",
+        ])
+        .unwrap();
+        assert_eq!(o.method, CpuMethod::Yask);
+        assert_eq!(o.size, 32);
+        assert_eq!(o.iters, 5);
+        assert_eq!(o.warmup, 2);
+        assert_eq!(o.ranks, vec![2, 2, 1]);
+        assert_eq!(o.stencil, Stencil::Cube125);
+        assert_eq!(o.net, Net::Edr);
+    }
+
+    #[test]
+    fn page_flows_into_memmap_and_shift() {
+        let o = p(&["-m", "memmap", "-p", "65536"]).unwrap();
+        assert_eq!(o.method, CpuMethod::MemMap { page_size: 65536 });
+        let o = p(&["-m", "shift", "-p", "16384"]).unwrap();
+        assert_eq!(o.method, CpuMethod::Shift { page_size: 16384 });
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(p(&["-m", "bogus"]).is_err());
+        assert!(p(&["-d", "33"]).is_err());
+        assert!(p(&["-d", "8"]).is_err());
+        assert!(p(&["-r", "2x2"]).is_err());
+        assert!(p(&["-r", "0x1x1"]).is_err());
+        assert!(p(&["-p", "1234"]).is_err());
+        assert!(p(&["--iters", "0"]).is_err());
+        assert!(p(&["--frobnicate"]).is_err());
+        assert!(p(&["-d"]).is_err());
+    }
+
+    #[test]
+    fn help_flag() {
+        assert!(p(&["-h"]).unwrap().help);
+        assert!(USAGE.contains("--method"));
+    }
+
+    #[test]
+    fn end_to_end_small_run() {
+        let mut o = p(&["-m", "layout", "-d", "16", "-I", "2", "-w", "0", "-n", "instant"]).unwrap();
+        o.warmup = 0;
+        let out = run(&o);
+        assert!(out.contains("perf"));
+        assert!(out.contains("pack [0.000000, 0.000000, 0.000000]"));
+    }
+}

@@ -1,0 +1,17 @@
+//! `brick-bench` — artifact-style experiment runner.
+//!
+//! ```text
+//! brick-bench -m memmap -d 64 -I 16 -r 2x2x2 -n aries
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match brick_cli::parse(&args) {
+        Ok(o) if o.help => println!("{}", brick_cli::USAGE),
+        Ok(o) => print!("{}", brick_cli::run(&o)),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", brick_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,698 @@
+//! `BrickDecomp` — decomposition of one rank's subdomain into interior,
+//! surface, and ghost bricks, physically ordered by a communication-
+//! optimized layout (paper Sections 3 and 6, Figure 7).
+//!
+//! The extended brick grid (owned bricks plus the ghost rim) is
+//! classified per axis into bands; surface regions `r(T)` are stored
+//! contiguously in the order given by a [`SurfaceLayout`], and ghost
+//! regions `g(S)` are stored grouped by source neighbor with their
+//! pieces in the sender's order — so every message both leaves and lands
+//! as one contiguous range of bricks. For MemMap storage, every
+//! independently-mappable chunk is padded to a page boundary with filler
+//! bricks, keeping the flat `index * step` addressing intact.
+
+use std::ops::Range;
+
+use brick::{adjacency_size, code_to_trits, BrickDims, BrickInfo, BrickStorage, NO_BRICK};
+use layout::{all_regions, Dir, MessagePlan, SurfaceLayout};
+
+/// Per-axis band of an extended-grid coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Band {
+    GhostLow,
+    SurfLow,
+    Mid,
+    SurfHigh,
+    GhostHigh,
+}
+
+/// One contiguous chunk of bricks belonging to a single region or ghost
+/// piece.
+#[derive(Clone, Debug)]
+pub struct Chunk {
+    /// The region (surface chunks) or local piece slot (ghost chunks).
+    pub dir: Dir,
+    /// Payload brick indices.
+    pub bricks: Range<usize>,
+    /// Payload plus alignment filler (equals `bricks` when unpadded).
+    pub padded: Range<usize>,
+}
+
+impl Chunk {
+    /// Payload brick count.
+    pub fn len(&self) -> usize {
+        self.bricks.end - self.bricks.start
+    }
+
+    /// True when the region is geometrically empty (tiny subdomains).
+    pub fn is_empty(&self) -> bool {
+        self.bricks.is_empty()
+    }
+
+    /// Padded brick count.
+    pub fn padded_len(&self) -> usize {
+        self.padded.end - self.padded.start
+    }
+}
+
+/// The ghost bricks receiving from one neighbor.
+#[derive(Clone, Debug)]
+pub struct GhostGroup {
+    /// Source neighbor direction `S` (ghost region `g(S)`).
+    pub dir: Dir,
+    /// Pieces in the sender's layout order of `{T ⊇ -S}`.
+    pub pieces: Vec<Chunk>,
+}
+
+/// Decomposition of a subdomain into layout-ordered bricks.
+pub struct BrickDecomp<const D: usize> {
+    domain: [usize; D],
+    ghost: usize,
+    bdims: BrickDims<D>,
+    fields: usize,
+    layout: SurfaceLayout,
+    plan: MessagePlan,
+    mb: [usize; D],
+    gb: [usize; D],
+    ext: [usize; D],
+    pad_bricks: usize,
+    nbricks: usize,
+    info: BrickInfo<D>,
+    /// Extended-grid lex coordinate → brick index.
+    grid_to_brick: Vec<u32>,
+    interior: Chunk,
+    surface: Vec<Chunk>,
+    ghosts: Vec<GhostGroup>,
+    compute_mask: Vec<bool>,
+}
+
+impl<const D: usize> BrickDecomp<D> {
+    /// Decompose a `domain` (owned elements per axis) with a `ghost`-wide
+    /// rim into bricks of `bdims`, storing `fields` interleaved fields,
+    /// ordered by `layout`. `pad_bricks` is the chunk alignment unit in
+    /// bricks (1 = unpadded, for heap/Layout storage; use
+    /// [`pad_bricks_for`] for MemMap page alignment).
+    pub fn new(
+        domain: [usize; D],
+        ghost: usize,
+        bdims: BrickDims<D>,
+        fields: usize,
+        layout: SurfaceLayout,
+        pad_bricks: usize,
+    ) -> BrickDecomp<D> {
+        assert_eq!(layout.dims(), D, "layout dimensionality mismatch");
+        assert!(ghost >= 1 && fields >= 1 && pad_bricks >= 1);
+        let mut mb = [0usize; D];
+        let mut gb = [0usize; D];
+        let mut ext = [0usize; D];
+        for a in 0..D {
+            let bd = bdims.extent(a);
+            assert_eq!(domain[a] % bd, 0, "domain must be a brick multiple on axis {a}");
+            assert_eq!(ghost % bd, 0, "ghost width must be a brick multiple on axis {a}");
+            mb[a] = domain[a] / bd;
+            gb[a] = ghost / bd;
+            assert!(
+                mb[a] >= 2 * gb[a],
+                "subdomain must span at least two ghost widths on axis {a}"
+            );
+            ext[a] = mb[a] + 2 * gb[a];
+        }
+
+        let plan = MessagePlan::build(&layout);
+        let ncells: usize = ext.iter().product();
+
+        // --- Classify every extended-grid cell into its chunk. ---------
+        // Chunk keys: 0 = interior, 1 + i = surface region i (layout
+        // order), then ghost pieces keyed by (group, piece).
+        let regions = all_regions(D);
+        let surface_order = layout.order().to_vec();
+
+        // Assign cells to buckets.
+        let mut interior_cells: Vec<usize> = Vec::new();
+        let mut surface_cells: Vec<Vec<usize>> = vec![Vec::new(); surface_order.len()];
+        // ghost group g(S) for S in `regions` order; per piece in
+        // recv_pieces order.
+        let recv_orders: Vec<Vec<layout::RecvPiece>> =
+            regions.iter().map(|s| layout.recv_pieces(s)).collect();
+        let mut ghost_cells: Vec<Vec<Vec<usize>>> = recv_orders
+            .iter()
+            .map(|ps| vec![Vec::new(); ps.len()])
+            .collect();
+
+        for lex in 0..ncells {
+            let coord = unlex::<D>(lex, &ext);
+            let bands: [Band; D] = std::array::from_fn(|a| band(coord[a], mb[a], gb[a]));
+            let is_ghost = bands.iter().any(|b| matches!(b, Band::GhostLow | Band::GhostHigh));
+            if is_ghost {
+                let s = dir_from(&bands, true);
+                let t = dir_from(&bands, false); // ghost + surf axes = local slot
+                let g_idx = regions.iter().position(|r| *r == s).unwrap();
+                let p_idx = recv_orders[g_idx]
+                    .iter()
+                    .position(|p| p.local_slot == t)
+                    .unwrap();
+                ghost_cells[g_idx][p_idx].push(lex);
+            } else {
+                let t = dir_from(&bands, false);
+                if t.is_empty() {
+                    interior_cells.push(lex);
+                } else {
+                    let r_idx = surface_order.iter().position(|r| *r == t).unwrap();
+                    surface_cells[r_idx].push(lex);
+                }
+            }
+        }
+
+        // --- Assign physical brick indices chunk by chunk. --------------
+        let mut grid_to_brick = vec![NO_BRICK; ncells];
+        let mut next = 0usize;
+        let mut filler: Vec<Range<usize>> = Vec::new();
+        let mut place = |cells: &[usize], grid_to_brick: &mut Vec<u32>| -> (Range<usize>, Range<usize>) {
+            let start = next;
+            for &lex in cells {
+                grid_to_brick[lex] = next as u32;
+                next += 1;
+            }
+            let payload_end = next;
+            // Pad so the next chunk starts on an absolute multiple of
+            // pad_bricks (chunks always begin on one, inductively).
+            let padded_end = payload_end.div_ceil(pad_bricks) * pad_bricks;
+            if padded_end > payload_end {
+                filler.push(payload_end..padded_end);
+            }
+            next = padded_end;
+            (start..payload_end, start..padded_end)
+        };
+
+        let (ibricks, ipadded) = place(&interior_cells, &mut grid_to_brick);
+        let interior = Chunk { dir: Dir::EMPTY, bricks: ibricks, padded: ipadded };
+
+        let mut surface = Vec::with_capacity(surface_order.len());
+        for (i, cells) in surface_cells.iter().enumerate() {
+            let (bricks, padded) = place(cells, &mut grid_to_brick);
+            surface.push(Chunk { dir: surface_order[i], bricks, padded });
+        }
+
+        let mut ghosts = Vec::with_capacity(regions.len());
+        for (g_idx, s) in regions.iter().enumerate() {
+            let mut pieces = Vec::with_capacity(recv_orders[g_idx].len());
+            for (p_idx, piece) in recv_orders[g_idx].iter().enumerate() {
+                let (bricks, padded) = place(&ghost_cells[g_idx][p_idx], &mut grid_to_brick);
+                pieces.push(Chunk { dir: piece.local_slot, bricks, padded });
+            }
+            ghosts.push(GhostGroup { dir: *s, pieces });
+        }
+
+        let nbricks = next;
+
+        // --- Adjacency over the extended grid (non-periodic: the rim IS
+        // the halo; wrap happens between ranks). ------------------------
+        let adj_n = adjacency_size(D);
+        let mut adjacency = vec![NO_BRICK; nbricks * adj_n];
+        for lex in 0..ncells {
+            let b = grid_to_brick[lex];
+            debug_assert_ne!(b, NO_BRICK);
+            let coord = unlex::<D>(lex, &ext);
+            let row = b as usize * adj_n;
+            adjacency[row] = b;
+            for code in 1..adj_n {
+                let trits = code_to_trits::<D>(code);
+                if let Some(nlex) = shift::<D>(&coord, &trits, &ext) {
+                    adjacency[row + code] = grid_to_brick[nlex];
+                }
+            }
+        }
+        // Filler bricks: self-adjacency only.
+        for f in &filler {
+            for b in f.clone() {
+                adjacency[b * adj_n] = b as u32;
+            }
+        }
+        let info = BrickInfo::from_adjacency(bdims, nbricks, adjacency);
+
+        // Compute mask: interior + surface payload bricks.
+        let mut compute_mask = vec![false; nbricks];
+        for b in interior.bricks.clone() {
+            compute_mask[b] = true;
+        }
+        for c in &surface {
+            for b in c.bricks.clone() {
+                compute_mask[b] = true;
+            }
+        }
+
+        BrickDecomp {
+            domain,
+            ghost,
+            bdims,
+            fields,
+            layout,
+            plan,
+            mb,
+            gb,
+            ext,
+            pad_bricks,
+            nbricks,
+            info,
+            grid_to_brick,
+            interior,
+            surface,
+            ghosts,
+            compute_mask,
+        }
+    }
+
+    /// Convenience constructor for heap (Layout) storage: no padding.
+    pub fn layout_mode(
+        domain: [usize; D],
+        ghost: usize,
+        bdims: BrickDims<D>,
+        fields: usize,
+        layout: SurfaceLayout,
+    ) -> BrickDecomp<D> {
+        BrickDecomp::new(domain, ghost, bdims, fields, layout, 1)
+    }
+
+    /// Owned domain extents (elements).
+    pub fn domain(&self) -> [usize; D] {
+        self.domain
+    }
+
+    /// Ghost width (elements).
+    pub fn ghost_width(&self) -> usize {
+        self.ghost
+    }
+
+    /// Interleaved fields.
+    pub fn fields(&self) -> usize {
+        self.fields
+    }
+
+    /// Brick extents.
+    pub fn brick_dims(&self) -> BrickDims<D> {
+        self.bdims
+    }
+
+    /// Owned grid points per timestep (the GStencil/s numerator).
+    pub fn points(&self) -> u64 {
+        self.domain.iter().product::<usize>() as u64
+    }
+
+    /// The surface layout in use.
+    pub fn layout(&self) -> &SurfaceLayout {
+        &self.layout
+    }
+
+    /// The message plan derived from the layout.
+    pub fn plan(&self) -> &MessagePlan {
+        &self.plan
+    }
+
+    /// Chunk alignment unit (bricks).
+    pub fn pad_bricks(&self) -> usize {
+        self.pad_bricks
+    }
+
+    /// Total bricks including ghost rim and filler.
+    pub fn bricks(&self) -> usize {
+        self.nbricks
+    }
+
+    /// The `BrickInfo` for computation (paper's `getBrickInfo`).
+    pub fn brick_info(&self) -> &BrickInfo<D> {
+        &self.info
+    }
+
+    /// Which bricks computation covers (interior + surface; ghost and
+    /// filler bricks excluded).
+    pub fn compute_mask(&self) -> &[bool] {
+        &self.compute_mask
+    }
+
+    /// Mask selecting only interior bricks — the work that can overlap
+    /// an in-flight exchange, because it reads no ghost data.
+    pub fn interior_mask(&self) -> Vec<bool> {
+        let mut m = vec![false; self.nbricks];
+        for b in self.interior.bricks.clone() {
+            m[b] = true;
+        }
+        m
+    }
+
+    /// Mask selecting only surface bricks — the work that must wait for
+    /// the exchange to complete (it reads ghost bricks).
+    pub fn surface_mask(&self) -> Vec<bool> {
+        let mut m = vec![false; self.nbricks];
+        for c in &self.surface {
+            for b in c.bricks.clone() {
+                m[b] = true;
+            }
+        }
+        m
+    }
+
+    /// Interior chunk.
+    pub fn interior(&self) -> &Chunk {
+        &self.interior
+    }
+
+    /// Surface chunks in layout order.
+    pub fn surface_chunks(&self) -> &[Chunk] {
+        &self.surface
+    }
+
+    /// Ghost groups in `all_regions(D)` order.
+    pub fn ghost_groups(&self) -> &[GhostGroup] {
+        &self.ghosts
+    }
+
+    /// Surface chunk for a region.
+    pub fn surface_chunk(&self, t: &Dir) -> &Chunk {
+        self.surface.iter().find(|c| c.dir == *t).expect("unknown region")
+    }
+
+    /// Ghost group for a neighbor.
+    pub fn ghost_group(&self, s: &Dir) -> &GhostGroup {
+        self.ghosts.iter().find(|g| g.dir == *s).expect("unknown neighbor")
+    }
+
+    /// Heap-allocate storage (paper's `bInfo.allocate`).
+    pub fn allocate(&self) -> BrickStorage {
+        self.info.allocate(self.fields)
+    }
+
+    /// Brick index at an extended-grid coordinate.
+    pub fn brick_at(&self, coord: [usize; D]) -> u32 {
+        self.grid_to_brick[lex::<D>(&coord, &self.ext)]
+    }
+
+    /// Extended grid extents (bricks).
+    pub fn grid_extents(&self) -> [usize; D] {
+        self.ext
+    }
+
+    /// Ghost-rim bricks per axis.
+    pub fn ghost_bricks(&self) -> [usize; D] {
+        self.gb
+    }
+
+    /// Owned bricks per axis.
+    pub fn owned_bricks(&self) -> [usize; D] {
+        self.mb
+    }
+
+    /// Storage offset of the element at `coord` (owned frame: each axis
+    /// in `-ghost .. domain+ghost`) of `field`.
+    pub fn element_offset(&self, coord: [isize; D], field: usize) -> usize {
+        let mut bc = [0usize; D];
+        let mut lc = [0usize; D];
+        for a in 0..D {
+            let p = coord[a] + self.ghost as isize;
+            assert!(
+                p >= 0 && (p as usize) < self.domain[a] + 2 * self.ghost,
+                "coordinate outside extended domain on axis {a}"
+            );
+            bc[a] = p as usize / self.bdims.extent(a);
+            lc[a] = p as usize % self.bdims.extent(a);
+        }
+        let b = self.brick_at(bc);
+        b as usize * self.bdims.elements() * self.fields
+            + field * self.bdims.elements()
+            + self.bdims.flatten(lc)
+    }
+
+    /// Brick count of region `r(T)` (or of a mirrored ghost piece —
+    /// symmetric).
+    pub fn region_bricks(&self, t: &Dir) -> usize {
+        (0..D)
+            .map(|a| if t.axis(a) != 0 { self.gb[a] } else { self.mb[a] - 2 * self.gb[a] })
+            .product()
+    }
+
+    /// Elements per brick across all fields.
+    pub fn step(&self) -> usize {
+        self.bdims.elements() * self.fields
+    }
+}
+
+/// Padding unit in bricks for page-aligned (MemMap) chunks: every chunk
+/// boundary must land on a `page_size` boundary given bricks of
+/// `brick_bytes`. Panics when the two are incommensurate (non-power-of-
+/// two brick sizes).
+pub fn pad_bricks_for(page_size: usize, brick_bytes: usize) -> usize {
+    if brick_bytes.is_multiple_of(page_size) {
+        1
+    } else if page_size.is_multiple_of(brick_bytes) {
+        page_size / brick_bytes
+    } else {
+        panic!("brick size {brick_bytes} incommensurate with page size {page_size}")
+    }
+}
+
+fn band(c: usize, mb: usize, gb: usize) -> Band {
+    let ext = mb + 2 * gb;
+    if c < gb {
+        Band::GhostLow
+    } else if c < 2 * gb {
+        Band::SurfLow
+    } else if c >= ext - gb {
+        Band::GhostHigh
+    } else if c >= ext - 2 * gb {
+        Band::SurfHigh
+    } else {
+        Band::Mid
+    }
+}
+
+/// Direction set from bands: `ghost_only` picks only ghost bands (the
+/// group key `S`); otherwise ghost and surface bands both contribute
+/// (the piece slot / surface region `T`).
+fn dir_from<const D: usize>(bands: &[Band; D], ghost_only: bool) -> Dir {
+    let mut offsets = [0i8; D];
+    for a in 0..D {
+        offsets[a] = match bands[a] {
+            Band::GhostLow => -1,
+            Band::GhostHigh => 1,
+            Band::SurfLow if !ghost_only => -1,
+            Band::SurfHigh if !ghost_only => 1,
+            _ => 0,
+        };
+    }
+    Dir::from_offsets(&offsets)
+}
+
+fn lex<const D: usize>(coord: &[usize; D], ext: &[usize; D]) -> usize {
+    let mut r = 0usize;
+    for a in (0..D).rev() {
+        debug_assert!(coord[a] < ext[a]);
+        r = r * ext[a] + coord[a];
+    }
+    r
+}
+
+fn unlex<const D: usize>(mut r: usize, ext: &[usize; D]) -> [usize; D] {
+    let mut c = [0usize; D];
+    for a in 0..D {
+        c[a] = r % ext[a];
+        r /= ext[a];
+    }
+    c
+}
+
+fn shift<const D: usize>(coord: &[usize; D], trits: &[i8; D], ext: &[usize; D]) -> Option<usize> {
+    let mut c = [0usize; D];
+    for a in 0..D {
+        let p = coord[a] as isize + trits[a] as isize;
+        if p < 0 || p >= ext[a] as isize {
+            return None;
+        }
+        c[a] = p as usize;
+    }
+    Some(lex::<D>(&c, ext))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layout::surface3d;
+
+    fn decomp32() -> BrickDecomp<3> {
+        BrickDecomp::layout_mode([32; 3], 8, BrickDims::cubic(8), 1, surface3d())
+    }
+
+    #[test]
+    fn geometry_counts() {
+        let d = decomp32();
+        assert_eq!(d.owned_bricks(), [4; 3]);
+        assert_eq!(d.ghost_bricks(), [1; 3]);
+        assert_eq!(d.grid_extents(), [6; 3]);
+        assert_eq!(d.bricks(), 216);
+        assert_eq!(d.points(), 32 * 32 * 32);
+        // interior 2^3 = 8; surface 4^3 - 2^3 = 56; ghost 6^3 - 4^3 = 152.
+        assert_eq!(d.interior().len(), 8);
+        let surf: usize = d.surface_chunks().iter().map(|c| c.len()).sum();
+        assert_eq!(surf, 56);
+        let ghost: usize = d
+            .ghost_groups()
+            .iter()
+            .flat_map(|g| g.pieces.iter())
+            .map(|c| c.len())
+            .sum();
+        assert_eq!(ghost, 152);
+    }
+
+    #[test]
+    fn region_brick_counts() {
+        let d = decomp32();
+        let face = Dir::from_spec(&[1]);
+        let edge = Dir::from_spec(&[1, -2]);
+        let corner = Dir::from_spec(&[1, 2, 3]);
+        assert_eq!(d.region_bricks(&face), 2 * 2);
+        assert_eq!(d.region_bricks(&edge), 2);
+        assert_eq!(d.region_bricks(&corner), 1);
+        // Sum over regions = 56.
+        let total: usize = all_regions(3).iter().map(|t| d.region_bricks(t)).sum();
+        assert_eq!(total, 56);
+    }
+
+    #[test]
+    fn chunks_are_contiguous_and_cover_everything() {
+        let d = decomp32();
+        let mut covered = vec![false; d.bricks()];
+        let mut mark = |r: Range<usize>| {
+            for b in r {
+                assert!(!covered[b], "brick {b} in two chunks");
+                covered[b] = true;
+            }
+        };
+        mark(d.interior().bricks.clone());
+        for c in d.surface_chunks() {
+            assert_eq!(c.len(), d.region_bricks(&c.dir));
+            mark(c.bricks.clone());
+        }
+        for g in d.ghost_groups() {
+            for p in &g.pieces {
+                mark(p.bricks.clone());
+            }
+        }
+        // No filler with pad=1: everything covered.
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn surface_chunks_follow_layout_order() {
+        let d = decomp32();
+        let order = d.layout().order();
+        for (i, c) in d.surface_chunks().iter().enumerate() {
+            assert_eq!(c.dir, order[i]);
+            if i > 0 {
+                assert!(c.bricks.start >= d.surface_chunks()[i - 1].bricks.end);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_valid() {
+        let d = decomp32();
+        d.brick_info().validate();
+    }
+
+    #[test]
+    fn element_offset_roundtrip() {
+        let d = decomp32();
+        let mut st = d.allocate();
+        // Write every extended element a unique value via offsets;
+        // no offset may collide.
+        let g = d.ghost_width() as isize;
+        let n = 32isize;
+        let mut seen = std::collections::HashSet::new();
+        for z in (-g..n + g).step_by(7) {
+            for y in (-g..n + g).step_by(5) {
+                for x in -g..n + g {
+                    let off = d.element_offset([x, y, z], 0);
+                    assert!(seen.insert(off), "offset collision at ({x},{y},{z})");
+                    st.as_mut_slice()[off] = 1.0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_mask_covers_owned_only() {
+        let d = decomp32();
+        let computed = d.compute_mask().iter().filter(|&&m| m).count();
+        assert_eq!(computed, 64); // 4^3 owned bricks
+    }
+
+    #[test]
+    fn padded_mode_inserts_filler() {
+        // 8^3 bricks of f64 = 4096 B; with a 64 KiB page, chunks align to
+        // 16 bricks.
+        let pad = pad_bricks_for(64 << 10, 8 * 8 * 8 * 8);
+        assert_eq!(pad, 16);
+        let d = BrickDecomp::<3>::new([32; 3], 8, BrickDims::cubic(8), 1, surface3d(), pad);
+        for c in d.surface_chunks() {
+            assert_eq!(c.padded.start % pad, 0, "chunk must start page-aligned");
+            assert_eq!(c.padded.end % pad, 0);
+            assert!(c.padded_len() >= c.len());
+        }
+        assert!(d.bricks() > 216);
+        d.brick_info().validate();
+    }
+
+    #[test]
+    fn pad_unit_math() {
+        assert_eq!(pad_bricks_for(4096, 4096), 1);
+        assert_eq!(pad_bricks_for(4096, 8192), 1); // brick spans 2 pages
+        assert_eq!(pad_bricks_for(16 << 10, 4096), 4);
+        assert_eq!(pad_bricks_for(64 << 10, 4096), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "incommensurate")]
+    fn incommensurate_padding_rejected() {
+        pad_bricks_for(4096, 3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two ghost widths")]
+    fn too_small_domain_rejected() {
+        BrickDecomp::<3>::layout_mode([8; 3], 8, BrickDims::cubic(8), 1, surface3d());
+    }
+
+    #[test]
+    fn ghost_groups_piece_order_matches_plan() {
+        let d = decomp32();
+        for g in d.ghost_groups() {
+            let pieces = d.layout().recv_pieces(&g.dir);
+            assert_eq!(g.pieces.len(), pieces.len());
+            for (chunk, piece) in g.pieces.iter().zip(pieces.iter()) {
+                assert_eq!(chunk.dir, piece.local_slot);
+            }
+        }
+    }
+
+    /// Small subdomain (16^3 with 8-ghost): middle bands vanish; face
+    /// regions are empty but corners survive.
+    #[test]
+    fn minimal_subdomain() {
+        let d = BrickDecomp::<3>::layout_mode([16; 3], 8, BrickDims::cubic(8), 1, surface3d());
+        assert_eq!(d.owned_bricks(), [2; 3]);
+        assert_eq!(d.interior().len(), 0);
+        let face = Dir::from_spec(&[1]);
+        let corner = Dir::from_spec(&[1, 2, 3]);
+        assert_eq!(d.region_bricks(&face), 0);
+        assert_eq!(d.region_bricks(&corner), 1);
+        let surf: usize = d.surface_chunks().iter().map(|c| c.len()).sum();
+        assert_eq!(surf, 8); // 2^3 owned bricks are all corner-surface
+        d.brick_info().validate();
+    }
+
+    #[test]
+    fn two_fields_change_step() {
+        let d = BrickDecomp::<3>::new([32; 3], 8, BrickDims::cubic(8), 2, surface3d(), 1);
+        assert_eq!(d.step(), 1024);
+        let st = d.allocate();
+        assert_eq!(st.fields(), 2);
+    }
+}

@@ -1,0 +1,565 @@
+//! Timestep drivers for the paper's CPU experiments (K1/K2 and Figures
+//! 1, 4, 8–12, 18): run a stencil loop under one of the evaluated
+//! implementations and report per-timestep `calc`/`pack`/`call`/`wait`
+//! times — the same taxonomy as the paper's artifact.
+
+use brick::BrickDims;
+use layout::SurfaceLayout;
+use netsim::{run_cluster, CartTopo, NetworkModel, TimerSummary, Timers};
+use stencil::{apply_bricks, ArrayGrid, StencilShape};
+
+use crate::baselines::ArrayExchanger;
+use crate::decomp::BrickDecomp;
+use crate::exchange::{ExchangeStats, Exchanger};
+use crate::memmap::{memmap_decomp, ExchangeView, MemMapStorage};
+
+/// The CPU implementations compared in the paper's evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CpuMethod {
+    /// MemMap exchange (Section 4).
+    MemMap {
+        /// Page size for chunk alignment (possibly emulated, Fig. 18).
+        page_size: usize,
+    },
+    /// Layout-optimized pack-free exchange (Section 3), 42 messages.
+    Layout,
+    /// Pack-free but unmerged: one message per region instance (98).
+    Basic,
+    /// Fine-grained blocking with no communication-aware ordering;
+    /// compute-only reference (the paper's Figure 10 `No-Layout`).
+    NoLayout,
+    /// Tuned lexicographic-array framework with explicit pack/unpack.
+    Yask,
+    /// Same, with communication overlapped against computation.
+    YaskOverlap,
+    /// Pack-free Layout exchange overlapped with interior computation
+    /// (extension: the paper's prior-work strategy composed with the
+    /// paper's contribution).
+    LayoutOverlap,
+    /// Derived-datatype exchange (library-internal element walk).
+    MpiTypes,
+    /// Dimension-by-dimension shift exchange through mmap views
+    /// (extension; paper Section 8): 6 messages, 3 serialized passes.
+    Shift {
+        /// Page size for chunk alignment.
+        page_size: usize,
+    },
+}
+
+impl CpuMethod {
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CpuMethod::MemMap { .. } => "MemMap",
+            CpuMethod::Layout => "Layout",
+            CpuMethod::Basic => "Basic",
+            CpuMethod::NoLayout => "No-Layout",
+            CpuMethod::Yask => "YASK",
+            CpuMethod::YaskOverlap => "YASK-OL",
+            CpuMethod::LayoutOverlap => "Layout-OL",
+            CpuMethod::MpiTypes => "MPI_Types",
+            CpuMethod::Shift { .. } => "Shift",
+        }
+    }
+}
+
+/// One experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Implementation under test.
+    pub method: CpuMethod,
+    /// Per-rank subdomain extents (elements).
+    pub subdomain: [usize; 3],
+    /// Ghost width (the paper uses 8 everywhere, via ghost-cell
+    /// expansion for low-order stencils).
+    pub ghost: usize,
+    /// Cubic brick extent (the paper uses 8³).
+    pub brick: usize,
+    /// The stencil.
+    pub shape: StencilShape,
+    /// Timed steps.
+    pub steps: usize,
+    /// Untimed warmup steps.
+    pub warmup: usize,
+    /// Rank grid (e.g. `[2,2,2]` for the paper's 8-node runs, `[1,1,1]`
+    /// for single-rank proxy mode).
+    pub ranks: Vec<usize>,
+    /// Wire model.
+    pub net: NetworkModel,
+}
+
+impl ExperimentConfig {
+    /// The paper's K1 defaults: 8³ bricks, 8-wide ghost, 7-point
+    /// stencil, Theta's Aries fabric, single-rank proxy.
+    pub fn k1(method: CpuMethod, subdomain: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            method,
+            subdomain: [subdomain; 3],
+            ghost: 8,
+            brick: 8,
+            shape: StencilShape::star7_default(),
+            steps: 4,
+            warmup: 1,
+            ranks: vec![1, 1, 1],
+            net: NetworkModel::theta_aries(),
+        }
+    }
+}
+
+/// Per-timestep results of one method.
+#[derive(Clone, Debug)]
+pub struct MethodReport {
+    /// Per-step timers (rank 0; ranks are symmetric).
+    pub timers: Timers,
+    /// Exchange traffic.
+    pub stats: ExchangeStats,
+    /// Owned points per rank per step.
+    pub points: u64,
+    /// Whether communication is overlapped with computation.
+    pub overlap: bool,
+    /// Sum of the final interior values (cross-method validation).
+    pub checksum: f64,
+    /// Per-category `(min, avg, max)` across ranks — the artifact's
+    /// reporting format (per timed step).
+    pub summary: TimerSummary,
+    /// The fraction of `calc` that can hide an in-flight exchange
+    /// (interior-brick compute for the overlapped brick methods; all of
+    /// `calc` for YASK-OL, whose framework interleaves at tile level).
+    pub calc_hidden: f64,
+}
+
+impl MethodReport {
+    /// Effective per-step wall time: overlapping hides `call + wait`
+    /// behind computation (packing cannot be hidden — it produces the
+    /// send buffers and consumes the received ones).
+    pub fn step_time(&self) -> f64 {
+        if self.overlap {
+            let exposed = self.timers.calc - self.calc_hidden;
+            self.timers.pack
+                + self.calc_hidden.max(self.timers.call + self.timers.wait)
+                + exposed
+        } else {
+            self.timers.total()
+        }
+    }
+
+    /// Communication share of the step (the paper's `Comm`).
+    pub fn comm_time(&self) -> f64 {
+        self.step_time() - self.timers.calc.min(self.step_time())
+    }
+
+    /// Throughput in GStencil/s (points per rank; multiply by ranks for
+    /// aggregate).
+    pub fn gstencil(&self) -> f64 {
+        self.points as f64 / self.step_time() / 1e9
+    }
+}
+
+/// The empirical minimum ("Network" line of Figure 9): the wire time for
+/// message-sized buffers with the minimal message count and no padding.
+pub fn network_floor(net: &NetworkModel, payload_bytes: usize) -> f64 {
+    net.exchange_time(26, payload_bytes)
+}
+
+/// Run one experiment and return rank 0's report.
+pub fn run_experiment(cfg: &ExperimentConfig) -> MethodReport {
+    let topo = CartTopo::new(&cfg.ranks, true);
+    match &cfg.method {
+        CpuMethod::MemMap { page_size } => run_memmap(cfg, &topo, *page_size),
+        CpuMethod::Layout => run_brick(cfg, &topo, BrickOrder::Surface3d, BrickMsgs::Runs),
+        CpuMethod::LayoutOverlap => run_brick_overlap(cfg, &topo),
+        CpuMethod::Basic => run_brick(cfg, &topo, BrickOrder::Surface3d, BrickMsgs::PerRegion),
+        CpuMethod::NoLayout => run_brick(cfg, &topo, BrickOrder::Lexicographic, BrickMsgs::ComputeOnly),
+        CpuMethod::Yask => run_array(cfg, &topo, ArrayMode::Packed, false),
+        CpuMethod::YaskOverlap => run_array(cfg, &topo, ArrayMode::Packed, true),
+        CpuMethod::MpiTypes => run_array(cfg, &topo, ArrayMode::Types, false),
+        CpuMethod::Shift { page_size } => run_shift(cfg, &topo, *page_size),
+    }
+}
+
+fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> MethodReport {
+    let decomp = memmap_decomp(
+        cfg.subdomain,
+        cfg.ghost,
+        BrickDims::cubic(cfg.brick),
+        1,
+        layout::surface3d(),
+        page_size,
+    );
+    let shape = cfg.shape.clone();
+    let (steps, warmup) = (cfg.steps, cfg.warmup);
+
+    let reports = run_cluster(topo, cfg.net, |ctx| {
+        let info = decomp.brick_info();
+        let mask = decomp.compute_mask();
+        let mut sa = MemMapStorage::allocate(&decomp).expect("memfd allocation");
+        let mut sb = MemMapStorage::allocate(&decomp).expect("memfd allocation");
+        let mut sha = crate::shift::ShiftExchanger::build(&decomp, &sa).expect("shift views");
+        let mut shb = crate::shift::ShiftExchanger::build(&decomp, &sb).expect("shift views");
+        fill_bricks(&decomp, &mut sa.storage);
+        let stats = sha.stats();
+        let mut flip = false;
+        for step in 0..steps + warmup {
+            if step == warmup {
+                ctx.reset_timers();
+            }
+            let (cur, nxt, sh) = if flip {
+                (&mut sb, &mut sa, &mut shb)
+            } else {
+                (&mut sa, &mut sb, &mut sha)
+            };
+            sh.exchange(ctx, cur);
+            ctx.time_calc(|| apply_bricks(&shape, info, &cur.storage, &mut nxt.storage, mask, 0));
+            flip = !flip;
+            ctx.barrier();
+        }
+        let last = if flip { &sb } else { &sa };
+        let t = ctx.timers().per_step(steps);
+        let summary = ctx.reduce_timers(&t);
+        (t, checksum_bricks(&decomp, &last.storage), stats, summary)
+    });
+
+    let (timers, checksum, stats, summary) = reports[0];
+    MethodReport {
+        timers,
+        stats,
+        points: decomp.points(),
+        overlap: false,
+        checksum,
+        summary: summary.expect("rank 0 holds the reduction"),
+        calc_hidden: 0.0,
+    }
+}
+
+/// Overlapped brick driver: post the exchange, compute interior bricks
+/// while messages fly, complete the exchange, then compute surface
+/// bricks. Our transport buffers sends eagerly, so wall-clock overlap is
+/// accounted by `MethodReport::step_time` (the wire hides behind the
+/// measured interior compute).
+fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
+    let decomp = BrickDecomp::<3>::layout_mode(
+        cfg.subdomain,
+        cfg.ghost,
+        BrickDims::cubic(cfg.brick),
+        1,
+        layout::surface3d(),
+    );
+    let exchanger = Exchanger::layout(&decomp);
+    let stats = exchanger.stats();
+    let shape = cfg.shape.clone();
+    let (steps, warmup) = (cfg.steps, cfg.warmup);
+    let interior_mask = decomp.interior_mask();
+    let surface_mask = decomp.surface_mask();
+
+    let reports = run_cluster(topo, cfg.net, |ctx| {
+        let info = decomp.brick_info();
+        let mut cur = decomp.allocate();
+        let mut nxt = decomp.allocate();
+        fill_bricks(&decomp, &mut cur);
+        let mut hidden_total = 0.0;
+        for step in 0..steps + warmup {
+            if step == warmup {
+                ctx.reset_timers();
+                hidden_total = 0.0;
+            }
+            // Interior compute is legal before the exchange completes:
+            // it reads no ghost bricks. (Our transport completes sends
+            // eagerly, so sequencing interior compute between post and
+            // wait is also temporally faithful.)
+            let t0 = std::time::Instant::now();
+            ctx.time_calc(|| apply_bricks(&shape, info, &cur, &mut nxt, &interior_mask, 0));
+            hidden_total += t0.elapsed().as_secs_f64();
+            exchanger.exchange(ctx, &mut cur);
+            ctx.time_calc(|| apply_bricks(&shape, info, &cur, &mut nxt, &surface_mask, 0));
+            std::mem::swap(&mut cur, &mut nxt);
+            ctx.barrier();
+        }
+        let t = ctx.timers().per_step(steps);
+        let summary = ctx.reduce_timers(&t);
+        (t, checksum_bricks(&decomp, &cur), summary, hidden_total / steps as f64)
+    });
+
+    let (timers, checksum, summary, hidden) = reports[0];
+    MethodReport {
+        timers,
+        stats,
+        points: decomp.points(),
+        overlap: true,
+        checksum,
+        summary: summary.expect("rank 0 holds the reduction"),
+        calc_hidden: hidden,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum BrickOrder {
+    Surface3d,
+    Lexicographic,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum BrickMsgs {
+    Runs,
+    PerRegion,
+    ComputeOnly,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ArrayMode {
+    Packed,
+    Types,
+}
+
+fn init_value(x: i64, y: i64, z: i64) -> f64 {
+    (((x * 3 + y * 5 + z * 7).rem_euclid(17)) as f64) / 16.0
+}
+
+fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: BrickMsgs) -> MethodReport {
+    let layout = match order {
+        BrickOrder::Surface3d => layout::surface3d(),
+        BrickOrder::Lexicographic => SurfaceLayout::lexicographic(3),
+    };
+    let decomp =
+        BrickDecomp::<3>::layout_mode(cfg.subdomain, cfg.ghost, BrickDims::cubic(cfg.brick), 1, layout);
+    let exchanger = match msgs {
+        BrickMsgs::Runs => Some(Exchanger::layout(&decomp)),
+        BrickMsgs::PerRegion => Some(Exchanger::basic(&decomp)),
+        BrickMsgs::ComputeOnly => None,
+    };
+    let stats = exchanger.as_ref().map(|e| e.stats()).unwrap_or_default();
+    let shape = cfg.shape.clone();
+    let (steps, warmup) = (cfg.steps, cfg.warmup);
+
+    let reports = run_cluster(topo, cfg.net, |ctx| {
+        let info = decomp.brick_info();
+        let mask = decomp.compute_mask();
+        let mut cur = decomp.allocate();
+        let mut nxt = decomp.allocate();
+        fill_bricks(&decomp, &mut cur);
+        if exchanger.is_none() {
+            // Compute-only reference: make ghosts valid once.
+            fill_ghosts_periodic(&decomp, &mut cur);
+            fill_ghosts_periodic(&decomp, &mut nxt);
+        }
+        for step in 0..steps + warmup {
+            if step == warmup {
+                ctx.reset_timers();
+            }
+            if let Some(ex) = &exchanger {
+                ex.exchange(ctx, &mut cur);
+            }
+            ctx.time_calc(|| apply_bricks(&shape, info, &cur, &mut nxt, mask, 0));
+            std::mem::swap(&mut cur, &mut nxt);
+            ctx.barrier();
+        }
+        let t = ctx.timers().per_step(steps);
+        let summary = ctx.reduce_timers(&t);
+        (t, checksum_bricks(&decomp, &cur), summary)
+    });
+
+    let (timers, checksum, summary) = reports[0];
+    MethodReport {
+        timers,
+        stats,
+        points: decomp.points(),
+        overlap: false,
+        checksum,
+        summary: summary.expect("rank 0 holds the reduction"),
+        calc_hidden: 0.0,
+    }
+}
+
+fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> MethodReport {
+    let decomp = memmap_decomp(
+        cfg.subdomain,
+        cfg.ghost,
+        BrickDims::cubic(cfg.brick),
+        1,
+        layout::surface3d(),
+        page_size,
+    );
+    let shape = cfg.shape.clone();
+    let (steps, warmup) = (cfg.steps, cfg.warmup);
+
+    let reports = run_cluster(topo, cfg.net, |ctx| {
+        let info = decomp.brick_info();
+        let mask = decomp.compute_mask();
+        let mut sa = MemMapStorage::allocate(&decomp).expect("memfd allocation");
+        let mut sb = MemMapStorage::allocate(&decomp).expect("memfd allocation");
+        let eva = ExchangeView::build(&decomp, &sa).expect("view construction");
+        let evb = ExchangeView::build(&decomp, &sb).expect("view construction");
+        fill_bricks(&decomp, &mut sa.storage);
+        let mut flip = false;
+        let stats = eva.stats();
+        for step in 0..steps + warmup {
+            if step == warmup {
+                ctx.reset_timers();
+            }
+            let (cur, nxt, ev) = if flip { (&mut sb, &mut sa, &evb) } else { (&mut sa, &mut sb, &eva) };
+            ev.exchange(ctx, cur);
+            ctx.time_calc(|| apply_bricks(&shape, info, &cur.storage, &mut nxt.storage, mask, 0));
+            flip = !flip;
+            ctx.barrier();
+        }
+        let last = if flip { &sb } else { &sa };
+        let t = ctx.timers().per_step(steps);
+        let summary = ctx.reduce_timers(&t);
+        (t, checksum_bricks(&decomp, &last.storage), stats, summary)
+    });
+
+    let (timers, checksum, stats, summary) = reports[0];
+    MethodReport {
+        timers,
+        stats,
+        points: decomp.points(),
+        overlap: false,
+        checksum,
+        summary: summary.expect("rank 0 holds the reduction"),
+        calc_hidden: 0.0,
+    }
+}
+
+fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: bool) -> MethodReport {
+    let shape = cfg.shape.clone();
+    let (steps, warmup) = (cfg.steps, cfg.warmup);
+    let subdomain = cfg.subdomain;
+    let ghost = cfg.ghost;
+
+    let reports = run_cluster(topo, cfg.net, |ctx| {
+        let mut cur = ArrayGrid::new(subdomain, ghost);
+        let mut nxt = ArrayGrid::new(subdomain, ghost);
+        cur.fill_interior(|x, y, z| init_value(x as i64, y as i64, z as i64));
+        let mut ex = ArrayExchanger::new(&cur);
+        let stats = ex.stats();
+        for step in 0..steps + warmup {
+            if step == warmup {
+                ctx.reset_timers();
+            }
+            match mode {
+                ArrayMode::Packed => ex.exchange_packed(ctx, &mut cur),
+                ArrayMode::Types => ex.exchange_mpitypes(ctx, &mut cur),
+            }
+            ctx.time_calc(|| cur.apply_into(&shape, &mut nxt));
+            std::mem::swap(&mut cur, &mut nxt);
+            ctx.barrier();
+        }
+        let t = ctx.timers().per_step(steps);
+        let summary = ctx.reduce_timers(&t);
+        (t, cur.interior_sum(), stats, summary)
+    });
+
+    let (timers, checksum, stats, summary) = reports[0];
+    MethodReport {
+        calc_hidden: if overlap { timers.calc } else { 0.0 },
+        timers,
+        stats,
+        points: (subdomain[0] * subdomain[1] * subdomain[2]) as u64,
+        overlap,
+        checksum,
+        summary: summary.expect("rank 0 holds the reduction"),
+    }
+}
+
+/// Fill a brick storage's interior with [`init_value`].
+fn fill_bricks(decomp: &BrickDecomp<3>, st: &mut brick::BrickStorage) {
+    crate::fields::fill_interior(decomp, st, 0, |c| {
+        init_value(c[0] as i64, c[1] as i64, c[2] as i64)
+    });
+}
+
+/// Fill the ghost rim by wrapping the interior (compute-only methods).
+fn fill_ghosts_periodic(decomp: &BrickDecomp<3>, st: &mut brick::BrickStorage) {
+    crate::fields::fill_ghosts_periodic(decomp, st, 0);
+}
+
+/// Interior checksum of brick storage.
+fn checksum_bricks(decomp: &BrickDecomp<3>, st: &brick::BrickStorage) -> f64 {
+    crate::fields::interior_sum(decomp, st, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(method: CpuMethod) -> ExperimentConfig {
+        let mut c = ExperimentConfig::k1(method, 32);
+        c.steps = 3;
+        c.warmup = 1;
+        c
+    }
+
+    /// All exchanging methods must produce *identical physics*: after
+    /// the same number of steps on the same initial data, the interior
+    /// checksum agrees across implementations.
+    #[test]
+    fn methods_agree_numerically() {
+        let reports: Vec<MethodReport> = [
+            CpuMethod::Layout,
+            CpuMethod::LayoutOverlap,
+            CpuMethod::Basic,
+            CpuMethod::MemMap { page_size: memview::PAGE_4K },
+            CpuMethod::Yask,
+            CpuMethod::MpiTypes,
+        ]
+        .into_iter()
+        .map(|m| run_experiment(&cfg(m)))
+        .collect();
+        let reference = reports[0].checksum;
+        assert!(reference.is_finite() && reference != 0.0);
+        for r in &reports[1..] {
+            let rel = ((r.checksum - reference) / reference).abs();
+            assert!(rel < 1e-12, "checksum mismatch: {} vs {reference}", r.checksum);
+        }
+    }
+
+    #[test]
+    fn pack_free_methods_report_zero_pack_time() {
+        for m in [CpuMethod::Layout, CpuMethod::MemMap { page_size: memview::PAGE_4K }] {
+            let r = run_experiment(&cfg(m));
+            assert_eq!(r.timers.pack, 0.0, "{:?} must not pack", r.stats);
+            assert!(r.timers.calc > 0.0);
+            assert!(r.timers.wait > 0.0);
+        }
+    }
+
+    #[test]
+    fn yask_reports_pack_time() {
+        let r = run_experiment(&cfg(CpuMethod::Yask));
+        assert!(r.timers.pack > 0.0);
+        assert_eq!(r.stats.messages, 26);
+    }
+
+    #[test]
+    fn message_counts_by_method() {
+        let layout = run_experiment(&cfg(CpuMethod::Layout));
+        let basic = run_experiment(&cfg(CpuMethod::Basic));
+        assert_eq!(layout.stats.messages, 42);
+        assert_eq!(basic.stats.messages, 98);
+        // Same bytes either way: merging runs only reduces messages.
+        assert_eq!(layout.stats.payload_bytes, basic.stats.payload_bytes);
+    }
+
+    #[test]
+    fn overlap_hides_wire_time() {
+        let plain = run_experiment(&cfg(CpuMethod::Yask));
+        let mut r = plain.clone();
+        r.overlap = true;
+        assert!(r.step_time() <= plain.step_time());
+        assert!(r.step_time() >= plain.timers.pack + plain.timers.calc);
+    }
+
+    #[test]
+    fn throughput_is_positive_and_sane() {
+        let r = run_experiment(&cfg(CpuMethod::Layout));
+        assert!(r.gstencil() > 0.0);
+        assert_eq!(r.points, 32 * 32 * 32);
+        assert!(r.comm_time() > 0.0);
+    }
+
+    #[test]
+    fn network_floor_below_all_methods() {
+        let r = run_experiment(&cfg(CpuMethod::Layout));
+        let floor = network_floor(&NetworkModel::theta_aries(), r.stats.payload_bytes);
+        assert!(floor <= r.comm_time() * 1.01);
+    }
+}

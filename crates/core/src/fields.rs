@@ -1,0 +1,184 @@
+//! Field utilities over a decomposition: filling, reading, and
+//! verifying brick storage by *global* element coordinates, shared by
+//! the experiment drivers, tests, and examples.
+
+use brick::BrickStorage;
+
+use crate::decomp::BrickDecomp;
+
+/// Fill the owned interior of `field` from a coordinate function.
+pub fn fill_interior<const D: usize>(
+    decomp: &BrickDecomp<D>,
+    st: &mut BrickStorage,
+    field: usize,
+    f: impl Fn([usize; D]) -> f64,
+) {
+    let data = st.as_mut_slice();
+    for_each_interior(decomp, |coord| {
+        let mut ic = [0isize; D];
+        for a in 0..D {
+            ic[a] = coord[a] as isize;
+        }
+        data[decomp.element_offset(ic, field)] = f(coord);
+    });
+}
+
+/// Fill the ghost rim by periodically wrapping the interior (the ground
+/// truth for self-periodic domains and compute-only runs).
+pub fn fill_ghosts_periodic<const D: usize>(
+    decomp: &BrickDecomp<D>,
+    st: &mut BrickStorage,
+    field: usize,
+) {
+    let dom = decomp.domain();
+    let g = decomp.ghost_width() as isize;
+    let data = st.as_mut_slice();
+    for_each_extended(decomp, |coord| {
+        let interior = (0..D).all(|a| coord[a] >= 0 && (coord[a] as usize) < dom[a]);
+        if !interior {
+            let mut src = [0isize; D];
+            for a in 0..D {
+                src[a] = coord[a].rem_euclid(dom[a] as isize);
+            }
+            let v = data[decomp.element_offset(src, field)];
+            data[decomp.element_offset(coord, field)] = v;
+        }
+    });
+    let _ = g;
+}
+
+/// Sum over the owned interior of `field`.
+pub fn interior_sum<const D: usize>(
+    decomp: &BrickDecomp<D>,
+    st: &BrickStorage,
+    field: usize,
+) -> f64 {
+    let data = st.as_slice();
+    let mut s = 0.0;
+    for_each_interior(decomp, |coord| {
+        let mut ic = [0isize; D];
+        for a in 0..D {
+            ic[a] = coord[a] as isize;
+        }
+        s += data[decomp.element_offset(ic, field)];
+    });
+    s
+}
+
+/// Count ghost elements whose value differs from `expect(coord)`
+/// (coordinates in the owned frame, possibly negative).
+pub fn ghost_mismatches<const D: usize>(
+    decomp: &BrickDecomp<D>,
+    st: &BrickStorage,
+    field: usize,
+    expect: impl Fn([isize; D]) -> f64,
+) -> usize {
+    let dom = decomp.domain();
+    let data = st.as_slice();
+    let mut errors = 0usize;
+    for_each_extended(decomp, |coord| {
+        let interior = (0..D).all(|a| coord[a] >= 0 && (coord[a] as usize) < dom[a]);
+        if !interior && data[decomp.element_offset(coord, field)] != expect(coord) {
+            errors += 1;
+        }
+    });
+    errors
+}
+
+/// Visit every owned interior coordinate.
+pub fn for_each_interior<const D: usize>(
+    decomp: &BrickDecomp<D>,
+    mut f: impl FnMut([usize; D]),
+) {
+    let dom = decomp.domain();
+    let mut coord = [0usize; D];
+    visit(&dom.map(|d| 0..d), 0, &mut coord, &mut |c: &[usize; D]| f(*c));
+}
+
+/// Visit every extended coordinate (owned frame, ghost rim included).
+pub fn for_each_extended<const D: usize>(
+    decomp: &BrickDecomp<D>,
+    mut f: impl FnMut([isize; D]),
+) {
+    let dom = decomp.domain();
+    let g = decomp.ghost_width() as isize;
+    let ranges: [std::ops::Range<isize>; D] =
+        std::array::from_fn(|a| -g..dom[a] as isize + g);
+    let mut coord = [0isize; D];
+    visit_i(&ranges, 0, &mut coord, &mut |c: &[isize; D]| f(*c));
+}
+
+fn visit<const D: usize>(
+    ranges: &[std::ops::Range<usize>; D],
+    axis: usize,
+    coord: &mut [usize; D],
+    f: &mut impl FnMut(&[usize; D]),
+) {
+    if axis == D {
+        f(coord);
+        return;
+    }
+    for v in ranges[axis].clone() {
+        coord[axis] = v;
+        visit(ranges, axis + 1, coord, f);
+    }
+}
+
+fn visit_i<const D: usize>(
+    ranges: &[std::ops::Range<isize>; D],
+    axis: usize,
+    coord: &mut [isize; D],
+    f: &mut impl FnMut(&[isize; D]),
+) {
+    if axis == D {
+        f(coord);
+        return;
+    }
+    for v in ranges[axis].clone() {
+        coord[axis] = v;
+        visit_i(ranges, axis + 1, coord, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brick::BrickDims;
+    use layout::surface3d;
+
+    fn decomp() -> BrickDecomp<3> {
+        BrickDecomp::<3>::layout_mode([16; 3], 8, BrickDims::cubic(8), 1, surface3d())
+    }
+
+    #[test]
+    fn fill_and_sum() {
+        let d = decomp();
+        let mut st = d.allocate();
+        fill_interior(&d, &mut st, 0, |_| 2.0);
+        assert_eq!(interior_sum(&d, &st, 0), 2.0 * 16.0 * 16.0 * 16.0);
+    }
+
+    #[test]
+    fn periodic_ghost_fill_matches_wrap() {
+        let d = decomp();
+        let mut st = d.allocate();
+        fill_interior(&d, &mut st, 0, |c| (c[0] + 20 * c[1] + 400 * c[2]) as f64);
+        fill_ghosts_periodic(&d, &mut st, 0);
+        let errors = ghost_mismatches(&d, &st, 0, |c| {
+            let w = |v: isize| v.rem_euclid(16) as usize;
+            (w(c[0]) + 20 * w(c[1]) + 400 * w(c[2])) as f64
+        });
+        assert_eq!(errors, 0);
+    }
+
+    #[test]
+    fn extended_visit_counts() {
+        let d = decomp();
+        let mut n = 0usize;
+        for_each_extended(&d, |_| n += 1);
+        assert_eq!(n, 32 * 32 * 32);
+        let mut m = 0usize;
+        for_each_interior(&d, |_| m += 1);
+        assert_eq!(m, 16 * 16 * 16);
+    }
+}

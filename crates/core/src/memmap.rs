@@ -1,0 +1,354 @@
+//! MemMap exchange (paper Section 4): brick storage lives in a
+//! `memfd` file with page-aligned chunks; per-neighbor `mmap` views make
+//! all regions bound for one neighbor appear contiguous, so exactly one
+//! message per neighbor suffices — no packing, minimal message count,
+//! at the price of padding.
+
+use std::io;
+use std::sync::Arc;
+
+use brick::BrickStorage;
+use layout::{all_regions, Dir};
+use memview::{host_page_size, is_aligned, ContiguousView, MappedBacking, MemFile, Segment};
+use netsim::{RankCtx, RecvHandle};
+
+use crate::decomp::{pad_bricks_for, BrickDecomp};
+use crate::exchange::{split_disjoint_mut, ExchangeStats};
+
+/// Brick storage whose backing is an mmap-able in-memory file (the
+/// paper's `bInfo.mmap_alloc(bSize)`).
+pub struct MemMapStorage {
+    /// The storage (usable exactly like heap storage for computation).
+    pub storage: BrickStorage,
+    file: Arc<MemFile>,
+    step: usize,
+}
+
+impl MemMapStorage {
+    /// Allocate mmap-backed storage for `decomp`. The decomposition must
+    /// have been built with the page-matching pad unit
+    /// ([`memmap_decomp`] does this for you).
+    pub fn allocate<const D: usize>(decomp: &BrickDecomp<D>) -> io::Result<MemMapStorage> {
+        let step = decomp.step();
+        let backing = MappedBacking::create("brick-storage", decomp.bricks() * step)?;
+        let file = Arc::clone(backing.file());
+        let storage =
+            BrickStorage::from_backing(Box::new(backing), decomp.bricks(), decomp.brick_dims().elements(), decomp.fields());
+        Ok(MemMapStorage { storage, file, step })
+    }
+
+    /// The backing file.
+    pub fn file(&self) -> &Arc<MemFile> {
+        &self.file
+    }
+
+    /// Byte range in the file of a padded brick range.
+    fn byte_range(&self, bricks: &std::ops::Range<usize>) -> Segment {
+        Segment {
+            file_offset: bricks.start * self.step * 8,
+            len: (bricks.end - bricks.start) * self.step * 8,
+        }
+    }
+}
+
+/// Build a MemMap-ready decomposition: chunk padding matches
+/// `page_size` (which may be an *emulated* page size — any multiple of
+/// the host page — for the paper's Figure 18 sweep).
+pub fn memmap_decomp<const D: usize>(
+    domain: [usize; D],
+    ghost: usize,
+    bdims: brick::BrickDims<D>,
+    fields: usize,
+    layout: layout::SurfaceLayout,
+    page_size: usize,
+) -> BrickDecomp<D> {
+    assert!(
+        page_size.is_multiple_of(host_page_size()),
+        "emulated page size must be a multiple of the host page"
+    );
+    let brick_bytes = bdims.elements() * fields * 8;
+    let pad = pad_bricks_for(page_size, brick_bytes);
+    BrickDecomp::new(domain, ghost, bdims, fields, layout, pad)
+}
+
+struct ViewMsg {
+    to: Dir,
+    tag: u64,
+    view: ContiguousView,
+    payload_bytes: usize,
+}
+
+struct GhostRecv {
+    from: Dir,
+    tag: u64,
+    elems: std::ops::Range<usize>,
+}
+
+/// Per-neighbor contiguous send views plus direct ghost receives — the
+/// paper's `ExchangeView` (Fig. 7, right column). Built once, reused
+/// every timestep ("views can be reused throughout the application
+/// until the communication pattern changes").
+pub struct ExchangeView {
+    sends: Vec<ViewMsg>,
+    recvs: Vec<GhostRecv>,
+    stats: ExchangeStats,
+    dims: usize,
+    /// The storage file the send views alias; exchanges verify they are
+    /// driven with the same storage they were built on.
+    bound_file: Arc<MemFile>,
+}
+
+impl ExchangeView {
+    /// Build the views for `decomp` over `storage`'s file.
+    pub fn build<const D: usize>(
+        decomp: &BrickDecomp<D>,
+        storage: &MemMapStorage,
+    ) -> io::Result<ExchangeView> {
+        let step = decomp.step();
+        let brick_bytes = step * 8;
+        let host = host_page_size();
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        let mut stats = ExchangeStats::default();
+
+        for s in all_regions(D) {
+            let nplan = decomp.plan().neighbor(&s);
+
+            // One view per neighbor: the padded chunks of every region
+            // run, merged into per-run file segments.
+            let mut segments: Vec<Segment> = Vec::new();
+            let mut payload = 0usize;
+            for run in &nplan.send_runs {
+                let chunks: Vec<_> = run.clone().map(|i| &decomp.surface_chunks()[i]).collect();
+                let run_payload: usize = chunks.iter().map(|c| c.len()).sum();
+                if run_payload == 0 {
+                    continue;
+                }
+                payload += run_payload;
+                let range = chunks.first().unwrap().padded.start..chunks.last().unwrap().padded.end;
+                let seg = storage.byte_range(&range);
+                assert!(
+                    is_aligned(seg.file_offset, host) && is_aligned(seg.len, host),
+                    "chunk padding does not satisfy the host page size; \
+                     build the decomposition with memmap_decomp"
+                );
+                segments.push(seg);
+            }
+            if segments.is_empty() {
+                continue;
+            }
+            let view = ContiguousView::build(storage.file(), &segments)?;
+            stats.messages += 1;
+            stats.payload_bytes += payload * brick_bytes;
+            stats.wire_bytes += view.len();
+            stats.region_instances += nplan
+                .send_regions
+                .iter()
+                .filter(|t| decomp.region_bricks(t) > 0)
+                .count();
+            sends.push(ViewMsg {
+                to: s,
+                tag: s.code(D) as u64,
+                view,
+                payload_bytes: payload * brick_bytes,
+            });
+
+            // Receive side: ghost group g(s) is stored contiguously
+            // (pieces in sender order, padding included), so the single
+            // incoming message lands directly in storage.
+            let group = decomp.ghost_group(&s);
+            let occupied: Vec<_> = group.pieces.iter().filter(|p| !p.is_empty()).collect();
+            if occupied.is_empty() {
+                continue;
+            }
+            let lo = group.pieces.first().unwrap().padded.start;
+            let hi = group.pieces.last().unwrap().padded.end;
+            recvs.push(GhostRecv {
+                from: s,
+                tag: s.mirror().code(D) as u64,
+                elems: lo * step..hi * step,
+            });
+        }
+        assert_eq!(sends.len(), recvs.len());
+        Ok(ExchangeView {
+            sends,
+            recvs,
+            stats,
+            dims: D,
+            bound_file: Arc::clone(storage.file()),
+        })
+    }
+
+    /// Traffic statistics (includes padding in `wire_bytes`; the number
+    /// of `mmap` segments is `stats().messages`-independent and can be
+    /// read via [`ExchangeView::mapped_segments`]).
+    pub fn stats(&self) -> ExchangeStats {
+        self.stats
+    }
+
+    /// Total mmap segments across all views — bounded by the kernel's
+    /// `vm.max_map_count`, and minimized by layout optimization (one
+    /// segment per run: 42 with `surface3d`, 98 without merging).
+    pub fn mapped_segments(&self) -> usize {
+        self.sends.iter().map(|m| m.view.segments().len()).sum()
+    }
+
+    /// One full exchange: each neighbor gets exactly one message sent
+    /// straight out of its contiguous view; each ghost group receives
+    /// one message straight into storage. Zero on-node copies.
+    pub fn exchange(&self, ctx: &mut RankCtx<'_>, storage: &mut MemMapStorage) {
+        assert!(
+            Arc::ptr_eq(&self.bound_file, storage.file()),
+            "ExchangeView driven with a different storage than it was built on \
+             (send views would alias the original storage's memory)"
+        );
+        let rank = ctx.rank();
+        for m in &self.sends {
+            let dest = ctx
+                .topo()
+                .neighbor(rank, &m.to.offsets(self.dims))
+                .expect("exchange requires a periodic (or interior) neighbor");
+            ctx.note_payload(m.payload_bytes);
+            ctx.isend(dest, m.tag, m.view.as_f64());
+        }
+        let mut handles: Vec<RecvHandle> = Vec::with_capacity(self.recvs.len());
+        let mut ranges = Vec::with_capacity(self.recvs.len());
+        for r in &self.recvs {
+            let src = ctx
+                .topo()
+                .neighbor(rank, &r.from.offsets(self.dims))
+                .expect("exchange requires a periodic (or interior) neighbor");
+            handles.push(ctx.irecv(src, r.tag));
+            ranges.push(r.elems.clone());
+        }
+        let mut bufs = split_disjoint_mut(storage.storage.as_mut_slice(), &ranges);
+        ctx.waitall_into(&handles, &mut bufs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brick::BrickDims;
+    use layout::surface3d;
+    use netsim::{run_cluster, CartTopo, NetworkModel};
+
+    fn mk(n: usize, page: usize) -> (BrickDecomp<3>, MemMapStorage) {
+        let d = memmap_decomp([n; 3], 8, BrickDims::cubic(8), 1, surface3d(), page);
+        let st = MemMapStorage::allocate(&d).unwrap();
+        (d, st)
+    }
+
+    #[test]
+    fn one_message_per_neighbor() {
+        let (d, st) = mk(48, memview::PAGE_4K);
+        let ev = ExchangeView::build(&d, &st).unwrap();
+        assert_eq!(ev.stats().messages, 26);
+        // Layout optimization keeps mappings at the run count (42).
+        assert_eq!(ev.mapped_segments(), 42);
+    }
+
+    #[test]
+    fn padding_overhead_zero_for_4k_pages_and_8cubed_bricks() {
+        // One 8^3 f64 brick = exactly one 4 KiB page: no waste.
+        let (d, st) = mk(48, memview::PAGE_4K);
+        let ev = ExchangeView::build(&d, &st).unwrap();
+        assert_eq!(ev.stats().padding_overhead_percent(), 0.0);
+    }
+
+    #[test]
+    fn padding_overhead_grows_with_page_size() {
+        let (d4, s4) = mk(32, memview::PAGE_4K);
+        let (d64, s64) = mk(32, memview::PAGE_64K);
+        let e4 = ExchangeView::build(&d4, &s4).unwrap();
+        let e64 = ExchangeView::build(&d64, &s64).unwrap();
+        assert_eq!(e4.stats().payload_bytes, e64.stats().payload_bytes);
+        assert!(e64.stats().wire_bytes > e4.stats().wire_bytes);
+        assert!(e64.stats().padding_overhead_percent() > 100.0);
+    }
+
+    /// MemMap self-periodic exchange must fill the full ghost rim
+    /// correctly — through real mmap views.
+    #[test]
+    fn self_periodic_memmap_exchange() {
+        for page in [memview::PAGE_4K, memview::PAGE_64K] {
+            let d = memmap_decomp([32; 3], 8, BrickDims::cubic(8), 1, surface3d(), page);
+            let topo = CartTopo::new(&[1, 1, 1], true);
+            let errors = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+                let mut st = MemMapStorage::allocate(&d).unwrap();
+                let ev = ExchangeView::build(&d, &st).unwrap();
+                let f = |x: i64, y: i64, z: i64| (x + 100 * y + 10_000 * z) as f64;
+                for z in 0..32 {
+                    for y in 0..32 {
+                        for x in 0..32 {
+                            let off = d.element_offset([x, y, z], 0);
+                            st.storage.as_mut_slice()[off] = f(x as i64, y as i64, z as i64);
+                        }
+                    }
+                }
+                ev.exchange(ctx, &mut st);
+                let (g, n) = (8isize, 32isize);
+                let mut errors = 0usize;
+                for z in -g..n + g {
+                    for y in -g..n + g {
+                        for x in -g..n + g {
+                            let interior =
+                                (0..n).contains(&x) && (0..n).contains(&y) && (0..n).contains(&z);
+                            if interior {
+                                continue;
+                            }
+                            let got = st.storage.as_slice()[d.element_offset([x, y, z], 0)];
+                            let want = f(
+                                x.rem_euclid(n) as i64,
+                                y.rem_euclid(n) as i64,
+                                z.rem_euclid(n) as i64,
+                            );
+                            if got != want {
+                                errors += 1;
+                            }
+                        }
+                    }
+                }
+                errors
+            });
+            assert_eq!(errors[0], 0, "page={page}");
+        }
+    }
+
+    /// Writes through the *storage* must be visible through the *views*
+    /// without any copy (the aliasing that makes MemMap pack-free).
+    #[test]
+    fn views_alias_storage() {
+        let (d, mut st) = mk(32, memview::PAGE_4K);
+        let ev = ExchangeView::build(&d, &st).unwrap();
+        // Pick the first surface brick of the first send view's first
+        // region and write a sentinel through storage.
+        let first_send = &ev.sends[0];
+        let region0 = d
+            .plan()
+            .neighbor(&first_send.to)
+            .send_regions
+            .iter()
+            .find(|t| d.region_bricks(t) > 0)
+            .copied()
+            .unwrap();
+        let chunk = d.surface_chunk(&region0);
+        let brick = chunk.bricks.start as u32;
+        st.storage.field_mut(brick, 0)[0] = 424242.0;
+        assert_eq!(
+            first_send.view.as_f64()[0],
+            424242.0,
+            "view must alias storage with zero copies"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "padding does not satisfy")]
+    fn unpadded_decomp_rejected() {
+        // 4^3 bricks (512 B) without padding put chunk boundaries inside
+        // pages; view construction must refuse.
+        let d = BrickDecomp::<3>::layout_mode([16; 3], 4, BrickDims::cubic(4), 1, surface3d());
+        let st = MemMapStorage::allocate(&d).unwrap();
+        let _ = ExchangeView::build(&d, &st);
+    }
+}

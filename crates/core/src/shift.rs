@@ -1,0 +1,242 @@
+//! Shift exchange — the dimension-by-dimension alternative to the
+//! paper's all-neighbors-at-once ("Put") exchange (paper Section 8,
+//! citing Palmer & Nieplocha): axis passes send only 2 messages each
+//! and corner data reaches diagonal neighbors transitively, at the cost
+//! of `D` serialized latency phases.
+//!
+//! The paper remarks Shift "is straightforward to implement using
+//! memory mapping" — this module is that implementation: every pass
+//! sends and receives through [`ContiguousView`]s, because the slabs
+//! (which include previously-received ghost bricks) are scattered
+//! across the layout-ordered storage.
+
+use std::io;
+use std::ops::Range;
+
+use layout::Dir;
+use memview::{host_page_size, is_aligned, ContiguousView, Segment};
+use netsim::RankCtx;
+
+use crate::decomp::BrickDecomp;
+use crate::exchange::ExchangeStats;
+use crate::memmap::MemMapStorage;
+
+struct ShiftMsg {
+    /// Direction of travel (a single-axis Dir).
+    dir: Dir,
+    tag: u64,
+    view: ContiguousView,
+    bytes: usize,
+}
+
+struct ShiftPass {
+    sends: Vec<ShiftMsg>,
+    recvs: Vec<ShiftMsg>,
+}
+
+/// A `D`-pass shift exchange bound to one [`MemMapStorage`].
+pub struct ShiftExchanger {
+    passes: Vec<ShiftPass>,
+    stats: ExchangeStats,
+    dims: usize,
+    /// The storage file the views alias (checked on every exchange).
+    bound_file: std::sync::Arc<memview::MemFile>,
+}
+
+impl ShiftExchanger {
+    /// Build the per-axis slab views. Requires page-aligned bricks
+    /// (e.g. a [`crate::memmap::memmap_decomp`] decomposition, or 8³
+    /// f64 bricks whose 4 KiB exactly tile host pages).
+    pub fn build<const D: usize>(
+        decomp: &BrickDecomp<D>,
+        storage: &MemMapStorage,
+    ) -> io::Result<ShiftExchanger> {
+        let step = decomp.step();
+        let brick_bytes = step * 8;
+        let host = host_page_size();
+        assert!(
+            is_aligned(brick_bytes, host),
+            "shift views need every brick page-aligned (brick bytes must be \
+             a multiple of the host page; 8^3 f64 bricks are exactly 4 KiB)"
+        );
+        let ext = decomp.grid_extents();
+        let gb = decomp.ghost_bricks();
+        let mb = decomp.owned_bricks();
+
+        let mut passes = Vec::with_capacity(D);
+        let mut stats = ExchangeStats::default();
+
+        for axis in 0..D {
+            // Per-axis coordinate ranges of the slab cross-section:
+            // axes already exchanged span the full extended grid (their
+            // ghosts are valid and must be forwarded); later axes span
+            // only the owned range.
+            let cross = |b: usize| -> Range<usize> {
+                if b < axis {
+                    0..ext[b]
+                } else {
+                    gb[b]..gb[b] + mb[b]
+                }
+            };
+
+            let mut sends = Vec::with_capacity(2);
+            let mut recvs = Vec::with_capacity(2);
+            for positive in [true, false] {
+                let send_band = if positive {
+                    gb[axis] + mb[axis] - gb[axis]..gb[axis] + mb[axis]
+                } else {
+                    gb[axis]..2 * gb[axis]
+                };
+                let recv_band = if positive {
+                    // Receiving from N(-axis): fills my low ghost band.
+                    0..gb[axis]
+                } else {
+                    ext[axis] - gb[axis]..ext[axis]
+                };
+
+                let dir = Dir::from_offsets(&axis_offsets::<D>(axis, positive));
+                let tag = SHIFT_TAG_BASE + (axis as u64) * 4 + positive as u64;
+
+                let send_bricks = slab_bricks(decomp, axis, send_band, &cross);
+                let recv_bricks = slab_bricks(decomp, axis, recv_band, &cross);
+                assert_eq!(send_bricks.len(), recv_bricks.len());
+
+                let sview = build_view(storage, &send_bricks, brick_bytes)?;
+                let rview = build_view(storage, &recv_bricks, brick_bytes)?;
+                stats.messages += 1;
+                stats.payload_bytes += send_bricks.len() * brick_bytes;
+                stats.wire_bytes += send_bricks.len() * brick_bytes;
+                stats.region_instances += 1;
+                sends.push(ShiftMsg {
+                    dir,
+                    tag,
+                    view: sview,
+                    bytes: send_bricks.len() * brick_bytes,
+                });
+                recvs.push(ShiftMsg {
+                    dir: dir.mirror(),
+                    tag,
+                    view: rview,
+                    bytes: recv_bricks.len() * brick_bytes,
+                });
+            }
+            passes.push(ShiftPass { sends, recvs });
+        }
+
+        Ok(ShiftExchanger {
+            passes,
+            stats,
+            dims: D,
+            bound_file: std::sync::Arc::clone(storage.file()),
+        })
+    }
+
+    /// Traffic statistics: `2·D` messages; wire bytes exceed the Put
+    /// exchange's because earlier axes' ghosts are forwarded.
+    pub fn stats(&self) -> ExchangeStats {
+        self.stats
+    }
+
+    /// One full exchange: `D` serialized passes of two messages each.
+    pub fn exchange(&mut self, ctx: &mut RankCtx<'_>, storage: &mut MemMapStorage) {
+        assert!(
+            std::sync::Arc::ptr_eq(&self.bound_file, storage.file()),
+            "ShiftExchanger driven with a different storage than it was built on \
+             (its views alias the original storage's memory)"
+        );
+        let rank = ctx.rank();
+        for pass in &mut self.passes {
+            let mut handles = Vec::with_capacity(2);
+            for r in &pass.recvs {
+                let src = ctx
+                    .topo()
+                    .neighbor(rank, &r.dir.offsets(self.dims))
+                    .expect("periodic topology required");
+                handles.push(ctx.irecv(src, r.tag));
+            }
+            for s in &pass.sends {
+                let dest = ctx
+                    .topo()
+                    .neighbor(rank, &s.dir.offsets(self.dims))
+                    .expect("periodic topology required");
+                ctx.note_payload(s.bytes);
+                ctx.isend(dest, s.tag, s.view.as_f64());
+            }
+            let mut bufs: Vec<&mut [f64]> =
+                pass.recvs.iter_mut().map(|r| r.view.as_f64_mut()).collect();
+            ctx.waitall_into(&handles, &mut bufs);
+        }
+    }
+}
+
+/// Tag namespace for shift messages (distinct from the Put exchange's
+/// direction-code tags).
+const SHIFT_TAG_BASE: u64 = 0x5317_0000;
+
+fn axis_offsets<const D: usize>(axis: usize, positive: bool) -> Vec<i8> {
+    let mut o = vec![0i8; D];
+    o[axis] = if positive { 1 } else { -1 };
+    o
+}
+
+/// Enumerate slab bricks (extended-grid coords with `coord[axis]` in
+/// `band` and other axes in `cross(b)`), in lexicographic order, as
+/// physical brick indices.
+fn slab_bricks<const D: usize>(
+    decomp: &BrickDecomp<D>,
+    axis: usize,
+    band: Range<usize>,
+    cross: &dyn Fn(usize) -> Range<usize>,
+) -> Vec<u32> {
+    let mut ranges: Vec<Range<usize>> = (0..D).map(cross).collect();
+    ranges[axis] = band;
+    let mut out = Vec::new();
+    let mut coord = [0usize; D];
+    enumerate(&ranges, 0, &mut coord, &mut |c| out.push(decomp.brick_at(*c)));
+    out
+}
+
+fn enumerate<const D: usize>(
+    ranges: &[Range<usize>],
+    axis: usize,
+    coord: &mut [usize; D],
+    f: &mut impl FnMut(&[usize; D]),
+) {
+    if axis == D {
+        f(coord);
+        return;
+    }
+    // The order only needs to be *shared* between the send and receive
+    // slabs (they correspond element-wise under translation).
+    for v in ranges[axis].clone() {
+        coord[axis] = v;
+        enumerate(ranges, axis + 1, coord, f);
+    }
+}
+
+/// Coalesce consecutive brick indices into file segments and build a
+/// view.
+fn build_view(
+    storage: &MemMapStorage,
+    bricks: &[u32],
+    brick_bytes: usize,
+) -> io::Result<ContiguousView> {
+    assert!(!bricks.is_empty(), "empty shift slab");
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut run_start = bricks[0] as usize;
+    let mut run_len = 1usize;
+    for w in bricks.windows(2) {
+        if w[1] == w[0] + 1 {
+            run_len += 1;
+        } else {
+            segments.push(Segment {
+                file_offset: run_start * brick_bytes,
+                len: run_len * brick_bytes,
+            });
+            run_start = w[1] as usize;
+            run_len = 1;
+        }
+    }
+    segments.push(Segment { file_offset: run_start * brick_bytes, len: run_len * brick_bytes });
+    ContiguousView::build(storage.file(), &segments)
+}

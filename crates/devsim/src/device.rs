@@ -1,0 +1,97 @@
+//! Roofline device execution model.
+//!
+//! We have no GPU; kernels execute on the host for numerical validation
+//! while *device time* is charged with the Roofline model (Williams et
+//! al., CACM'09 — the same model the paper uses to characterize its
+//! stencils): `t = launch + max(flops / peak, bytes / membw)`.
+
+/// A throughput-modeled accelerator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceModel {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Peak double-precision throughput (flop/s).
+    pub peak_flops: f64,
+    /// Device memory bandwidth (bytes/s).
+    pub mem_bandwidth: f64,
+    /// Kernel launch latency (seconds).
+    pub launch_latency: f64,
+}
+
+impl DeviceModel {
+    /// NVIDIA Volta V100 as configured on Summit: 7.8 TF/s double
+    /// precision, 828.8 GB/s HBM2 (paper Section 2).
+    pub fn v100() -> DeviceModel {
+        DeviceModel {
+            name: "V100",
+            peak_flops: 7.8e12,
+            mem_bandwidth: 828.8e9,
+            launch_latency: 6.0e-6,
+        }
+    }
+
+    /// Modeled kernel time for `flops` floating-point operations moving
+    /// `bytes` to/from device memory.
+    #[inline]
+    pub fn kernel_time(&self, flops: f64, bytes: f64) -> f64 {
+        self.launch_latency + (flops / self.peak_flops).max(bytes / self.mem_bandwidth)
+    }
+
+    /// Arithmetic-intensity ridge point (flop/byte) above which kernels
+    /// are compute-bound.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_flops / self.mem_bandwidth
+    }
+
+    /// Modeled time for a stencil sweep over `points` grid points with
+    /// `flops_per_point` and `bytes_per_point` (the paper's AI notation:
+    /// 7-point is 8/16 flop/byte, 125-point is 139/16).
+    pub fn stencil_time(&self, points: u64, flops_per_point: f64, bytes_per_point: f64) -> f64 {
+        self.kernel_time(points as f64 * flops_per_point, points as f64 * bytes_per_point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_ridge() {
+        let d = DeviceModel::v100();
+        // 7.8e12 / 828.8e9 ≈ 9.4 flop/byte.
+        assert!((d.ridge_point() - 9.41).abs() < 0.1);
+    }
+
+    /// The paper's two stencils straddle the ridge: 7-point (AI = 0.5)
+    /// is memory-bound, 125-point (AI = 8.7) is still memory-bound on
+    /// V100 but ~17x more compute per byte.
+    #[test]
+    fn stencil_regimes() {
+        let d = DeviceModel::v100();
+        let pts = 512u64 * 512 * 512;
+        let t7 = d.stencil_time(pts, 8.0, 16.0);
+        let t125 = d.stencil_time(pts, 139.0, 16.0);
+        // Both memory-bound => equal up to launch, since bytes equal.
+        assert!((t7 - t125).abs() / t7 < 0.9);
+        assert!(t125 >= t7);
+        // Memory-bound time ≈ bytes / bw.
+        let expect = pts as f64 * 16.0 / d.mem_bandwidth;
+        assert!((t7 - d.launch_latency - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_latency_floors_small_kernels() {
+        let d = DeviceModel::v100();
+        let t = d.stencil_time(16 * 16 * 16, 8.0, 16.0);
+        assert!(t < 2.0 * d.launch_latency);
+        assert!(t >= d.launch_latency);
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        let d = DeviceModel::v100();
+        // AI 100 flop/byte >> ridge: compute-bound.
+        let t = d.kernel_time(1e12, 1e10);
+        assert!((t - d.launch_latency - 1e12 / d.peak_flops).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! # devsim — GPU substrate models for the Summit experiments
+//!
+//! Replaces the V100 GPUs, NVLink, and Unified Memory of the paper's
+//! Summit platform with throughput models (DESIGN.md, substitutions
+//! table). Stencil kernels still *execute* (on the host, for numerical
+//! validation); their device time is charged with the Roofline model.
+//! The CPU↔GPU data-movement *policies* the paper compares — manual
+//! staging, CUDA-Aware GPUDirect, Unified-Memory page migration — are
+//! functions of bytes, message counts, and page geometry, all of which
+//! are computed from the real data structures.
+//!
+//! ```
+//! use devsim::{DeviceModel, UnifiedMemoryModel};
+//!
+//! let v100 = DeviceModel::v100();
+//! // The 7-point stencil (AI 0.5) is memory-bound on V100.
+//! assert!(v100.ridge_point() > 0.5);
+//!
+//! let um = UnifiedMemoryModel::summit_ats();
+//! // Unaligned regions drag extra pages along.
+//! assert!(um.migrate_time(1 << 20, 42, false) > um.migrate_time(1 << 20, 26, true));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod link;
+pub mod node;
+pub mod unified;
+
+pub use device::DeviceModel;
+pub use link::LinkModel;
+pub use node::NodeModel;
+pub use unified::{CudaAwareModel, UnifiedMemoryModel};

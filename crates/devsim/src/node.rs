@@ -1,0 +1,101 @@
+//! CPU *node* cost model — used by the calibrated-platform mode that
+//! reproduces the paper's KNL magnitudes (our real measurements on a
+//! modern core reproduce the paper's *shapes*; see EXPERIMENTS.md).
+//!
+//! The quantities parameterized here are exactly the on-node costs the
+//! paper identifies: streaming compute bandwidth, effective *strided
+//! packing* bandwidth (far below stream on KNL: scalar-ish gathers plus
+//! OpenMP fork/join per region), and the per-element cost of an MPI
+//! datatype walk.
+
+/// On-node cost parameters of a compute node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeModel {
+    /// Node name.
+    pub name: &'static str,
+    /// Streaming memory bandwidth (bytes/s).
+    pub stream_bw: f64,
+    /// Fraction of stream bandwidth a tuned stencil sweep achieves.
+    pub compute_eff: f64,
+    /// Effective bandwidth of strided region packing (bytes/s).
+    pub pack_bw: f64,
+    /// Fixed overhead per packed region (thread fork/join, loop setup).
+    pub pack_region_overhead: f64,
+    /// Seconds per element visited by the MPI datatype engine.
+    pub datatype_elem_cost: f64,
+}
+
+impl NodeModel {
+    /// Intel Xeon Phi KNL 7230 in flat/quad MCDRAM mode (Theta):
+    /// 467 GB/s STREAM (paper Section 2); packing limited by scalar
+    /// strided access and 64-thread synchronization; Cray MPICH's
+    /// datatype engine measured by the paper at ~100-400x the pack-free
+    /// cost.
+    pub fn knl7230() -> NodeModel {
+        NodeModel {
+            name: "KNL-7230",
+            stream_bw: 467.0e9,
+            compute_eff: 0.55,
+            pack_bw: 3.0e9,
+            pack_region_overhead: 15.0e-6,
+            datatype_elem_cost: 25.0e-9,
+        }
+    }
+
+    /// Modeled time for one stencil sweep over `points` grid points
+    /// with `bytes_per_point` of streaming traffic (the paper's AI
+    /// denominator: 16 B/point for both stencils).
+    pub fn compute_time(&self, points: u64, bytes_per_point: f64) -> f64 {
+        points as f64 * bytes_per_point / (self.stream_bw * self.compute_eff)
+    }
+
+    /// Modeled time to pack (or unpack) `regions` strided regions
+    /// totalling `bytes`.
+    pub fn pack_time(&self, regions: usize, bytes: usize) -> f64 {
+        regions as f64 * self.pack_region_overhead + bytes as f64 / self.pack_bw
+    }
+
+    /// Modeled time for the datatype engine to gather (or scatter)
+    /// `elems` f64 elements.
+    pub fn datatype_walk_time(&self, elems: usize) -> f64 {
+        elems as f64 * self.datatype_elem_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knl_compute_matches_stream_arithmetic() {
+        let knl = NodeModel::knl7230();
+        // 512^3 doubles at 16 B/point and 55% of 467 GB/s ≈ 8.4 ms —
+        // the order of the paper's Figure 9 Comp line at 512^3.
+        let t = knl.compute_time(512 * 512 * 512, 16.0);
+        assert!(t > 6e-3 && t < 11e-3, "t = {t}");
+    }
+
+    #[test]
+    fn packing_is_much_slower_than_compute_per_byte() {
+        let knl = NodeModel::knl7230();
+        let bytes = 7 << 20;
+        let pack = knl.pack_time(26, bytes);
+        let sweep = knl.compute_time((bytes / 16) as u64, 16.0);
+        assert!(pack > 5.0 * sweep, "pack {pack} vs sweep {sweep}");
+    }
+
+    #[test]
+    fn datatype_walk_dwarfs_packing() {
+        let knl = NodeModel::knl7230();
+        let elems = 1 << 20;
+        assert!(knl.datatype_walk_time(elems) > 2.0 * knl.pack_time(0, elems * 8));
+    }
+
+    #[test]
+    fn fixed_overhead_dominates_tiny_regions() {
+        let knl = NodeModel::knl7230();
+        let tiny = knl.pack_time(26, 26 * 4096);
+        assert!(tiny > 26.0 * knl.pack_region_overhead);
+        assert!(tiny < 2.0 * 26.0 * knl.pack_region_overhead);
+    }
+}

@@ -1,0 +1,151 @@
+//! Unified Memory (ATS) page-migration model.
+//!
+//! On Summit, Power9's Address Translation Service lets the GPU share the
+//! CPU page tables; touching a non-resident page triggers a migration of
+//! one host page (64 KiB) across NVLink. Communication out of UM memory
+//! therefore costs page faults plus link bandwidth; regions that are not
+//! page-aligned additionally drag neighboring data along (false sharing
+//! at page granularity) and keep faulting during compute — the effect
+//! behind the paper's Figure 15, where `Layout_UM` and `MPI_Types_UM`
+//! show worse *compute* time than page-aligned `MemMap_UM`.
+
+use crate::link::LinkModel;
+
+/// Unified-memory behavior parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UnifiedMemoryModel {
+    /// Host page size governing migration granularity (64 KiB on Summit).
+    pub page_size: usize,
+    /// Cost to service one page fault, amortized over fault batches
+    /// (streaming access patterns where the driver prefetches).
+    pub fault_latency: f64,
+    /// Cost of one *serial* far fault — an element-granularity walk that
+    /// stalls on every page with no prefetch (what a host-side datatype
+    /// walk over device-resident memory does).
+    pub serial_fault_latency: f64,
+    /// The CPU-GPU link migrations travel over.
+    pub link: LinkModel,
+}
+
+impl UnifiedMemoryModel {
+    /// Summit: 64 KiB pages over NVLink2 with ATS.
+    pub fn summit_ats() -> UnifiedMemoryModel {
+        UnifiedMemoryModel {
+            page_size: 64 << 10,
+            fault_latency: 1.5e-6,
+            serial_fault_latency: 30.0e-6,
+            link: LinkModel::nvlink2(),
+        }
+    }
+
+    /// Pages touched when migrating `nregions` regions totalling
+    /// `payload_bytes`. Aligned regions touch exactly their own pages;
+    /// unaligned regions straddle on average one extra page each.
+    pub fn pages_touched(&self, payload_bytes: usize, nregions: usize, aligned: bool) -> usize {
+        if payload_bytes == 0 {
+            return 0;
+        }
+        let base = payload_bytes.div_ceil(self.page_size);
+        if aligned {
+            base
+        } else {
+            base + nregions
+        }
+    }
+
+    /// Time to migrate `nregions` regions totalling `payload_bytes`
+    /// between host and device (one direction).
+    pub fn migrate_time(&self, payload_bytes: usize, nregions: usize, aligned: bool) -> f64 {
+        if payload_bytes == 0 {
+            return 0.0;
+        }
+        let pages = self.pages_touched(payload_bytes, nregions, aligned);
+        pages as f64 * self.fault_latency
+            + (pages * self.page_size) as f64 / self.link.bandwidth
+    }
+
+    /// Migration driven by a serial element walk: every page is a full
+    /// far fault with no prefetch overlap.
+    pub fn migrate_serial_time(&self, payload_bytes: usize, nregions: usize, aligned: bool) -> f64 {
+        if payload_bytes == 0 {
+            return 0.0;
+        }
+        let pages = self.pages_touched(payload_bytes, nregions, aligned);
+        pages as f64 * self.serial_fault_latency
+            + (pages * self.page_size) as f64 / self.link.bandwidth
+    }
+
+    /// Extra *compute-side* time when communication regions are not
+    /// page-aligned: interior pages that share a page with a
+    /// communicated region fault back during the next kernel.
+    pub fn unaligned_compute_penalty(&self, nregions: usize) -> f64 {
+        // Each unaligned region boundary leaves ~2 straddled pages that
+        // the following kernel must fault back.
+        2.0 * nregions as f64
+            * (self.fault_latency + self.page_size as f64 / self.link.bandwidth)
+    }
+}
+
+/// CUDA-Aware MPI with GPUDirect RDMA: the NIC reads device memory
+/// directly, so there is no staging and no page migration; each message
+/// pays a small GPU-side registration overhead.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CudaAwareModel {
+    /// Per-message GPU buffer registration/pinning overhead (seconds).
+    pub per_message: f64,
+}
+
+impl CudaAwareModel {
+    /// Spectrum-MPI with GPUDirect on Summit.
+    pub fn summit() -> CudaAwareModel {
+        CudaAwareModel { per_message: 0.8e-6 }
+    }
+
+    /// GPU-side setup time for an exchange of `messages` messages.
+    pub fn setup_time(&self, messages: usize) -> f64 {
+        self.per_message * messages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_touches_exact_pages() {
+        let um = UnifiedMemoryModel::summit_ats();
+        let p = um.page_size;
+        assert_eq!(um.pages_touched(4 * p, 4, true), 4);
+        assert_eq!(um.pages_touched(4 * p, 4, false), 8);
+        assert_eq!(um.pages_touched(0, 0, true), 0);
+    }
+
+    #[test]
+    fn unaligned_migration_slower() {
+        let um = UnifiedMemoryModel::summit_ats();
+        let bytes = 10 * um.page_size;
+        assert!(um.migrate_time(bytes, 42, false) > um.migrate_time(bytes, 26, true));
+    }
+
+    #[test]
+    fn small_unaligned_regions_dominated_by_faults() {
+        let um = UnifiedMemoryModel::summit_ats();
+        // 42 regions of 512 B each: page faults dwarf payload.
+        let t = um.migrate_time(42 * 512, 42, false);
+        let pure_bw = (42.0 * 512.0) / um.link.bandwidth;
+        assert!(t > 20.0 * pure_bw);
+    }
+
+    #[test]
+    fn compute_penalty_scales_with_regions() {
+        let um = UnifiedMemoryModel::summit_ats();
+        assert!(um.unaligned_compute_penalty(98) > um.unaligned_compute_penalty(42));
+        assert_eq!(um.unaligned_compute_penalty(0), 0.0);
+    }
+
+    #[test]
+    fn cuda_aware_setup() {
+        let ca = CudaAwareModel::summit();
+        assert!((ca.setup_time(42) - 42.0 * ca.per_message).abs() < 1e-15);
+    }
+}

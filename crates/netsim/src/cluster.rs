@@ -1,0 +1,377 @@
+//! Thread-per-rank cluster with MPI-style nonblocking point-to-point.
+//!
+//! Data really moves between rank memories (one copy, standing in for
+//! NIC DMA and therefore not charged to any on-node timer); completion
+//! *times* come from the [`NetworkModel`]. Message matching follows MPI
+//! semantics: `(source, tag)` with non-overtaking order per pair.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Barrier;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::model::NetworkModel;
+use crate::timers::{timed, Timers};
+use crate::topo::CartTopo;
+use crate::trace::{MsgEvent, Trace};
+
+type Key = (usize, u64); // (source rank, tag)
+
+#[derive(Default)]
+struct MailboxInner {
+    queues: HashMap<Key, VecDeque<Vec<f64>>>,
+}
+
+/// One rank's incoming-message store.
+struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    signal: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Mailbox {
+        Mailbox { inner: Mutex::new(MailboxInner::default()), signal: Condvar::new() }
+    }
+
+    fn push(&self, key: Key, data: Vec<f64>) {
+        let mut g = self.inner.lock();
+        g.queues.entry(key).or_default().push_back(data);
+        self.signal.notify_all();
+    }
+
+    fn pop_blocking(&self, key: Key) -> Vec<f64> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(q) = g.queues.get_mut(&key) {
+                if let Some(v) = q.pop_front() {
+                    return v;
+                }
+            }
+            self.signal.wait(&mut g);
+        }
+    }
+}
+
+/// A posted nonblocking receive; completed by
+/// [`RankCtx::waitall_into`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecvHandle {
+    source: usize,
+    tag: u64,
+}
+
+/// Per-rank execution context handed to the rank body.
+pub struct RankCtx<'a> {
+    rank: usize,
+    topo: &'a CartTopo,
+    net: NetworkModel,
+    mailboxes: &'a [Mailbox],
+    barrier: &'a Barrier,
+    timers: Timers,
+    trace: Trace,
+    // Sends posted since the last waitall (the current epoch).
+    epoch_msgs: usize,
+    epoch_bytes: usize,
+}
+
+impl<'a> RankCtx<'a> {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.topo.size()
+    }
+
+    /// The Cartesian topology.
+    pub fn topo(&self) -> &CartTopo {
+        self.topo
+    }
+
+    /// The wire model in use.
+    pub fn network(&self) -> NetworkModel {
+        self.net
+    }
+
+    /// Run and *really time* a computation phase.
+    pub fn time_calc<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let (r, t) = timed(f);
+        self.timers.calc += t;
+        r
+    }
+
+    /// Run and *really time* a packing/unpacking phase.
+    pub fn time_pack<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let (r, t) = timed(f);
+        self.timers.pack += t;
+        r
+    }
+
+    /// Run and *really time* work that happens inside the MPI library
+    /// (e.g. a derived-datatype pack walk), charged to `call`.
+    pub fn time_call<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let (r, t) = timed(f);
+        self.timers.call += t;
+        r
+    }
+
+    /// Charge additional modeled seconds to `call`.
+    pub fn charge_call(&mut self, secs: f64) {
+        self.timers.call += secs;
+    }
+
+    /// Post a nonblocking send of `data` to rank `dest` with `tag`.
+    /// Charges `o` seconds of `call` time; the copy into the message
+    /// stands in for NIC DMA and is not charged to any on-node timer.
+    pub fn isend(&mut self, dest: usize, tag: u64, data: &[f64]) {
+        assert!(dest < self.topo.size());
+        self.timers.call += self.net.call_time(1);
+        self.timers.msgs += 1;
+        let bytes = std::mem::size_of_val(data);
+        self.timers.wire_bytes += bytes as u64;
+        self.epoch_msgs += 1;
+        self.epoch_bytes += bytes;
+        self.trace.record(MsgEvent { send: true, peer: dest, tag, bytes });
+        self.mailboxes[dest].push((self.rank, tag), data.to_vec());
+    }
+
+    /// Post a nonblocking receive from `source` with `tag`. Charges `o`
+    /// seconds of `call` time.
+    pub fn irecv(&mut self, source: usize, tag: u64) -> RecvHandle {
+        assert!(source < self.topo.size());
+        self.timers.call += self.net.call_time(1);
+        RecvHandle { source, tag }
+    }
+
+    /// Complete all posted receives, copying each message into its
+    /// destination buffer (buffers parallel to `handles`; lengths must
+    /// match exactly). Charges the LogGP `wait` term for this epoch's
+    /// posted sends, then closes the epoch.
+    pub fn waitall_into(&mut self, handles: &[RecvHandle], bufs: &mut [&mut [f64]]) {
+        assert_eq!(handles.len(), bufs.len());
+        for (h, buf) in handles.iter().zip(bufs.iter_mut()) {
+            let msg = self.mailboxes[self.rank].pop_blocking((h.source, h.tag));
+            assert_eq!(
+                msg.len(),
+                buf.len(),
+                "message length mismatch (source {}, tag {})",
+                h.source,
+                h.tag
+            );
+            buf.copy_from_slice(&msg);
+            self.trace.record(MsgEvent {
+                send: false,
+                peer: h.source,
+                tag: h.tag,
+                bytes: msg.len() * 8,
+            });
+        }
+        self.timers.wait += self.net.wait_time(self.epoch_msgs, self.epoch_bytes);
+        self.epoch_msgs = 0;
+        self.epoch_bytes = 0;
+    }
+
+    /// Record payload bytes (the non-padding fraction of the wire bytes)
+    /// for bandwidth accounting.
+    pub fn note_payload(&mut self, bytes: usize) {
+        self.timers.payload_bytes += bytes as u64;
+    }
+
+    /// Charge additional modeled seconds to `wait` (used by the GPU
+    /// paths to account for staging or page migration on the wire side).
+    pub fn charge_wait(&mut self, secs: f64) {
+        self.timers.wait += secs;
+    }
+
+    /// Charge additional *modeled* seconds to `calc` (used by the GPU
+    /// roofline, whose kernels run on the host but are billed as device
+    /// time).
+    pub fn charge_calc(&mut self, secs: f64) {
+        self.timers.calc += secs;
+    }
+
+    /// Charge additional modeled seconds to `pack`.
+    pub fn charge_pack(&mut self, secs: f64) {
+        self.timers.pack += secs;
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Snapshot of the accumulated timers.
+    pub fn timers(&self) -> Timers {
+        self.timers
+    }
+
+    /// Zero the timers (e.g. after warmup steps).
+    pub fn reset_timers(&mut self) {
+        self.timers.reset();
+    }
+
+    /// Start recording a message trace (see [`crate::trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace.enable();
+    }
+
+    /// Drain the recorded message events.
+    pub fn take_trace(&mut self) -> Vec<MsgEvent> {
+        self.trace.take()
+    }
+}
+
+/// Run `body` once per rank of `topo` on its own OS thread and collect
+/// the per-rank results in rank order.
+pub fn run_cluster<R, F>(topo: &CartTopo, net: NetworkModel, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx<'_>) -> R + Sync,
+{
+    let size = topo.size();
+    let mailboxes: Vec<Mailbox> = (0..size).map(|_| Mailbox::new()).collect();
+    let barrier = Barrier::new(size);
+    let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(size);
+        for (rank, slot) in results.iter_mut().enumerate() {
+            let mailboxes = &mailboxes;
+            let barrier = &barrier;
+            let body = &body;
+            joins.push(s.spawn(move || {
+                let mut ctx = RankCtx {
+                    rank,
+                    topo,
+                    net,
+                    mailboxes,
+                    barrier,
+                    timers: Timers::default(),
+                    trace: Trace::default(),
+                    epoch_msgs: 0,
+                    epoch_bytes: 0,
+                };
+                *slot = Some(body(&mut ctx));
+            }));
+        }
+        for j in joins {
+            j.join().expect("rank thread panicked");
+        }
+    });
+
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_exchange_delivers() {
+        let topo = CartTopo::new(&[4], true);
+        let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            let rank = ctx.rank();
+            let right = ctx.topo().neighbor(rank, &[1]).unwrap();
+            let left = ctx.topo().neighbor(rank, &[-1]).unwrap();
+            let data = vec![rank as f64; 8];
+            let h = ctx.irecv(left, 7);
+            ctx.isend(right, 7, &data);
+            let mut buf = [0.0; 8];
+            ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+            buf[0]
+        });
+        assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn self_send_loopback() {
+        let topo = CartTopo::new(&[1], true);
+        let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            let h = ctx.irecv(0, 1);
+            ctx.isend(0, 1, &[5.0, 6.0]);
+            let mut buf = vec![0.0; 2];
+            ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+            buf
+        });
+        assert_eq!(out[0], vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn non_overtaking_order() {
+        let topo = CartTopo::new(&[2], true);
+        let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.isend(1, 3, &[1.0]);
+                ctx.isend(1, 3, &[2.0]);
+                ctx.isend(1, 3, &[3.0]);
+                Vec::new()
+            } else {
+                let hs = [ctx.irecv(0, 3), ctx.irecv(0, 3), ctx.irecv(0, 3)];
+                let (mut a, mut b, mut c) = ([0.0], [0.0], [0.0]);
+                ctx.waitall_into(&hs, &mut [&mut a, &mut b, &mut c]);
+                vec![a[0], b[0], c[0]]
+            }
+        });
+        assert_eq!(out[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn timers_account_wire_model() {
+        let topo = CartTopo::new(&[2], true);
+        let net = NetworkModel::theta_aries();
+        let out = run_cluster(&topo, net, |ctx| {
+            let peer = 1 - ctx.rank();
+            let h = ctx.irecv(peer, 0);
+            ctx.isend(peer, 0, &vec![0.0; 1024]);
+            let mut buf = vec![0.0; 1024];
+            ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+            ctx.timers()
+        });
+        let t = out[0];
+        assert_eq!(t.msgs, 1);
+        assert_eq!(t.wire_bytes, 8192);
+        // call = 2 posts (send + recv), wait = α + bytes/β.
+        assert!((t.call - 2.0 * net.overhead).abs() < 1e-12);
+        assert!((t.wait - net.wait_time(1, 8192)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_phases_accumulate() {
+        let topo = CartTopo::new(&[1], true);
+        let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            ctx.time_calc(|| std::hint::black_box((0..10000).sum::<u64>()));
+            ctx.time_pack(|| std::hint::black_box(vec![0u8; 4096]));
+            ctx.timers()
+        });
+        assert!(out[0].calc > 0.0);
+        assert!(out[0].pack > 0.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let topo = CartTopo::new(&[4], true);
+        let counter = AtomicUsize::new(0);
+        run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn mismatched_recv_length_panics() {
+        let topo = CartTopo::new(&[1], true);
+        run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            let h = ctx.irecv(0, 0);
+            ctx.isend(0, 0, &[1.0, 2.0]);
+            let mut buf = [0.0; 3];
+            ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+        });
+    }
+}

@@ -1,0 +1,156 @@
+//! Cartesian rank topology (MPI_Cart_create equivalent).
+
+/// A periodic or bounded Cartesian process grid.
+#[derive(Clone, Debug)]
+pub struct CartTopo {
+    dims: Vec<usize>,
+    periodic: bool,
+}
+
+impl CartTopo {
+    /// Grid of `dims` ranks per axis.
+    pub fn new(dims: &[usize], periodic: bool) -> CartTopo {
+        assert!(!dims.is_empty() && dims.iter().all(|&d| d > 0));
+        CartTopo { dims: dims.to_vec(), periodic }
+    }
+
+    /// Factor `n` ranks into a `d`-dimensional grid as evenly as possible
+    /// (MPI_Dims_create equivalent; larger factors on later axes so the
+    /// unit-stride axis gets the smallest cut).
+    pub fn balanced(n: usize, d: usize, periodic: bool) -> CartTopo {
+        assert!(n > 0 && d > 0);
+        let mut dims = vec![1usize; d];
+        let mut rem = n;
+        // Repeatedly strip the smallest prime factor onto the currently
+        // smallest grid axis.
+        while rem > 1 {
+            let f = smallest_prime_factor(rem);
+            let i = (0..d).min_by_key(|&i| dims[i]).unwrap();
+            dims[i] *= f;
+            rem /= f;
+        }
+        dims.sort_unstable();
+        CartTopo { dims, periodic }
+    }
+
+    /// Ranks per axis.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total ranks.
+    pub fn size(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the grid wraps.
+    pub fn periodic(&self) -> bool {
+        self.periodic
+    }
+
+    /// Coordinates of a rank (axis 0 fastest).
+    pub fn coords(&self, mut rank: usize) -> Vec<usize> {
+        assert!(rank < self.size());
+        let mut c = Vec::with_capacity(self.dims.len());
+        for &d in &self.dims {
+            c.push(rank % d);
+            rank /= d;
+        }
+        c
+    }
+
+    /// Rank at coordinates.
+    pub fn rank(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len());
+        let mut r = 0usize;
+        for a in (0..self.dims.len()).rev() {
+            assert!(coords[a] < self.dims[a]);
+            r = r * self.dims[a] + coords[a];
+        }
+        r
+    }
+
+    /// Neighbor of `rank` offset by per-axis trits; `None` across a
+    /// non-periodic boundary. On a periodic axis of extent 1 the neighbor
+    /// is the rank itself (self-loopback), exactly like MPI_Cart_shift.
+    pub fn neighbor(&self, rank: usize, trits: &[i8]) -> Option<usize> {
+        assert_eq!(trits.len(), self.dims.len());
+        let mut c = self.coords(rank);
+        for a in 0..c.len() {
+            let d = self.dims[a] as isize;
+            let mut p = c[a] as isize + trits[a] as isize;
+            if p < 0 || p >= d {
+                if !self.periodic {
+                    return None;
+                }
+                p = (p % d + d) % d;
+            }
+            c[a] = p as usize;
+        }
+        Some(self.rank(&c))
+    }
+}
+
+fn smallest_prime_factor(n: usize) -> usize {
+    if n.is_multiple_of(2) {
+        return 2;
+    }
+    let mut f = 3;
+    while f * f <= n {
+        if n.is_multiple_of(f) {
+            return f;
+        }
+        f += 2;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = CartTopo::new(&[2, 3, 4], true);
+        assert_eq!(t.size(), 24);
+        for r in 0..24 {
+            assert_eq!(t.rank(&t.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn periodic_wrap() {
+        let t = CartTopo::new(&[2, 2, 2], true);
+        let r = t.rank(&[0, 0, 0]);
+        assert_eq!(t.neighbor(r, &[-1, 0, 0]), Some(t.rank(&[1, 0, 0])));
+        assert_eq!(t.neighbor(r, &[-1, -1, -1]), Some(t.rank(&[1, 1, 1])));
+    }
+
+    #[test]
+    fn nonperiodic_edges() {
+        let t = CartTopo::new(&[2, 2], false);
+        assert_eq!(t.neighbor(0, &[-1, 0]), None);
+        assert_eq!(t.neighbor(0, &[1, 0]), Some(1));
+    }
+
+    #[test]
+    fn extent_one_axis_loops_to_self() {
+        let t = CartTopo::new(&[1, 1, 1], true);
+        assert_eq!(t.neighbor(0, &[1, -1, 1]), Some(0));
+    }
+
+    #[test]
+    fn balanced_factorization() {
+        assert_eq!(CartTopo::balanced(8, 3, true).dims(), &[2, 2, 2]);
+        assert_eq!(CartTopo::balanced(16, 3, true).dims(), &[2, 2, 4]);
+        assert_eq!(CartTopo::balanced(64, 3, true).dims(), &[4, 4, 4]);
+        assert_eq!(CartTopo::balanced(1024, 3, true).dims(), &[8, 8, 16]);
+        assert_eq!(CartTopo::balanced(6, 3, true).dims(), &[1, 2, 3]);
+        assert_eq!(CartTopo::balanced(1, 3, true).size(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Message tracing: record every posted message for schedule
+//! inspection — the tool behind `ext_message_trace`, which verifies the
+//! 42-message structure of the Layout exchange at the wire level.
+
+/// One traced message event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsgEvent {
+    /// `true` for a send, `false` for a completed receive.
+    pub send: bool,
+    /// Peer rank.
+    pub peer: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Payload bytes.
+    pub bytes: usize,
+}
+
+/// A per-rank event log (enabled explicitly; zero cost otherwise).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<MsgEvent>,
+}
+
+impl Trace {
+    /// Start recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Record an event if recording.
+    pub fn record(&mut self, e: MsgEvent) {
+        if self.enabled {
+            self.events.push(e);
+        }
+    }
+
+    /// Drain the recorded events.
+    pub fn take(&mut self) -> Vec<MsgEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[MsgEvent] {
+        &self.events
+    }
+
+    /// Summaries: `(sends, recvs, send_bytes)`.
+    pub fn totals(&self) -> (usize, usize, usize) {
+        let sends = self.events.iter().filter(|e| e.send).count();
+        let recvs = self.events.len() - sends;
+        let bytes = self.events.iter().filter(|e| e.send).map(|e| e.bytes).sum();
+        (sends, recvs, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::default();
+        t.record(MsgEvent { send: true, peer: 0, tag: 1, bytes: 8 });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn totals() {
+        let mut t = Trace::default();
+        t.enable();
+        t.record(MsgEvent { send: true, peer: 1, tag: 0, bytes: 100 });
+        t.record(MsgEvent { send: true, peer: 2, tag: 0, bytes: 50 });
+        t.record(MsgEvent { send: false, peer: 1, tag: 0, bytes: 100 });
+        assert_eq!(t.totals(), (2, 1, 150));
+        assert_eq!(t.take().len(), 3);
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! An MPI derived-datatype engine.
+//!
+//! The `MPI_Types` baseline describes strided ghost-zone regions with
+//! derived datatypes and lets the MPI library do the gather/scatter.
+//! This module reimplements such an engine: a datatype tree whose pack
+//! walk visits elements through the type map, exactly like a
+//! non-specialized `MPI_Pack` path. The element-granularity traversal is
+//! what makes derived types slow on strided stencil regions (the paper
+//! measures `MPI_Types` up to 460× slower than MemMap on KNL) — this
+//! engine reproduces that pathology for real, on real memory.
+
+/// A derived datatype over `f64` elements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Datatype {
+    /// Consecutive elements.
+    Contiguous {
+        /// Number of elements.
+        count: usize,
+    },
+    /// Equally-spaced blocks (`MPI_Type_vector`).
+    Vector {
+        /// Number of blocks.
+        count: usize,
+        /// Elements per block.
+        blocklen: usize,
+        /// Elements between block starts.
+        stride: usize,
+    },
+    /// Repetitions of a nested type (`MPI_Type_create_hvector`, in
+    /// element units).
+    Hvector {
+        /// Number of repetitions.
+        count: usize,
+        /// Elements between repetition starts.
+        stride: usize,
+        /// The repeated type.
+        inner: Box<Datatype>,
+    },
+    /// A 3D subarray of a row-major array
+    /// (`MPI_Type_create_subarray`), axis 0 fastest.
+    Subarray {
+        /// Extents of the full array.
+        full: [usize; 3],
+        /// Start corner of the subarray.
+        start: [usize; 3],
+        /// Extents of the subarray.
+        sub: [usize; 3],
+    },
+}
+
+impl Datatype {
+    /// The subarray type for surface/ghost regions: `full` array extents
+    /// (including ghost rim), `start` corner, `sub` extents, axis 0
+    /// fastest.
+    pub fn subarray3(full: [usize; 3], start: [usize; 3], sub: [usize; 3]) -> Datatype {
+        for a in 0..3 {
+            assert!(start[a] + sub[a] <= full[a], "subarray exceeds array on axis {a}");
+            assert!(sub[a] >= 1);
+        }
+        Datatype::Subarray { full, start, sub }
+    }
+
+    /// Number of `f64`s the type gathers.
+    pub fn size(&self) -> usize {
+        match self {
+            Datatype::Contiguous { count } => *count,
+            Datatype::Vector { count, blocklen, .. } => count * blocklen,
+            Datatype::Hvector { count, inner, .. } => count * inner.size(),
+            Datatype::Subarray { sub, .. } => sub.iter().product(),
+        }
+    }
+
+    /// Visit the element offset of every gathered element, in type-map
+    /// order, starting at `base`.
+    pub fn for_each_offset(&self, base: usize, f: &mut impl FnMut(usize)) {
+        match self {
+            Datatype::Contiguous { count } => {
+                for i in 0..*count {
+                    f(base + i);
+                }
+            }
+            Datatype::Vector { count, blocklen, stride } => {
+                for b in 0..*count {
+                    for i in 0..*blocklen {
+                        f(base + b * stride + i);
+                    }
+                }
+            }
+            Datatype::Hvector { count, stride, inner } => {
+                for b in 0..*count {
+                    inner.for_each_offset(base + b * stride, f);
+                }
+            }
+            Datatype::Subarray { full, start, sub } => {
+                for z in 0..sub[2] {
+                    for y in 0..sub[1] {
+                        let row =
+                            ((start[2] + z) * full[1] + (start[1] + y)) * full[0] + start[0];
+                        for x in 0..sub[0] {
+                            f(row + x);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Gather (pack) the described elements of `src` into a fresh
+    /// buffer, element by element through the type map.
+    pub fn pack(&self, src: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.size());
+        self.for_each_offset(0, &mut |off| out.push(src[off]));
+        out
+    }
+
+    /// Scatter (unpack) `buf` into the described elements of `dst`.
+    pub fn unpack(&self, dst: &mut [f64], buf: &[f64]) {
+        assert_eq!(buf.len(), self.size());
+        let mut i = 0;
+        self.for_each_offset(0, &mut |off| {
+            dst[off] = buf[i];
+            i += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_pack() {
+        let d = Datatype::Contiguous { count: 4 };
+        assert_eq!(d.size(), 4);
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(d.pack(&src), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn vector_pack() {
+        // 3 blocks of 2, stride 4: offsets 0,1, 4,5, 8,9.
+        let d = Datatype::Vector { count: 3, blocklen: 2, stride: 4 };
+        assert_eq!(d.size(), 6);
+        let src: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        assert_eq!(d.pack(&src), vec![0.0, 1.0, 4.0, 5.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn hvector_nesting() {
+        // 2 planes of a 2x2 corner of a 4x4 array, plane stride 16.
+        let inner = Datatype::Vector { count: 2, blocklen: 2, stride: 4 };
+        let d = Datatype::Hvector { count: 2, stride: 16, inner: Box::new(inner) };
+        assert_eq!(d.size(), 8);
+        let src: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        assert_eq!(
+            d.pack(&src),
+            vec![0.0, 1.0, 4.0, 5.0, 16.0, 17.0, 20.0, 21.0]
+        );
+    }
+
+    #[test]
+    fn subarray_matches_nested_vectors() {
+        let full = [6, 5, 4];
+        let start = [1, 2, 1];
+        let sub = [3, 2, 2];
+        let d = Datatype::subarray3(full, start, sub);
+        // Equivalent nested hvector construction.
+        let row = Datatype::Contiguous { count: sub[0] };
+        let plane = Datatype::Hvector {
+            count: sub[1],
+            stride: full[0],
+            inner: Box::new(row),
+        };
+        let vol = Datatype::Hvector {
+            count: sub[2],
+            stride: full[0] * full[1],
+            inner: Box::new(plane),
+        };
+        let base = (start[2] * full[1] + start[1]) * full[0] + start[0];
+        let src: Vec<f64> = (0..120).map(|i| i as f64).collect();
+        let mut a = Vec::new();
+        d.for_each_offset(0, &mut |o| a.push(o));
+        let mut b = Vec::new();
+        vol.for_each_offset(base, &mut |o| b.push(o));
+        assert_eq!(a, b);
+        assert_eq!(d.size(), 12);
+        assert_eq!(d.pack(&src).len(), 12);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let d = Datatype::subarray3([4, 4, 4], [1, 1, 1], [2, 2, 2]);
+        let src: Vec<f64> = (0..64).map(|i| (i * i) as f64).collect();
+        let buf = d.pack(&src);
+        let mut dst = vec![0.0; 64];
+        d.unpack(&mut dst, &buf);
+        d.for_each_offset(0, &mut |o| assert_eq!(dst[o], src[o]));
+        // Elements outside the subarray stay zero.
+        assert_eq!(dst[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds array")]
+    fn oversized_subarray_rejected() {
+        Datatype::subarray3([4, 4, 4], [3, 0, 0], [2, 1, 1]);
+    }
+}

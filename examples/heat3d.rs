@@ -1,0 +1,58 @@
+//! heat3d: a distributed 3D heat-diffusion mini-app (the workload class
+//! the paper's introduction motivates) run under three exchange
+//! implementations — YASK-style packed arrays, pack-free Layout, and
+//! pack-free MemMap — on a real multi-rank (thread) cluster, verifying
+//! they produce identical physics and comparing their communication
+//! profiles.
+//!
+//! Run with: `cargo run --release --example heat3d`
+
+use bricklib::prelude::*;
+
+fn main() {
+    let n = 32; // per-rank subdomain
+    let steps = 6;
+    println!("3D heat diffusion, 2x1x1 ranks, {n}^3 per rank, {steps} steps\n");
+
+    let mut results = Vec::new();
+    for method in [
+        CpuMethod::Yask,
+        CpuMethod::Layout,
+        CpuMethod::MemMap { page_size: memview::PAGE_4K },
+    ] {
+        let cfg = ExperimentConfig {
+            method: method.clone(),
+            subdomain: [n; 3],
+            ghost: 8,
+            brick: 8,
+            shape: StencilShape::star7_default(),
+            steps,
+            warmup: 1,
+            ranks: vec![2, 1, 1],
+            net: NetworkModel::theta_aries(),
+        };
+        let r = run_experiment(&cfg);
+        println!(
+            "{:>9}: {:>7.3} ms/step (calc {:.3}, pack {:.3}, mpi {:.3}) checksum {:.6}",
+            method.name(),
+            r.step_time() * 1e3,
+            r.timers.calc * 1e3,
+            r.timers.pack * 1e3,
+            (r.timers.call + r.timers.wait) * 1e3,
+            r.checksum,
+        );
+        results.push(r);
+    }
+
+    // All three implementations must agree on the physics.
+    let reference = results[0].checksum;
+    for r in &results[1..] {
+        let rel = ((r.checksum - reference) / reference).abs();
+        assert!(rel < 1e-12, "implementations diverged: {rel}");
+    }
+    println!("\nall implementations produced identical fields ✓");
+    println!(
+        "packed baseline moved {:.1} KiB/step through pack buffers; the pack-free methods moved 0",
+        results[0].stats.payload_bytes as f64 / 1024.0
+    );
+}

@@ -1,0 +1,96 @@
+//! poisson_jacobi: a distributed Jacobi iteration for the periodic
+//! Poisson problem `∇²u = f` — the canonical iterative-solver workload
+//! the paper's introduction motivates ("strong scaling to reduce
+//! time-to-solution ... iterative solver applications"), driven by the
+//! pack-free exchange. Each Jacobi sweep is one ghost exchange plus one
+//! 7-point update; the residual must decrease monotonically.
+//!
+//! Run with: `cargo run --release --example poisson_jacobi`
+
+use bricklib::prelude::*;
+
+fn main() {
+    let n = 32usize;
+    let h = 1.0 / n as f64;
+    let decomp = BrickDecomp::<3>::layout_mode([n; 3], 8, BrickDims::cubic(8), 1, surface3d());
+    let ex = Exchanger::layout(&decomp);
+    println!("Jacobi for periodic Poisson on {n}^3, pack-free exchange ({} msgs/sweep)\n", ex.stats().messages);
+
+    // Jacobi for -∇²u = f: u_new = (Σ_neighbors u - h² f) / 6.
+    // The update stencil on u is the 6-neighbor average.
+    let avg6 = StencilShape::star7([0.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0]);
+    // Residual stencil: r = f + ∇²u; ∇²u ≈ (Σ neighbors - 6 u) / h².
+    let lap = StencilShape::star7([-6.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+
+    let topo = CartTopo::new(&[1, 1, 1], true);
+    let residuals = run_cluster(&topo, NetworkModel::theta_aries(), |ctx| {
+        let info = decomp.brick_info();
+        let mask = decomp.compute_mask();
+        let mut u = decomp.allocate();
+        let mut tmp = decomp.allocate();
+        let mut f = decomp.allocate();
+
+        // Zero-mean source: two opposite-signed Gaussian bumps (the
+        // periodic problem is solvable only for zero-mean f).
+        packfree::fields::fill_interior(&decomp, &mut f, 0, |c| {
+            let bump = |cx: f64, cy: f64, cz: f64, s: f64| {
+                let dx = c[0] as f64 - cx;
+                let dy = c[1] as f64 - cy;
+                let dz = c[2] as f64 - cz;
+                s * (-(dx * dx + dy * dy + dz * dz) / 18.0).exp()
+            };
+            bump(8.0, 8.0, 8.0, 1.0) + bump(24.0, 24.0, 24.0, -1.0)
+        });
+        let mean = packfree::fields::interior_sum(&decomp, &f, 0) / (n * n * n) as f64;
+        packfree::fields::for_each_interior(&decomp, |c| {
+            let off = decomp.element_offset([c[0] as isize, c[1] as isize, c[2] as isize], 0);
+            f.as_mut_slice()[off] -= mean;
+        });
+
+        let h2 = h * h;
+        let mut residuals = Vec::new();
+        for sweep in 0..60 {
+            // Ghost exchange, then the Jacobi update
+            // u ← avg6(u) + h²/6 · f.
+            ex.exchange(ctx, &mut u);
+            ctx.time_calc(|| {
+                apply_bricks(&avg6, info, &u, &mut tmp, mask, 0);
+            });
+            for b in 0..decomp.bricks() as u32 {
+                if !mask[b as usize] {
+                    continue;
+                }
+                let fb = f.field(b, 0).to_vec();
+                for (o, fv) in tmp.field_mut(b, 0).iter_mut().zip(fb) {
+                    *o += h2 / 6.0 * fv;
+                }
+            }
+            std::mem::swap(&mut u, &mut tmp);
+
+            if sweep % 10 == 9 {
+                // Residual ||f + ∇²u||₂ needs fresh ghosts for u.
+                ex.exchange(ctx, &mut u);
+                apply_bricks(&lap, info, &u, &mut tmp, mask, 0);
+                let mut r2 = 0.0;
+                packfree::fields::for_each_interior(&decomp, |c| {
+                    let ic = [c[0] as isize, c[1] as isize, c[2] as isize];
+                    let lap_u = tmp.as_slice()[decomp.element_offset(ic, 0)] / h2;
+                    let fv = f.as_slice()[decomp.element_offset(ic, 0)];
+                    let r = fv + lap_u;
+                    r2 += r * r;
+                });
+                residuals.push(r2.sqrt());
+            }
+        }
+        residuals
+    });
+
+    let res = &residuals[0];
+    for (i, r) in res.iter().enumerate() {
+        println!("after {:>2} sweeps: ||residual||_2 = {:.6e}", (i + 1) * 10, r);
+    }
+    for w in res.windows(2) {
+        assert!(w[1] < w[0], "Jacobi residual must decrease monotonically");
+    }
+    println!("\nresidual decreased monotonically ✓ (each sweep = one pack-free exchange)");
+}

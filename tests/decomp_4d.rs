@@ -1,0 +1,91 @@
+//! Dimension-genericity smoke test: the decomposition, planner, and
+//! exchange engine work unchanged in 4D (80 neighbors, 544 Basic
+//! message instances — Table 1's fourth column, exercised for real).
+
+use brick::BrickDims;
+use layout::formulas::{basic_message_count, neighbor_count};
+use layout::SurfaceLayout;
+use netsim::{run_cluster, CartTopo, NetworkModel};
+use packfree::{BrickDecomp, Exchanger};
+
+fn decomp4d() -> BrickDecomp<4> {
+    BrickDecomp::<4>::layout_mode(
+        [16; 4],
+        8,
+        BrickDims::cubic(4),
+        1,
+        SurfaceLayout::lexicographic(4),
+    )
+}
+
+#[test]
+fn geometry_4d() {
+    let d = decomp4d();
+    assert_eq!(d.owned_bricks(), [4; 4]);
+    assert_eq!(d.grid_extents(), [8; 4]);
+    assert_eq!(d.bricks(), 8usize.pow(4));
+    assert_eq!(d.ghost_groups().len() as u64, neighbor_count(4));
+    d.brick_info().validate();
+}
+
+#[test]
+fn message_counts_4d() {
+    let d = decomp4d();
+    let basic = Exchanger::basic(&d);
+    // mb - 2gb = 0 on every axis: only full-corner regions (|T| = 4)
+    // are non-empty, so realized counts fall below the closed forms —
+    // 16 corners, each sent to 2^4 - 1 = 15 neighbors.
+    assert_eq!(basic.stats().region_instances, 16 * 15);
+    assert!(basic.stats().messages <= basic_message_count(4) as usize);
+    let layout = Exchanger::layout(&d);
+    assert!(layout.stats().messages <= basic.stats().messages);
+    assert_eq!(layout.stats().payload_bytes, basic.stats().payload_bytes);
+}
+
+#[test]
+fn exchange_4d_self_periodic() {
+    let d = decomp4d();
+    let ex = Exchanger::layout(&d);
+    let topo = CartTopo::new(&[1, 1, 1, 1], true);
+    let errors = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+        let mut st = d.allocate();
+        packfree::fields::fill_interior(&d, &mut st, 0, |c| {
+            (c[0] + 16 * c[1] + 256 * c[2] + 4096 * c[3]) as f64
+        });
+        ex.exchange(ctx, &mut st);
+        packfree::fields::ghost_mismatches(&d, &st, 0, |c| {
+            let w = |v: isize| v.rem_euclid(16) as usize;
+            (w(c[0]) + 16 * w(c[1]) + 256 * w(c[2]) + 4096 * w(c[3])) as f64
+        })
+    });
+    assert_eq!(errors[0], 0, "4D ghost rim must fill correctly");
+}
+
+#[test]
+fn larger_4d_domain_with_middle_regions() {
+    // 24 per axis with ghost 8 and 4^4 bricks: mb = 6, gb = 2, middle
+    // band non-empty, so all 80 regions materialize.
+    let d = BrickDecomp::<4>::layout_mode(
+        [24; 4],
+        8,
+        BrickDims::cubic(4),
+        1,
+        SurfaceLayout::lexicographic(4),
+    );
+    let basic = Exchanger::basic(&d);
+    assert_eq!(basic.stats().messages as u64, basic_message_count(4));
+    let ex = Exchanger::layout(&d);
+    let topo = CartTopo::new(&[1, 1, 1, 1], true);
+    let errors = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+        let mut st = d.allocate();
+        packfree::fields::fill_interior(&d, &mut st, 0, |c| {
+            (c[0] + 24 * c[1] + 576 * c[2] + 13824 * c[3]) as f64
+        });
+        ex.exchange(ctx, &mut st);
+        packfree::fields::ghost_mismatches(&d, &st, 0, |c| {
+            let w = |v: isize| v.rem_euclid(24) as usize;
+            (w(c[0]) + 24 * w(c[1]) + 576 * w(c[2]) + 13824 * w(c[3])) as f64
+        })
+    });
+    assert_eq!(errors[0], 0);
+}

@@ -1,0 +1,108 @@
+//! Ghost-cell expansion (Ding & He, cited by the paper as the mechanism
+//! that lets low-order stencils use wide, brick-aligned ghost zones):
+//! with a `g`-wide ghost rim and a radius-`r` stencil, one exchange can
+//! be followed by `g / r` stencil applications, each computing on a
+//! region that shrinks by `r` — trading redundant computation for
+//! communication frequency. The result must be bit-identical to
+//! exchanging every step.
+
+use bricklib::prelude::*;
+
+fn init(n: usize) -> ArrayGrid {
+    let mut g = ArrayGrid::new([n; 3], 8);
+    g.fill_interior(|x, y, z| (((x * 3 + y * 5 + z * 7) % 17) as f64) / 16.0);
+    g
+}
+
+/// Reference: exchange (periodic self-wrap) before every step.
+fn run_every_step(n: usize, shape: &StencilShape, steps: usize) -> ArrayGrid {
+    let mut cur = init(n);
+    let mut nxt = ArrayGrid::new([n; 3], 8);
+    for _ in 0..steps {
+        cur.fill_ghost_periodic_self();
+        cur.apply_into(shape, &mut nxt);
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+    cur
+}
+
+/// Communication-avoiding: exchange once per `k` steps; step `i` within
+/// a phase computes `extra = (k - 1 - i) * r` cells into the rim.
+fn run_expanded(n: usize, shape: &StencilShape, steps: usize, k: usize) -> ArrayGrid {
+    let r = shape.radius();
+    assert!(k * r <= 8, "phase too long for the ghost width");
+    assert_eq!(steps % k, 0);
+    let mut cur = init(n);
+    let mut nxt = ArrayGrid::new([n; 3], 8);
+    for phase in 0..steps / k {
+        let _ = phase;
+        cur.fill_ghost_periodic_self(); // one "exchange" per phase
+        for i in 0..k {
+            let extra = (k - 1 - i) * r;
+            cur.apply_extended_into(shape, &mut nxt, extra);
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+    }
+    cur
+}
+
+fn max_interior_diff(a: &ArrayGrid, b: &ArrayGrid) -> f64 {
+    let n = a.interior();
+    let mut m = 0.0f64;
+    for z in 0..n[2] as isize {
+        for y in 0..n[1] as isize {
+            for x in 0..n[0] as isize {
+                m = m.max((a.get(x, y, z) - b.get(x, y, z)).abs());
+            }
+        }
+    }
+    m
+}
+
+#[test]
+fn expansion_matches_every_step_7pt() {
+    let shape = StencilShape::star7_default();
+    for k in [2usize, 4, 8] {
+        let every = run_every_step(24, &shape, 8);
+        let expanded = run_expanded(24, &shape, 8, k);
+        let diff = max_interior_diff(&every, &expanded);
+        assert_eq!(diff, 0.0, "k={k}: ghost-cell expansion changed the physics");
+    }
+}
+
+#[test]
+fn expansion_matches_every_step_125pt() {
+    let shape = StencilShape::cube125_default();
+    // radius 2: k in {2, 4} fits the 8-wide rim.
+    for k in [2usize, 4] {
+        let every = run_every_step(24, &shape, 4);
+        let expanded = run_expanded(24, &shape, 4, k);
+        let diff = max_interior_diff(&every, &expanded);
+        assert!(diff < 1e-13, "k={k}: diff {diff}");
+    }
+}
+
+#[test]
+fn expansion_reduces_exchange_count() {
+    // Bookkeeping check of the tradeoff the paper quotes: ghost width 8
+    // with a radius-1 stencil reduces exchange frequency by 8x while
+    // exchanging ~8x the volume per exchange (vs a 1-wide rim).
+    let wide = ArrayGrid::new([32; 3], 8);
+    let narrow = ArrayGrid::new([32; 3], 1);
+    let ratio = wide.exchange_bytes() as f64 / narrow.exchange_bytes() as f64;
+    assert!(ratio > 6.0 && ratio < 12.0, "volume ratio {ratio}");
+    // 8 steps: 1 exchange (wide) vs 8 exchanges (narrow).
+    let wide_total = wide.exchange_bytes();
+    let narrow_total = 8 * narrow.exchange_bytes();
+    // Total bytes are comparable; the win is 8x fewer message latencies.
+    assert!((wide_total as f64 / narrow_total as f64) < 1.6);
+}
+
+#[test]
+#[should_panic(expected = "exceeds the ghost rim")]
+fn overlong_phase_rejected() {
+    let shape = StencilShape::star7_default();
+    let grid = init(16);
+    let mut out = ArrayGrid::new([16; 3], 8);
+    grid.apply_extended_into(&shape, &mut out, 8); // extra + r = 9 > 8
+}

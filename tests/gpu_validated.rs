@@ -1,0 +1,68 @@
+//! GPU policies run *validated*: their data movement really executes,
+//! so every GPU mode must produce physics identical to the CPU methods,
+//! while the reported time comes from the Summit platform models.
+
+use bricklib::prelude::*;
+use packfree::gpu::{run_gpu_experiment, GpuExperimentConfig, GpuPlatform};
+
+fn gpu_cfg(method: GpuMethod) -> GpuExperimentConfig {
+    GpuExperimentConfig {
+        method,
+        subdomain: [32; 3],
+        ghost: 8,
+        brick: 8,
+        shape: StencilShape::star7_default(),
+        steps: 3,
+        ranks: vec![1, 1, 1],
+        platform: GpuPlatform::summit(),
+    }
+}
+
+#[test]
+fn gpu_modes_match_cpu_physics() {
+    let cpu = run_experiment(&ExperimentConfig {
+        method: CpuMethod::Layout,
+        subdomain: [32; 3],
+        ghost: 8,
+        brick: 8,
+        shape: StencilShape::star7_default(),
+        steps: 3,
+        warmup: 0,
+        ranks: vec![1, 1, 1],
+        net: NetworkModel::instant(),
+    });
+    for m in [
+        GpuMethod::LayoutCA,
+        GpuMethod::LayoutUM,
+        GpuMethod::MemMapUM,
+        GpuMethod::MpiTypesUM,
+    ] {
+        let r = run_gpu_experiment(&gpu_cfg(m));
+        let rel = ((r.checksum - cpu.checksum) / cpu.checksum).abs();
+        assert!(rel < 1e-12, "{}: {} vs {}", m.name(), r.checksum, cpu.checksum);
+    }
+}
+
+#[test]
+fn gpu_orderings_hold_in_validated_runs() {
+    let ca = run_gpu_experiment(&gpu_cfg(GpuMethod::LayoutCA));
+    let um = run_gpu_experiment(&gpu_cfg(GpuMethod::LayoutUM));
+    let mm = run_gpu_experiment(&gpu_cfg(GpuMethod::MemMapUM));
+    let ty = run_gpu_experiment(&gpu_cfg(GpuMethod::MpiTypesUM));
+    assert!(ca.timers.comm() < um.timers.comm());
+    assert!(um.timers.comm() < mm.timers.comm());
+    assert!(mm.timers.comm() < ty.timers.comm());
+    assert!(ca.gstencil() > ty.gstencil());
+    // The MemMap schedule really carried padding (64 KiB Summit pages).
+    assert!(mm.stats.wire_bytes > mm.stats.payload_bytes);
+    assert_eq!(mm.stats.messages, 26);
+}
+
+#[test]
+fn gpu_multirank_validated() {
+    let mut cfg = gpu_cfg(GpuMethod::MemMapUM);
+    cfg.ranks = vec![2, 1, 1];
+    let r = run_gpu_experiment(&cfg);
+    assert!(r.checksum.is_finite() && r.checksum != 0.0);
+    assert!(r.timers.total() > 0.0);
+}

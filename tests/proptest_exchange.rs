@@ -1,0 +1,131 @@
+//! Property-based tests on the decomposition and exchange engines: the
+//! exchange must be correct for *any* layout permutation, any legal
+//! subdomain geometry, and any padding unit — correctness never depends
+//! on the layout being the optimal one.
+
+use bricklib::prelude::*;
+use proptest::prelude::*;
+
+fn arb_layout3() -> impl Strategy<Value = SurfaceLayout> {
+    Just(all_regions(3)).prop_shuffle().prop_map(|order| SurfaceLayout::new(3, order))
+}
+
+/// Verify a self-periodic exchange fills the whole ghost rim for the
+/// given decomposition.
+fn exchange_is_correct(decomp: &BrickDecomp<3>, per_region: bool) -> bool {
+    let ex = if per_region { Exchanger::basic(decomp) } else { Exchanger::layout(decomp) };
+    let topo = CartTopo::new(&[1, 1, 1], true);
+    let [nx, ny, nz] = decomp.domain();
+    let errors = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+        let mut st = decomp.allocate();
+        let f = |x: i64, y: i64, z: i64| (x + 100 * y + 10_000 * z) as f64;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let off = decomp.element_offset([x as isize, y as isize, z as isize], 0);
+                    st.as_mut_slice()[off] = f(x as i64, y as i64, z as i64);
+                }
+            }
+        }
+        ex.exchange(ctx, &mut st);
+        let g = decomp.ghost_width() as isize;
+        let (nx, ny, nz) = (nx as isize, ny as isize, nz as isize);
+        let mut errors = 0usize;
+        for z in -g..nz + g {
+            for y in -g..ny + g {
+                for x in -g..nx + g {
+                    let interior =
+                        (0..nx).contains(&x) && (0..ny).contains(&y) && (0..nz).contains(&z);
+                    if interior {
+                        continue;
+                    }
+                    let got = st.as_slice()[decomp.element_offset([x, y, z], 0)];
+                    let want = f(
+                        x.rem_euclid(nx) as i64,
+                        y.rem_euclid(ny) as i64,
+                        z.rem_euclid(nz) as i64,
+                    );
+                    if got != want {
+                        errors += 1;
+                    }
+                }
+            }
+        }
+        errors
+    });
+    errors[0] == 0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// ANY layout permutation yields a correct exchange (both run-merged
+    /// and per-region schedules).
+    #[test]
+    fn any_layout_exchanges_correctly(l in arb_layout3(), per_region in any::<bool>()) {
+        let d = BrickDecomp::<3>::layout_mode([24; 3], 8, BrickDims::cubic(8), 1, l);
+        prop_assert!(exchange_is_correct(&d, per_region));
+    }
+
+    /// Any legal cuboid subdomain geometry exchanges correctly.
+    #[test]
+    fn any_geometry_exchanges_correctly(
+        nx in 2usize..5,
+        ny in 2usize..5,
+        nz in 2usize..5,
+    ) {
+        let d = BrickDecomp::<3>::layout_mode(
+            [nx * 8, ny * 8, nz * 8],
+            8,
+            BrickDims::cubic(8),
+            1,
+            surface3d(),
+        );
+        prop_assert!(exchange_is_correct(&d, false));
+    }
+
+    /// Any padding unit keeps the exchange correct (filler bricks are
+    /// transported but never read).
+    #[test]
+    fn any_padding_exchanges_correctly(pad_log in 0usize..5) {
+        let d = BrickDecomp::<3>::new(
+            [24; 3],
+            8,
+            BrickDims::cubic(8),
+            1,
+            surface3d(),
+            1 << pad_log,
+        );
+        prop_assert!(exchange_is_correct(&d, false));
+    }
+
+    /// Non-cubic bricks are legal too: extents drawn from {4, 8} per
+    /// axis, ghost 8 (a multiple of both), domain 24³.
+    #[test]
+    fn non_cubic_bricks(bx in 0u8..2, by in 0u8..2, bz in 0u8..2) {
+        let pick = |b: u8| if b == 0 { 4usize } else { 8 };
+        let b = [pick(bx), pick(by), pick(bz)];
+        let d = BrickDecomp::<3>::layout_mode(
+            [24; 3],
+            8,
+            BrickDims::new(b),
+            1,
+            surface3d(),
+        );
+        prop_assert!(exchange_is_correct(&d, false));
+    }
+
+    /// Exchange stats invariants: payload is layout-independent; the
+    /// message count matches the layout's analysis.
+    #[test]
+    fn stats_invariants(l in arb_layout3()) {
+        let msgs_expected = l.message_count();
+        let d = BrickDecomp::<3>::layout_mode([32; 3], 8, BrickDims::cubic(8), 1, l);
+        let ex = Exchanger::layout(&d);
+        prop_assert_eq!(ex.stats().messages as u64, msgs_expected);
+        let d_ref = BrickDecomp::<3>::layout_mode([32; 3], 8, BrickDims::cubic(8), 1, surface3d());
+        let ex_ref = Exchanger::layout(&d_ref);
+        prop_assert_eq!(ex.stats().payload_bytes, ex_ref.stats().payload_bytes);
+        prop_assert_eq!(ex.stats().region_instances, ex_ref.stats().region_instances);
+    }
+}

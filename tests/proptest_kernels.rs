@@ -1,0 +1,98 @@
+//! Property-based kernel equivalence: for *random* stencil shapes
+//! (arbitrary taps within radius 2), the brick kernel must agree with
+//! the array kernel on a periodic domain — the layout-agnosticism the
+//! paper's Figure 6 promises, for every stencil, not just the two
+//! proxies.
+
+use brick::{BrickDims, BrickGrid, BrickInfo};
+use proptest::prelude::*;
+use stencil::{apply_bricks, ArrayGrid, StencilShape};
+
+fn arb_shape() -> impl Strategy<Value = StencilShape> {
+    // Up to 12 taps with offsets in [-2, 2]^3 and small coefficients;
+    // always include the center tap so the shape is non-degenerate.
+    proptest::collection::vec(((-2i8..=2, -2i8..=2, -2i8..=2), -2.0f64..2.0), 1..12).prop_map(
+        |taps| {
+            let mut v: Vec<([i8; 3], f64)> = vec![([0, 0, 0], 1.0)];
+            for ((x, y, z), c) in taps {
+                // Avoid duplicate offsets (coefficients would need
+                // summing; keep the generator simple).
+                if !v.iter().any(|(o, _)| *o == [x, y, z]) {
+                    v.push(([x, y, z], c));
+                }
+            }
+            StencilShape::new(v)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn brick_kernel_matches_array_for_any_shape(shape in arb_shape(), seed in 0u64..1000) {
+        let n = 12usize;
+        let bs = 4usize;
+        let val = |x: usize, y: usize, z: usize| {
+            (((x as u64 * 31 + y as u64 * 17 + z as u64 * 7 + seed) % 23) as f64) / 4.0
+        };
+
+        // Array reference.
+        let mut arr = ArrayGrid::new([n; 3], 2);
+        arr.fill_interior(val);
+        arr.fill_ghost_periodic_self();
+        let mut arr_out = ArrayGrid::new([n; 3], 2);
+        arr.apply_into(&shape, &mut arr_out);
+
+        // Brick path.
+        let grid = BrickGrid::<3>::lexicographic([n / bs; 3], true);
+        let info = BrickInfo::from_grid(BrickDims::cubic(bs), &grid);
+        let mut input = info.allocate(1);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let b = grid.brick_at([x / bs, y / bs, z / bs]);
+                    input.field_mut(b, 0)[((z % bs) * bs + y % bs) * bs + x % bs] = val(x, y, z);
+                }
+            }
+        }
+        let mut output = info.allocate(1);
+        let mask = vec![true; info.bricks()];
+        apply_bricks(&shape, &info, &input, &mut output, &mask, 0);
+
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let b = grid.brick_at([x / bs, y / bs, z / bs]);
+                    let got = output.field(b, 0)[((z % bs) * bs + y % bs) * bs + x % bs];
+                    let want = arr_out.get(x as isize, y as isize, z as isize);
+                    prop_assert!((got - want).abs() < 1e-11,
+                        "({x},{y},{z}): {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    /// The serial reference and the parallel kernel agree bit-for-bit.
+    #[test]
+    fn parallel_equals_serial(shape in arb_shape()) {
+        let grid = BrickGrid::<3>::lexicographic([2; 3], true);
+        let info = BrickInfo::from_grid(BrickDims::cubic(4), &grid);
+        let mut input = info.allocate(1);
+        for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 2654435761) % 97) as f64 / 7.0;
+        }
+        let mask = vec![true; info.bricks()];
+        let mut par = info.allocate(1);
+        let mut ser = info.allocate(1);
+        apply_bricks(&shape, &info, &input, &mut par, &mask, 0);
+        stencil::apply_bricks_serial(&shape, &info, &input, &mut ser, &mask, 0);
+        let max = par
+            .as_slice()
+            .iter()
+            .zip(ser.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(max < 1e-12, "max diff {max}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests on mmap views and brick/array equivalence.
+
+use bricklib::prelude::*;
+use memview::{host_page_size, padded_offsets, ContiguousView, PaddingStats};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A view over any page-aligned segment list shows exactly the file
+    /// content at those offsets, in order — including repeats.
+    #[test]
+    fn view_matches_segments(segs in proptest::collection::vec((0usize..8, 1usize..3), 1..6)) {
+        let ps = host_page_size();
+        let file = Arc::new(MemFile::create("prop-view", 10 * ps).unwrap());
+        {
+            let mut m = file.map_all().unwrap();
+            for page in 0..10 {
+                m.as_f64_mut()[page * ps / 8..(page + 1) * ps / 8].fill(page as f64);
+            }
+        }
+        let segments: Vec<Segment> = segs
+            .iter()
+            .map(|&(page, len)| Segment { file_offset: page * ps, len: len.min(10 - page).max(1) * ps })
+            .collect();
+        let view = ContiguousView::build(&file, &segments).unwrap();
+        let data = view.as_f64();
+        let mut cursor = 0usize;
+        for s in &segments {
+            let first_page = s.file_offset / ps;
+            for p in 0..s.len / ps {
+                let v = data[cursor + p * ps / 8];
+                prop_assert_eq!(v, (first_page + p) as f64);
+            }
+            cursor += s.len / 8;
+        }
+    }
+
+    /// Writing any element through the base mapping is visible through
+    /// any view containing its page.
+    #[test]
+    fn aliasing_everywhere(page in 0usize..6, elem in 0usize..64, value in -1e9f64..1e9) {
+        let ps = host_page_size();
+        let file = Arc::new(MemFile::create("prop-alias", 6 * ps).unwrap());
+        let mut base = file.map_all().unwrap();
+        let view = ContiguousView::build(
+            &file,
+            &[
+                Segment { file_offset: page * ps, len: ps },
+                Segment { file_offset: 0, len: ps },
+            ],
+        )
+        .unwrap();
+        base.as_f64_mut()[page * ps / 8 + elem] = value;
+        prop_assert_eq!(view.as_f64()[elem], value);
+    }
+
+    /// Padding accounting: padded offsets are aligned, monotone, and
+    /// the stats' overhead matches the raw byte arithmetic.
+    #[test]
+    fn padding_accounting(lens in proptest::collection::vec(1usize..100_000, 1..20),
+                          page_log in 12u32..17) {
+        let page = 1usize << page_log;
+        let (offsets, total) = padded_offsets(&lens, page);
+        let mut stats = PaddingStats::default();
+        for (i, &len) in lens.iter().enumerate() {
+            prop_assert_eq!(offsets[i] % page, 0);
+            if i > 0 {
+                prop_assert!(offsets[i] >= offsets[i - 1] + lens[i - 1]);
+            }
+            stats.add_region(len, page);
+        }
+        prop_assert_eq!(stats.padded_bytes, total);
+        let payload: usize = lens.iter().sum();
+        prop_assert_eq!(stats.payload_bytes, payload);
+        prop_assert!(stats.overhead_percent() >= 0.0);
+        prop_assert!(stats.padded_bytes >= payload);
+        prop_assert!(stats.padded_bytes < payload + lens.len() * page);
+    }
+
+    /// Brick accessor equals array semantics for random geometry and
+    /// random probe offsets (the logical order is storage-independent).
+    #[test]
+    fn brick_view_matches_array(
+        gx in 2usize..4,
+        bx in 2usize..5,
+        probes in proptest::collection::vec((0usize..64, -1isize..2, -1isize..2, -1isize..2), 20),
+    ) {
+        let n = gx * bx;
+        let grid = BrickGrid::<3>::lexicographic([gx; 3], true);
+        let info = BrickInfo::from_grid(BrickDims::cubic(bx), &grid);
+        let mut st = info.allocate(1);
+        let val = |x: usize, y: usize, z: usize| (x + 10 * y + 100 * z) as f64;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let b = grid.brick_at([x / bx, y / bx, z / bx]);
+                    let off = ((z % bx) * bx + (y % bx)) * bx + (x % bx);
+                    st.field_mut(b, 0)[off] = val(x, y, z);
+                }
+            }
+        }
+        let view = BrickView::new(&info, &st, 0);
+        for (seed, dx, dy, dz) in probes {
+            let x = seed % n;
+            let y = (seed / 2) % n;
+            let z = (seed / 3) % n;
+            let b = grid.brick_at([x / bx, y / bx, z / bx]);
+            let local = [
+                (x % bx) as isize + dx,
+                (y % bx) as isize + dy,
+                (z % bx) as isize + dz,
+            ];
+            let want = val(
+                (x as isize + dx).rem_euclid(n as isize) as usize,
+                (y as isize + dy).rem_euclid(n as isize) as usize,
+                (z as isize + dz).rem_euclid(n as isize) as usize,
+            );
+            prop_assert_eq!(view.get(b, local), want);
+        }
+    }
+}
