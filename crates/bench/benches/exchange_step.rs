@@ -45,7 +45,7 @@ fn bench_exchanges(c: &mut Criterion) {
             b.iter(|| {
                 run_cluster(&topo, net, |ctx| {
                     let mut st = MemMapStorage::allocate(&dm).unwrap();
-                    let ev = ExchangeView::build(&dm, &st).unwrap();
+                    let mut ev = ExchangeView::build(&dm, &st).unwrap();
                     ev.exchange(ctx, &mut st);
                 })
             })

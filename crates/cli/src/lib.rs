@@ -25,6 +25,8 @@ pub struct Options {
     pub stencil: Stencil,
     /// Fabric model name.
     pub net: Net,
+    /// Emit machine-readable JSON instead of the artifact text format.
+    pub json: bool,
     /// Print help instead of running.
     pub help: bool,
 }
@@ -61,6 +63,7 @@ impl Default for Options {
             ranks: vec![1, 1, 1],
             stencil: Stencil::Star7,
             net: Net::Aries,
+            json: false,
             help: false,
         }
     }
@@ -84,6 +87,7 @@ OPTIONS:
   -n, --net <name>      aries | edr | instant (default: aries)
   -p, --page <bytes>    MemMap page size: 4096 | 16384 | 65536
                         (default: 4096; memmap/shift only)
+  -j, --json            emit one JSON object instead of the text format
   -h, --help            print this help
 
 OUTPUT: the artifact's five metrics — calc/pack/call/wait as
@@ -102,6 +106,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         };
         match arg.as_str() {
             "-h" | "--help" => o.help = true,
+            "-j" | "--json" => o.json = true,
             "-m" | "--method" => method_name = take("--method")?,
             "-d" | "--size" => {
                 o.size = take("--size")?.parse().map_err(|e| format!("--size: {e}"))?;
@@ -192,7 +197,11 @@ pub fn config(o: &Options) -> ExperimentConfig {
 /// Run and render the artifact metrics.
 pub fn run(o: &Options) -> String {
     let r = run_experiment(&config(o));
-    render(o, &r)
+    if o.json {
+        render_json(o, &r)
+    } else {
+        render(o, &r)
+    }
 }
 
 /// Format a report in the artifact's style.
@@ -213,6 +222,28 @@ pub fn render(o: &Options, r: &MethodReport) -> String {
     out.push_str(&fmt("call", r.summary.call));
     out.push_str(&fmt("wait", r.summary.wait));
     out.push_str(&format!("perf {:.4} GStencil/s per rank\n", r.gstencil()));
+    out
+}
+
+/// Format a report as one JSON object (same five artifact metrics).
+pub fn render_json(o: &Options, r: &MethodReport) -> String {
+    let metric = |name: &str, (min, avg, max): (f64, f64, f64)| {
+        format!("  \"{name}\": [{min:.9}, {avg:.9}, {max:.9}],\n")
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"method\": \"{}\",\n", o.method.name()));
+    out.push_str(&format!("  \"size\": {},\n", o.size));
+    out.push_str(&format!(
+        "  \"ranks\": [{}, {}, {}],\n",
+        o.ranks[0], o.ranks[1], o.ranks[2]
+    ));
+    out.push_str(&format!("  \"iters\": {},\n", o.iters));
+    out.push_str(&metric("calc", r.summary.calc));
+    out.push_str(&metric("pack", r.summary.pack));
+    out.push_str(&metric("call", r.summary.call));
+    out.push_str(&metric("wait", r.summary.wait));
+    out.push_str(&format!("  \"gstencil_per_rank\": {:.6}\n", r.gstencil()));
+    out.push_str("}\n");
     out
 }
 
@@ -273,6 +304,25 @@ mod tests {
     fn help_flag() {
         assert!(p(&["-h"]).unwrap().help);
         assert!(USAGE.contains("--method"));
+    }
+
+    #[test]
+    fn json_flag() {
+        assert!(p(&["-j"]).unwrap().json);
+        assert!(p(&["--json"]).unwrap().json);
+        assert!(!p(&[]).unwrap().json);
+    }
+
+    #[test]
+    fn end_to_end_json_run() {
+        let o =
+            p(&["-m", "layout", "-d", "16", "-I", "2", "-w", "0", "-n", "instant", "--json"])
+                .unwrap();
+        let out = run(&o);
+        assert!(out.starts_with("{\n"));
+        assert!(out.contains("\"method\": \"Layout\""));
+        assert!(out.contains("\"pack\": [0.000000000, 0.000000000, 0.000000000]"));
+        assert!(out.contains("\"gstencil_per_rank\""));
     }
 
     #[test]

@@ -19,13 +19,33 @@ use stencil::{ArrayGrid, Datatype};
 use crate::exchange::ExchangeStats;
 
 /// Reusable halo-exchange state for an [`ArrayGrid`] subdomain.
+///
+/// Receive buffers live in one flat arena (per-direction sorted
+/// sub-ranges) so completions scatter straight into it via
+/// `waitall_ranges`; neighbor ranks and loopback pairings are resolved
+/// once on first use — the steady-state exchange allocates nothing.
 pub struct ArrayExchanger {
     dirs: Vec<Dir>,
     send_bufs: Vec<Vec<f64>>,
-    recv_bufs: Vec<Vec<f64>>,
+    recv_arena: Vec<f64>,
+    recv_ranges: Vec<std::ops::Range<usize>>,
     send_types: Vec<Datatype>,
     recv_types: Vec<Datatype>,
     stats: ExchangeStats,
+    handles: Vec<RecvHandle>,
+    bound: Option<ArrayBound>,
+}
+
+/// Rank-resolved transport schedule: per-send destination and loopback
+/// pairing, plus the receives that still cross the mailbox.
+struct ArrayBound {
+    rank: usize,
+    dests: Vec<usize>,
+    /// Per send: index of the local receive it satisfies directly
+    /// (`Some` iff the neighbor is this rank itself).
+    loopback: Vec<Option<usize>>,
+    mailbox_srcs: Vec<(usize, u64)>,
+    mailbox_ranges: Vec<std::ops::Range<usize>>,
 }
 
 impl ArrayExchanger {
@@ -37,14 +57,16 @@ impl ArrayExchanger {
         let n = grid.interior();
         let full = [n[0] + 2 * g, n[1] + 2 * g, n[2] + 2 * g];
         let mut send_bufs = Vec::with_capacity(dirs.len());
-        let mut recv_bufs = Vec::with_capacity(dirs.len());
+        let mut recv_ranges = Vec::with_capacity(dirs.len());
         let mut send_types = Vec::with_capacity(dirs.len());
         let mut recv_types = Vec::with_capacity(dirs.len());
         let mut stats = ExchangeStats::default();
+        let mut arena_len = 0usize;
         for d in &dirs {
             let elems = grid.region_elements(d);
             send_bufs.push(Vec::with_capacity(elems));
-            recv_bufs.push(vec![0.0; elems]);
+            recv_ranges.push(arena_len..arena_len + elems);
+            arena_len += elems;
             send_types.push(region_type(grid, d, false, full));
             recv_types.push(region_type(grid, d, true, full));
             stats.messages += 1;
@@ -52,7 +74,17 @@ impl ArrayExchanger {
             stats.wire_bytes += elems * 8;
             stats.region_instances += 1;
         }
-        ArrayExchanger { dirs, send_bufs, recv_bufs, send_types, recv_types, stats }
+        ArrayExchanger {
+            dirs,
+            send_bufs,
+            recv_arena: vec![0.0; arena_len],
+            recv_ranges,
+            send_types,
+            recv_types,
+            stats,
+            handles: Vec::new(),
+            bound: None,
+        }
     }
 
     /// Traffic statistics (26 messages, one per neighbor).
@@ -60,11 +92,80 @@ impl ArrayExchanger {
         self.stats
     }
 
+    /// Resolve neighbor ranks and pair each self-send with the local
+    /// receive it satisfies (loopback fast path).
+    fn ensure_bound(&mut self, ctx: &RankCtx<'_>) {
+        let rank = ctx.rank();
+        if self.bound.as_ref().is_some_and(|b| b.rank == rank) {
+            return;
+        }
+        // A receive from direction `d` comes from the same neighbor a
+        // send toward `d` targets (tagged with the sender's direction,
+        // `d.mirror()`).
+        let dests: Vec<usize> = self
+            .dirs
+            .iter()
+            .map(|d| ctx.topo().neighbor(rank, &d.offsets(3)).expect("periodic topology"))
+            .collect();
+        let n = self.dirs.len();
+        let mut paired = vec![false; n];
+        let mut loopback = Vec::with_capacity(n);
+        for (i, d) in self.dirs.iter().enumerate() {
+            let lb = if dests[i] == rank {
+                let tag = d.code(3) as u64;
+                let j = (0..n)
+                    .find(|&j| {
+                        !paired[j]
+                            && dests[j] == rank
+                            && self.dirs[j].mirror().code(3) as u64 == tag
+                    })
+                    .expect("periodic self-neighbor must have a matching self-receive");
+                paired[j] = true;
+                Some(j)
+            } else {
+                None
+            };
+            loopback.push(lb);
+        }
+        let mut mailbox_srcs = Vec::new();
+        let mut mailbox_ranges = Vec::new();
+        for j in 0..n {
+            if !paired[j] {
+                mailbox_srcs.push((dests[j], self.dirs[j].mirror().code(3) as u64));
+                mailbox_ranges.push(self.recv_ranges[j].clone());
+            }
+        }
+        self.bound = Some(ArrayBound { rank, dests, loopback, mailbox_srcs, mailbox_ranges });
+    }
+
+    /// Send every packed buffer and complete every receive into the
+    /// arena. Shared by both exchange flavors; allocation-free after the
+    /// first call.
+    fn transport(&mut self, ctx: &mut RankCtx<'_>) {
+        self.ensure_bound(ctx);
+        let ArrayExchanger { dirs, send_bufs, recv_arena, recv_ranges, handles, bound, .. } = self;
+        let b = bound.as_ref().expect("bound above");
+        for (i, d) in dirs.iter().enumerate() {
+            ctx.note_payload(send_bufs[i].len() * 8);
+            let tag = d.code(3) as u64;
+            match b.loopback[i] {
+                Some(j) => {
+                    ctx.loopback_into(tag, &send_bufs[i], &mut recv_arena[recv_ranges[j].clone()])
+                }
+                None => ctx.isend(b.dests[i], tag, &send_bufs[i]),
+            }
+        }
+        handles.clear();
+        for &(src, tag) in &b.mailbox_srcs {
+            handles.push(ctx.irecv(src, tag));
+        }
+        ctx.waitall_ranges(handles, recv_arena, &b.mailbox_ranges);
+    }
+
     /// YASK-style exchange: pack each surface region (timed as `pack`),
     /// send one message per neighbor, receive, unpack into the ghost rim
     /// (timed as `pack`).
     pub fn exchange_packed(&mut self, ctx: &mut RankCtx<'_>, grid: &mut ArrayGrid) {
-        let rank = ctx.rank();
         // Pack all 26 regions — this is the on-node data movement the
         // paper eliminates.
         let dirs = &self.dirs;
@@ -74,27 +175,14 @@ impl ArrayExchanger {
                 grid.pack_surface(d, buf);
             }
         });
-        for (i, d) in self.dirs.iter().enumerate() {
-            let dest = ctx.topo().neighbor(rank, &d.offsets(3)).expect("periodic topology");
-            ctx.note_payload(self.send_bufs[i].len() * 8);
-            ctx.isend(dest, d.code(3) as u64, &self.send_bufs[i]);
-        }
-        let mut handles: Vec<RecvHandle> = Vec::with_capacity(self.dirs.len());
-        for d in &self.dirs {
-            let src = ctx.topo().neighbor(rank, &d.offsets(3)).expect("periodic topology");
-            handles.push(ctx.irecv(src, d.mirror().code(3) as u64));
-        }
-        {
-            let mut slices: Vec<&mut [f64]> =
-                self.recv_bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-            ctx.waitall_into(&handles, &mut slices);
-        }
+        self.transport(ctx);
         // Unpack into ghosts — more on-node data movement.
         let dirs = &self.dirs;
-        let rbufs = &self.recv_bufs;
+        let arena = &self.recv_arena;
+        let ranges = &self.recv_ranges;
         ctx.time_pack(|| {
-            for (d, buf) in dirs.iter().zip(rbufs.iter()) {
-                grid.unpack_ghost(d, buf);
+            for (i, d) in dirs.iter().enumerate() {
+                grid.unpack_ghost(d, &arena[ranges[i].clone()]);
             }
         });
     }
@@ -103,38 +191,24 @@ impl ArrayExchanger {
     /// engine walks the strided regions element by element inside the
     /// library (charged to `call`).
     pub fn exchange_mpitypes(&mut self, ctx: &mut RankCtx<'_>, grid: &mut ArrayGrid) {
-        let rank = ctx.rank();
         // "MPI-internal" gather through the datatype map.
         let send_types = &self.send_types;
         let bufs = &mut self.send_bufs;
         let data = grid_data(grid);
         ctx.time_call(|| {
             for (t, buf) in send_types.iter().zip(bufs.iter_mut()) {
-                *buf = t.pack(data);
+                t.pack_into(data, buf);
             }
         });
-        for (i, d) in self.dirs.iter().enumerate() {
-            let dest = ctx.topo().neighbor(rank, &d.offsets(3)).expect("periodic topology");
-            ctx.note_payload(self.send_bufs[i].len() * 8);
-            ctx.isend(dest, d.code(3) as u64, &self.send_bufs[i]);
-        }
-        let mut handles: Vec<RecvHandle> = Vec::with_capacity(self.dirs.len());
-        for d in &self.dirs {
-            let src = ctx.topo().neighbor(rank, &d.offsets(3)).expect("periodic topology");
-            handles.push(ctx.irecv(src, d.mirror().code(3) as u64));
-        }
-        {
-            let mut slices: Vec<&mut [f64]> =
-                self.recv_bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-            ctx.waitall_into(&handles, &mut slices);
-        }
+        self.transport(ctx);
         // "MPI-internal" scatter into the ghost rim.
         let recv_types = &self.recv_types;
-        let rbufs = &self.recv_bufs;
+        let arena = &self.recv_arena;
+        let ranges = &self.recv_ranges;
         let data = grid_data_mut(grid);
         ctx.time_call(|| {
-            for (t, buf) in recv_types.iter().zip(rbufs.iter()) {
-                t.unpack(data, buf);
+            for (t, r) in recv_types.iter().zip(ranges.iter()) {
+                t.unpack(data, &arena[r.clone()]);
             }
         });
     }

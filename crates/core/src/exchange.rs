@@ -189,10 +189,30 @@ impl Exchanger {
         &self.recvs
     }
 
+    /// Bind this schedule to one rank as a persistent session: neighbor
+    /// ranks, tags, element ranges and loopback pairings are resolved
+    /// once, so [`ExchangeSession::exchange`] does zero per-step heap
+    /// allocation. Self-sends (the single-rank proxy mode) take the
+    /// loopback fast path: one copy, identical wire-model charges.
+    pub fn session(&self, ctx: &RankCtx<'_>) -> ExchangeSession {
+        ExchangeSession::build(self, ctx, true)
+    }
+
+    /// Like [`Exchanger::session`] but self-sends still travel through
+    /// the mailbox (two copies). Exists so benches and equivalence tests
+    /// can compare the fast path against the reference transport.
+    pub fn session_mailbox(&self, ctx: &RankCtx<'_>) -> ExchangeSession {
+        ExchangeSession::build(self, ctx, false)
+    }
+
     /// Perform one full ghost-zone exchange: post every send as a
     /// zero-copy storage sub-slice, then receive every message directly
     /// into its ghost bricks. No pack time is ever charged because no
     /// packing happens.
+    ///
+    /// This is the allocating reference path kept for comparison and
+    /// one-shot use; timestep loops should build a [`session`]
+    /// (`Exchanger::session`) and drive that instead.
     pub fn exchange(&self, ctx: &mut RankCtx<'_>, storage: &mut BrickStorage) {
         let rank = ctx.rank();
         // Sends: contiguous sub-slices of the storage.
@@ -220,6 +240,116 @@ impl Exchanger {
         }
         let mut bufs = split_disjoint_mut(storage.as_mut_slice(), &ranges);
         ctx.waitall_into(&handles, &mut bufs);
+    }
+}
+
+/// One send resolved against a concrete rank: destination, tag,
+/// element range, and — when the destination is this rank itself — the
+/// paired ghost range start for the loopback fast path.
+#[derive(Clone, Debug)]
+struct PlannedSend {
+    dest: usize,
+    tag: u64,
+    elems: std::ops::Range<usize>,
+    payload_bytes: usize,
+    loopback_dst: Option<usize>,
+}
+
+/// An [`Exchanger`] schedule bound to one rank. Everything per-step is
+/// precomputed at build time (the pattern is Static, per the paper):
+/// neighbor ranks, tags, element ranges, loopback pairings, and a
+/// reusable handle scratch — `exchange` allocates nothing.
+pub struct ExchangeSession {
+    sends: Vec<PlannedSend>,
+    // Unpaired receives (those not satisfied by a loopback send), in
+    // schedule order; `recv_ranges` stays sorted and disjoint because it
+    // is a subsequence of the sorted ghost ranges.
+    recv_srcs: Vec<(usize, u64)>,
+    recv_ranges: Vec<std::ops::Range<usize>>,
+    handles: Vec<RecvHandle>,
+}
+
+impl ExchangeSession {
+    fn build(ex: &Exchanger, ctx: &RankCtx<'_>, loopback: bool) -> ExchangeSession {
+        let rank = ctx.rank();
+        let step = ex.step;
+        let resolved_recvs: Vec<(usize, u64, std::ops::Range<usize>)> = ex
+            .recvs
+            .iter()
+            .map(|m| {
+                let src = ctx
+                    .topo()
+                    .neighbor(rank, &m.from.offsets(ex.dims))
+                    .expect("exchange requires a periodic (or interior) neighbor");
+                (src, m.tag, m.bricks.start * step..m.bricks.end * step)
+            })
+            .collect();
+        let mut paired = vec![false; resolved_recvs.len()];
+        let sends: Vec<PlannedSend> = ex
+            .sends
+            .iter()
+            .map(|m| {
+                let dest = ctx
+                    .topo()
+                    .neighbor(rank, &m.to.offsets(ex.dims))
+                    .expect("exchange requires a periodic (or interior) neighbor");
+                let elems = m.bricks.start * step..m.bricks.end * step;
+                let mut loopback_dst = None;
+                if loopback && dest == rank {
+                    // (source = self, tag) is unique per epoch, so the
+                    // matching local receive is unambiguous.
+                    let j = (0..resolved_recvs.len())
+                        .find(|&j| {
+                            !paired[j] && resolved_recvs[j].0 == rank && resolved_recvs[j].1 == m.tag
+                        })
+                        .expect("symmetric schedule pairs every self-send with a self-receive");
+                    paired[j] = true;
+                    let r = &resolved_recvs[j].2;
+                    assert_eq!(elems.len(), r.len(), "paired loopback ranges must match");
+                    loopback_dst = Some(r.start);
+                }
+                PlannedSend {
+                    dest,
+                    tag: m.tag,
+                    elems,
+                    payload_bytes: m.payload_bricks * step * 8,
+                    loopback_dst,
+                }
+            })
+            .collect();
+        let mut recv_srcs = Vec::new();
+        let mut recv_ranges = Vec::new();
+        for (j, (src, tag, r)) in resolved_recvs.into_iter().enumerate() {
+            if !paired[j] {
+                recv_srcs.push((src, tag));
+                recv_ranges.push(r);
+            }
+        }
+        let handles = Vec::with_capacity(recv_srcs.len());
+        ExchangeSession { sends, recv_srcs, recv_ranges, handles }
+    }
+
+    /// One full ghost-zone exchange with zero per-step allocation.
+    /// Self-sends copy once, straight from the send sub-slice into the
+    /// posted ghost range; everything else goes through the mailbox.
+    /// Wire-model charges are identical to [`Exchanger::exchange`].
+    pub fn exchange(&mut self, ctx: &mut RankCtx<'_>, storage: &mut BrickStorage) {
+        for m in &self.sends {
+            ctx.note_payload(m.payload_bytes);
+            match m.loopback_dst {
+                Some(dst) => {
+                    ctx.loopback_within(m.tag, storage.as_mut_slice(), m.elems.clone(), dst)
+                }
+                None => ctx.isend(m.dest, m.tag, &storage.as_slice()[m.elems.clone()]),
+            }
+        }
+        self.handles.clear();
+        for &(src, tag) in &self.recv_srcs {
+            self.handles.push(ctx.irecv(src, tag));
+        }
+        // Charges `wait` and closes the epoch even when every receive
+        // was satisfied by loopback.
+        ctx.waitall_ranges(&self.handles, storage.as_mut_slice(), &self.recv_ranges);
     }
 }
 
@@ -434,6 +564,121 @@ mod tests {
             errors
         });
         assert_eq!(results, vec![0, 0]);
+    }
+
+    /// The persistent session (loopback fast path and mailbox variant)
+    /// must be bit-identical to the reference `exchange` — storage and
+    /// every charged timer.
+    #[test]
+    fn session_matches_reference_exchange_bitwise() {
+        let d = decomp(32);
+        let ex = Exchanger::layout(&d);
+        let topo = CartTopo::new(&[1, 1, 1], true);
+        let net = NetworkModel::theta_aries();
+        let results = run_cluster(&topo, net, |ctx| {
+            let fill = |st: &mut BrickStorage| {
+                for z in 0..32 {
+                    for y in 0..32 {
+                        for x in 0..32 {
+                            let off = d.element_offset([x, y, z], 0);
+                            st.as_mut_slice()[off] = (x + 100 * y + 10_000 * z) as f64;
+                        }
+                    }
+                }
+            };
+            let mut a = d.allocate();
+            fill(&mut a);
+            ctx.reset_timers();
+            ex.exchange(ctx, &mut a);
+            let t_ref = ctx.timers();
+
+            let mut b = d.allocate();
+            fill(&mut b);
+            let mut fast = ex.session(ctx);
+            ctx.reset_timers();
+            fast.exchange(ctx, &mut b);
+            let t_fast = ctx.timers();
+
+            let mut c = d.allocate();
+            fill(&mut c);
+            let mut mailbox = ex.session_mailbox(ctx);
+            ctx.reset_timers();
+            mailbox.exchange(ctx, &mut c);
+            let t_mailbox = ctx.timers();
+
+            assert!(a.as_slice() == b.as_slice(), "fast path storage differs");
+            assert!(a.as_slice() == c.as_slice(), "mailbox session storage differs");
+            assert_eq!(t_ref, t_fast);
+            assert_eq!(t_ref, t_mailbox);
+        });
+        assert_eq!(results.len(), 1);
+    }
+
+    /// Two ranks: the x-neighbors cross the mailbox while the y/z
+    /// periodic wraps loop back to self — the mixed path must still
+    /// match the reference exchange exactly.
+    #[test]
+    fn session_matches_reference_two_ranks() {
+        let d = decomp(32);
+        let ex = Exchanger::layout(&d);
+        let topo = CartTopo::new(&[2, 1, 1], true);
+        let net = NetworkModel::theta_aries();
+        run_cluster(&topo, net, |ctx| {
+            let rank = ctx.rank();
+            let fill = |st: &mut BrickStorage| {
+                for z in 0..32i64 {
+                    for y in 0..32i64 {
+                        for x in 0..32i64 {
+                            let off = d.element_offset([x as isize, y as isize, z as isize], 0);
+                            st.as_mut_slice()[off] =
+                                (rank as i64 * 32 + x + 1000 * y + 100_000 * z) as f64;
+                        }
+                    }
+                }
+            };
+            let mut a = d.allocate();
+            fill(&mut a);
+            ctx.reset_timers();
+            ex.exchange(ctx, &mut a);
+            let t_ref = ctx.timers();
+
+            let mut b = d.allocate();
+            fill(&mut b);
+            let mut fast = ex.session(ctx);
+            ctx.reset_timers();
+            fast.exchange(ctx, &mut b);
+            let t_fast = ctx.timers();
+
+            assert!(a.as_slice() == b.as_slice(), "rank {rank}: fast path storage differs");
+            assert_eq!(t_ref, t_fast, "rank {rank}: timer mismatch");
+        });
+    }
+
+    /// Steady state: after the first step the session performs no
+    /// transport allocations at all in proxy mode (everything loops
+    /// back), and the pooled mailbox variant stops allocating once its
+    /// pool is warm.
+    #[test]
+    fn session_is_allocation_free_in_steady_state() {
+        let d = decomp(32);
+        let ex = Exchanger::layout(&d);
+        let topo = CartTopo::new(&[1, 1, 1], true);
+        run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            let mut st = d.allocate();
+            let mut fast = ex.session(ctx);
+            fast.exchange(ctx, &mut st);
+            assert_eq!(ctx.transport_allocs(), 0, "loopback must not touch the allocator");
+
+            let mut mailbox = ex.session_mailbox(ctx);
+            for _ in 0..2 {
+                mailbox.exchange(ctx, &mut st);
+            }
+            let warm = ctx.transport_allocs();
+            for _ in 0..10 {
+                mailbox.exchange(ctx, &mut st);
+            }
+            assert_eq!(ctx.transport_allocs(), warm, "pooled mailbox must reach steady state");
+        });
     }
 
     /// Smallest legal subdomain (16^3): empty middle regions are skipped

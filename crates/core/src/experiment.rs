@@ -256,6 +256,7 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
         let mut cur = decomp.allocate();
         let mut nxt = decomp.allocate();
         fill_bricks(&decomp, &mut cur);
+        let mut session = exchanger.session(ctx);
         let mut hidden_total = 0.0;
         for step in 0..steps + warmup {
             if step == warmup {
@@ -269,7 +270,7 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
             let t0 = std::time::Instant::now();
             ctx.time_calc(|| apply_bricks(&shape, info, &cur, &mut nxt, &interior_mask, 0));
             hidden_total += t0.elapsed().as_secs_f64();
-            exchanger.exchange(ctx, &mut cur);
+            session.exchange(ctx, &mut cur);
             ctx.time_calc(|| apply_bricks(&shape, info, &cur, &mut nxt, &surface_mask, 0));
             std::mem::swap(&mut cur, &mut nxt);
             ctx.barrier();
@@ -341,12 +342,15 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
             fill_ghosts_periodic(&decomp, &mut cur);
             fill_ghosts_periodic(&decomp, &mut nxt);
         }
+        // Persistent per-rank session: neighbor ranks, tags, ghost
+        // ranges and loopback pairings resolved once, reused every step.
+        let mut session = exchanger.as_ref().map(|e| e.session(ctx));
         for step in 0..steps + warmup {
             if step == warmup {
                 ctx.reset_timers();
             }
-            if let Some(ex) = &exchanger {
-                ex.exchange(ctx, &mut cur);
+            if let Some(sess) = session.as_mut() {
+                sess.exchange(ctx, &mut cur);
             }
             ctx.time_calc(|| apply_bricks(&shape, info, &cur, &mut nxt, mask, 0));
             std::mem::swap(&mut cur, &mut nxt);
@@ -386,8 +390,8 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
         let mask = decomp.compute_mask();
         let mut sa = MemMapStorage::allocate(&decomp).expect("memfd allocation");
         let mut sb = MemMapStorage::allocate(&decomp).expect("memfd allocation");
-        let eva = ExchangeView::build(&decomp, &sa).expect("view construction");
-        let evb = ExchangeView::build(&decomp, &sb).expect("view construction");
+        let mut eva = ExchangeView::build(&decomp, &sa).expect("view construction");
+        let mut evb = ExchangeView::build(&decomp, &sb).expect("view construction");
         fill_bricks(&decomp, &mut sa.storage);
         let mut flip = false;
         let stats = eva.stats();
@@ -395,7 +399,8 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
             if step == warmup {
                 ctx.reset_timers();
             }
-            let (cur, nxt, ev) = if flip { (&mut sb, &mut sa, &evb) } else { (&mut sa, &mut sb, &eva) };
+            let (cur, nxt, ev) =
+                if flip { (&mut sb, &mut sa, &mut evb) } else { (&mut sa, &mut sb, &mut eva) };
             ev.exchange(ctx, cur);
             ctx.time_calc(|| apply_bricks(&shape, info, &cur.storage, &mut nxt.storage, mask, 0));
             flip = !flip;

@@ -13,7 +13,7 @@ use memview::{host_page_size, is_aligned, ContiguousView, MappedBacking, MemFile
 use netsim::{RankCtx, RecvHandle};
 
 use crate::decomp::{pad_bricks_for, BrickDecomp};
-use crate::exchange::{split_disjoint_mut, ExchangeStats};
+use crate::exchange::ExchangeStats;
 
 /// Brick storage whose backing is an mmap-able in-memory file (the
 /// paper's `bInfo.mmap_alloc(bSize)`).
@@ -96,6 +96,22 @@ pub struct ExchangeView {
     /// The storage file the send views alias; exchanges verify they are
     /// driven with the same storage they were built on.
     bound_file: Arc<MemFile>,
+    /// Rank-resolved schedule, bound lazily on first exchange so the
+    /// steady-state loop resolves no neighbors and allocates nothing.
+    bound: Option<BoundSchedule>,
+    handles: Vec<RecvHandle>,
+}
+
+/// Neighbor ranks, loopback pairings and mailbox receive ranges for one
+/// concrete rank.
+struct BoundSchedule {
+    rank: usize,
+    send_dests: Vec<usize>,
+    /// Per send: index of the local receive it satisfies directly
+    /// (`Some` iff the destination is this rank itself).
+    send_loopback: Vec<Option<usize>>,
+    mailbox_srcs: Vec<(usize, u64)>,
+    mailbox_ranges: Vec<std::ops::Range<usize>>,
 }
 
 impl ExchangeView {
@@ -176,7 +192,54 @@ impl ExchangeView {
             stats,
             dims: D,
             bound_file: Arc::clone(storage.file()),
+            bound: None,
+            handles: Vec::new(),
         })
+    }
+
+    /// Resolve neighbor ranks, pair self-sends with the local receives
+    /// they satisfy (for the loopback fast path), and collect the
+    /// remaining mailbox receives.
+    fn bind(&self, ctx: &RankCtx<'_>) -> BoundSchedule {
+        let rank = ctx.rank();
+        let resolved_srcs: Vec<usize> = self
+            .recvs
+            .iter()
+            .map(|r| {
+                ctx.topo()
+                    .neighbor(rank, &r.from.offsets(self.dims))
+                    .expect("exchange requires a periodic (or interior) neighbor")
+            })
+            .collect();
+        let mut paired = vec![false; self.recvs.len()];
+        let mut send_dests = Vec::with_capacity(self.sends.len());
+        let mut send_loopback = Vec::with_capacity(self.sends.len());
+        for m in &self.sends {
+            let dest = ctx
+                .topo()
+                .neighbor(rank, &m.to.offsets(self.dims))
+                .expect("exchange requires a periodic (or interior) neighbor");
+            let lb = if dest == rank {
+                let j = (0..self.recvs.len())
+                    .find(|&j| !paired[j] && resolved_srcs[j] == rank && self.recvs[j].tag == m.tag)
+                    .expect("symmetric schedule pairs every self-send with a self-receive");
+                paired[j] = true;
+                Some(j)
+            } else {
+                None
+            };
+            send_dests.push(dest);
+            send_loopback.push(lb);
+        }
+        let mut mailbox_srcs = Vec::new();
+        let mut mailbox_ranges = Vec::new();
+        for (j, r) in self.recvs.iter().enumerate() {
+            if !paired[j] {
+                mailbox_srcs.push((resolved_srcs[j], r.tag));
+                mailbox_ranges.push(r.elems.clone());
+            }
+        }
+        BoundSchedule { rank, send_dests, send_loopback, mailbox_srcs, mailbox_ranges }
     }
 
     /// Traffic statistics (includes padding in `wire_bytes`; the number
@@ -195,34 +258,43 @@ impl ExchangeView {
 
     /// One full exchange: each neighbor gets exactly one message sent
     /// straight out of its contiguous view; each ghost group receives
-    /// one message straight into storage. Zero on-node copies.
-    pub fn exchange(&self, ctx: &mut RankCtx<'_>, storage: &mut MemMapStorage) {
+    /// one message straight into storage. Zero on-node copies on the
+    /// send side; self-sends (proxy mode) take the loopback fast path —
+    /// one copy from the mmap view straight into the ghost range, with
+    /// identical wire-model charges. The rank-resolved schedule is bound
+    /// on the first call, so steady-state exchanges allocate nothing.
+    pub fn exchange(&mut self, ctx: &mut RankCtx<'_>, storage: &mut MemMapStorage) {
         assert!(
             Arc::ptr_eq(&self.bound_file, storage.file()),
             "ExchangeView driven with a different storage than it was built on \
              (send views would alias the original storage's memory)"
         );
-        let rank = ctx.rank();
-        for m in &self.sends {
-            let dest = ctx
-                .topo()
-                .neighbor(rank, &m.to.offsets(self.dims))
-                .expect("exchange requires a periodic (or interior) neighbor");
+        if self.bound.as_ref().map_or(true, |b| b.rank != ctx.rank()) {
+            self.bound = Some(self.bind(ctx));
+        }
+        let ExchangeView { sends, recvs, bound, handles, .. } = self;
+        let b = bound.as_ref().expect("bound above");
+        for (i, m) in sends.iter().enumerate() {
             ctx.note_payload(m.payload_bytes);
-            ctx.isend(dest, m.tag, m.view.as_f64());
+            match b.send_loopback[i] {
+                Some(j) => {
+                    // The view aliases surface bricks, the receive range
+                    // covers ghost bricks: disjoint file ranges.
+                    let r = &recvs[j];
+                    ctx.loopback_into(
+                        m.tag,
+                        m.view.as_f64(),
+                        &mut storage.storage.as_mut_slice()[r.elems.clone()],
+                    );
+                }
+                None => ctx.isend(b.send_dests[i], m.tag, m.view.as_f64()),
+            }
         }
-        let mut handles: Vec<RecvHandle> = Vec::with_capacity(self.recvs.len());
-        let mut ranges = Vec::with_capacity(self.recvs.len());
-        for r in &self.recvs {
-            let src = ctx
-                .topo()
-                .neighbor(rank, &r.from.offsets(self.dims))
-                .expect("exchange requires a periodic (or interior) neighbor");
-            handles.push(ctx.irecv(src, r.tag));
-            ranges.push(r.elems.clone());
+        handles.clear();
+        for &(src, tag) in &b.mailbox_srcs {
+            handles.push(ctx.irecv(src, tag));
         }
-        let mut bufs = split_disjoint_mut(storage.storage.as_mut_slice(), &ranges);
-        ctx.waitall_into(&handles, &mut bufs);
+        ctx.waitall_ranges(handles, storage.storage.as_mut_slice(), &b.mailbox_ranges);
     }
 }
 
@@ -276,7 +348,7 @@ mod tests {
             let topo = CartTopo::new(&[1, 1, 1], true);
             let errors = run_cluster(&topo, NetworkModel::instant(), |ctx| {
                 let mut st = MemMapStorage::allocate(&d).unwrap();
-                let ev = ExchangeView::build(&d, &st).unwrap();
+                let mut ev = ExchangeView::build(&d, &st).unwrap();
                 let f = |x: i64, y: i64, z: i64| (x + 100 * y + 10_000 * z) as f64;
                 for z in 0..32 {
                     for y in 0..32 {

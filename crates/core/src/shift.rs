@@ -41,6 +41,17 @@ pub struct ShiftExchanger {
     dims: usize,
     /// The storage file the views alias (checked on every exchange).
     bound_file: std::sync::Arc<memview::MemFile>,
+    /// Rank-resolved neighbors, bound lazily on first exchange so the
+    /// steady-state loop allocates nothing.
+    bound: Option<ShiftBound>,
+}
+
+/// Per-pass `[positive, negative]` destination and source ranks for one
+/// concrete rank.
+struct ShiftBound {
+    rank: usize,
+    dests: Vec<[usize; 2]>,
+    srcs: Vec<[usize; 2]>,
 }
 
 impl ShiftExchanger {
@@ -128,6 +139,7 @@ impl ShiftExchanger {
             stats,
             dims: D,
             bound_file: std::sync::Arc::clone(storage.file()),
+            bound: None,
         })
     }
 
@@ -138,33 +150,65 @@ impl ShiftExchanger {
     }
 
     /// One full exchange: `D` serialized passes of two messages each.
+    /// Neighbor ranks are resolved once on the first call; passes whose
+    /// neighbor is this rank itself (proxy mode) copy view-to-view via
+    /// the loopback fast path. Steady state allocates nothing.
     pub fn exchange(&mut self, ctx: &mut RankCtx<'_>, storage: &mut MemMapStorage) {
         assert!(
             std::sync::Arc::ptr_eq(&self.bound_file, storage.file()),
             "ShiftExchanger driven with a different storage than it was built on \
              (its views alias the original storage's memory)"
         );
-        let rank = ctx.rank();
-        for pass in &mut self.passes {
-            let mut handles = Vec::with_capacity(2);
-            for r in &pass.recvs {
-                let src = ctx
-                    .topo()
-                    .neighbor(rank, &r.dir.offsets(self.dims))
-                    .expect("periodic topology required");
-                handles.push(ctx.irecv(src, r.tag));
+        if self.bound.as_ref().map_or(true, |b| b.rank != ctx.rank()) {
+            let rank = ctx.rank();
+            let resolve = |dir: &Dir| {
+                ctx.topo()
+                    .neighbor(rank, &dir.offsets(self.dims))
+                    .expect("periodic topology required")
+            };
+            let mut dests = Vec::with_capacity(self.passes.len());
+            let mut srcs = Vec::with_capacity(self.passes.len());
+            for pass in &self.passes {
+                dests.push([resolve(&pass.sends[0].dir), resolve(&pass.sends[1].dir)]);
+                srcs.push([resolve(&pass.recvs[0].dir), resolve(&pass.recvs[1].dir)]);
             }
-            for s in &pass.sends {
-                let dest = ctx
-                    .topo()
-                    .neighbor(rank, &s.dir.offsets(self.dims))
-                    .expect("periodic topology required");
-                ctx.note_payload(s.bytes);
-                ctx.isend(dest, s.tag, s.view.as_f64());
+            self.bound = Some(ShiftBound { rank, dests, srcs });
+        }
+        let ShiftExchanger { passes, bound, .. } = self;
+        let b = bound.as_ref().expect("bound above");
+        for (p, pass) in passes.iter_mut().enumerate() {
+            let (dests, srcs) = (&b.dests[p], &b.srcs[p]);
+            // A pass is either entirely local (ranks along this axis = 1,
+            // both directions wrap to self) or entirely remote.
+            let local = dests[0] == b.rank;
+            debug_assert_eq!(local, dests[1] == b.rank);
+            if local {
+                let ShiftPass { sends, recvs } = pass;
+                for i in 0..2 {
+                    ctx.note_payload(sends[i].bytes);
+                    // Send and receive slabs are disjoint file ranges
+                    // (owned band vs. ghost band along this axis).
+                    ctx.loopback_into(
+                        sends[i].tag,
+                        sends[i].view.as_f64(),
+                        recvs[i].view.as_f64_mut(),
+                    );
+                }
+                // Close the epoch: charges the pass's `wait` term.
+                ctx.waitall_into(&[], &mut []);
+            } else {
+                let h0 = ctx.irecv(srcs[0], pass.recvs[0].tag);
+                let h1 = ctx.irecv(srcs[1], pass.recvs[1].tag);
+                for i in 0..2 {
+                    ctx.note_payload(pass.sends[i].bytes);
+                    ctx.isend(dests[i], pass.sends[i].tag, pass.sends[i].view.as_f64());
+                }
+                let (ra, rb) = pass.recvs.split_at_mut(1);
+                ctx.waitall_into(
+                    &[h0, h1],
+                    &mut [ra[0].view.as_f64_mut(), rb[0].view.as_f64_mut()],
+                );
             }
-            let mut bufs: Vec<&mut [f64]> =
-                pass.recvs.iter_mut().map(|r| r.view.as_f64_mut()).collect();
-            ctx.waitall_into(&handles, &mut bufs);
         }
     }
 }

@@ -4,9 +4,20 @@
 //! NIC DMA and therefore not charged to any on-node timer); completion
 //! *times* come from the [`NetworkModel`]. Message matching follows MPI
 //! semantics: `(source, tag)` with non-overtaking order per pair.
+//!
+//! The transport is persistent and allocation-free in steady state:
+//! message buffers come from a per-rank [`BufferPool`] and are returned
+//! to the sender's pool once the receiver has copied them out, so a
+//! timestep loop stops exercising the allocator after warmup (see
+//! [`RankCtx::transport_allocs`]). Self-sends can bypass the mailbox
+//! entirely via the loopback fast path ([`RankCtx::loopback_within`] /
+//! [`RankCtx::loopback_into`]), which performs the single NIC-DMA
+//! stand-in copy while charging the LogGP wire model exactly as the
+//! mailbox path would.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::ops::Range;
 use std::sync::Barrier;
 
 use parking_lot::{Condvar, Mutex};
@@ -18,9 +29,49 @@ use crate::trace::{MsgEvent, Trace};
 
 type Key = (usize, u64); // (source rank, tag)
 
+/// Max buffers retained per rank pool; beyond this, returned buffers
+/// are dropped (bounds memory for bursty all-to-all patterns).
+const POOL_CAP: usize = 256;
+
+/// Receive-side copies switch to rayon once an epoch moves at least
+/// this many bytes; below it fork/join overhead beats the memcpy win.
+const PAR_COPY_MIN_BYTES: usize = 1 << 18;
+
+/// An in-flight message: its payload plus the rank whose pool the
+/// buffer should return to after delivery (None = not pooled).
+struct Msg {
+    owner: Option<usize>,
+    data: Vec<f64>,
+}
+
+/// Recycled send buffers for one rank. `isend` takes from here and the
+/// *receiver's* `waitall` puts back, so steady-state transport does no
+/// heap allocation.
+struct BufferPool {
+    free: Mutex<Vec<Vec<f64>>>,
+}
+
+impl BufferPool {
+    fn new() -> BufferPool {
+        BufferPool { free: Mutex::new(Vec::new()) }
+    }
+
+    fn take(&self) -> Vec<f64> {
+        self.free.lock().pop().unwrap_or_default()
+    }
+
+    fn put(&self, mut buf: Vec<f64>) {
+        buf.clear();
+        let mut g = self.free.lock();
+        if g.len() < POOL_CAP {
+            g.push(buf);
+        }
+    }
+}
+
 #[derive(Default)]
 struct MailboxInner {
-    queues: HashMap<Key, VecDeque<Vec<f64>>>,
+    queues: HashMap<Key, VecDeque<Msg>>,
 }
 
 /// One rank's incoming-message store.
@@ -34,13 +85,13 @@ impl Mailbox {
         Mailbox { inner: Mutex::new(MailboxInner::default()), signal: Condvar::new() }
     }
 
-    fn push(&self, key: Key, data: Vec<f64>) {
+    fn push(&self, key: Key, msg: Msg) {
         let mut g = self.inner.lock();
-        g.queues.entry(key).or_default().push_back(data);
+        g.queues.entry(key).or_default().push_back(msg);
         self.signal.notify_all();
     }
 
-    fn pop_blocking(&self, key: Key) -> Vec<f64> {
+    fn pop_blocking(&self, key: Key) -> Msg {
         let mut g = self.inner.lock();
         loop {
             if let Some(q) = g.queues.get_mut(&key) {
@@ -54,7 +105,7 @@ impl Mailbox {
 }
 
 /// A posted nonblocking receive; completed by
-/// [`RankCtx::waitall_into`].
+/// [`RankCtx::waitall_into`] or [`RankCtx::waitall_ranges`].
 #[derive(Clone, Copy, Debug)]
 pub struct RecvHandle {
     source: usize,
@@ -67,12 +118,17 @@ pub struct RankCtx<'a> {
     topo: &'a CartTopo,
     net: NetworkModel,
     mailboxes: &'a [Mailbox],
+    pools: &'a [BufferPool],
     barrier: &'a Barrier,
     timers: Timers,
     trace: Trace,
     // Sends posted since the last waitall (the current epoch).
     epoch_msgs: usize,
     epoch_bytes: usize,
+    // Completed-but-uncopied messages, reused across epochs.
+    recv_scratch: Vec<Msg>,
+    pooling: bool,
+    transport_allocs: u64,
 }
 
 impl<'a> RankCtx<'a> {
@@ -123,19 +179,82 @@ impl<'a> RankCtx<'a> {
         self.timers.call += secs;
     }
 
+    /// Enable or disable send-buffer pooling. On by default; the
+    /// transport benches turn it off to measure the fresh-alloc
+    /// baseline.
+    pub fn set_pooling(&mut self, on: bool) {
+        self.pooling = on;
+    }
+
+    /// Number of message buffers the transport had to grow or allocate
+    /// so far. Stops increasing once the pool is warm — the steady-state
+    /// zero-allocation property, asserted by the stress tests.
+    pub fn transport_allocs(&self) -> u64 {
+        self.transport_allocs
+    }
+
+    /// Charge the send-side wire model for one message of `bytes`
+    /// payload: `o` seconds of `call`, message/byte counters, epoch
+    /// accounting, and the trace event.
+    fn charge_send(&mut self, peer: usize, tag: u64, bytes: usize) {
+        self.timers.call += self.net.call_time(1);
+        self.timers.msgs += 1;
+        self.timers.wire_bytes += bytes as u64;
+        self.epoch_msgs += 1;
+        self.epoch_bytes += bytes;
+        self.trace.record(MsgEvent { send: true, peer, tag, bytes });
+    }
+
     /// Post a nonblocking send of `data` to rank `dest` with `tag`.
     /// Charges `o` seconds of `call` time; the copy into the message
     /// stands in for NIC DMA and is not charged to any on-node timer.
     pub fn isend(&mut self, dest: usize, tag: u64, data: &[f64]) {
         assert!(dest < self.topo.size());
+        self.charge_send(dest, tag, std::mem::size_of_val(data));
+        let msg = if self.pooling {
+            let mut buf = self.pools[self.rank].take();
+            if buf.capacity() < data.len() {
+                self.transport_allocs += 1;
+            }
+            buf.extend_from_slice(data);
+            Msg { owner: Some(self.rank), data: buf }
+        } else {
+            self.transport_allocs += 1;
+            Msg { owner: None, data: data.to_vec() }
+        };
+        self.mailboxes[dest].push((self.rank, tag), msg);
+    }
+
+    /// Loopback fast path for a self-send whose source and destination
+    /// live in the *same* slice: copy `data[src]` to `data[dst..]` once
+    /// (the NIC-DMA stand-in, not charged to any on-node timer) while
+    /// charging the wire model exactly as `isend` + `irecv` would.
+    /// `src` and the destination region must not overlap.
+    pub fn loopback_within(&mut self, tag: u64, data: &mut [f64], src: Range<usize>, dst: usize) {
+        let bytes = src.len() * std::mem::size_of::<f64>();
+        self.charge_send(self.rank, tag, bytes);
+        // The matching receive post, as `irecv` would charge it.
         self.timers.call += self.net.call_time(1);
-        self.timers.msgs += 1;
-        let bytes = std::mem::size_of_val(data);
-        self.timers.wire_bytes += bytes as u64;
-        self.epoch_msgs += 1;
-        self.epoch_bytes += bytes;
-        self.trace.record(MsgEvent { send: true, peer: dest, tag, bytes });
-        self.mailboxes[dest].push((self.rank, tag), data.to_vec());
+        data.copy_within(src, dst);
+        self.trace.record(MsgEvent { send: false, peer: self.rank, tag, bytes });
+    }
+
+    /// Loopback fast path for a self-send between two distinct slices
+    /// (e.g. an mmap view source and the backing storage): one copy,
+    /// full wire-model accounting. Lengths must match exactly.
+    pub fn loopback_into(&mut self, tag: u64, src: &[f64], dst: &mut [f64]) {
+        assert_eq!(
+            src.len(),
+            dst.len(),
+            "loopback length mismatch (rank {}, tag {})",
+            self.rank,
+            tag
+        );
+        let bytes = std::mem::size_of_val(src);
+        self.charge_send(self.rank, tag, bytes);
+        self.timers.call += self.net.call_time(1);
+        dst.copy_from_slice(src);
+        self.trace.record(MsgEvent { send: false, peer: self.rank, tag, bytes });
     }
 
     /// Post a nonblocking receive from `source` with `tag`. Charges `o`
@@ -146,32 +265,96 @@ impl<'a> RankCtx<'a> {
         RecvHandle { source, tag }
     }
 
+    /// Block until every posted receive has a matching message, moving
+    /// them into `recv_scratch` in handle order and recording trace
+    /// events. Panics on length mismatch against `expect_len`.
+    fn complete_recvs(&mut self, handles: &[RecvHandle], expect_len: impl Fn(usize) -> usize) {
+        self.recv_scratch.clear();
+        for (i, h) in handles.iter().enumerate() {
+            let msg = self.mailboxes[self.rank].pop_blocking((h.source, h.tag));
+            assert_eq!(
+                msg.data.len(),
+                expect_len(i),
+                "message length mismatch (source {}, tag {})",
+                h.source,
+                h.tag
+            );
+            self.trace.record(MsgEvent {
+                send: false,
+                peer: h.source,
+                tag: h.tag,
+                bytes: msg.data.len() * 8,
+            });
+            self.recv_scratch.push(msg);
+        }
+    }
+
+    /// Charge the LogGP `wait` term for this epoch's posted sends and
+    /// close the epoch.
+    fn close_epoch(&mut self) {
+        self.timers.wait += self.net.wait_time(self.epoch_msgs, self.epoch_bytes);
+        self.epoch_msgs = 0;
+        self.epoch_bytes = 0;
+    }
+
+    /// Return completed message buffers to their owners' pools.
+    fn recycle_scratch(&mut self) {
+        let pools = self.pools;
+        for msg in self.recv_scratch.drain(..) {
+            if let Some(owner) = msg.owner {
+                pools[owner].put(msg.data);
+            }
+        }
+    }
+
     /// Complete all posted receives, copying each message into its
     /// destination buffer (buffers parallel to `handles`; lengths must
     /// match exactly). Charges the LogGP `wait` term for this epoch's
     /// posted sends, then closes the epoch.
     pub fn waitall_into(&mut self, handles: &[RecvHandle], bufs: &mut [&mut [f64]]) {
         assert_eq!(handles.len(), bufs.len());
-        for (h, buf) in handles.iter().zip(bufs.iter_mut()) {
-            let msg = self.mailboxes[self.rank].pop_blocking((h.source, h.tag));
-            assert_eq!(
-                msg.len(),
-                buf.len(),
-                "message length mismatch (source {}, tag {})",
-                h.source,
-                h.tag
-            );
-            buf.copy_from_slice(&msg);
-            self.trace.record(MsgEvent {
-                send: false,
-                peer: h.source,
-                tag: h.tag,
-                bytes: msg.len() * 8,
-            });
+        self.complete_recvs(handles, |i| bufs[i].len());
+        let total: usize = self.recv_scratch.iter().map(|m| m.data.len() * 8).sum();
+        if total >= PAR_COPY_MIN_BYTES {
+            use rayon::prelude::*;
+            bufs.par_iter_mut()
+                .zip(self.recv_scratch.par_iter())
+                .for_each(|(buf, msg)| buf.copy_from_slice(&msg.data));
+        } else {
+            for (buf, msg) in bufs.iter_mut().zip(self.recv_scratch.iter()) {
+                buf.copy_from_slice(&msg.data);
+            }
         }
-        self.timers.wait += self.net.wait_time(self.epoch_msgs, self.epoch_bytes);
-        self.epoch_msgs = 0;
-        self.epoch_bytes = 0;
+        self.recycle_scratch();
+        self.close_epoch();
+    }
+
+    /// Complete all posted receives directly into sub-ranges of one
+    /// backing slice (`ranges` parallel to `handles`, sorted and
+    /// disjoint), then charge `wait` and close the epoch. This is the
+    /// persistent-exchange completion path: no per-call allocation, and
+    /// the disjoint ghost copies run in parallel for large epochs.
+    ///
+    /// Calling with empty `handles` still closes the epoch — a rank
+    /// whose sends were all loopbacks uses this to charge `wait`.
+    pub fn waitall_ranges(
+        &mut self,
+        handles: &[RecvHandle],
+        storage: &mut [f64],
+        ranges: &[Range<usize>],
+    ) {
+        assert_eq!(handles.len(), ranges.len());
+        self.complete_recvs(handles, |i| ranges[i].len());
+        let total: usize = ranges.iter().map(|r| r.len() * 8).sum();
+        if total >= PAR_COPY_MIN_BYTES {
+            scatter_parallel(storage, 0, ranges, &self.recv_scratch);
+        } else {
+            for (r, msg) in ranges.iter().zip(self.recv_scratch.iter()) {
+                storage[r.clone()].copy_from_slice(&msg.data);
+            }
+        }
+        self.recycle_scratch();
+        self.close_epoch();
     }
 
     /// Record payload bytes (the non-padding fraction of the wire bytes)
@@ -224,6 +407,31 @@ impl<'a> RankCtx<'a> {
     }
 }
 
+/// Copy `msgs[i]` into `storage[ranges[i]]` for sorted, disjoint
+/// ranges, fork/joining on the range list so the disjoint ghost copies
+/// run in parallel without any allocation. `base` is the element index
+/// of `storage[0]` in the original slice.
+fn scatter_parallel(storage: &mut [f64], base: usize, ranges: &[Range<usize>], msgs: &[Msg]) {
+    debug_assert_eq!(ranges.len(), msgs.len());
+    if ranges.len() <= 1 {
+        if let (Some(r), Some(msg)) = (ranges.first(), msgs.first()) {
+            storage[r.start - base..r.end - base].copy_from_slice(&msg.data);
+        }
+        return;
+    }
+    let mid = ranges.len() / 2;
+    let split = ranges[mid].start;
+    assert!(
+        split >= ranges[mid - 1].end && split >= base,
+        "ranges must be sorted and disjoint"
+    );
+    let (lo, hi) = storage.split_at_mut(split - base);
+    rayon::join(
+        || scatter_parallel(lo, base, &ranges[..mid], &msgs[..mid]),
+        || scatter_parallel(hi, split, &ranges[mid..], &msgs[mid..]),
+    );
+}
+
 /// Run `body` once per rank of `topo` on its own OS thread and collect
 /// the per-rank results in rank order.
 pub fn run_cluster<R, F>(topo: &CartTopo, net: NetworkModel, body: F) -> Vec<R>
@@ -233,6 +441,7 @@ where
 {
     let size = topo.size();
     let mailboxes: Vec<Mailbox> = (0..size).map(|_| Mailbox::new()).collect();
+    let pools: Vec<BufferPool> = (0..size).map(|_| BufferPool::new()).collect();
     let barrier = Barrier::new(size);
     let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
 
@@ -240,6 +449,7 @@ where
         let mut joins = Vec::with_capacity(size);
         for (rank, slot) in results.iter_mut().enumerate() {
             let mailboxes = &mailboxes;
+            let pools = &pools;
             let barrier = &barrier;
             let body = &body;
             joins.push(s.spawn(move || {
@@ -248,11 +458,15 @@ where
                     topo,
                     net,
                     mailboxes,
+                    pools,
                     barrier,
                     timers: Timers::default(),
                     trace: Trace::default(),
                     epoch_msgs: 0,
                     epoch_bytes: 0,
+                    recv_scratch: Vec::new(),
+                    pooling: true,
+                    transport_allocs: 0,
                 };
                 *slot = Some(body(&mut ctx));
             }));
@@ -373,5 +587,112 @@ mod tests {
             let mut buf = [0.0; 3];
             ctx.waitall_into(&[h], &mut [&mut buf[..]]);
         });
+    }
+
+    #[test]
+    fn pooled_buffers_stop_allocating() {
+        let topo = CartTopo::new(&[1], true);
+        run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            let data = vec![1.0; 256];
+            let mut buf = vec![0.0; 256];
+            // Warm the pool: the first epoch grows a fresh buffer.
+            for _ in 0..3 {
+                let h = ctx.irecv(0, 9);
+                ctx.isend(0, 9, &data);
+                ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+            }
+            let warm = ctx.transport_allocs();
+            assert!(warm >= 1);
+            for _ in 0..50 {
+                let h = ctx.irecv(0, 9);
+                ctx.isend(0, 9, &data);
+                ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+            }
+            assert_eq!(ctx.transport_allocs(), warm, "steady state must not allocate");
+        });
+    }
+
+    #[test]
+    fn pooling_off_allocates_every_send() {
+        let topo = CartTopo::new(&[1], true);
+        run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            ctx.set_pooling(false);
+            let data = vec![1.0; 64];
+            let mut buf = vec![0.0; 64];
+            for _ in 0..10 {
+                let h = ctx.irecv(0, 2);
+                ctx.isend(0, 2, &data);
+                ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+            }
+            assert_eq!(ctx.transport_allocs(), 10);
+        });
+    }
+
+    #[test]
+    fn loopback_within_matches_mailbox_timers_and_data() {
+        let topo = CartTopo::new(&[1], true);
+        let net = NetworkModel::theta_aries();
+        run_cluster(&topo, net, |ctx| {
+            // Mailbox self-send: data[0..4] -> data[8..12].
+            let mut a: Vec<f64> = (0..12).map(|i| i as f64).collect();
+            let h = ctx.irecv(0, 5);
+            let payload = a[0..4].to_vec();
+            ctx.isend(0, 5, &payload);
+            ctx.waitall_into(&[h], &mut [&mut a[8..12]]);
+            let t_mailbox = ctx.timers();
+            let a_snapshot = a.clone();
+            ctx.reset_timers();
+
+            // Loopback fast path, same shape.
+            let mut b: Vec<f64> = (0..12).map(|i| i as f64).collect();
+            ctx.loopback_within(5, &mut b, 0..4, 8);
+            ctx.waitall_ranges(&[], &mut b, &[]);
+            let t_loop = ctx.timers();
+
+            assert_eq!(a_snapshot, b);
+            assert_eq!(t_mailbox.call, t_loop.call);
+            assert_eq!(t_mailbox.wait, t_loop.wait);
+            assert_eq!(t_mailbox.msgs, t_loop.msgs);
+            assert_eq!(t_mailbox.wire_bytes, t_loop.wire_bytes);
+        });
+    }
+
+    #[test]
+    fn loopback_into_copies_and_charges() {
+        let topo = CartTopo::new(&[1], true);
+        let net = NetworkModel::theta_aries();
+        run_cluster(&topo, net, |ctx| {
+            let src = vec![3.5; 128];
+            let mut dst = vec![0.0; 128];
+            ctx.loopback_into(7, &src, &mut dst);
+            ctx.waitall_ranges(&[], &mut dst, &[]);
+            assert_eq!(dst, src);
+            let t = ctx.timers();
+            assert_eq!(t.msgs, 1);
+            assert_eq!(t.wire_bytes, 1024);
+            assert!((t.call - 2.0 * net.overhead).abs() < 1e-15);
+            assert!((t.wait - net.wait_time(1, 1024)).abs() < 1e-15);
+        });
+    }
+
+    #[test]
+    fn waitall_ranges_scatters_into_storage() {
+        let topo = CartTopo::new(&[2], true);
+        let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            let peer = 1 - ctx.rank();
+            let me = ctx.rank() as f64;
+            let h1 = ctx.irecv(peer, 1);
+            let h2 = ctx.irecv(peer, 2);
+            ctx.isend(peer, 1, &[me + 10.0; 4]);
+            ctx.isend(peer, 2, &[me + 20.0; 4]);
+            let mut storage = vec![0.0; 16];
+            ctx.waitall_ranges(&[h1, h2], &mut storage, &[2..6, 10..14]);
+            storage
+        });
+        // Rank 0 received rank 1's payloads.
+        assert_eq!(out[0][2..6], [11.0; 4]);
+        assert_eq!(out[0][10..14], [21.0; 4]);
+        assert_eq!(out[0][0..2], [0.0; 2]);
+        assert_eq!(out[1][2..6], [10.0; 4]);
     }
 }

@@ -7,6 +7,10 @@ use rayon::prelude::*;
 
 use crate::shape::StencilShape;
 
+/// Face pack/unpack goes parallel above this element count (256 KiB of
+/// f64); below it fork/join overhead beats the memcpy win.
+const PAR_FACE_MIN_ELEMS: usize = 1 << 15;
+
 /// A 3D domain stored as one lexicographic array with a `ghost`-wide rim.
 #[derive(Clone, Debug)]
 pub struct ArrayGrid {
@@ -221,31 +225,69 @@ impl ArrayGrid {
 
     /// Pack surface region `r(dir)` into `buf` (row-wise memcpy along
     /// the unit-stride axis — the *optimized* packing a tuned stencil
-    /// framework performs).
+    /// framework performs). Large faces pack their z-planes in
+    /// parallel; `buf` is sized once and reused without reallocation on
+    /// subsequent calls with the same region.
     pub fn pack_surface(&self, dir: &Dir, buf: &mut Vec<f64>) {
-        buf.clear();
         let [rx, ry, rz] = self.surface_range(dir);
         let row_len = (rx.end - rx.start) as usize;
-        buf.reserve(self.region_elements(dir));
-        for z in rz {
-            for y in ry.clone() {
-                let o = self.offset(rx.start, y, z);
-                buf.extend_from_slice(&self.data[o..o + row_len]);
+        let ny = (ry.end - ry.start) as usize;
+        let elems = self.region_elements(dir);
+        if buf.len() != elems {
+            buf.clear();
+            buf.resize(elems, 0.0);
+        }
+        let plane = row_len * ny;
+        let ex = self.ext[0];
+        let pack_plane = |zi: usize, out: &mut [f64]| {
+            let base = self.offset(rx.start, ry.start, rz.start + zi as isize);
+            for yi in 0..ny {
+                let o = base + yi * ex;
+                out[yi * row_len..(yi + 1) * row_len].copy_from_slice(&self.data[o..o + row_len]);
+            }
+        };
+        if elems >= PAR_FACE_MIN_ELEMS {
+            buf.par_chunks_mut(plane).enumerate().for_each(|(zi, out)| pack_plane(zi, out));
+        } else {
+            for (zi, out) in buf.chunks_mut(plane).enumerate() {
+                pack_plane(zi, out);
             }
         }
     }
 
-    /// Unpack a received buffer into ghost region `g(dir)` (row-wise).
+    /// Unpack a received buffer into ghost region `g(dir)` (row-wise;
+    /// large faces unpack their z-planes in parallel).
     pub fn unpack_ghost(&mut self, dir: &Dir, buf: &[f64]) {
         let [rx, ry, rz] = self.ghost_range(dir);
         let row_len = (rx.end - rx.start) as usize;
+        let ny = (ry.end - ry.start) as usize;
+        let nz = (rz.end - rz.start) as usize;
         assert_eq!(buf.len(), self.region_elements(dir));
-        let mut pos = 0;
-        for z in rz {
-            for y in ry.clone() {
-                let o = self.offset(rx.start, y, z);
-                self.data[o..o + row_len].copy_from_slice(&buf[pos..pos + row_len]);
-                pos += row_len;
+        let g = self.ghost as isize;
+        let (ex, ey) = (self.ext[0], self.ext[1]);
+        let plane = row_len * ny;
+        // Each region z maps to one distinct extended-grid z-plane, so
+        // the per-plane writes are disjoint.
+        let z0 = (rz.start + g) as usize;
+        let row0 = ((ry.start + g) as usize) * ex + (rx.start + g) as usize;
+        let unpack_plane = |dplane: &mut [f64], src: &[f64]| {
+            for yi in 0..ny {
+                let o = row0 + yi * ex;
+                dplane[o..o + row_len].copy_from_slice(&src[yi * row_len..(yi + 1) * row_len]);
+            }
+        };
+        if buf.len() >= PAR_FACE_MIN_ELEMS {
+            self.data
+                .par_chunks_mut(ex * ey)
+                .skip(z0)
+                .take(nz)
+                .zip(buf.par_chunks(plane))
+                .for_each(|(dplane, src)| unpack_plane(dplane, src));
+        } else {
+            for (dplane, src) in
+                self.data.chunks_mut(ex * ey).skip(z0).take(nz).zip(buf.chunks(plane))
+            {
+                unpack_plane(dplane, src);
             }
         }
     }

@@ -108,9 +108,18 @@ impl Datatype {
     /// Gather (pack) the described elements of `src` into a fresh
     /// buffer, element by element through the type map.
     pub fn pack(&self, src: &[f64]) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.size());
-        self.for_each_offset(0, &mut |off| out.push(src[off]));
+        let mut out = Vec::new();
+        self.pack_into(src, &mut out);
         out
+    }
+
+    /// Gather (pack) the described elements of `src` into a reused
+    /// buffer — same element-granularity walk, no per-call allocation
+    /// once `out` has grown to the type's size.
+    pub fn pack_into(&self, src: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.size());
+        self.for_each_offset(0, &mut |off| out.push(src[off]));
     }
 
     /// Scatter (unpack) `buf` into the described elements of `dst`.

@@ -122,6 +122,70 @@ fn neighbor_routing_3d() {
     assert!(ok.iter().all(|&b| b));
 }
 
+/// Pooled buffers recycled across many epochs with *varying* message
+/// sizes must never leak stale data: every payload carries a sentinel
+/// pattern unique to (sender, epoch) and every received element is
+/// checked. After a warm-up, the pool must also stop allocating.
+#[test]
+fn pooled_reuse_no_stale_data() {
+    let topo = CartTopo::new(&[3], true);
+    let epochs = 40usize;
+    let warm = 10usize;
+    let allocs = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+        let me = ctx.rank();
+        let n = ctx.size();
+        let mut warm_allocs = 0;
+        for epoch in 0..epochs {
+            // Sizes vary per epoch so recycled buffers shrink and grow;
+            // a reused buffer that keeps stale tail data would surface
+            // as a wrong sentinel.
+            let len = 8 << (epoch % 5);
+            let mut handles = Vec::new();
+            for peer in 0..n {
+                handles.push(ctx.irecv(peer, (epoch * 10 + me) as u64));
+            }
+            for peer in 0..n {
+                let sentinel = (me * 1_000_000 + epoch * 1_000) as f64;
+                let payload: Vec<f64> =
+                    (0..len).map(|i| sentinel + i as f64).collect();
+                ctx.isend(peer, (epoch * 10 + peer) as u64, &payload);
+            }
+            let mut bufs: Vec<Vec<f64>> = (0..n).map(|_| vec![-1.0; len]).collect();
+            {
+                let mut slices: Vec<&mut [f64]> =
+                    bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+                ctx.waitall_into(&handles, &mut slices);
+            }
+            for (peer, b) in bufs.iter().enumerate() {
+                let sentinel = (peer * 1_000_000 + epoch * 1_000) as f64;
+                for (i, &v) in b.iter().enumerate() {
+                    assert_eq!(
+                        v,
+                        sentinel + i as f64,
+                        "stale or misrouted data: rank {me}, epoch {epoch}, \
+                         from {peer}, elem {i}"
+                    );
+                }
+            }
+            // Keep epochs aligned so returned buffers are back in their
+            // owners' pools before the next epoch's sends draw on them.
+            ctx.barrier();
+            if epoch + 1 == warm {
+                warm_allocs = ctx.transport_allocs();
+            }
+        }
+        (warm_allocs, ctx.transport_allocs())
+    });
+    // The size cycle repeats every 5 epochs; after the warm-up every
+    // pooled buffer is already at max size, so no further allocation.
+    for (rank, &(warm_allocs, final_allocs)) in allocs.iter().enumerate() {
+        assert_eq!(
+            warm_allocs, final_allocs,
+            "rank {rank} still allocating after pool warm-up"
+        );
+    }
+}
+
 /// Barriers across many epochs keep lockstep (no rank may lap another).
 #[test]
 fn lockstep_epochs() {

@@ -115,6 +115,65 @@ proptest! {
         prop_assert!(exchange_is_correct(&d, false));
     }
 
+    /// Proxy-mode transport equivalence: for random layouts and
+    /// geometries, the loopback fast path, the pooled mailbox path, and
+    /// the legacy allocating path produce bit-identical storage (every
+    /// ghost byte) and identical modeled charges (call/wait timers,
+    /// message and wire-byte counters).
+    #[test]
+    fn loopback_matches_mailbox(
+        l in arb_layout3(),
+        nx in 2usize..4,
+        ny in 2usize..4,
+        nz in 2usize..4,
+    ) {
+        let d = BrickDecomp::<3>::layout_mode(
+            [nx * 8, ny * 8, nz * 8],
+            8,
+            BrickDims::cubic(8),
+            1,
+            l,
+        );
+        let ex = Exchanger::layout(&d);
+        let topo = CartTopo::new(&[1, 1, 1], true);
+        let net = NetworkModel::theta_aries();
+        // 0 = legacy reference, 1 = loopback session, 2 = mailbox session.
+        let run = |mode: u8| {
+            run_cluster(&topo, net, |ctx| {
+                let mut st = d.allocate();
+                for (i, v) in st.as_mut_slice().iter_mut().enumerate() {
+                    *v = (i % 8191) as f64;
+                }
+                match mode {
+                    0 => {
+                        ex.exchange(ctx, &mut st);
+                        ex.exchange(ctx, &mut st);
+                    }
+                    1 => {
+                        let mut s = ex.session(ctx);
+                        s.exchange(ctx, &mut st);
+                        s.exchange(ctx, &mut st);
+                    }
+                    _ => {
+                        let mut s = ex.session_mailbox(ctx);
+                        s.exchange(ctx, &mut st);
+                        s.exchange(ctx, &mut st);
+                    }
+                }
+                (st.as_slice().to_vec(), ctx.timers())
+            })
+            .pop()
+            .unwrap()
+        };
+        let (a, ta) = run(0);
+        let (b, tb) = run(1);
+        let (c, tc) = run(2);
+        prop_assert!(a == b, "loopback path produced different ghost bytes");
+        prop_assert!(b == c, "mailbox session produced different ghost bytes");
+        prop_assert_eq!(&ta, &tb);
+        prop_assert_eq!(&tb, &tc);
+    }
+
     /// Exchange stats invariants: payload is layout-independent; the
     /// message count matches the layout's analysis.
     #[test]
