@@ -5,7 +5,7 @@
 
 use brick::{BrickDims, BrickGrid, BrickInfo};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use stencil::{apply_bricks, ArrayGrid, StencilShape};
+use stencil::{apply_bricks, apply_bricks_gather, ArrayGrid, KernelPlan, StencilShape};
 
 fn bench_array(c: &mut Criterion) {
     let mut group = c.benchmark_group("array_kernel");
@@ -52,6 +52,66 @@ fn bench_bricks(c: &mut Criterion) {
     group.finish();
 }
 
+/// Planned vs gather engines head-to-head: same storage, same mask, the
+/// only difference is whether adjacency/segment resolution happens once
+/// at bind time or on every application.
+fn bench_plan_vs_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_vs_gather");
+    group.sample_size(15);
+    for n in [32usize, 64] {
+        for (name, shape) in [
+            ("star7", StencilShape::star7_default()),
+            ("cube125", StencilShape::cube125_default()),
+        ] {
+            let gd = n / 8;
+            let grid = BrickGrid::<3>::lexicographic([gd; 3], true);
+            let info = BrickInfo::from_grid(BrickDims::cubic(8), &grid);
+            let mut input = info.allocate(1);
+            input.fill(1.0);
+            let mut output = info.allocate(1);
+            let mask = vec![true; info.bricks()];
+            let plan = KernelPlan::new(&info, &shape, 1, 0);
+            group.throughput(Throughput::Elements((n * n * n) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_planned"), n),
+                &n,
+                |b, _| b.iter(|| plan.execute(&input, &mut output, &mask)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_gather"), n),
+                &n,
+                |b, _| b.iter(|| apply_bricks_gather(&shape, &info, &input, &mut output, &mask, 0)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Plan replay across brick sizes: the fast-run fraction of each row
+/// grows with the brick extent, so this isolates how much of the planned
+/// engine's win comes from branch-free interior runs.
+fn bench_plan_brick_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_brick_size_ablation");
+    group.sample_size(15);
+    let n = 64usize;
+    let shape = StencilShape::star7_default();
+    for bs in [4usize, 8, 16] {
+        let gd = n / bs;
+        let grid = BrickGrid::<3>::lexicographic([gd; 3], true);
+        let info = BrickInfo::from_grid(BrickDims::cubic(bs), &grid);
+        let mut input = info.allocate(1);
+        input.fill(1.0);
+        let mut output = info.allocate(1);
+        let mask = vec![true; info.bricks()];
+        let plan = KernelPlan::new(&info, &shape, 1, 0);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("star7_64cubed_planned", bs), &bs, |b, _| {
+            b.iter(|| plan.execute(&input, &mut output, &mask))
+        });
+    }
+    group.finish();
+}
+
 fn bench_brick_sizes(c: &mut Criterion) {
     // Ablation: 4^3 vs 8^3 vs 16^3 bricks for the same 64^3 domain.
     let mut group = c.benchmark_group("brick_size_ablation");
@@ -74,5 +134,12 @@ fn bench_brick_sizes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_array, bench_bricks, bench_brick_sizes);
+criterion_group!(
+    benches,
+    bench_array,
+    bench_bricks,
+    bench_plan_vs_gather,
+    bench_plan_brick_sizes,
+    bench_brick_sizes
+);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! seconds per timestep across ranks, plus `perf` (overall throughput).
 
 use bench::steps;
-use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig};
+use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig, KernelKind};
 use stencil::StencilShape;
 
 fn main() {
@@ -30,6 +30,7 @@ fn main() {
             warmup: 1,
             ranks: vec![2, 1, 1],
             net: netsim::NetworkModel::theta_aries(),
+            kernel: KernelKind::Plan,
         };
         let r = run_experiment(&cfg);
         let s = r.summary;

@@ -1,0 +1,136 @@
+//! Machine-readable compute throughput: times the stencil kernel engines
+//! on a single-rank brick decomposition and writes `BENCH_compute.json`
+//! so the perf trajectory is comparable across PRs.
+//!
+//! Engines, per stencil proxy (star7 and cube125):
+//! * `planned` — precompiled [`stencil::KernelPlan`] bound once
+//!   (adjacency and row segments resolved at bind time), replayed every
+//!   step;
+//! * `gather` — per-step halo gather into a padded scratch brick, then a
+//!   dense sweep (the pre-plan reference path);
+//! * `serial` — the single-threaded element-at-a-time reference both
+//!   parallel engines are bit-identical to.
+//!
+//! Usage: `bench_compute [N] [STEPS]` (default 32³ per rank, 40 steps).
+
+use std::time::Instant;
+
+use brick::{BrickDims, BrickStorage};
+use packfree::decomp::BrickDecomp;
+use packfree::fields;
+use stencil::{apply_bricks_gather, apply_bricks_serial, gstencil_per_sec, KernelPlan, StencilShape};
+
+struct Row {
+    shape: &'static str,
+    engine: &'static str,
+    seconds: f64,
+    gstencil: f64,
+}
+
+/// Time `steps` flip-flop applications of one engine; ghosts are made
+/// valid once (periodic wrap) so every step reads real neighbor data.
+fn time_engine(
+    d: &BrickDecomp<3>,
+    shape: &StencilShape,
+    engine: &'static str,
+    shape_name: &'static str,
+    steps: usize,
+) -> Row {
+    let info = d.brick_info();
+    let mask = d.compute_mask();
+    let mut cur = d.allocate();
+    let mut nxt = d.allocate();
+    fields::fill_interior(d, &mut cur, 0, |c| {
+        (((c[0] * 3 + c[1] * 5 + c[2] * 7) % 17) as f64) / 16.0
+    });
+    fields::fill_ghosts_periodic(d, &mut cur, 0);
+    fields::fill_ghosts_periodic(d, &mut nxt, 0);
+
+    let plan = (engine == "planned").then(|| KernelPlan::new(info, shape, 1, 0));
+    let apply = |cur: &BrickStorage, nxt: &mut BrickStorage| match engine {
+        "planned" => plan.as_ref().unwrap().execute(cur, nxt, mask),
+        "gather" => apply_bricks_gather(shape, info, cur, nxt, mask, 0),
+        "serial" => apply_bricks_serial(shape, info, cur, nxt, mask, 0),
+        other => unreachable!("unknown engine {other}"),
+    };
+
+    let warmup = (steps / 8).max(2);
+    for _ in 0..warmup {
+        apply(&cur, &mut nxt);
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        apply(&cur, &mut nxt);
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    assert!(fields::interior_sum(d, &cur, 0).is_finite());
+    Row {
+        shape: shape_name,
+        engine,
+        seconds,
+        gstencil: gstencil_per_sec(d.points() * steps as u64, seconds),
+    }
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(32);
+    let steps: usize = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(40);
+    let d = BrickDecomp::<3>::layout_mode([n; 3], 8, BrickDims::cubic(8), 1, layout::surface3d());
+
+    println!("== Compute throughput, {n}^3 proxy rank, {steps} steps ==\n");
+    let shapes: [(&'static str, StencilShape); 2] = [
+        ("star7", StencilShape::star7_default()),
+        ("cube125", StencilShape::cube125_default()),
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    let mut speedups: Vec<(&'static str, f64)> = Vec::new();
+    for (name, shape) in &shapes {
+        let mut per_engine = [0.0f64; 2];
+        for (i, engine) in ["planned", "gather", "serial"].into_iter().enumerate() {
+            // The serial reference gets fewer steps; it exists for scale,
+            // not for the headline ratio.
+            let s = if engine == "serial" { steps.div_ceil(4) } else { steps };
+            let r = time_engine(&d, shape, engine, name, s);
+            println!(
+                "  {:<8} {:<8} {:>8.3} GStencil/s  ({:.4} s)",
+                r.shape, r.engine, r.gstencil, r.seconds
+            );
+            if i < 2 {
+                per_engine[i] = r.gstencil;
+            }
+            rows.push(r);
+        }
+        speedups.push((name, per_engine[0] / per_engine[1]));
+    }
+    for (name, s) in &speedups {
+        println!("\n  {name}: planned vs gather {s:.2}x");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"compute\",\n");
+    json.push_str(&format!("  \"subdomain\": {n},\n"));
+    json.push_str(&format!("  \"steps\": {steps},\n"));
+    json.push_str("  \"engines\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"engine\": \"{}\", \"seconds\": {:.6}, \"gstencil_per_s\": {:.4}}}{}\n",
+            r.shape,
+            r.engine,
+            r.seconds,
+            r.gstencil,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    for (i, (name, s)) in speedups.iter().enumerate() {
+        json.push_str(&format!(
+            "  \"speedup_planned_vs_gather_{name}\": {s:.3}{}\n",
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_compute.json", &json).expect("write BENCH_compute.json");
+    println!("\nwrote BENCH_compute.json");
+}

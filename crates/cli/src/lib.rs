@@ -5,7 +5,7 @@
 
 #![warn(missing_docs)]
 
-use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig, MethodReport};
+use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig, KernelKind, MethodReport};
 use stencil::StencilShape;
 
 /// Parsed command line.
@@ -25,6 +25,8 @@ pub struct Options {
     pub stencil: Stencil,
     /// Fabric model name.
     pub net: Net,
+    /// Brick compute engine (precompiled plan vs per-step gather).
+    pub kernel: KernelKind,
     /// Emit machine-readable JSON instead of the artifact text format.
     pub json: bool,
     /// Print help instead of running.
@@ -63,6 +65,7 @@ impl Default for Options {
             ranks: vec![1, 1, 1],
             stencil: Stencil::Star7,
             net: Net::Aries,
+            kernel: KernelKind::Plan,
             json: false,
             help: false,
         }
@@ -85,6 +88,8 @@ OPTIONS:
   -r, --ranks <XxYxZ>   rank grid, e.g. 2x2x2 (default: 1x1x1 self-periodic)
   -s, --stencil <name>  star7 | star13 | cube125 (default: star7)
   -n, --net <name>      aries | edr | instant (default: aries)
+  -k, --kernel <name>   plan | gather — brick compute engine: precompiled
+                        kernel plan vs per-step halo gather (default: plan)
   -p, --page <bytes>    MemMap page size: 4096 | 16384 | 65536
                         (default: 4096; memmap/shift only)
   -j, --json            emit one JSON object instead of the text format
@@ -143,6 +148,13 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown net '{other}'")),
                 };
             }
+            "-k" | "--kernel" => {
+                o.kernel = match take("--kernel")?.as_str() {
+                    "plan" => KernelKind::Plan,
+                    "gather" => KernelKind::Gather,
+                    other => return Err(format!("unknown kernel '{other}'")),
+                };
+            }
             "-p" | "--page" => {
                 page = take("--page")?.parse().map_err(|e| format!("--page: {e}"))?;
                 if !matches!(page, 4096 | 16384 | 65536) {
@@ -191,6 +203,7 @@ pub fn config(o: &Options) -> ExperimentConfig {
             Net::Edr => netsim::NetworkModel::summit_edr(),
             Net::Instant => netsim::NetworkModel::instant(),
         },
+        kernel: o.kernel,
     }
 }
 
@@ -285,6 +298,15 @@ mod tests {
         assert_eq!(o.method, CpuMethod::MemMap { page_size: 65536 });
         let o = p(&["-m", "shift", "-p", "16384"]).unwrap();
         assert_eq!(o.method, CpuMethod::Shift { page_size: 16384 });
+    }
+
+    #[test]
+    fn kernel_flag() {
+        assert_eq!(p(&[]).unwrap().kernel, KernelKind::Plan);
+        assert_eq!(p(&["-k", "gather"]).unwrap().kernel, KernelKind::Gather);
+        assert_eq!(p(&["--kernel", "plan"]).unwrap().kernel, KernelKind::Plan);
+        assert!(p(&["-k", "jit"]).is_err());
+        assert!(USAGE.contains("--kernel"));
     }
 
     #[test]

@@ -242,6 +242,7 @@ pub fn run_gpu_experiment(cfg: &GpuExperimentConfig) -> GpuReport {
         warmup: 0,
         ranks: cfg.ranks.clone(),
         net: NetworkModel::instant(),
+        kernel: crate::experiment::KernelKind::Plan,
     };
     let real = run_experiment(&cpu_cfg);
 

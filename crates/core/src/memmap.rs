@@ -269,7 +269,7 @@ impl ExchangeView {
             "ExchangeView driven with a different storage than it was built on \
              (send views would alias the original storage's memory)"
         );
-        if self.bound.as_ref().map_or(true, |b| b.rank != ctx.rank()) {
+        if self.bound.as_ref().is_none_or(|b| b.rank != ctx.rank()) {
             self.bound = Some(self.bind(ctx));
         }
         let ExchangeView { sends, recvs, bound, handles, .. } = self;

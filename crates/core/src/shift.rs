@@ -159,7 +159,7 @@ impl ShiftExchanger {
             "ShiftExchanger driven with a different storage than it was built on \
              (its views alias the original storage's memory)"
         );
-        if self.bound.as_ref().map_or(true, |b| b.rank != ctx.rank()) {
+        if self.bound.as_ref().is_none_or(|b| b.rank != ctx.rank()) {
             let rank = ctx.rank();
             let resolve = |dir: &Dir| {
                 ctx.topo()
@@ -199,9 +199,9 @@ impl ShiftExchanger {
             } else {
                 let h0 = ctx.irecv(srcs[0], pass.recvs[0].tag);
                 let h1 = ctx.irecv(srcs[1], pass.recvs[1].tag);
-                for i in 0..2 {
-                    ctx.note_payload(pass.sends[i].bytes);
-                    ctx.isend(dests[i], pass.sends[i].tag, pass.sends[i].view.as_f64());
+                for (send, &dest) in pass.sends.iter().zip(&dests[..2]) {
+                    ctx.note_payload(send.bytes);
+                    ctx.isend(dest, send.tag, send.view.as_f64());
                 }
                 let (ra, rb) = pass.recvs.split_at_mut(1);
                 ctx.waitall_into(

@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn bound_ordering() {
         for d in 1..=6 {
-            assert!(optimal_message_count(d) >= neighbor_count(d) * 0 + 2);
+            assert!(optimal_message_count(d) >= 2);
             assert!(optimal_message_count(d) <= basic_message_count(d));
             assert!(neighbor_count(d) <= optimal_message_count(d));
         }

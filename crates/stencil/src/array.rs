@@ -91,21 +91,55 @@ impl ArrayGrid {
         }
     }
 
+    /// Compile `shape` against this grid's geometry: flat tap offsets
+    /// in the extended array (and the star7 fast-path selection) are
+    /// resolved once, so steady-state stepping via
+    /// [`ArrayGrid::apply_plan_into`] replays them without per-step
+    /// planning.
+    pub fn plan(&self, shape: &StencilShape) -> ArrayPlan {
+        assert!(shape.radius() <= self.ghost, "ghost rim too narrow for stencil");
+        let (ex, ey) = (self.ext[0], self.ext[1]);
+        ArrayPlan {
+            ext: self.ext,
+            ghost: self.ghost,
+            star7: crate::shape::star7_coeffs(shape),
+            deltas: shape
+                .taps()
+                .iter()
+                .map(|&(o, c)| {
+                    (
+                        o[0] as isize
+                            + o[1] as isize * ex as isize
+                            + o[2] as isize * (ex * ey) as isize,
+                        c,
+                    )
+                })
+                .collect(),
+        }
+    }
+
     /// Apply `shape` to every interior point of `self`, writing into
     /// `out` (same geometry). Ghosts must be valid to `shape.radius()`.
-    /// Parallelized over z-planes.
+    /// Parallelized over z-planes. One-shot convenience wrapper around
+    /// [`ArrayGrid::plan`] + [`ArrayGrid::apply_plan_into`].
     pub fn apply_into(&self, shape: &StencilShape, out: &mut ArrayGrid) {
+        self.apply_plan_into(&self.plan(shape), out);
+    }
+
+    /// Apply a precompiled [`ArrayPlan`] (see [`ArrayGrid::plan`]).
+    pub fn apply_plan_into(&self, plan: &ArrayPlan, out: &mut ArrayGrid) {
         assert_eq!(self.n, out.n);
         assert_eq!(self.ghost, out.ghost);
-        assert!(shape.radius() <= self.ghost, "ghost rim too narrow for stencil");
+        assert_eq!(plan.ext, self.ext, "plan compiled for a different geometry");
+        assert_eq!(plan.ghost, self.ghost, "plan compiled for a different ghost width");
         let (ex, ey) = (self.ext[0], self.ext[1]);
         let g = self.ghost;
         let n = self.n;
         let input = &self.data;
 
         // Specialized branch-free 7-point path (a tuned framework's
-        // kernel quality); generic tap loop otherwise.
-        let star7 = crate::shape::star7_coeffs(shape);
+        // kernel quality); generic hoisted-delta loop otherwise.
+        let star7 = plan.star7;
 
         out.data
             .par_chunks_mut(ex * ey)
@@ -135,21 +169,18 @@ impl ArrayGrid {
                         }
                     }
                 } else {
-                    let taps = shape.taps();
+                    let deltas = &plan.deltas;
                     for y in 0..n[1] {
                         let row = (y + g) * ex + g;
-                        for x in 0..n[0] {
+                        let zbase = zext * ex * ey + row;
+                        let (o, _) = plane[row..].split_at_mut(n[0]);
+                        for (x, ov) in o.iter_mut().enumerate() {
+                            let base = (zbase + x) as isize;
                             let mut acc = 0.0;
-                            let base = zext * ex * ey + row + x;
-                            for &(o, c) in taps {
-                                let off = (base as isize
-                                    + o[0] as isize
-                                    + o[1] as isize * ex as isize
-                                    + o[2] as isize * (ex * ey) as isize)
-                                    as usize;
-                                acc += c * input[off];
+                            for &(d, c) in deltas {
+                                acc += c * input[(base + d) as usize];
                             }
-                            plane[row + x] = acc;
+                            *ov = acc;
                         }
                     }
                 }
@@ -330,6 +361,17 @@ impl ArrayGrid {
     }
 }
 
+/// A stencil compiled against one [`ArrayGrid`] geometry (see
+/// [`ArrayGrid::plan`]): the flat extended-array tap offsets and the
+/// star7 fast-path selection, hoisted once per experiment.
+#[derive(Clone, Debug)]
+pub struct ArrayPlan {
+    ext: [usize; 3],
+    ghost: usize,
+    star7: Option<[f64; 7]>,
+    deltas: Vec<(isize, f64)>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +474,27 @@ mod tests {
             .map(|d| a.region_elements(d) * 8)
             .sum();
         assert_eq!(a.exchange_bytes(), manual);
+    }
+
+    /// A reused plan is bit-identical to the one-shot `apply_into` for
+    /// both the star7 fast path and the generic hoisted-delta path.
+    #[test]
+    fn plan_reuse_matches_one_shot() {
+        for shape in [StencilShape::star7_default(), StencilShape::cube125_default()] {
+            let g = shape.radius();
+            let mut a = ArrayGrid::new([6, 6, 6], g);
+            a.fill_interior(|x, y, z| ((x * 31 + y * 17 + z * 7) % 13) as f64 - 5.0);
+            a.fill_ghost_periodic_self();
+            let mut out1 = ArrayGrid::new([6, 6, 6], g);
+            let mut out2 = ArrayGrid::new([6, 6, 6], g);
+            let plan = a.plan(&shape);
+            a.apply_into(&shape, &mut out1);
+            a.apply_plan_into(&plan, &mut out2);
+            assert_eq!(out1.as_slice(), out2.as_slice());
+            // Second replay of the same plan (steady-state stepping).
+            a.apply_plan_into(&plan, &mut out2);
+            assert_eq!(out1.as_slice(), out2.as_slice());
+        }
     }
 
     #[test]

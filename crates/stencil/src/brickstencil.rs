@@ -51,13 +51,12 @@ pub fn apply_bricks_serial(
     }
 }
 
-/// Parallel optimized application: bricks are distributed over threads;
-/// interior elements use precomputed in-brick tap offsets, boundary
-/// elements resolve neighbors through small per-axis lookup tables and
-/// the brick's hoisted adjacency row — the moral equivalent of the
-/// brick library's generated vector-align code.
-// Indexed loops read clearer than zip chains over parallel arrays here.
-#[allow(clippy::needless_range_loop)]
+/// Parallel optimized application: bricks are distributed over threads
+/// and the shape dispatches to the fastest available kernel — the
+/// hoisted-row star7 path, the grouped-row symmetric cube125 path, or
+/// the generic halo-gather fallback. One-shot convenience wrapper; for
+/// bind-once/execute-many steady-state stepping compile a
+/// [`crate::KernelPlan`] instead.
 pub fn apply_bricks(
     shape: &StencilShape,
     info: &BrickInfo<3>,
@@ -79,7 +78,36 @@ pub fn apply_bricks(
     if let Some(c) = crate::shape::star7_coeffs(shape) {
         return apply_star7_bricks(&c, info, input, output, compute, field);
     }
+    // Specialized fast path for the 10-coefficient symmetric 5³ cube.
+    if let Some(c) = crate::shape::cube125_coeffs(shape) {
+        return apply_cube125_bricks(&c, info, input, output, compute, field);
+    }
+    apply_bricks_gather(shape, info, input, output, compute, field)
+}
 
+/// Generic halo-gather kernel: each brick plus an `r`-deep halo is
+/// gathered into a dense thread-local scratch block, then a dense tap
+/// loop runs branch-free over every output element. This is the
+/// portable fallback for arbitrary shapes and the baseline the
+/// [`crate::KernelPlan`] engine is benchmarked against
+/// (`bench_compute`, `brick-bench --kernel gather`).
+pub fn apply_bricks_gather(
+    shape: &StencilShape,
+    info: &BrickInfo<3>,
+    input: &BrickStorage,
+    output: &mut BrickStorage,
+    compute: &[bool],
+    field: usize,
+) {
+    assert_eq!(compute.len(), info.bricks());
+    assert!(field < output.fields());
+    let bd = info.brick_dims();
+    let [bx, by, bz] = bd.extents();
+    let r = shape.radius();
+    assert!(
+        r <= bx && r <= by && r <= bz,
+        "stencil radius exceeds brick extent"
+    );
     let step = output.step();
     let elems = output.elements_per_brick();
     let field_base = field * elems;
@@ -127,9 +155,11 @@ pub fn apply_bricks(
         .with_min_len(16)
         .enumerate()
         .filter(|(b, _)| compute[*b])
-        .for_each_init(
-            || vec![0.0f64; px * py * pz],
-            |scratch, (b, chunk)| {
+        .for_each(|(b, chunk)| {
+            // Thread-local grow-only scratch: sized on the thread's
+            // first brick, reused allocation-free afterwards (the
+            // gather below overwrites every element it reads).
+            crate::arena::with_scratch(px * py * pz, |scratch| {
                 let b = b as u32;
                 let out = &mut chunk[field_base..field_base + elems];
                 let adj = info.adjacency_row(b);
@@ -138,10 +168,8 @@ pub fn apply_bricks(
 
                 // Gather brick + halo. In-brick rows are memcpy; halo
                 // elements resolve through the per-axis tables.
-                for sz in 0..pz {
-                    let (cz, lz) = tz[sz];
-                    for sy in 0..py {
-                        let (cy, ly) = ty[sy];
+                for (sz, &(cz, lz)) in tz.iter().enumerate() {
+                    for (sy, &(cy, ly)) in ty.iter().enumerate() {
                         let dst_row = (sz * py + sy) * px;
                         if cz == 0 && cy == 0 {
                             // Row interior is contiguous in the brick.
@@ -157,8 +185,7 @@ pub fn apply_bricks(
                                     [nb as usize * step + field_base + lx + bx * (ly + by * lz)];
                             }
                         } else {
-                            for sx in 0..px {
-                                let (cx, lx) = tx[sx];
+                            for (sx, &(cx, lx)) in tx.iter().enumerate() {
                                 let code = cx + 3 * (cy + 3 * cz);
                                 let local = lx + bx * (ly + by * lz);
                                 let v = if code == 0 {
@@ -183,23 +210,130 @@ pub fn apply_bricks(
                     for y in 0..by {
                         let srow = ((z + r) * py + (y + r)) * px + r;
                         let orow = (z * by + y) * bx;
-                        for x in 0..bx {
+                        for (x, o) in out[orow..orow + bx].iter_mut().enumerate() {
                             let idx = srow + x;
                             let mut acc = 0.0;
                             for &(d, c) in &deltas {
                                 acc += c * scratch[(idx as isize + d) as usize];
                             }
-                            out[orow + x] = acc;
+                            *o = acc;
                         }
                     }
                 }
-            },
-        );
+            });
+        });
+}
+
+/// Grouped-row 125-point kernel exploiting the paper's 10-coefficient
+/// symmetry: for each output row the 25 source rows `(dy, dz)` collapse
+/// into 6 accumulated group rows keyed by sorted `(|dy|, |dz|)` (padded
+/// two columns into the ±x neighbors), and the x pass combines each
+/// group with its 3 per-|dx| class coefficients — ~18 multiplies per
+/// point instead of 125. Regrouping changes the FP summation order, so
+/// this path is tolerance-equal (not bit-identical) to the reference;
+/// [`crate::KernelPlan`] keeps cube125 on the bit-identical row-segment
+/// engine.
+fn apply_cube125_bricks(
+    c: &[f64; 10],
+    info: &BrickInfo<3>,
+    input: &BrickStorage,
+    output: &mut BrickStorage,
+    compute: &[bool],
+    field: usize,
+) {
+    let bd = info.brick_dims();
+    let [bx, by, bz] = bd.extents();
+    assert!(
+        bx >= 2 && by >= 2 && bz >= 2,
+        "cube125 kernel needs bricks of extent >= 2"
+    );
+    let step = output.step();
+    let elems = output.elements_per_brick();
+    let field_base = field * elems;
+    let in_data = input.as_slice();
+    let pad = bx + 4;
+
+    // Row-group index by (|dy|, |dz|) and the 3 per-|dx| coefficients
+    // of each group's representative (dy, dz).
+    const GMAP: [[usize; 3]; 3] = [[0, 1, 2], [1, 3, 4], [2, 4, 5]];
+    const REPS: [(i8, i8); 6] = [(0, 0), (1, 0), (2, 0), (1, 1), (2, 1), (2, 2)];
+    let tri: [[f64; 3]; 6] = std::array::from_fn(|g| {
+        let (dy, dz) = REPS[g];
+        std::array::from_fn(|a| c[crate::shape::symmetry_class(a as i8, dy, dz)])
+    });
+
+    // Resolve a shifted row coordinate: (trit, wrapped local index).
+    let resolve = |p: isize, e: usize| -> (usize, usize) {
+        if p < 0 {
+            (2, (p + e as isize) as usize)
+        } else if p >= e as isize {
+            (1, (p - e as isize) as usize)
+        } else {
+            (0, p as usize)
+        }
+    };
+
+    output
+        .as_mut_slice()
+        .par_chunks_mut(step)
+        .with_min_len(16)
+        .enumerate()
+        .filter(|(b, _)| compute[*b])
+        .for_each(|(b, chunk)| {
+            let out = &mut chunk[field_base..field_base + elems];
+            let adj = info.adjacency_row(b as u32);
+            let bases: [usize; 27] = std::array::from_fn(|code| {
+                let nb = adj[code];
+                assert_ne!(nb, brick::NO_BRICK, "stencil crossed a missing neighbor");
+                nb as usize * step + field_base
+            });
+            crate::arena::with_scratch(6 * pad, |scratch| {
+                for z in 0..bz {
+                    for y in 0..by {
+                        scratch.fill(0.0);
+                        // Accumulate the 25 source rows into 6 groups.
+                        for dz in -2isize..=2 {
+                            let (tz, lz) = resolve(z as isize + dz, bz);
+                            for dy in -2isize..=2 {
+                                let (ty, ly) = resolve(y as isize + dy, by);
+                                let code = 3 * (ty + 3 * tz);
+                                let rb = (lz * by + ly) * bx;
+                                let g = GMAP[dy.unsigned_abs()][dz.unsigned_abs()];
+                                let grow = &mut scratch[g * pad..(g + 1) * pad];
+                                let mid = &in_data[bases[code] + rb..][..bx];
+                                for (d, &s) in grow[2..2 + bx].iter_mut().zip(mid) {
+                                    *d += s;
+                                }
+                                let lsrc = &in_data[bases[code + 2] + rb + bx - 2..][..2];
+                                grow[0] += lsrc[0];
+                                grow[1] += lsrc[1];
+                                let rsrc = &in_data[bases[code + 1] + rb..][..2];
+                                grow[bx + 2] += rsrc[0];
+                                grow[bx + 3] += rsrc[1];
+                            }
+                        }
+                        // x pass: 6 symmetric 5-wide combinations.
+                        let orow = (z * by + y) * bx;
+                        let out_row = &mut out[orow..orow + bx];
+                        out_row.fill(0.0);
+                        for (t, gr) in tri.iter().zip(scratch.chunks_exact(pad)) {
+                            let [t0, t1, t2] = *t;
+                            for (x, o) in out_row.iter_mut().enumerate() {
+                                *o += t0 * gr[x + 2]
+                                    + t1 * (gr[x + 1] + gr[x + 3])
+                                    + t2 * (gr[x] + gr[x + 4]);
+                            }
+                        }
+                    }
+                }
+            });
+        });
 }
 
 /// Generated-style 7-point brick kernel: face-neighbor rows are hoisted
 /// per (z, y) row and the inner x loop is branch-free over `1..bx-1`.
-fn apply_star7_bricks(
+/// Also the star7 execution path of [`crate::KernelPlan`].
+pub(crate) fn apply_star7_bricks(
     c: &[f64; 7],
     info: &BrickInfo<3>,
     input: &BrickStorage,
@@ -504,6 +638,45 @@ mod tests {
         apply_bricks(&shape, &info, &input, &mut out_par, &compute, 0);
         apply_bricks_serial(&shape, &info, &input, &mut out_ser, &compute, 0);
         assert_eq!(out_par.as_slice(), out_ser.as_slice());
+    }
+
+    /// The gather fallback accumulates in tap order, so it is
+    /// bit-identical to the serial reference for any shape.
+    #[test]
+    fn gather_bit_identical_to_serial() {
+        let (grid, info, mut input, mut out_g) = setup(2, 4);
+        fill(&grid, &mut input, 4, |x, y, z| ((x * 13 + y * 7 + z * 3) % 19) as f64 - 9.0);
+        let mut out_s = info.allocate(1);
+        let compute = vec![true; info.bricks()];
+        for shape in [StencilShape::star13_default(), StencilShape::cube125_default()] {
+            apply_bricks_gather(&shape, &info, &input, &mut out_g, &compute, 0);
+            apply_bricks_serial(&shape, &info, &input, &mut out_s, &compute, 0);
+            assert_eq!(out_g.as_slice(), out_s.as_slice());
+        }
+    }
+
+    /// The grouped-row symmetric cube125 kernel regroups the summation,
+    /// so compare with a tight tolerance against the serial reference.
+    #[test]
+    fn cube125_symmetric_matches_serial() {
+        for bdim in [2usize, 4, 8] {
+            let (grid, info, mut input, mut out_f) = setup(2, bdim);
+            fill(&grid, &mut input, bdim, |x, y, z| {
+                ((x * 13 + y * 7 + z * 3) % 19) as f64 - 9.0
+            });
+            let mut out_s = info.allocate(1);
+            let compute = vec![true; info.bricks()];
+            let shape = StencilShape::cube125_default();
+            apply_bricks(&shape, &info, &input, &mut out_f, &compute, 0);
+            apply_bricks_serial(&shape, &info, &input, &mut out_s, &compute, 0);
+            let max_err = out_f
+                .as_slice()
+                .iter()
+                .zip(out_s.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(max_err < 1e-12, "bdim {bdim}: max_err = {max_err}");
+        }
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //!   exchange must pack/unpack 26 strided surface regions;
 //! * brick-side application ([`apply_bricks`]) following the paper's
 //!   Figure 6 (adjacency-resolved accesses, layout-agnostic);
+//! * [`KernelPlan`] / [`VarCoefPlan`], precompiled bind-once /
+//!   execute-many kernel plans that resolve neighbor bases and row
+//!   segments once per `(BrickInfo, StencilShape, field)` binding and
+//!   replay them every timestep (bit-identical to the serial
+//!   reference);
 //! * [`Datatype`], an MPI derived-datatype engine whose element-wise
 //!   pack walk faithfully reproduces the `MPI_Types` baseline.
 //!
@@ -26,14 +31,17 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod array;
 pub mod brickstencil;
 pub mod mpitypes;
+pub mod plan;
 pub mod shape;
 pub mod varcoef;
 
-pub use array::ArrayGrid;
-pub use brickstencil::{apply_bricks, apply_bricks_serial, gstencil_per_sec};
+pub use array::{ArrayGrid, ArrayPlan};
+pub use brickstencil::{apply_bricks, apply_bricks_gather, apply_bricks_serial, gstencil_per_sec};
 pub use mpitypes::Datatype;
-pub use shape::{star7_coeffs, StencilShape};
+pub use plan::{KernelPlan, VarCoefPlan};
+pub use shape::{cube125_coeffs, star7_coeffs, StencilShape};
 pub use varcoef::{apply_varcoef7_bricks, VARCOEF_FIELDS};

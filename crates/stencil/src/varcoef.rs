@@ -10,73 +10,28 @@
 //! `1..=7` hold the per-point coefficients (center, −x, +x, −y, +y,
 //! −z, +z).
 
-use brick::{BrickInfo, BrickStorage, BrickView};
-use rayon::prelude::*;
+use brick::{BrickInfo, BrickStorage};
 
 /// Number of fields a variable-coefficient storage must carry.
 pub const VARCOEF_FIELDS: usize = 8;
 
 /// Apply the variable-coefficient 7-point stencil: for every element,
 /// `out = Σ_t c_t(x) · u(x + o_t)` with coefficients read from fields
-/// 1..=7 of `input` at the output point.
+/// 1..=7 of `input` at the output point (canonical tap order: center,
+/// −x, +x, −y, +y, −z, +z).
+///
+/// One-shot convenience wrapper: compiles a [`crate::VarCoefPlan`] and
+/// executes it once. Steady-state loops should bind the plan once and
+/// call [`crate::VarCoefPlan::execute`] per step.
 pub fn apply_varcoef7_bricks(
     info: &BrickInfo<3>,
     input: &BrickStorage,
     output: &mut BrickStorage,
     compute: &[bool],
-    ) {
+) {
     assert!(input.fields() >= VARCOEF_FIELDS, "need state + 7 coefficient fields");
     assert_eq!(compute.len(), info.bricks());
-    let bd = info.brick_dims();
-    let [bx, by, bz] = bd.extents();
-    let step = output.step();
-    let elems = output.elements_per_brick();
-    let in_step = input.step();
-    let in_data = input.as_slice();
-    let u = BrickView::new(info, input, 0);
-
-    const OFFS: [[i8; 3]; 7] = [
-        [0, 0, 0],
-        [-1, 0, 0],
-        [1, 0, 0],
-        [0, -1, 0],
-        [0, 1, 0],
-        [0, 0, -1],
-        [0, 0, 1],
-    ];
-
-    output
-        .as_mut_slice()
-        .par_chunks_mut(step)
-        .with_min_len(16)
-        .enumerate()
-        .filter(|(b, _)| compute[*b])
-        .for_each(|(b, chunk)| {
-            let bi = b as u32;
-            let out = &mut chunk[..elems];
-            let coef_base = b * in_step + elems; // field 1 starts here
-            for z in 0..bz {
-                for y in 0..by {
-                    for x in 0..bx {
-                        let idx = (z * by + y) * bx + x;
-                        let mut acc = 0.0;
-                        for (f, o) in OFFS.iter().enumerate() {
-                            let c = in_data[coef_base + f * elems + idx];
-                            acc += c
-                                * u.get(
-                                    bi,
-                                    [
-                                        x as isize + o[0] as isize,
-                                        y as isize + o[1] as isize,
-                                        z as isize + o[2] as isize,
-                                    ],
-                                );
-                        }
-                        out[idx] = acc;
-                    }
-                }
-            }
-        });
+    crate::plan::VarCoefPlan::new(info, input.fields()).execute(input, output, compute)
 }
 
 #[cfg(test)]

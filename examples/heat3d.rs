@@ -30,6 +30,7 @@ fn main() {
             warmup: 1,
             ranks: vec![2, 1, 1],
             net: NetworkModel::theta_aries(),
+            kernel: KernelKind::Plan,
         };
         let r = run_experiment(&cfg);
         println!(

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example varcoef_diffusion`
 
 use bricklib::prelude::*;
-use stencil::{apply_varcoef7_bricks, VARCOEF_FIELDS};
+use stencil::{VarCoefPlan, VARCOEF_FIELDS};
 
 fn main() {
     let n = 32usize;
@@ -54,9 +54,12 @@ fn main() {
         }
         let initial = packfree::fields::interior_sum(&decomp, &cur, 0);
 
+        // Bind the variable-coefficient kernel plan once; the timestep
+        // loop below only replays it.
+        let plan = VarCoefPlan::new(info, VARCOEF_FIELDS);
         for _ in 0..20 {
             ex.exchange(ctx, &mut cur); // one exchange, all 8 fields
-            ctx.time_calc(|| apply_varcoef7_bricks(info, &cur, &mut nxt, mask));
+            ctx.time_calc(|| plan.execute(&cur, &mut nxt, mask));
             // Coefficients are static: carry them into the next buffer.
             for b in 0..decomp.bricks() as u32 {
                 for f in 1..VARCOEF_FIELDS {

@@ -40,6 +40,7 @@ fn main() {
             warmup: 1,
             ranks: vec![1, 1, 1],
             net: NetworkModel::theta_aries(),
+            kernel: KernelKind::Plan,
         };
         let r = run_experiment(&cfg);
         println!(

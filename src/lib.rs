@@ -42,9 +42,11 @@ pub mod prelude {
     pub use memview::{ContiguousView, MemFile, Segment};
     pub use netsim::{run_cluster, CartTopo, NetworkModel, RankCtx, Timers};
     pub use packfree::baselines::ArrayExchanger;
-    pub use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig, MethodReport};
+    pub use packfree::experiment::{
+        run_experiment, CpuMethod, ExperimentConfig, KernelKind, MethodReport,
+    };
     pub use packfree::gpu::{estimate_gpu_step, GpuMethod, GpuPlatform, GpuWorkload};
     pub use packfree::memmap::{memmap_decomp, ExchangeView, MemMapStorage};
     pub use packfree::{BrickDecomp, ExchangeStats, Exchanger};
-    pub use stencil::{apply_bricks, ArrayGrid, Datatype, StencilShape};
+    pub use stencil::{apply_bricks, ArrayGrid, Datatype, KernelPlan, StencilShape};
 }

@@ -15,6 +15,7 @@ fn cfg(method: CpuMethod, n: usize, shape: StencilShape, ranks: Vec<usize>) -> E
         warmup: 1,
         ranks,
         net: NetworkModel::theta_aries(),
+        kernel: KernelKind::Plan,
     }
 }
 
@@ -148,6 +149,34 @@ fn brick_matches_array_evolution() {
         }
     }
     assert!(max_err < 1e-12, "field divergence: {max_err}");
+}
+
+/// The precompiled plan engine and the per-step gather engine replay the
+/// same FP op sequence, so every brick method must produce *bit-identical*
+/// checksums under either — for the low- and the high-order proxy alike.
+#[test]
+fn plan_engine_bit_identical_to_gather() {
+    for shape in [StencilShape::star7_default(), StencilShape::cube125_default()] {
+        for method in [
+            CpuMethod::Layout,
+            CpuMethod::Basic,
+            CpuMethod::MemMap { page_size: memview::PAGE_4K },
+            CpuMethod::Shift { page_size: memview::PAGE_4K },
+        ] {
+            let mut plan = cfg(method.clone(), 32, shape.clone(), vec![1, 1, 1]);
+            plan.kernel = KernelKind::Plan;
+            let mut gather = cfg(method, 32, shape.clone(), vec![1, 1, 1]);
+            gather.kernel = KernelKind::Gather;
+            let (p, g) = (run_experiment(&plan), run_experiment(&gather));
+            assert_eq!(
+                p.checksum.to_bits(),
+                g.checksum.to_bits(),
+                "kernel engines diverged for {:?} / {} taps",
+                plan.method,
+                shape.points(),
+            );
+        }
+    }
 }
 
 #[test]

@@ -30,6 +30,7 @@ fn gpu_modes_match_cpu_physics() {
         warmup: 0,
         ranks: vec![1, 1, 1],
         net: NetworkModel::instant(),
+        kernel: KernelKind::Plan,
     });
     for m in [
         GpuMethod::LayoutCA,

@@ -124,16 +124,16 @@ fn shift_supports_full_stencil_loop() {
             let mut b = MemMapStorage::allocate(&d).unwrap();
             let mut sh_a = ShiftExchanger::build(&d, &a).unwrap();
             let mut sh_b = ShiftExchanger::build(&d, &b).unwrap();
-            let ev_a = ExchangeView::build(&d, &a).unwrap();
-            let ev_b = ExchangeView::build(&d, &b).unwrap();
+            let mut ev_a = ExchangeView::build(&d, &a).unwrap();
+            let mut ev_b = ExchangeView::build(&d, &b).unwrap();
             fill(&d, &mut a, [0, 0, 0]);
             let mut flip = false;
             for _ in 0..steps {
                 {
                     let (cur, sh, ev) = if flip {
-                        (&mut b, &mut sh_b, &ev_b)
+                        (&mut b, &mut sh_b, &mut ev_b)
                     } else {
-                        (&mut a, &mut sh_a, &ev_a)
+                        (&mut a, &mut sh_a, &mut ev_a)
                     };
                     if use_shift {
                         sh.exchange(ctx, cur);
@@ -180,7 +180,7 @@ fn view_exchange_rejects_foreign_storage() {
     let caught = run_cluster(&topo, NetworkModel::instant(), |ctx| {
         let a = MemMapStorage::allocate(&d).unwrap();
         let mut b = MemMapStorage::allocate(&d).unwrap();
-        let ev = ExchangeView::build(&d, &a).unwrap();
+        let mut ev = ExchangeView::build(&d, &a).unwrap();
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             ev.exchange(ctx, &mut b);
         }))
