@@ -34,7 +34,7 @@ fn bench_exchanges(c: &mut Criterion) {
             b.iter(|| {
                 run_cluster(&topo, net, |ctx| {
                     let mut st = d.allocate();
-                    ex.exchange(ctx, &mut st);
+                    ex.exchange(ctx, &mut st).unwrap();
                 })
             })
         });
@@ -46,7 +46,7 @@ fn bench_exchanges(c: &mut Criterion) {
                 run_cluster(&topo, net, |ctx| {
                     let mut st = MemMapStorage::allocate(&dm).unwrap();
                     let mut ev = ExchangeView::build(&dm, &st).unwrap();
-                    ev.exchange(ctx, &mut st);
+                    ev.exchange(ctx, &mut st).unwrap();
                 })
             })
         });
@@ -57,7 +57,7 @@ fn bench_exchanges(c: &mut Criterion) {
                 run_cluster(&topo, net, |ctx| {
                     let mut grid = ArrayGrid::new([n; 3], 8);
                     let mut ex = ArrayExchanger::new(&grid);
-                    ex.exchange_packed(ctx, &mut grid);
+                    ex.exchange_packed(ctx, &mut grid).unwrap();
                 })
             })
         });
@@ -68,7 +68,7 @@ fn bench_exchanges(c: &mut Criterion) {
                 run_cluster(&topo, net, |ctx| {
                     let mut grid = ArrayGrid::new([n; 3], 8);
                     let mut ex = ArrayExchanger::new(&grid);
-                    ex.exchange_mpitypes(ctx, &mut grid);
+                    ex.exchange_mpitypes(ctx, &mut grid).unwrap();
                 })
             })
         });

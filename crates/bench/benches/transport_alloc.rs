@@ -44,9 +44,9 @@ fn bench_isend_pooling(c: &mut Criterion) {
                             let mut recv = vec![0.0f64; m];
                             let peer = 1 - ctx.rank();
                             for _ in 0..EPOCHS {
-                                let h = ctx.irecv(peer, 7);
-                                ctx.isend(peer, 7, &data);
-                                ctx.waitall_into(&[h], &mut [recv.as_mut_slice()]);
+                                let h = ctx.irecv(peer, 7).unwrap();
+                                ctx.isend(peer, 7, &data).unwrap();
+                                ctx.waitall_into(&[h], &mut [recv.as_mut_slice()]).unwrap();
                             }
                             ctx.transport_allocs()
                         })
@@ -76,7 +76,7 @@ fn bench_exchange_path(c: &mut Criterion) {
                     let mut sess =
                         if loopback { ex.session(ctx) } else { ex.session_mailbox(ctx) };
                     for _ in 0..steps {
-                        sess.exchange(ctx, &mut st);
+                        sess.exchange(ctx, &mut st).unwrap();
                     }
                 })
             })
@@ -88,7 +88,7 @@ fn bench_exchange_path(c: &mut Criterion) {
             run_cluster(&topo, net, |ctx| {
                 let mut st = d.allocate();
                 for _ in 0..steps {
-                    ex.exchange(ctx, &mut st);
+                    ex.exchange(ctx, &mut st).unwrap();
                 }
             })
         })

@@ -31,6 +31,7 @@ fn main() {
             ranks: vec![2, 1, 1],
             net: netsim::NetworkModel::theta_aries(),
             kernel: KernelKind::Plan,
+            faults: netsim::FaultConfig::off(),
         };
         let r = run_experiment(&cfg);
         let s = r.summary;

@@ -53,15 +53,15 @@ fn time_path(ex: &Exchanger, d: &BrickDecomp<3>, steps: usize, path: Path) -> Ro
         };
         for _ in 0..warmup {
             match sess.as_mut() {
-                Some(s) => s.exchange(ctx, &mut st),
-                None => ex.exchange(ctx, &mut st),
+                Some(s) => s.exchange(ctx, &mut st).unwrap(),
+                None => ex.exchange(ctx, &mut st).unwrap(),
             }
         }
-        let t0 = Instant::now();
+        let t0 = Instant::now().unwrap();
         for _ in 0..steps {
             match sess.as_mut() {
-                Some(s) => s.exchange(ctx, &mut st),
-                None => ex.exchange(ctx, &mut st),
+                Some(s) => s.exchange(ctx, &mut st).unwrap(),
+                None => ex.exchange(ctx, &mut st).unwrap(),
             }
         }
         t0.elapsed().as_secs_f64()

@@ -27,7 +27,7 @@ fn main() {
         let timers = run_cluster(&topo, NetworkModel::theta_aries(), |ctx| {
             let mut st = d.allocate();
             for _ in 0..6 {
-                ex.exchange(ctx, &mut st);
+                ex.exchange(ctx, &mut st).unwrap();
             }
             ctx.timers().per_step(6)
         })[0];

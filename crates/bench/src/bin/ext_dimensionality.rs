@@ -20,7 +20,7 @@ fn run_1d(basic: bool) -> (usize, Timers) {
     let t = run_cluster(&topo, NetworkModel::theta_aries(), |ctx| {
         let mut st = d.allocate();
         for _ in 0..8 {
-            ex.exchange(ctx, &mut st);
+            ex.exchange(ctx, &mut st).unwrap();
         }
         ctx.timers().per_step(8)
     });
@@ -35,7 +35,7 @@ fn run_2d(basic: bool) -> (usize, Timers) {
     let t = run_cluster(&topo, NetworkModel::theta_aries(), |ctx| {
         let mut st = d.allocate();
         for _ in 0..8 {
-            ex.exchange(ctx, &mut st);
+            ex.exchange(ctx, &mut st).unwrap();
         }
         ctx.timers().per_step(8)
     });
@@ -50,7 +50,7 @@ fn run_3d(basic: bool) -> (usize, Timers) {
     let t = run_cluster(&topo, NetworkModel::theta_aries(), |ctx| {
         let mut st = d.allocate();
         for _ in 0..8 {
-            ex.exchange(ctx, &mut st);
+            ex.exchange(ctx, &mut st).unwrap();
         }
         ctx.timers().per_step(8)
     });

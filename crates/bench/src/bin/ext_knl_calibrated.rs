@@ -31,6 +31,7 @@ fn main() {
             payload_bytes: s.layout.payload_bytes,
             wire_bytes: s.layout.payload_bytes,
             region_instances: s.layout.region_instances,
+            ..packfree::ExchangeStats::default()
         };
         let types = estimate_cpu_step(&CpuMethod::MpiTypes, &s.types, pts, &knl, &net);
         let yask = estimate_cpu_step(&CpuMethod::Yask, &s.types, pts, &knl, &net);

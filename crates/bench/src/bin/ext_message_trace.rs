@@ -19,7 +19,7 @@ fn main() {
     let events = run_cluster(&topo, NetworkModel::theta_aries(), |ctx| {
         ctx.enable_trace();
         let mut st = d.allocate();
-        ex.exchange(ctx, &mut st);
+        ex.exchange(ctx, &mut st).unwrap();
         ctx.take_trace()
     });
 

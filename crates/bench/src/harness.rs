@@ -45,6 +45,7 @@ pub fn gpu_stats(n: usize) -> GpuStats {
         payload_bytes: grid.exchange_bytes(),
         wire_bytes: grid.exchange_bytes(),
         region_instances: 26,
+        ..ExchangeStats::default()
     };
     GpuStats { layout, memmap, types }
 }

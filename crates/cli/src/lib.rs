@@ -27,6 +27,8 @@ pub struct Options {
     pub net: Net,
     /// Brick compute engine (precompiled plan vs per-step gather).
     pub kernel: KernelKind,
+    /// Seeded fault injection (chaos mode); off by default.
+    pub faults: netsim::FaultConfig,
     /// Emit machine-readable JSON instead of the artifact text format.
     pub json: bool,
     /// Print help instead of running.
@@ -66,6 +68,7 @@ impl Default for Options {
             stencil: Stencil::Star7,
             net: Net::Aries,
             kernel: KernelKind::Plan,
+            faults: netsim::FaultConfig::off(),
             json: false,
             help: false,
         }
@@ -92,6 +95,11 @@ OPTIONS:
                         kernel plan vs per-step halo gather (default: plan)
   -p, --page <bytes>    MemMap page size: 4096 | 16384 | 65536
                         (default: 4096; memmap/shift only)
+  -f, --faults <spec>   seeded chaos injection: seed[,drop[,corrupt[,dup
+                        [,delay[,jitter]]]]], probabilities in [0,1],
+                        e.g. 42,0.1,0.05 — exchanges retry until they
+                        converge bit-identically to the fault-free run
+                        (default: off)
   -j, --json            emit one JSON object instead of the text format
   -h, --help            print this help
 
@@ -155,6 +163,9 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown kernel '{other}'")),
                 };
             }
+            "-f" | "--faults" => {
+                o.faults = netsim::FaultConfig::parse(&take("--faults")?)?;
+            }
             "-p" | "--page" => {
                 page = take("--page")?.parse().map_err(|e| format!("--page: {e}"))?;
                 if !matches!(page, 4096 | 16384 | 65536) {
@@ -204,6 +215,7 @@ pub fn config(o: &Options) -> ExperimentConfig {
             Net::Instant => netsim::NetworkModel::instant(),
         },
         kernel: o.kernel,
+        faults: o.faults,
     }
 }
 
@@ -235,6 +247,19 @@ pub fn render(o: &Options, r: &MethodReport) -> String {
     out.push_str(&fmt("call", r.summary.call));
     out.push_str(&fmt("wait", r.summary.wait));
     out.push_str(&format!("perf {:.4} GStencil/s per rank\n", r.gstencil()));
+    if o.faults.is_active() {
+        out.push_str(&format!(
+            "faults seed {} | injected: drop {} corrupt {} dup {} delay {}\n",
+            o.faults.seed, r.faults.drops, r.faults.corrupts, r.faults.dups, r.faults.delays
+        ));
+        out.push_str(&format!(
+            "recovery: retries {} dup-discarded {} corrupt-detected {} degraded {}\n",
+            r.stats.retries,
+            r.stats.duplicates_discarded,
+            r.stats.corrupt_detected,
+            r.stats.degraded_exchanges
+        ));
+    }
     out
 }
 
@@ -255,8 +280,43 @@ pub fn render_json(o: &Options, r: &MethodReport) -> String {
     out.push_str(&metric("pack", r.summary.pack));
     out.push_str(&metric("call", r.summary.call));
     out.push_str(&metric("wait", r.summary.wait));
+    if o.faults.is_active() {
+        out.push_str(&format!("  \"fault_seed\": {},\n", o.faults.seed));
+        out.push_str(&format!(
+            "  \"faults\": {{\"drops\": {}, \"corrupts\": {}, \"dups\": {}, \"delays\": {}}},\n",
+            r.faults.drops, r.faults.corrupts, r.faults.dups, r.faults.delays
+        ));
+        out.push_str(&format!(
+            "  \"recovery\": {{\"retries\": {}, \"duplicates_discarded\": {}, \
+             \"corrupt_detected\": {}, \"degraded_exchanges\": {}}},\n",
+            r.stats.retries,
+            r.stats.duplicates_discarded,
+            r.stats.corrupt_detected,
+            r.stats.degraded_exchanges
+        ));
+        out.push_str(&format!(
+            "  \"fault_events\": {},\n",
+            fault_events_json(&r.fault_events)
+        ));
+    }
     out.push_str(&format!("  \"gstencil_per_rank\": {:.6}\n", r.gstencil()));
     out.push_str("}\n");
+    out
+}
+
+/// Render the merged fault trace as a JSON array (the CI chaos
+/// artifact). Each event's `rank` is the injecting sender, so the
+/// per-rank traces can be concatenated without losing attribution.
+pub fn fault_events_json(events: &[netsim::FaultEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let one = netsim::Trace::faults_json(f.src, std::slice::from_ref(f));
+        out.push_str(one.trim_start_matches('[').trim_end_matches(']'));
+    }
+    out.push(']');
     out
 }
 
@@ -345,6 +405,44 @@ mod tests {
         assert!(out.contains("\"method\": \"Layout\""));
         assert!(out.contains("\"pack\": [0.000000000, 0.000000000, 0.000000000]"));
         assert!(out.contains("\"gstencil_per_rank\""));
+    }
+
+    #[test]
+    fn faults_flag() {
+        let o = p(&["-f", "42,0.1,0.05"]).unwrap();
+        assert_eq!(o.faults.seed, 42);
+        assert_eq!(o.faults.drop, 0.1);
+        assert_eq!(o.faults.corrupt, 0.05);
+        assert!(o.faults.is_active());
+        assert!(!p(&[]).unwrap().faults.is_active());
+        assert!(p(&["--faults", "nonsense"]).is_err());
+        assert!(p(&["-f", "1,2.0"]).is_err());
+        assert!(p(&["-f", "1,0.1,0.1,0.1,0.1,0.1,0.1"]).is_err());
+        assert!(USAGE.contains("--faults"));
+    }
+
+    /// A chaos run completes, reports the injected damage plus the
+    /// recovery work, and still computes the same physics as the
+    /// fault-free run.
+    #[test]
+    fn end_to_end_chaos_run() {
+        let mut o = p(&[
+            "-m", "layout", "-d", "16", "-I", "2", "-w", "0", "-n", "instant", "-r", "2x1x1",
+            "-f", "7,0.2,0.05,0.1", "--json",
+        ])
+        .unwrap();
+        let chaos = run_experiment(&config(&o));
+        let clean = run_experiment(&config(&Options { faults: netsim::FaultConfig::off(), ..o.clone() }));
+        assert!(chaos.faults.total() > 0, "chaos run injected nothing");
+        assert_eq!(chaos.checksum.to_bits(), clean.checksum.to_bits());
+        let out = render_json(&o, &chaos);
+        assert!(out.contains("\"fault_seed\": 7"));
+        assert!(out.contains("\"recovery\""));
+        assert!(out.contains("\"fault_events\""));
+        o.json = false;
+        let text = render(&o, &chaos);
+        assert!(text.contains("faults seed 7"));
+        assert!(text.contains("recovery:"));
     }
 
     #[test]

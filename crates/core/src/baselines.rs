@@ -13,10 +13,11 @@
 //!   artifact).
 
 use layout::{all_regions, Dir};
-use netsim::{RankCtx, RecvHandle};
+use netsim::{NetsimError, RankCtx, RecvHandle};
 use stencil::{ArrayGrid, Datatype};
 
 use crate::exchange::ExchangeStats;
+use crate::reliable::{RecoveryStats, RelRecv, RelSend, ReliableSession};
 
 /// Reusable halo-exchange state for an [`ArrayGrid`] subdomain.
 ///
@@ -34,6 +35,9 @@ pub struct ArrayExchanger {
     stats: ExchangeStats,
     handles: Vec<RecvHandle>,
     bound: Option<ArrayBound>,
+    /// Self-healing protocol state, built on first use under a fault
+    /// plan; the fault-free hot path never touches it.
+    reliable: Option<ReliableSession>,
 }
 
 /// Rank-resolved transport schedule: per-send destination and loopback
@@ -84,7 +88,13 @@ impl ArrayExchanger {
             stats,
             handles: Vec::new(),
             bound: None,
+            reliable: None,
         }
+    }
+
+    /// Recovery-protocol totals (zero unless a chaos run engaged it).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.reliable.as_ref().map(|r| r.stats()).unwrap_or_default()
     }
 
     /// Traffic statistics (26 messages, one per neighbor).
@@ -136,13 +146,18 @@ impl ArrayExchanger {
             }
         }
         self.bound = Some(ArrayBound { rank, dests, loopback, mailbox_srcs, mailbox_ranges });
+        self.reliable = None;
     }
 
     /// Send every packed buffer and complete every receive into the
     /// arena. Shared by both exchange flavors; allocation-free after the
-    /// first call.
-    fn transport(&mut self, ctx: &mut RankCtx<'_>) {
+    /// first call. Under an armed fault plan, mailbox traffic runs the
+    /// self-healing [`ReliableSession`] protocol instead.
+    fn transport(&mut self, ctx: &mut RankCtx<'_>) -> Result<(), NetsimError> {
         self.ensure_bound(ctx);
+        if ctx.fault_active() {
+            return self.transport_reliable(ctx);
+        }
         let ArrayExchanger { dirs, send_bufs, recv_arena, recv_ranges, handles, bound, .. } = self;
         let b = bound.as_ref().expect("bound above");
         for (i, d) in dirs.iter().enumerate() {
@@ -150,22 +165,69 @@ impl ArrayExchanger {
             let tag = d.code(3) as u64;
             match b.loopback[i] {
                 Some(j) => {
-                    ctx.loopback_into(tag, &send_bufs[i], &mut recv_arena[recv_ranges[j].clone()])
+                    ctx.loopback_into(tag, &send_bufs[i], &mut recv_arena[recv_ranges[j].clone()])?
                 }
-                None => ctx.isend(b.dests[i], tag, &send_bufs[i]),
+                None => ctx.isend(b.dests[i], tag, &send_bufs[i])?,
             }
         }
         handles.clear();
         for &(src, tag) in &b.mailbox_srcs {
-            handles.push(ctx.irecv(src, tag));
+            handles.push(ctx.irecv(src, tag)?);
         }
-        ctx.waitall_ranges(handles, recv_arena, &b.mailbox_ranges);
+        ctx.waitall_ranges(handles, recv_arena, &b.mailbox_ranges)
+    }
+
+    /// The transport under faults: loopbacks stay on the on-node fast
+    /// path, mailbox traffic is framed, checksummed and retried.
+    fn transport_reliable(&mut self, ctx: &mut RankCtx<'_>) -> Result<(), NetsimError> {
+        if self.reliable.is_none() {
+            let b = self.bound.as_ref().expect("bound by transport");
+            let rel_sends = self
+                .dirs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| b.loopback[*i].is_none())
+                .map(|(i, d)| RelSend { dest: b.dests[i], tag: d.code(3) as u64 })
+                .collect();
+            let rel_recvs = b
+                .mailbox_srcs
+                .iter()
+                .zip(&b.mailbox_ranges)
+                .map(|(&(src, tag), r)| RelRecv { src, tag, elems: r.len() })
+                .collect();
+            self.reliable = Some(ReliableSession::new(rel_sends, rel_recvs));
+        }
+        let ArrayExchanger { dirs, send_bufs, recv_arena, recv_ranges, bound, reliable, .. } =
+            self;
+        let b = bound.as_ref().expect("bound by transport");
+        let rel = reliable.as_mut().expect("built above");
+        for i in 0..dirs.len() {
+            ctx.note_payload(send_bufs[i].len() * 8);
+            if let Some(j) = b.loopback[i] {
+                let tag = dirs[i].code(3) as u64;
+                ctx.loopback_into(tag, &send_bufs[i], &mut recv_arena[recv_ranges[j].clone()])?;
+            }
+        }
+        rel.begin();
+        let mut k = 0usize;
+        for i in 0..dirs.len() {
+            if b.loopback[i].is_none() {
+                rel.stage(k, &send_bufs[i]);
+                k += 1;
+            }
+        }
+        let ranges = &b.mailbox_ranges;
+        rel.run(ctx, |i, payload| recv_arena[ranges[i].clone()].copy_from_slice(payload))
     }
 
     /// YASK-style exchange: pack each surface region (timed as `pack`),
     /// send one message per neighbor, receive, unpack into the ghost rim
     /// (timed as `pack`).
-    pub fn exchange_packed(&mut self, ctx: &mut RankCtx<'_>, grid: &mut ArrayGrid) {
+    pub fn exchange_packed(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        grid: &mut ArrayGrid,
+    ) -> Result<(), NetsimError> {
         // Pack all 26 regions — this is the on-node data movement the
         // paper eliminates.
         let dirs = &self.dirs;
@@ -175,7 +237,7 @@ impl ArrayExchanger {
                 grid.pack_surface(d, buf);
             }
         });
-        self.transport(ctx);
+        self.transport(ctx)?;
         // Unpack into ghosts — more on-node data movement.
         let dirs = &self.dirs;
         let arena = &self.recv_arena;
@@ -185,12 +247,17 @@ impl ArrayExchanger {
                 grid.unpack_ghost(d, &arena[ranges[i].clone()]);
             }
         });
+        Ok(())
     }
 
     /// MPI_Types exchange: no application-level packing; the datatype
     /// engine walks the strided regions element by element inside the
     /// library (charged to `call`).
-    pub fn exchange_mpitypes(&mut self, ctx: &mut RankCtx<'_>, grid: &mut ArrayGrid) {
+    pub fn exchange_mpitypes(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        grid: &mut ArrayGrid,
+    ) -> Result<(), NetsimError> {
         // "MPI-internal" gather through the datatype map.
         let send_types = &self.send_types;
         let bufs = &mut self.send_bufs;
@@ -200,7 +267,7 @@ impl ArrayExchanger {
                 t.pack_into(data, buf);
             }
         });
-        self.transport(ctx);
+        self.transport(ctx)?;
         // "MPI-internal" scatter into the ghost rim.
         let recv_types = &self.recv_types;
         let arena = &self.recv_arena;
@@ -211,6 +278,7 @@ impl ArrayExchanger {
                 t.unpack(data, &arena[r.clone()]);
             }
         });
+        Ok(())
     }
 }
 
@@ -270,7 +338,7 @@ mod tests {
             let f = |x: i64, y: i64, z: i64| (x + 31 * y + 997 * z) as f64;
             grid.fill_interior(|x, y, z| f(x as i64, y as i64, z as i64));
             let mut ex = ArrayExchanger::new(&grid);
-            ex.exchange_packed(ctx, &mut grid);
+            ex.exchange_packed(ctx, &mut grid).unwrap();
             check_ghosts(&grid, f, 24)
         });
         assert_eq!(errors[0], 0);
@@ -284,7 +352,7 @@ mod tests {
             let f = |x: i64, y: i64, z: i64| (x + 31 * y + 997 * z) as f64;
             grid.fill_interior(|x, y, z| f(x as i64, y as i64, z as i64));
             let mut ex = ArrayExchanger::new(&grid);
-            ex.exchange_mpitypes(ctx, &mut grid);
+            ex.exchange_mpitypes(ctx, &mut grid).unwrap();
             check_ghosts(&grid, f, 24)
         });
         assert_eq!(errors[0], 0);
@@ -303,8 +371,8 @@ mod tests {
             let mut b = mk();
             let mut ea = ArrayExchanger::new(&a);
             let mut eb = ArrayExchanger::new(&b);
-            ea.exchange_packed(ctx, &mut a);
-            eb.exchange_mpitypes(ctx, &mut b);
+            ea.exchange_packed(ctx, &mut a).unwrap();
+            eb.exchange_mpitypes(ctx, &mut b).unwrap();
             assert_eq!(a.as_slice(), b.as_slice());
         });
         let _ = sums;
@@ -320,23 +388,23 @@ mod tests {
             // Warm both paths (first-touch buffer allocation), then take
             // the *minimum* over several rounds — robust against
             // scheduler noise on loaded hosts.
-            ex.exchange_packed(ctx, &mut grid);
-            ex.exchange_mpitypes(ctx, &mut grid);
+            ex.exchange_packed(ctx, &mut grid).unwrap();
+            ex.exchange_mpitypes(ctx, &mut grid).unwrap();
             let mut best_pack = f64::INFINITY;
             let mut best_walk = f64::INFINITY;
             for _ in 0..7 {
                 ctx.reset_timers();
-                ex.exchange_packed(ctx, &mut grid);
+                ex.exchange_packed(ctx, &mut grid).unwrap();
                 best_pack = best_pack.min(ctx.timers().pack);
                 ctx.reset_timers();
-                ex.exchange_mpitypes(ctx, &mut grid);
+                ex.exchange_mpitypes(ctx, &mut grid).unwrap();
                 best_walk = best_walk.min(ctx.timers().call);
             }
             ctx.reset_timers();
-            ex.exchange_packed(ctx, &mut grid);
+            ex.exchange_packed(ctx, &mut grid).unwrap();
             let packed = ctx.timers();
             ctx.reset_timers();
-            ex.exchange_mpitypes(ctx, &mut grid);
+            ex.exchange_mpitypes(ctx, &mut grid).unwrap();
             let types = ctx.timers();
             (packed, types, best_pack, best_walk)
         });
@@ -348,6 +416,29 @@ mod tests {
         // packing (the paper's central observation about MPI_Types);
         // compare best-of-N times for noise robustness.
         assert!(best_walk > best_pack, "walk {best_walk} vs pack {best_pack}");
+    }
+
+    /// Packed exchange under drop/corrupt/dup injection: the retry
+    /// protocol must converge to the fault-free ghost rim.
+    #[test]
+    fn packed_exchange_converges_under_faults() {
+        use netsim::{run_cluster_faulty, FaultConfig};
+        let topo = CartTopo::new(&[2, 1, 1], true);
+        let run = |cfg: FaultConfig| {
+            run_cluster_faulty(&topo, NetworkModel::instant(), cfg, |ctx| {
+                let mut grid = ArrayGrid::new([16; 3], 8);
+                let rank = ctx.rank() as i64;
+                grid.fill_interior(|x, y, z| (rank * 16 + x as i64 + 31 * y as i64 + 997 * z as i64) as f64);
+                let mut ex = ArrayExchanger::new(&grid);
+                for _ in 0..2 {
+                    ex.exchange_packed(ctx, &mut grid).unwrap();
+                }
+                grid.as_slice().to_vec()
+            })
+        };
+        let cfg =
+            FaultConfig { seed: 7, drop: 0.15, corrupt: 0.05, dup: 0.10, ..FaultConfig::off() };
+        assert_eq!(run(cfg), run(FaultConfig::off()));
     }
 
     #[test]

@@ -11,9 +11,10 @@
 
 use brick::BrickStorage;
 use layout::{all_regions, Dir};
-use netsim::{RankCtx, RecvHandle};
+use netsim::{NetsimError, RankCtx, RecvHandle};
 
 use crate::decomp::BrickDecomp;
+use crate::reliable::{RecoveryStats, RelRecv, RelSend, ReliableSession};
 
 /// One outgoing message: a contiguous padded brick range sent toward a
 /// neighbor.
@@ -51,6 +52,15 @@ pub struct ExchangeStats {
     pub wire_bytes: usize,
     /// Non-empty region instances sent (Basic's message count).
     pub region_instances: usize,
+    /// Frames re-sent by the reliable protocol (0 when fault-free).
+    pub retries: u64,
+    /// Stale or duplicated frames discarded on receive.
+    pub duplicates_discarded: u64,
+    /// Frames rejected by checksum or length validation.
+    pub corrupt_detected: u64,
+    /// Exchanges that fell back to fault-bypassed resends after the
+    /// retry budget was exhausted (graceful degradation).
+    pub degraded_exchanges: u64,
 }
 
 impl ExchangeStats {
@@ -60,6 +70,14 @@ impl ExchangeStats {
             return 0.0;
         }
         (self.wire_bytes as f64 / self.payload_bytes as f64 - 1.0) * 100.0
+    }
+
+    /// Fold the reliable protocol's recovery counters into the report.
+    pub fn absorb_recovery(&mut self, r: &RecoveryStats) {
+        self.retries += r.retries;
+        self.duplicates_discarded += r.duplicates_discarded;
+        self.corrupt_detected += r.corrupt_detected;
+        self.degraded_exchanges += r.degraded_exchanges;
     }
 }
 
@@ -213,7 +231,11 @@ impl Exchanger {
     /// This is the allocating reference path kept for comparison and
     /// one-shot use; timestep loops should build a [`session`]
     /// (`Exchanger::session`) and drive that instead.
-    pub fn exchange(&self, ctx: &mut RankCtx<'_>, storage: &mut BrickStorage) {
+    pub fn exchange(
+        &self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut BrickStorage,
+    ) -> Result<(), NetsimError> {
         let rank = ctx.rank();
         // Sends: contiguous sub-slices of the storage.
         for m in &self.sends {
@@ -225,7 +247,7 @@ impl Exchanger {
             let hi = m.bricks.end * self.step;
             let data = &storage.as_slice()[lo..hi];
             ctx.note_payload(m.payload_bricks * self.step * 8);
-            ctx.isend(dest, m.tag, data);
+            ctx.isend(dest, m.tag, data)?;
         }
         // Receives: directly into ghost brick ranges.
         let mut handles: Vec<RecvHandle> = Vec::with_capacity(self.recvs.len());
@@ -235,11 +257,11 @@ impl Exchanger {
                 .topo()
                 .neighbor(rank, &m.from.offsets(self.dims))
                 .expect("exchange requires a periodic (or interior) neighbor");
-            handles.push(ctx.irecv(src, m.tag));
+            handles.push(ctx.irecv(src, m.tag)?);
             ranges.push(m.bricks.start * self.step..m.bricks.end * self.step);
         }
         let mut bufs = split_disjoint_mut(storage.as_mut_slice(), &ranges);
-        ctx.waitall_into(&handles, &mut bufs);
+        ctx.waitall_into(&handles, &mut bufs)
     }
 }
 
@@ -267,6 +289,9 @@ pub struct ExchangeSession {
     recv_srcs: Vec<(usize, u64)>,
     recv_ranges: Vec<std::ops::Range<usize>>,
     handles: Vec<RecvHandle>,
+    // Self-healing protocol state, built on first use under a fault
+    // plan; the fault-free hot path never touches it.
+    reliable: Option<ReliableSession>,
 }
 
 impl ExchangeSession {
@@ -326,30 +351,90 @@ impl ExchangeSession {
             }
         }
         let handles = Vec::with_capacity(recv_srcs.len());
-        ExchangeSession { sends, recv_srcs, recv_ranges, handles }
+        ExchangeSession { sends, recv_srcs, recv_ranges, handles, reliable: None }
     }
 
     /// One full ghost-zone exchange with zero per-step allocation.
     /// Self-sends copy once, straight from the send sub-slice into the
     /// posted ghost range; everything else goes through the mailbox.
     /// Wire-model charges are identical to [`Exchanger::exchange`].
-    pub fn exchange(&mut self, ctx: &mut RankCtx<'_>, storage: &mut BrickStorage) {
+    ///
+    /// When the rank's fault plan is armed, mailbox traffic switches to
+    /// the self-healing [`ReliableSession`] protocol (checksummed
+    /// frames, retry with backoff, degraded fallback), which converges
+    /// to the exact same storage bits as the fault-free path.
+    pub fn exchange(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut BrickStorage,
+    ) -> Result<(), NetsimError> {
+        if ctx.fault_active() {
+            return self.exchange_reliable(ctx, storage);
+        }
         for m in &self.sends {
             ctx.note_payload(m.payload_bytes);
             match m.loopback_dst {
                 Some(dst) => {
-                    ctx.loopback_within(m.tag, storage.as_mut_slice(), m.elems.clone(), dst)
+                    ctx.loopback_within(m.tag, storage.as_mut_slice(), m.elems.clone(), dst)?
                 }
-                None => ctx.isend(m.dest, m.tag, &storage.as_slice()[m.elems.clone()]),
+                None => ctx.isend(m.dest, m.tag, &storage.as_slice()[m.elems.clone()])?,
             }
         }
         self.handles.clear();
         for &(src, tag) in &self.recv_srcs {
-            self.handles.push(ctx.irecv(src, tag));
+            self.handles.push(ctx.irecv(src, tag)?);
         }
         // Charges `wait` and closes the epoch even when every receive
         // was satisfied by loopback.
-        ctx.waitall_ranges(&self.handles, storage.as_mut_slice(), &self.recv_ranges);
+        ctx.waitall_ranges(&self.handles, storage.as_mut_slice(), &self.recv_ranges)
+    }
+
+    /// Recovery-protocol totals (zero unless a chaos run engaged it).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.reliable.as_ref().map(|r| r.stats()).unwrap_or_default()
+    }
+
+    /// The exchange under an armed fault plan: loopbacks stay on the
+    /// on-node fast path (they never traverse the fabric), mailbox
+    /// traffic runs the retry protocol.
+    fn exchange_reliable(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut BrickStorage,
+    ) -> Result<(), NetsimError> {
+        if self.reliable.is_none() {
+            let sends = self
+                .sends
+                .iter()
+                .filter(|m| m.loopback_dst.is_none())
+                .map(|m| RelSend { dest: m.dest, tag: m.tag })
+                .collect();
+            let recvs = self
+                .recv_srcs
+                .iter()
+                .zip(&self.recv_ranges)
+                .map(|(&(src, tag), r)| RelRecv { src, tag, elems: r.len() })
+                .collect();
+            self.reliable = Some(ReliableSession::new(sends, recvs));
+        }
+        for m in &self.sends {
+            ctx.note_payload(m.payload_bytes);
+            if let Some(dst) = m.loopback_dst {
+                ctx.loopback_within(m.tag, storage.as_mut_slice(), m.elems.clone(), dst)?;
+            }
+        }
+        let rel = self.reliable.as_mut().expect("built above");
+        rel.begin();
+        let mut j = 0usize;
+        for m in &self.sends {
+            if m.loopback_dst.is_none() {
+                rel.stage(j, &storage.as_slice()[m.elems.clone()]);
+                j += 1;
+            }
+        }
+        let ranges = &self.recv_ranges;
+        let slice = storage.as_mut_slice();
+        rel.run(ctx, |i, payload| slice[ranges[i].clone()].copy_from_slice(payload))
     }
 }
 
@@ -383,7 +468,7 @@ mod tests {
     use super::*;
     use brick::BrickDims;
     use layout::{surface3d, SurfaceLayout};
-    use netsim::{run_cluster, CartTopo, NetworkModel};
+    use netsim::{run_cluster, run_cluster_faulty, CartTopo, FaultConfig, NetworkModel};
 
     fn decomp(n: usize) -> BrickDecomp<3> {
         BrickDecomp::layout_mode([n; 3], 8, BrickDims::cubic(8), 1, surface3d())
@@ -483,7 +568,7 @@ mod tests {
                         }
                     }
                 }
-                ex.exchange(ctx, &mut st);
+                ex.exchange(ctx, &mut st).unwrap();
                 // Verify the full ghost rim.
                 let g = 8isize;
                 let n = 32isize;
@@ -534,7 +619,7 @@ mod tests {
                     }
                 }
             }
-            ex.exchange(ctx, &mut st);
+            ex.exchange(ctx, &mut st).unwrap();
             // Check the +x ghost: global x = rank*32 + 32 .. +40 (mod 64).
             let mut errors = 0usize;
             for z in 0..32isize {
@@ -589,21 +674,21 @@ mod tests {
             let mut a = d.allocate();
             fill(&mut a);
             ctx.reset_timers();
-            ex.exchange(ctx, &mut a);
+            ex.exchange(ctx, &mut a).unwrap();
             let t_ref = ctx.timers();
 
             let mut b = d.allocate();
             fill(&mut b);
             let mut fast = ex.session(ctx);
             ctx.reset_timers();
-            fast.exchange(ctx, &mut b);
+            fast.exchange(ctx, &mut b).unwrap();
             let t_fast = ctx.timers();
 
             let mut c = d.allocate();
             fill(&mut c);
             let mut mailbox = ex.session_mailbox(ctx);
             ctx.reset_timers();
-            mailbox.exchange(ctx, &mut c);
+            mailbox.exchange(ctx, &mut c).unwrap();
             let t_mailbox = ctx.timers();
 
             assert!(a.as_slice() == b.as_slice(), "fast path storage differs");
@@ -639,14 +724,14 @@ mod tests {
             let mut a = d.allocate();
             fill(&mut a);
             ctx.reset_timers();
-            ex.exchange(ctx, &mut a);
+            ex.exchange(ctx, &mut a).unwrap();
             let t_ref = ctx.timers();
 
             let mut b = d.allocate();
             fill(&mut b);
             let mut fast = ex.session(ctx);
             ctx.reset_timers();
-            fast.exchange(ctx, &mut b);
+            fast.exchange(ctx, &mut b).unwrap();
             let t_fast = ctx.timers();
 
             assert!(a.as_slice() == b.as_slice(), "rank {rank}: fast path storage differs");
@@ -666,19 +751,62 @@ mod tests {
         run_cluster(&topo, NetworkModel::instant(), |ctx| {
             let mut st = d.allocate();
             let mut fast = ex.session(ctx);
-            fast.exchange(ctx, &mut st);
+            fast.exchange(ctx, &mut st).unwrap();
             assert_eq!(ctx.transport_allocs(), 0, "loopback must not touch the allocator");
 
             let mut mailbox = ex.session_mailbox(ctx);
             for _ in 0..2 {
-                mailbox.exchange(ctx, &mut st);
+                mailbox.exchange(ctx, &mut st).unwrap();
             }
             let warm = ctx.transport_allocs();
             for _ in 0..10 {
-                mailbox.exchange(ctx, &mut st);
+                mailbox.exchange(ctx, &mut st).unwrap();
             }
             assert_eq!(ctx.transport_allocs(), warm, "pooled mailbox must reach steady state");
         });
+    }
+
+    /// The acceptance invariant at engine level: with drops, corruption
+    /// and duplicates armed, the session's reliable protocol must leave
+    /// the storage bit-identical to the fault-free exchange — and must
+    /// actually have had damage to recover from.
+    #[test]
+    fn session_converges_bitwise_under_faults() {
+        let d = decomp(32);
+        let ex = Exchanger::layout(&d);
+        let topo = CartTopo::new(&[2, 1, 1], true);
+        let fill = |st: &mut BrickStorage, rank: usize| {
+            for z in 0..32i64 {
+                for y in 0..32i64 {
+                    for x in 0..32i64 {
+                        let off = d.element_offset([x as isize, y as isize, z as isize], 0);
+                        st.as_mut_slice()[off] =
+                            (rank as i64 * 32 + x + 1000 * y + 100_000 * z) as f64;
+                    }
+                }
+            }
+        };
+        let run = |cfg: FaultConfig| {
+            run_cluster_faulty(&topo, NetworkModel::instant(), cfg, |ctx| {
+                let mut st = d.allocate();
+                fill(&mut st, ctx.rank());
+                let mut sess = ex.session(ctx);
+                for _ in 0..3 {
+                    sess.exchange(ctx, &mut st).unwrap();
+                }
+                let damage = ctx.fault_stats().total();
+                (st.as_slice().to_vec(), damage, sess.recovery_stats())
+            })
+        };
+        let cfg = FaultConfig { seed: 42, drop: 0.10, corrupt: 0.05, dup: 0.10, ..FaultConfig::off() };
+        let lossy = run(cfg);
+        let clean = run(FaultConfig::off());
+        let mut injected = 0u64;
+        for ((grid, damage, _), (want, _, _)) in lossy.iter().zip(&clean) {
+            assert_eq!(grid, want, "chaos run must converge to the fault-free grid");
+            injected += damage;
+        }
+        assert!(injected > 0, "seed 42 at these rates must inject something");
     }
 
     /// Smallest legal subdomain (16^3): empty middle regions are skipped
@@ -703,7 +831,7 @@ mod tests {
                     }
                 }
             }
-            ex.exchange(ctx, &mut st);
+            ex.exchange(ctx, &mut st).unwrap();
             let mut errors = 0usize;
             let (g, n) = (8isize, 16isize);
             for z in -g..n + g {

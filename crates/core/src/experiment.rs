@@ -3,15 +3,21 @@
 //! implementations and report per-timestep `calc`/`pack`/`call`/`wait`
 //! times — the same taxonomy as the paper's artifact.
 
+use std::time::Duration;
+
 use brick::BrickDims;
 use layout::SurfaceLayout;
-use netsim::{run_cluster, CartTopo, NetworkModel, TimerSummary, Timers};
+use netsim::{
+    run_cluster_faulty, CartTopo, FaultConfig, FaultEvent, FaultStats, NetworkModel, RankCtx,
+    TimerSummary, Timers,
+};
 use stencil::{apply_bricks_gather, ArrayGrid, KernelPlan, StencilShape};
 
 use crate::baselines::ArrayExchanger;
 use crate::decomp::BrickDecomp;
 use crate::exchange::{ExchangeStats, Exchanger};
 use crate::memmap::{memmap_decomp, ExchangeView, MemMapStorage};
+use crate::reliable::RecoveryStats;
 
 /// The CPU implementations compared in the paper's evaluation.
 #[derive(Clone, Debug, PartialEq)]
@@ -103,6 +109,10 @@ pub struct ExperimentConfig {
     pub net: NetworkModel,
     /// Brick compute engine.
     pub kernel: KernelKind,
+    /// Seeded fault injection (off by default). When armed, every
+    /// exchange engine routes through the reliable retry protocol and
+    /// the run converges bit-identically to the fault-free schedule.
+    pub faults: FaultConfig,
 }
 
 impl ExperimentConfig {
@@ -120,6 +130,7 @@ impl ExperimentConfig {
             ranks: vec![1, 1, 1],
             net: NetworkModel::theta_aries(),
             kernel: KernelKind::Plan,
+            faults: FaultConfig::off(),
         }
     }
 }
@@ -175,6 +186,12 @@ pub struct MethodReport {
     /// (interior-brick compute for the overlapped brick methods; all of
     /// `calc` for YASK-OL, whose framework interleaves at tile level).
     pub calc_hidden: f64,
+    /// Injected-fault totals summed across all ranks (zero when
+    /// [`ExperimentConfig::faults`] is off).
+    pub faults: FaultStats,
+    /// The full injected-fault trace, concatenated in rank order (for
+    /// the chaos-run JSON artifact).
+    pub fault_events: Vec<FaultEvent>,
 }
 
 impl MethodReport {
@@ -210,6 +227,36 @@ pub fn network_floor(net: &NetworkModel, payload_bytes: usize) -> f64 {
     net.exchange_time(26, payload_bytes)
 }
 
+/// Arm the mailbox deadlock detector when fault injection is live:
+/// a dropped frame must surface as a retryable `Timeout`, not a hang.
+fn arm_fault_timeout(ctx: &mut RankCtx<'_>) {
+    if ctx.fault_active() {
+        ctx.set_recv_timeout(Some(Duration::from_secs(5)));
+    }
+}
+
+/// Sum the fault/recovery accounting across ranks: injected damage and
+/// the protocol's responses are run-global properties, while timers and
+/// checksums stay per-rank (ranks are symmetric). Returns rank 0's
+/// payload alongside the merged totals.
+fn fold_faults<T>(
+    reports: Vec<(T, FaultStats, Vec<FaultEvent>, RecoveryStats)>,
+) -> (T, FaultStats, Vec<FaultEvent>, RecoveryStats) {
+    let mut faults = FaultStats::default();
+    let mut events = Vec::new();
+    let mut recovery = RecoveryStats::default();
+    let mut first = None;
+    for (payload, f, mut ev, rec) in reports {
+        faults.merge(&f);
+        events.append(&mut ev);
+        recovery.merge(&rec);
+        if first.is_none() {
+            first = Some(payload);
+        }
+    }
+    (first.expect("cluster has at least one rank"), faults, events, recovery)
+}
+
 /// Run one experiment and return rank 0's report.
 pub fn run_experiment(cfg: &ExperimentConfig) -> MethodReport {
     let topo = CartTopo::new(&cfg.ranks, true);
@@ -239,7 +286,8 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
 
-    let reports = run_cluster(topo, cfg.net, |ctx| {
+    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+        arm_fault_timeout(ctx);
         let info = decomp.brick_info();
         let mask = decomp.compute_mask();
         let engine = Engine::bind(kernel, &shape, info);
@@ -259,18 +307,23 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
             } else {
                 (&mut sa, &mut sb, &mut sha)
             };
-            sh.exchange(ctx, cur);
+            sh.exchange(ctx, cur).expect("shift exchange");
             ctx.time_calc(|| engine.apply(info, &cur.storage, &mut nxt.storage, mask));
             flip = !flip;
             ctx.barrier();
         }
         let last = if flip { &sb } else { &sa };
         let t = ctx.timers().per_step(steps);
-        let summary = ctx.reduce_timers(&t);
-        (t, checksum_bricks(&decomp, &last.storage), stats, summary)
+        let summary = ctx.reduce_timers(&t).expect("timer reduction");
+        let mut rec = sha.recovery_stats();
+        rec.merge(&shb.recovery_stats());
+        let payload = (t, checksum_bricks(&decomp, &last.storage), stats, summary);
+        (payload, ctx.fault_stats(), ctx.take_fault_events(), rec)
     });
 
-    let (timers, checksum, stats, summary) = reports[0];
+    let (payload, faults, fault_events, recovery) = fold_faults(reports);
+    let (timers, checksum, mut stats, summary) = payload;
+    stats.absorb_recovery(&recovery);
     MethodReport {
         timers,
         stats,
@@ -279,6 +332,8 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
         checksum,
         summary: summary.expect("rank 0 holds the reduction"),
         calc_hidden: 0.0,
+        faults,
+        fault_events,
     }
 }
 
@@ -296,14 +351,15 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
         layout::surface3d(),
     );
     let exchanger = Exchanger::layout(&decomp);
-    let stats = exchanger.stats();
+    let mut stats = exchanger.stats();
     let shape = cfg.shape.clone();
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
     let interior_mask = decomp.interior_mask();
     let surface_mask = decomp.surface_mask();
 
-    let reports = run_cluster(topo, cfg.net, |ctx| {
+    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+        arm_fault_timeout(ctx);
         let info = decomp.brick_info();
         let engine = Engine::bind(kernel, &shape, info);
         let mut cur = decomp.allocate();
@@ -323,17 +379,20 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
             let t0 = std::time::Instant::now();
             ctx.time_calc(|| engine.apply(info, &cur, &mut nxt, &interior_mask));
             hidden_total += t0.elapsed().as_secs_f64();
-            session.exchange(ctx, &mut cur);
+            session.exchange(ctx, &mut cur).expect("layout exchange");
             ctx.time_calc(|| engine.apply(info, &cur, &mut nxt, &surface_mask));
             std::mem::swap(&mut cur, &mut nxt);
             ctx.barrier();
         }
         let t = ctx.timers().per_step(steps);
-        let summary = ctx.reduce_timers(&t);
-        (t, checksum_bricks(&decomp, &cur), summary, hidden_total / steps as f64)
+        let summary = ctx.reduce_timers(&t).expect("timer reduction");
+        let payload = (t, checksum_bricks(&decomp, &cur), summary, hidden_total / steps as f64);
+        (payload, ctx.fault_stats(), ctx.take_fault_events(), session.recovery_stats())
     });
 
-    let (timers, checksum, summary, hidden) = reports[0];
+    let (payload, faults, fault_events, recovery) = fold_faults(reports);
+    let (timers, checksum, summary, hidden) = payload;
+    stats.absorb_recovery(&recovery);
     MethodReport {
         timers,
         stats,
@@ -342,6 +401,8 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
         checksum,
         summary: summary.expect("rank 0 holds the reduction"),
         calc_hidden: hidden,
+        faults,
+        fault_events,
     }
 }
 
@@ -380,12 +441,13 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
         BrickMsgs::PerRegion => Some(Exchanger::basic(&decomp)),
         BrickMsgs::ComputeOnly => None,
     };
-    let stats = exchanger.as_ref().map(|e| e.stats()).unwrap_or_default();
+    let mut stats = exchanger.as_ref().map(|e| e.stats()).unwrap_or_default();
     let shape = cfg.shape.clone();
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
 
-    let reports = run_cluster(topo, cfg.net, |ctx| {
+    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+        arm_fault_timeout(ctx);
         let info = decomp.brick_info();
         let mask = decomp.compute_mask();
         let engine = Engine::bind(kernel, &shape, info);
@@ -405,18 +467,22 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
                 ctx.reset_timers();
             }
             if let Some(sess) = session.as_mut() {
-                sess.exchange(ctx, &mut cur);
+                sess.exchange(ctx, &mut cur).expect("brick exchange");
             }
             ctx.time_calc(|| engine.apply(info, &cur, &mut nxt, mask));
             std::mem::swap(&mut cur, &mut nxt);
             ctx.barrier();
         }
         let t = ctx.timers().per_step(steps);
-        let summary = ctx.reduce_timers(&t);
-        (t, checksum_bricks(&decomp, &cur), summary)
+        let summary = ctx.reduce_timers(&t).expect("timer reduction");
+        let rec = session.as_ref().map(|s| s.recovery_stats()).unwrap_or_default();
+        let payload = (t, checksum_bricks(&decomp, &cur), summary);
+        (payload, ctx.fault_stats(), ctx.take_fault_events(), rec)
     });
 
-    let (timers, checksum, summary) = reports[0];
+    let (payload, faults, fault_events, recovery) = fold_faults(reports);
+    let (timers, checksum, summary) = payload;
+    stats.absorb_recovery(&recovery);
     MethodReport {
         timers,
         stats,
@@ -425,6 +491,8 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
         checksum,
         summary: summary.expect("rank 0 holds the reduction"),
         calc_hidden: 0.0,
+        faults,
+        fault_events,
     }
 }
 
@@ -441,7 +509,8 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
 
-    let reports = run_cluster(topo, cfg.net, |ctx| {
+    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+        arm_fault_timeout(ctx);
         let info = decomp.brick_info();
         let mask = decomp.compute_mask();
         let engine = Engine::bind(kernel, &shape, info);
@@ -458,18 +527,23 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
             }
             let (cur, nxt, ev) =
                 if flip { (&mut sb, &mut sa, &mut evb) } else { (&mut sa, &mut sb, &mut eva) };
-            ev.exchange(ctx, cur);
+            ev.exchange(ctx, cur).expect("memmap exchange");
             ctx.time_calc(|| engine.apply(info, &cur.storage, &mut nxt.storage, mask));
             flip = !flip;
             ctx.barrier();
         }
         let last = if flip { &sb } else { &sa };
         let t = ctx.timers().per_step(steps);
-        let summary = ctx.reduce_timers(&t);
-        (t, checksum_bricks(&decomp, &last.storage), stats, summary)
+        let summary = ctx.reduce_timers(&t).expect("timer reduction");
+        let mut rec = eva.recovery_stats();
+        rec.merge(&evb.recovery_stats());
+        let payload = (t, checksum_bricks(&decomp, &last.storage), stats, summary);
+        (payload, ctx.fault_stats(), ctx.take_fault_events(), rec)
     });
 
-    let (timers, checksum, stats, summary) = reports[0];
+    let (payload, faults, fault_events, recovery) = fold_faults(reports);
+    let (timers, checksum, mut stats, summary) = payload;
+    stats.absorb_recovery(&recovery);
     MethodReport {
         timers,
         stats,
@@ -478,6 +552,8 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
         checksum,
         summary: summary.expect("rank 0 holds the reduction"),
         calc_hidden: 0.0,
+        faults,
+        fault_events,
     }
 }
 
@@ -487,7 +563,8 @@ fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: 
     let subdomain = cfg.subdomain;
     let ghost = cfg.ghost;
 
-    let reports = run_cluster(topo, cfg.net, |ctx| {
+    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+        arm_fault_timeout(ctx);
         let mut cur = ArrayGrid::new(subdomain, ghost);
         let mut nxt = ArrayGrid::new(subdomain, ghost);
         cur.fill_interior(|x, y, z| init_value(x as i64, y as i64, z as i64));
@@ -501,19 +578,22 @@ fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: 
                 ctx.reset_timers();
             }
             match mode {
-                ArrayMode::Packed => ex.exchange_packed(ctx, &mut cur),
-                ArrayMode::Types => ex.exchange_mpitypes(ctx, &mut cur),
+                ArrayMode::Packed => ex.exchange_packed(ctx, &mut cur).expect("packed exchange"),
+                ArrayMode::Types => ex.exchange_mpitypes(ctx, &mut cur).expect("types exchange"),
             }
             ctx.time_calc(|| cur.apply_plan_into(&plan, &mut nxt));
             std::mem::swap(&mut cur, &mut nxt);
             ctx.barrier();
         }
         let t = ctx.timers().per_step(steps);
-        let summary = ctx.reduce_timers(&t);
-        (t, cur.interior_sum(), stats, summary)
+        let summary = ctx.reduce_timers(&t).expect("timer reduction");
+        let payload = (t, cur.interior_sum(), stats, summary);
+        (payload, ctx.fault_stats(), ctx.take_fault_events(), ex.recovery_stats())
     });
 
-    let (timers, checksum, stats, summary) = reports[0];
+    let (payload, faults, fault_events, recovery) = fold_faults(reports);
+    let (timers, checksum, mut stats, summary) = payload;
+    stats.absorb_recovery(&recovery);
     MethodReport {
         calc_hidden: if overlap { timers.calc } else { 0.0 },
         timers,
@@ -522,6 +602,8 @@ fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: 
         overlap,
         checksum,
         summary: summary.expect("rank 0 holds the reduction"),
+        faults,
+        fault_events,
     }
 }
 

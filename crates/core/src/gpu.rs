@@ -243,6 +243,7 @@ pub fn run_gpu_experiment(cfg: &GpuExperimentConfig) -> GpuReport {
         ranks: cfg.ranks.clone(),
         net: NetworkModel::instant(),
         kernel: crate::experiment::KernelKind::Plan,
+        faults: netsim::FaultConfig::off(),
     };
     let real = run_experiment(&cpu_cfg);
 

@@ -42,9 +42,11 @@ pub mod experiment;
 pub mod fields;
 pub mod gpu;
 pub mod memmap;
+pub mod reliable;
 pub mod shift;
 
 pub use decomp::{pad_bricks_for, BrickDecomp, Chunk, GhostGroup};
 pub use exchange::{split_disjoint_mut, ExchangeStats, Exchanger, RecvMsg, SendMsg};
 pub use memmap::{ExchangeView, MemMapStorage};
+pub use reliable::{RecoveryStats, RelRecv, RelSend, ReliableConfig, ReliableSession};
 pub use shift::ShiftExchanger;

@@ -10,10 +10,11 @@ use std::sync::Arc;
 use brick::BrickStorage;
 use layout::{all_regions, Dir};
 use memview::{host_page_size, is_aligned, ContiguousView, MappedBacking, MemFile, Segment};
-use netsim::{RankCtx, RecvHandle};
+use netsim::{NetsimError, RankCtx, RecvHandle};
 
 use crate::decomp::{pad_bricks_for, BrickDecomp};
 use crate::exchange::ExchangeStats;
+use crate::reliable::{RecoveryStats, RelRecv, RelSend, ReliableSession};
 
 /// Brick storage whose backing is an mmap-able in-memory file (the
 /// paper's `bInfo.mmap_alloc(bSize)`).
@@ -100,6 +101,9 @@ pub struct ExchangeView {
     /// steady-state loop resolves no neighbors and allocates nothing.
     bound: Option<BoundSchedule>,
     handles: Vec<RecvHandle>,
+    /// Self-healing protocol state, built on first use under a fault
+    /// plan; the fault-free hot path never touches it.
+    reliable: Option<ReliableSession>,
 }
 
 /// Neighbor ranks, loopback pairings and mailbox receive ranges for one
@@ -194,6 +198,7 @@ impl ExchangeView {
             bound_file: Arc::clone(storage.file()),
             bound: None,
             handles: Vec::new(),
+            reliable: None,
         })
     }
 
@@ -263,7 +268,16 @@ impl ExchangeView {
     /// one copy from the mmap view straight into the ghost range, with
     /// identical wire-model charges. The rank-resolved schedule is bound
     /// on the first call, so steady-state exchanges allocate nothing.
-    pub fn exchange(&mut self, ctx: &mut RankCtx<'_>, storage: &mut MemMapStorage) {
+    ///
+    /// When the rank's fault plan is armed, mailbox traffic switches to
+    /// the self-healing [`ReliableSession`] protocol (checksummed
+    /// frames, retry with backoff, degraded fallback), converging to
+    /// the exact same storage bits as the fault-free path.
+    pub fn exchange(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+    ) -> Result<(), NetsimError> {
         assert!(
             Arc::ptr_eq(&self.bound_file, storage.file()),
             "ExchangeView driven with a different storage than it was built on \
@@ -271,6 +285,10 @@ impl ExchangeView {
         );
         if self.bound.as_ref().is_none_or(|b| b.rank != ctx.rank()) {
             self.bound = Some(self.bind(ctx));
+            self.reliable = None;
+        }
+        if ctx.fault_active() {
+            return self.exchange_reliable(ctx, storage);
         }
         let ExchangeView { sends, recvs, bound, handles, .. } = self;
         let b = bound.as_ref().expect("bound above");
@@ -285,16 +303,74 @@ impl ExchangeView {
                         m.tag,
                         m.view.as_f64(),
                         &mut storage.storage.as_mut_slice()[r.elems.clone()],
-                    );
+                    )?;
                 }
-                None => ctx.isend(b.send_dests[i], m.tag, m.view.as_f64()),
+                None => ctx.isend(b.send_dests[i], m.tag, m.view.as_f64())?,
             }
         }
         handles.clear();
         for &(src, tag) in &b.mailbox_srcs {
-            handles.push(ctx.irecv(src, tag));
+            handles.push(ctx.irecv(src, tag)?);
         }
-        ctx.waitall_ranges(handles, storage.storage.as_mut_slice(), &b.mailbox_ranges);
+        ctx.waitall_ranges(handles, storage.storage.as_mut_slice(), &b.mailbox_ranges)
+    }
+
+    /// Recovery-protocol totals (zero unless a chaos run engaged it).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.reliable.as_ref().map(|r| r.stats()).unwrap_or_default()
+    }
+
+    /// The exchange under an armed fault plan: loopbacks stay on the
+    /// on-node fast path (they never traverse the fabric), mailbox
+    /// traffic runs the retry protocol with frames staged from the mmap
+    /// views.
+    fn exchange_reliable(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+    ) -> Result<(), NetsimError> {
+        if self.reliable.is_none() {
+            let b = self.bound.as_ref().expect("bound by exchange");
+            let rel_sends = self
+                .sends
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| b.send_loopback[*i].is_none())
+                .map(|(i, m)| RelSend { dest: b.send_dests[i], tag: m.tag })
+                .collect();
+            let rel_recvs = b
+                .mailbox_srcs
+                .iter()
+                .zip(&b.mailbox_ranges)
+                .map(|(&(src, tag), r)| RelRecv { src, tag, elems: r.len() })
+                .collect();
+            self.reliable = Some(ReliableSession::new(rel_sends, rel_recvs));
+        }
+        let ExchangeView { sends, recvs, bound, reliable, .. } = self;
+        let b = bound.as_ref().expect("bound by exchange");
+        let rel = reliable.as_mut().expect("built above");
+        for (i, m) in sends.iter().enumerate() {
+            ctx.note_payload(m.payload_bytes);
+            if let Some(j) = b.send_loopback[i] {
+                let r = &recvs[j];
+                ctx.loopback_into(
+                    m.tag,
+                    m.view.as_f64(),
+                    &mut storage.storage.as_mut_slice()[r.elems.clone()],
+                )?;
+            }
+        }
+        rel.begin();
+        let mut k = 0usize;
+        for (i, m) in sends.iter().enumerate() {
+            if b.send_loopback[i].is_none() {
+                rel.stage(k, m.view.as_f64());
+                k += 1;
+            }
+        }
+        let slice = storage.storage.as_mut_slice();
+        let ranges = &b.mailbox_ranges;
+        rel.run(ctx, |i, payload| slice[ranges[i].clone()].copy_from_slice(payload))
     }
 }
 
@@ -303,7 +379,7 @@ mod tests {
     use super::*;
     use brick::BrickDims;
     use layout::surface3d;
-    use netsim::{run_cluster, CartTopo, NetworkModel};
+    use netsim::{run_cluster, run_cluster_faulty, CartTopo, FaultConfig, NetworkModel};
 
     fn mk(n: usize, page: usize) -> (BrickDecomp<3>, MemMapStorage) {
         let d = memmap_decomp([n; 3], 8, BrickDims::cubic(8), 1, surface3d(), page);
@@ -358,7 +434,7 @@ mod tests {
                         }
                     }
                 }
-                ev.exchange(ctx, &mut st);
+                ev.exchange(ctx, &mut st).unwrap();
                 let (g, n) = (8isize, 32isize);
                 let mut errors = 0usize;
                 for z in -g..n + g {
@@ -385,6 +461,44 @@ mod tests {
             });
             assert_eq!(errors[0], 0, "page={page}");
         }
+    }
+
+    /// Two ranks under drop/corrupt/dup injection: the retry protocol
+    /// must leave every rank's storage bit-identical to a clean run.
+    #[test]
+    fn memmap_exchange_converges_bitwise_under_faults() {
+        let d = memmap_decomp([32; 3], 8, BrickDims::cubic(8), 1, surface3d(), memview::PAGE_4K);
+        let topo = CartTopo::new(&[2, 1, 1], true);
+        let run = |cfg: FaultConfig| {
+            run_cluster_faulty(&topo, NetworkModel::instant(), cfg, |ctx| {
+                let mut st = MemMapStorage::allocate(&d).unwrap();
+                let mut ev = ExchangeView::build(&d, &st).unwrap();
+                let rank = ctx.rank() as i64;
+                for z in 0..32i64 {
+                    for y in 0..32i64 {
+                        for x in 0..32i64 {
+                            let off = d.element_offset([x as isize, y as isize, z as isize], 0);
+                            st.storage.as_mut_slice()[off] =
+                                (rank * 32 + x + 1000 * y + 100_000 * z) as f64;
+                        }
+                    }
+                }
+                for _ in 0..3 {
+                    ev.exchange(ctx, &mut st).unwrap();
+                }
+                (st.storage.as_slice().to_vec(), ctx.fault_stats().total())
+            })
+        };
+        let cfg =
+            FaultConfig { seed: 42, drop: 0.10, corrupt: 0.05, dup: 0.10, ..FaultConfig::off() };
+        let lossy = run(cfg);
+        let clean = run(FaultConfig::off());
+        let mut injected = 0u64;
+        for ((grid, damage), (want, _)) in lossy.iter().zip(&clean) {
+            assert_eq!(grid, want, "chaos run must converge to the fault-free grid");
+            injected += damage;
+        }
+        assert!(injected > 0, "seed 42 at these rates must inject something");
     }
 
     /// Writes through the *storage* must be visible through the *views*

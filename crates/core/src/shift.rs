@@ -15,11 +15,12 @@ use std::ops::Range;
 
 use layout::Dir;
 use memview::{host_page_size, is_aligned, ContiguousView, Segment};
-use netsim::RankCtx;
+use netsim::{NetsimError, RankCtx};
 
 use crate::decomp::BrickDecomp;
 use crate::exchange::ExchangeStats;
 use crate::memmap::MemMapStorage;
+use crate::reliable::{RecoveryStats, RelRecv, RelSend, ReliableSession};
 
 struct ShiftMsg {
     /// Direction of travel (a single-axis Dir).
@@ -44,6 +45,9 @@ pub struct ShiftExchanger {
     /// Rank-resolved neighbors, bound lazily on first exchange so the
     /// steady-state loop allocates nothing.
     bound: Option<ShiftBound>,
+    /// Per-pass self-healing protocol state, built on first use under a
+    /// fault plan; local (loopback) passes never need one.
+    reliable: Vec<Option<ReliableSession>>,
 }
 
 /// Per-pass `[positive, negative]` destination and source ranks for one
@@ -134,13 +138,25 @@ impl ShiftExchanger {
             passes.push(ShiftPass { sends, recvs });
         }
 
+        let reliable = (0..passes.len()).map(|_| None).collect();
         Ok(ShiftExchanger {
             passes,
             stats,
             dims: D,
             bound_file: std::sync::Arc::clone(storage.file()),
             bound: None,
+            reliable,
         })
+    }
+
+    /// Recovery-protocol totals across all passes (zero unless a chaos
+    /// run engaged the protocol).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let mut total = RecoveryStats::default();
+        for rel in self.reliable.iter().flatten() {
+            total.merge(&rel.stats());
+        }
+        total
     }
 
     /// Traffic statistics: `2·D` messages; wire bytes exceed the Put
@@ -153,7 +169,16 @@ impl ShiftExchanger {
     /// Neighbor ranks are resolved once on the first call; passes whose
     /// neighbor is this rank itself (proxy mode) copy view-to-view via
     /// the loopback fast path. Steady state allocates nothing.
-    pub fn exchange(&mut self, ctx: &mut RankCtx<'_>, storage: &mut MemMapStorage) {
+    ///
+    /// When the rank's fault plan is armed, each remote pass runs the
+    /// self-healing [`ReliableSession`] protocol instead of the bare
+    /// mailbox transport; passes stay serialized, so forwarded corner
+    /// data is recovered before the next axis depends on it.
+    pub fn exchange(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+    ) -> Result<(), NetsimError> {
         assert!(
             std::sync::Arc::ptr_eq(&self.bound_file, storage.file()),
             "ShiftExchanger driven with a different storage than it was built on \
@@ -173,8 +198,9 @@ impl ShiftExchanger {
                 srcs.push([resolve(&pass.recvs[0].dir), resolve(&pass.recvs[1].dir)]);
             }
             self.bound = Some(ShiftBound { rank, dests, srcs });
+            self.reliable.iter_mut().for_each(|r| *r = None);
         }
-        let ShiftExchanger { passes, bound, .. } = self;
+        let ShiftExchanger { passes, bound, reliable, .. } = self;
         let b = bound.as_ref().expect("bound above");
         for (p, pass) in passes.iter_mut().enumerate() {
             let (dests, srcs) = (&b.dests[p], &b.srcs[p]);
@@ -192,24 +218,50 @@ impl ShiftExchanger {
                         sends[i].tag,
                         sends[i].view.as_f64(),
                         recvs[i].view.as_f64_mut(),
-                    );
+                    )?;
                 }
                 // Close the epoch: charges the pass's `wait` term.
-                ctx.waitall_into(&[], &mut []);
+                ctx.waitall_into(&[], &mut [])?;
+            } else if ctx.fault_active() {
+                let rel = reliable[p].get_or_insert_with(|| {
+                    ReliableSession::new(
+                        (0..2)
+                            .map(|i| RelSend { dest: dests[i], tag: pass.sends[i].tag })
+                            .collect(),
+                        (0..2)
+                            .map(|i| RelRecv {
+                                src: srcs[i],
+                                tag: pass.recvs[i].tag,
+                                elems: pass.recvs[i].view.as_f64().len(),
+                            })
+                            .collect(),
+                    )
+                });
+                for send in &pass.sends {
+                    ctx.note_payload(send.bytes);
+                }
+                rel.begin();
+                rel.stage(0, pass.sends[0].view.as_f64());
+                rel.stage(1, pass.sends[1].view.as_f64());
+                let recvs = &mut pass.recvs;
+                rel.run(ctx, |i, payload| {
+                    recvs[i].view.as_f64_mut().copy_from_slice(payload)
+                })?;
             } else {
-                let h0 = ctx.irecv(srcs[0], pass.recvs[0].tag);
-                let h1 = ctx.irecv(srcs[1], pass.recvs[1].tag);
+                let h0 = ctx.irecv(srcs[0], pass.recvs[0].tag)?;
+                let h1 = ctx.irecv(srcs[1], pass.recvs[1].tag)?;
                 for (send, &dest) in pass.sends.iter().zip(&dests[..2]) {
                     ctx.note_payload(send.bytes);
-                    ctx.isend(dest, send.tag, send.view.as_f64());
+                    ctx.isend(dest, send.tag, send.view.as_f64())?;
                 }
                 let (ra, rb) = pass.recvs.split_at_mut(1);
                 ctx.waitall_into(
                     &[h0, h1],
                     &mut [ra[0].view.as_f64_mut(), rb[0].view.as_f64_mut()],
-                );
+                )?;
             }
         }
+        Ok(())
     }
 }
 

@@ -14,14 +14,26 @@
 //! [`RankCtx::loopback_into`]), which performs the single NIC-DMA
 //! stand-in copy while charging the LogGP wire model exactly as the
 //! mailbox path would.
+//!
+//! The fabric can misbehave on purpose: [`run_cluster_faulty`] arms a
+//! seeded [`FaultPlan`] per rank, and `isend` then consults it to drop,
+//! duplicate, corrupt or delay messages deterministically (see
+//! [`crate::fault`]). To keep a lossy fabric from hanging ranks
+//! forever, receives are deadline-aware: [`RankCtx::set_recv_timeout`]
+//! arms a deadline and `waitall_*` reports a structured
+//! [`NetsimError::Timeout`] — including a dump of the unmatched mailbox
+//! keys, the deadlock detector's view — instead of blocking.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::Barrier;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::error::NetsimError;
+use crate::fault::{FaultConfig, FaultDecision, FaultEvent, FaultKind, FaultPlan, FaultStats};
 use crate::model::NetworkModel;
 use crate::timers::{timed, Timers};
 use crate::topo::CartTopo;
@@ -30,8 +42,9 @@ use crate::trace::{MsgEvent, Trace};
 type Key = (usize, u64); // (source rank, tag)
 
 /// Max buffers retained per rank pool; beyond this, returned buffers
-/// are dropped (bounds memory for bursty all-to-all patterns).
-const POOL_CAP: usize = 256;
+/// are dropped (bounds memory for bursty all-to-all patterns — and for
+/// duplicate storms under fault injection).
+pub const POOL_CAP: usize = 256;
 
 /// Receive-side copies switch to rayon once an epoch moves at least
 /// this many bytes; below it fork/join overhead beats the memcpy win.
@@ -67,6 +80,10 @@ impl BufferPool {
             g.push(buf);
         }
     }
+
+    fn len(&self) -> usize {
+        self.free.lock().len()
+    }
 }
 
 #[derive(Default)]
@@ -91,16 +108,56 @@ impl Mailbox {
         self.signal.notify_all();
     }
 
-    fn pop_blocking(&self, key: Key) -> Msg {
+    /// Pop the next message for `key`, blocking until `deadline` (or
+    /// forever when `None`). `None` return = deadline expired.
+    fn pop_deadline(&self, key: Key, deadline: Option<Instant>) -> Option<Msg> {
         let mut g = self.inner.lock();
         loop {
             if let Some(q) = g.queues.get_mut(&key) {
                 if let Some(v) = q.pop_front() {
-                    return v;
+                    return Some(v);
                 }
             }
-            self.signal.wait(&mut g);
+            match deadline {
+                None => self.signal.wait(&mut g),
+                Some(d) => {
+                    if self.signal.wait_until(&mut g, d).timed_out() {
+                        // Final re-check: a push may have raced expiry.
+                        return g.queues.get_mut(&key).and_then(|q| q.pop_front());
+                    }
+                }
+            }
         }
+    }
+
+    /// Pop without blocking.
+    fn try_pop(&self, key: Key) -> Option<Msg> {
+        self.inner.lock().queues.get_mut(&key).and_then(|q| q.pop_front())
+    }
+
+    /// Remove every queued message for `key` (stale duplicates /
+    /// late retries); also drops the now-empty queue entry so the key
+    /// map cannot grow without bound across retried exchanges.
+    fn drain(&self, key: Key) -> Vec<Msg> {
+        let mut g = self.inner.lock();
+        match g.queues.remove(&key) {
+            Some(q) => q.into_iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Diagnostic dump: `(source, tag, queued)` for every non-empty
+    /// queue, sorted for deterministic error messages.
+    fn unmatched_keys(&self) -> Vec<(usize, u64, usize)> {
+        let g = self.inner.lock();
+        let mut keys: Vec<(usize, u64, usize)> = g
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&(src, tag), q)| (src, tag, q.len()))
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 }
 
@@ -110,6 +167,23 @@ impl Mailbox {
 pub struct RecvHandle {
     source: usize,
     tag: u64,
+}
+
+/// A message popped off the mailbox by [`RankCtx::recv_deadline`] —
+/// the low-level completion used by reliable-exchange protocols that
+/// need to inspect frames (checksums, sequence numbers) before
+/// deciding where the payload lands. Return it to the transport with
+/// [`RankCtx::recycle`] so pooled buffers keep circulating.
+pub struct RecvdMsg {
+    owner: Option<usize>,
+    data: Vec<f64>,
+}
+
+impl RecvdMsg {
+    /// The received frame.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
 }
 
 /// Per-rank execution context handed to the rank body.
@@ -129,6 +203,9 @@ pub struct RankCtx<'a> {
     recv_scratch: Vec<Msg>,
     pooling: bool,
     transport_allocs: u64,
+    fault: Option<FaultPlan>,
+    fault_bypass: bool,
+    recv_timeout: Option<Duration>,
 }
 
 impl<'a> RankCtx<'a> {
@@ -147,7 +224,8 @@ impl<'a> RankCtx<'a> {
         self.topo
     }
 
-    /// The wire model in use.
+    /// The wire model in use (already includes this rank's fault-plan
+    /// slowdown factor, if any).
     pub fn network(&self) -> NetworkModel {
         self.net
     }
@@ -193,6 +271,43 @@ impl<'a> RankCtx<'a> {
         self.transport_allocs
     }
 
+    /// Buffers currently parked in this rank's send pool (bounded by
+    /// [`POOL_CAP`]; the fault stress tests assert the bound holds
+    /// under duplicate/retry storms).
+    pub fn pool_len(&self) -> usize {
+        self.pools[self.rank].len()
+    }
+
+    /// Whether a fault plan is armed (and not bypassed) on this rank.
+    pub fn fault_active(&self) -> bool {
+        self.fault.is_some() && !self.fault_bypass
+    }
+
+    /// Injection totals for this rank so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    /// Temporarily exempt sends from fault injection (the degraded
+    /// "mailbox fallback" path of a reliable exchange, and other
+    /// control-plane traffic). Returns the previous setting so callers
+    /// can restore it.
+    pub fn set_fault_bypass(&mut self, on: bool) -> bool {
+        std::mem::replace(&mut self.fault_bypass, on)
+    }
+
+    /// Arm (or disarm) a deadline for `waitall_*` and
+    /// [`RankCtx::recv_deadline`] completions. `None` (the default)
+    /// blocks forever, preserving the fault-free semantics.
+    pub fn set_recv_timeout(&mut self, timeout: Option<Duration>) {
+        self.recv_timeout = timeout;
+    }
+
+    /// The armed receive deadline, if any.
+    pub fn recv_timeout(&self) -> Option<Duration> {
+        self.recv_timeout
+    }
+
     /// Charge the send-side wire model for one message of `bytes`
     /// payload: `o` seconds of `call`, message/byte counters, epoch
     /// accounting, and the trace event.
@@ -208,10 +323,27 @@ impl<'a> RankCtx<'a> {
     /// Post a nonblocking send of `data` to rank `dest` with `tag`.
     /// Charges `o` seconds of `call` time; the copy into the message
     /// stands in for NIC DMA and is not charged to any on-node timer.
-    pub fn isend(&mut self, dest: usize, tag: u64, data: &[f64]) {
-        assert!(dest < self.topo.size());
-        self.charge_send(dest, tag, std::mem::size_of_val(data));
-        let msg = if self.pooling {
+    ///
+    /// When a fault plan is armed the message may be deterministically
+    /// dropped, duplicated, corrupted or delayed; every injected fault
+    /// is recorded in the [`Trace`] fault log.
+    pub fn isend(&mut self, dest: usize, tag: u64, data: &[f64]) -> Result<(), NetsimError> {
+        if dest >= self.topo.size() {
+            return Err(NetsimError::InvalidRank { rank: dest, size: self.topo.size() });
+        }
+        let bytes = std::mem::size_of_val(data);
+        self.charge_send(dest, tag, bytes);
+        let decision = match self.fault.as_mut() {
+            Some(plan) if !self.fault_bypass => plan.decide(dest, tag, data.len()),
+            _ => FaultDecision::default(),
+        };
+        if decision.any() {
+            self.apply_send_faults(dest, tag, bytes, &decision);
+        }
+        if decision.drop {
+            return Ok(());
+        }
+        let mut msg = if self.pooling {
             let mut buf = self.pools[self.rank].take();
             if buf.capacity() < data.len() {
                 self.transport_allocs += 1;
@@ -222,63 +354,184 @@ impl<'a> RankCtx<'a> {
             self.transport_allocs += 1;
             Msg { owner: None, data: data.to_vec() }
         };
+        if let Some((word, mask)) = decision.corrupt {
+            let bits = msg.data[word].to_bits() ^ mask;
+            msg.data[word] = f64::from_bits(bits);
+        }
+        if decision.dup {
+            // The duplicate is a plain allocation outside the pool: a
+            // fault path must not perturb the steady-state pool census.
+            self.transport_allocs += 1;
+            self.mailboxes[dest].push((self.rank, tag), Msg { owner: None, data: msg.data.clone() });
+        }
         self.mailboxes[dest].push((self.rank, tag), msg);
+        Ok(())
+    }
+
+    /// Record fault events and charge the delay penalty.
+    fn apply_send_faults(&mut self, dest: usize, tag: u64, bytes: usize, d: &FaultDecision) {
+        let mut record = |kind: FaultKind, trace: &mut Trace, rank: usize| {
+            trace.record_fault(FaultEvent { kind, src: rank, dest, tag, attempt: d.attempt, bytes });
+        };
+        if d.delay_secs > 0.0 {
+            self.timers.wait += d.delay_secs;
+            record(FaultKind::Delay, &mut self.trace, self.rank);
+        }
+        if d.drop {
+            record(FaultKind::Drop, &mut self.trace, self.rank);
+            return;
+        }
+        if d.corrupt.is_some() {
+            record(FaultKind::Corrupt, &mut self.trace, self.rank);
+        }
+        if d.dup {
+            record(FaultKind::Duplicate, &mut self.trace, self.rank);
+        }
     }
 
     /// Loopback fast path for a self-send whose source and destination
     /// live in the *same* slice: copy `data[src]` to `data[dst..]` once
     /// (the NIC-DMA stand-in, not charged to any on-node timer) while
     /// charging the wire model exactly as `isend` + `irecv` would.
-    /// `src` and the destination region must not overlap.
-    pub fn loopback_within(&mut self, tag: u64, data: &mut [f64], src: Range<usize>, dst: usize) {
+    /// `src` and the destination region must not overlap. On-node
+    /// copies never traverse the fabric, so fault plans do not apply.
+    pub fn loopback_within(
+        &mut self,
+        tag: u64,
+        data: &mut [f64],
+        src: Range<usize>,
+        dst: usize,
+    ) -> Result<(), NetsimError> {
+        if dst + src.len() > data.len() {
+            return Err(NetsimError::LoopbackMismatch {
+                rank: self.rank,
+                tag,
+                src_len: src.len(),
+                dst_len: data.len().saturating_sub(dst),
+            });
+        }
         let bytes = src.len() * std::mem::size_of::<f64>();
         self.charge_send(self.rank, tag, bytes);
         // The matching receive post, as `irecv` would charge it.
         self.timers.call += self.net.call_time(1);
         data.copy_within(src, dst);
         self.trace.record(MsgEvent { send: false, peer: self.rank, tag, bytes });
+        Ok(())
     }
 
     /// Loopback fast path for a self-send between two distinct slices
     /// (e.g. an mmap view source and the backing storage): one copy,
     /// full wire-model accounting. Lengths must match exactly.
-    pub fn loopback_into(&mut self, tag: u64, src: &[f64], dst: &mut [f64]) {
-        assert_eq!(
-            src.len(),
-            dst.len(),
-            "loopback length mismatch (rank {}, tag {})",
-            self.rank,
-            tag
-        );
+    pub fn loopback_into(
+        &mut self,
+        tag: u64,
+        src: &[f64],
+        dst: &mut [f64],
+    ) -> Result<(), NetsimError> {
+        if src.len() != dst.len() {
+            return Err(NetsimError::LoopbackMismatch {
+                rank: self.rank,
+                tag,
+                src_len: src.len(),
+                dst_len: dst.len(),
+            });
+        }
         let bytes = std::mem::size_of_val(src);
         self.charge_send(self.rank, tag, bytes);
         self.timers.call += self.net.call_time(1);
         dst.copy_from_slice(src);
         self.trace.record(MsgEvent { send: false, peer: self.rank, tag, bytes });
+        Ok(())
     }
 
     /// Post a nonblocking receive from `source` with `tag`. Charges `o`
     /// seconds of `call` time.
-    pub fn irecv(&mut self, source: usize, tag: u64) -> RecvHandle {
-        assert!(source < self.topo.size());
+    pub fn irecv(&mut self, source: usize, tag: u64) -> Result<RecvHandle, NetsimError> {
+        if source >= self.topo.size() {
+            return Err(NetsimError::InvalidRank { rank: source, size: self.topo.size() });
+        }
         self.timers.call += self.net.call_time(1);
-        RecvHandle { source, tag }
+        Ok(RecvHandle { source, tag })
+    }
+
+    /// Diagnostic dump of this rank's unmatched mailbox contents:
+    /// `(source, tag, queued)` per non-empty queue, sorted. Protocol
+    /// layers embed this in [`NetsimError::Timeout`] so a hung chaos
+    /// run reports what arrived-but-unwanted, the deadlock detector's
+    /// first question.
+    pub fn mailbox_keys(&self) -> Vec<(usize, u64, usize)> {
+        self.mailboxes[self.rank].unmatched_keys()
+    }
+
+    /// Complete one posted receive, blocking until `deadline` (`None`
+    /// = the message never arrived in time — *not* an error here: retry
+    /// protocols treat a miss as "still pending" and re-request). The
+    /// frame is handed back raw so callers can verify checksums and
+    /// sequence trailers; recycle it with [`RankCtx::recycle`].
+    pub fn recv_deadline(&mut self, h: RecvHandle, deadline: Instant) -> Option<RecvdMsg> {
+        let msg = self.mailboxes[self.rank].pop_deadline((h.source, h.tag), Some(deadline))?;
+        self.trace.record(MsgEvent {
+            send: false,
+            peer: h.source,
+            tag: h.tag,
+            bytes: msg.data.len() * 8,
+        });
+        Some(RecvdMsg { owner: msg.owner, data: msg.data })
+    }
+
+    /// Return a completed message's buffer to its owner's pool.
+    pub fn recycle(&mut self, msg: RecvdMsg) {
+        if let Some(owner) = msg.owner {
+            self.pools[owner].put(msg.data);
+        }
+    }
+
+    /// Evict every queued message for `(source, tag)` — stale
+    /// duplicates and late retries left behind by a reliable exchange —
+    /// recycling their buffers. Returns how many were evicted. Without
+    /// this, duplicate storms grow the mailbox without bound.
+    pub fn drain_mailbox(&mut self, source: usize, tag: u64) -> usize {
+        let stale = self.mailboxes[self.rank].drain((source, tag));
+        let n = stale.len();
+        for msg in stale {
+            if let Some(owner) = msg.owner {
+                self.pools[owner].put(msg.data);
+            }
+        }
+        n
     }
 
     /// Block until every posted receive has a matching message, moving
     /// them into `recv_scratch` in handle order and recording trace
-    /// events. Panics on length mismatch against `expect_len`.
-    fn complete_recvs(&mut self, handles: &[RecvHandle], expect_len: impl Fn(usize) -> usize) {
+    /// events. Honors the armed receive deadline and reports
+    /// [`NetsimError::Timeout`] / [`NetsimError::SizeMismatch`].
+    fn complete_recvs(
+        &mut self,
+        handles: &[RecvHandle],
+        expect_len: impl Fn(usize) -> usize,
+    ) -> Result<(), NetsimError> {
         self.recv_scratch.clear();
+        let deadline = self.recv_timeout.map(|t| Instant::now() + t);
         for (i, h) in handles.iter().enumerate() {
-            let msg = self.mailboxes[self.rank].pop_blocking((h.source, h.tag));
-            assert_eq!(
-                msg.data.len(),
-                expect_len(i),
-                "message length mismatch (source {}, tag {})",
-                h.source,
-                h.tag
-            );
+            let Some(msg) = self.mailboxes[self.rank].pop_deadline((h.source, h.tag), deadline)
+            else {
+                let pending = handles[i..].iter().map(|h| (h.source, h.tag)).collect();
+                let mailbox = self.mailboxes[self.rank].unmatched_keys();
+                self.recycle_scratch();
+                return Err(NetsimError::Timeout { rank: self.rank, pending, mailbox });
+            };
+            if msg.data.len() != expect_len(i) {
+                let err = NetsimError::SizeMismatch {
+                    rank: self.rank,
+                    source: h.source,
+                    tag: h.tag,
+                    expected: expect_len(i),
+                    got: msg.data.len(),
+                };
+                self.recv_scratch.push(msg);
+                self.recycle_scratch();
+                return Err(err);
+            }
             self.trace.record(MsgEvent {
                 send: false,
                 peer: h.source,
@@ -287,6 +540,7 @@ impl<'a> RankCtx<'a> {
             });
             self.recv_scratch.push(msg);
         }
+        Ok(())
     }
 
     /// Charge the LogGP `wait` term for this epoch's posted sends and
@@ -295,6 +549,13 @@ impl<'a> RankCtx<'a> {
         self.timers.wait += self.net.wait_time(self.epoch_msgs, self.epoch_bytes);
         self.epoch_msgs = 0;
         self.epoch_bytes = 0;
+    }
+
+    /// Public epoch close for protocol layers that complete receives
+    /// via [`RankCtx::recv_deadline`] instead of `waitall_*`: charges
+    /// the LogGP `wait` term for the sends posted since the last close.
+    pub fn flush_epoch(&mut self) {
+        self.close_epoch();
     }
 
     /// Return completed message buffers to their owners' pools.
@@ -311,9 +572,22 @@ impl<'a> RankCtx<'a> {
     /// destination buffer (buffers parallel to `handles`; lengths must
     /// match exactly). Charges the LogGP `wait` term for this epoch's
     /// posted sends, then closes the epoch.
-    pub fn waitall_into(&mut self, handles: &[RecvHandle], bufs: &mut [&mut [f64]]) {
+    ///
+    /// With a receive deadline armed (see
+    /// [`RankCtx::set_recv_timeout`]), an unmatched receive returns
+    /// [`NetsimError::Timeout`] instead of blocking forever; a
+    /// wrong-length message returns [`NetsimError::SizeMismatch`]. The
+    /// epoch is closed either way so wire accounting stays consistent.
+    pub fn waitall_into(
+        &mut self,
+        handles: &[RecvHandle],
+        bufs: &mut [&mut [f64]],
+    ) -> Result<(), NetsimError> {
         assert_eq!(handles.len(), bufs.len());
-        self.complete_recvs(handles, |i| bufs[i].len());
+        if let Err(e) = self.complete_recvs(handles, |i| bufs[i].len()) {
+            self.close_epoch();
+            return Err(e);
+        }
         let total: usize = self.recv_scratch.iter().map(|m| m.data.len() * 8).sum();
         if total >= PAR_COPY_MIN_BYTES {
             use rayon::prelude::*;
@@ -327,6 +601,7 @@ impl<'a> RankCtx<'a> {
         }
         self.recycle_scratch();
         self.close_epoch();
+        Ok(())
     }
 
     /// Complete all posted receives directly into sub-ranges of one
@@ -337,14 +612,18 @@ impl<'a> RankCtx<'a> {
     ///
     /// Calling with empty `handles` still closes the epoch — a rank
     /// whose sends were all loopbacks uses this to charge `wait`.
+    /// Deadline and error semantics match [`RankCtx::waitall_into`].
     pub fn waitall_ranges(
         &mut self,
         handles: &[RecvHandle],
         storage: &mut [f64],
         ranges: &[Range<usize>],
-    ) {
+    ) -> Result<(), NetsimError> {
         assert_eq!(handles.len(), ranges.len());
-        self.complete_recvs(handles, |i| ranges[i].len());
+        if let Err(e) = self.complete_recvs(handles, |i| ranges[i].len()) {
+            self.close_epoch();
+            return Err(e);
+        }
         let total: usize = ranges.iter().map(|r| r.len() * 8).sum();
         if total >= PAR_COPY_MIN_BYTES {
             scatter_parallel(storage, 0, ranges, &self.recv_scratch);
@@ -355,6 +634,7 @@ impl<'a> RankCtx<'a> {
         }
         self.recycle_scratch();
         self.close_epoch();
+        Ok(())
     }
 
     /// Record payload bytes (the non-padding fraction of the wire bytes)
@@ -405,6 +685,12 @@ impl<'a> RankCtx<'a> {
     pub fn take_trace(&mut self) -> Vec<MsgEvent> {
         self.trace.take()
     }
+
+    /// Drain the recorded fault-injection events (always recorded when
+    /// a fault plan is armed, independent of the message trace).
+    pub fn take_fault_events(&mut self) -> Vec<FaultEvent> {
+        self.trace.take_faults()
+    }
 }
 
 /// Copy `msgs[i]` into `storage[ranges[i]]` for sorted, disjoint
@@ -439,6 +725,22 @@ where
     R: Send,
     F: Fn(&mut RankCtx<'_>) -> R + Sync,
 {
+    run_cluster_faulty(topo, net, FaultConfig::off(), body)
+}
+
+/// Like [`run_cluster`], but with a seeded [`FaultConfig`] armed: every
+/// rank derives a deterministic [`FaultPlan`] and its wire model is
+/// scaled by the plan's per-rank slowdown factor.
+pub fn run_cluster_faulty<R, F>(
+    topo: &CartTopo,
+    net: NetworkModel,
+    faults: FaultConfig,
+    body: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx<'_>) -> R + Sync,
+{
     let size = topo.size();
     let mailboxes: Vec<Mailbox> = (0..size).map(|_| Mailbox::new()).collect();
     let pools: Vec<BufferPool> = (0..size).map(|_| BufferPool::new()).collect();
@@ -453,6 +755,11 @@ where
             let barrier = &barrier;
             let body = &body;
             joins.push(s.spawn(move || {
+                let fault = faults.is_active().then(|| FaultPlan::new(faults, rank));
+                let net = match &fault {
+                    Some(plan) => net.slowed(plan.slowdown()),
+                    None => net,
+                };
                 let mut ctx = RankCtx {
                     rank,
                     topo,
@@ -467,6 +774,9 @@ where
                     recv_scratch: Vec::new(),
                     pooling: true,
                     transport_allocs: 0,
+                    fault,
+                    fault_bypass: false,
+                    recv_timeout: None,
                 };
                 *slot = Some(body(&mut ctx));
             }));
@@ -491,10 +801,10 @@ mod tests {
             let right = ctx.topo().neighbor(rank, &[1]).unwrap();
             let left = ctx.topo().neighbor(rank, &[-1]).unwrap();
             let data = vec![rank as f64; 8];
-            let h = ctx.irecv(left, 7);
-            ctx.isend(right, 7, &data);
+            let h = ctx.irecv(left, 7).unwrap();
+            ctx.isend(right, 7, &data).unwrap();
             let mut buf = [0.0; 8];
-            ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+            ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
             buf[0]
         });
         assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
@@ -504,10 +814,10 @@ mod tests {
     fn self_send_loopback() {
         let topo = CartTopo::new(&[1], true);
         let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
-            let h = ctx.irecv(0, 1);
-            ctx.isend(0, 1, &[5.0, 6.0]);
+            let h = ctx.irecv(0, 1).unwrap();
+            ctx.isend(0, 1, &[5.0, 6.0]).unwrap();
             let mut buf = vec![0.0; 2];
-            ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+            ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
             buf
         });
         assert_eq!(out[0], vec![5.0, 6.0]);
@@ -518,14 +828,18 @@ mod tests {
         let topo = CartTopo::new(&[2], true);
         let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
             if ctx.rank() == 0 {
-                ctx.isend(1, 3, &[1.0]);
-                ctx.isend(1, 3, &[2.0]);
-                ctx.isend(1, 3, &[3.0]);
+                ctx.isend(1, 3, &[1.0]).unwrap();
+                ctx.isend(1, 3, &[2.0]).unwrap();
+                ctx.isend(1, 3, &[3.0]).unwrap();
                 Vec::new()
             } else {
-                let hs = [ctx.irecv(0, 3), ctx.irecv(0, 3), ctx.irecv(0, 3)];
+                let hs = [
+                    ctx.irecv(0, 3).unwrap(),
+                    ctx.irecv(0, 3).unwrap(),
+                    ctx.irecv(0, 3).unwrap(),
+                ];
                 let (mut a, mut b, mut c) = ([0.0], [0.0], [0.0]);
-                ctx.waitall_into(&hs, &mut [&mut a, &mut b, &mut c]);
+                ctx.waitall_into(&hs, &mut [&mut a, &mut b, &mut c]).unwrap();
                 vec![a[0], b[0], c[0]]
             }
         });
@@ -538,10 +852,11 @@ mod tests {
         let net = NetworkModel::theta_aries();
         let out = run_cluster(&topo, net, |ctx| {
             let peer = 1 - ctx.rank();
-            let h = ctx.irecv(peer, 0);
-            ctx.isend(peer, 0, &vec![0.0; 1024]);
+            let h = ctx.irecv(peer, 0).unwrap();
+            let data = vec![0.0; 1024];
+            ctx.isend(peer, 0, &data).unwrap();
             let mut buf = vec![0.0; 1024];
-            ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+            ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
             ctx.timers()
         });
         let t = out[0];
@@ -578,14 +893,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
-    fn mismatched_recv_length_panics() {
+    fn mismatched_recv_length_is_structured_error() {
+        let topo = CartTopo::new(&[1], true);
+        let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            let h = ctx.irecv(0, 0).unwrap();
+            ctx.isend(0, 0, &[1.0, 2.0]).unwrap();
+            let mut buf = [0.0; 3];
+            ctx.waitall_into(&[h], &mut [&mut buf[..]])
+        });
+        assert_eq!(
+            out[0],
+            Err(NetsimError::SizeMismatch { rank: 0, source: 0, tag: 0, expected: 3, got: 2 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_ranks_are_errors() {
+        let topo = CartTopo::new(&[2], true);
+        run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            assert_eq!(
+                ctx.isend(9, 0, &[1.0]),
+                Err(NetsimError::InvalidRank { rank: 9, size: 2 })
+            );
+            assert!(matches!(ctx.irecv(5, 0), Err(NetsimError::InvalidRank { rank: 5, .. })));
+        });
+    }
+
+    #[test]
+    fn timeout_reports_pending_and_mailbox_dump() {
+        let topo = CartTopo::new(&[1], true);
+        let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            // A message nobody will ask for, to exercise the dump...
+            ctx.isend(0, 99, &[1.0]).unwrap();
+            // ...and a receive nobody will satisfy.
+            ctx.set_recv_timeout(Some(Duration::from_millis(10)));
+            let h = ctx.irecv(0, 7).unwrap();
+            let mut buf = [0.0; 1];
+            ctx.waitall_into(&[h], &mut [&mut buf[..]])
+        });
+        let Err(NetsimError::Timeout { rank, pending, mailbox }) = &out[0] else {
+            panic!("expected timeout, got {:?}", out[0]);
+        };
+        assert_eq!(*rank, 0);
+        assert_eq!(pending, &[(0, 7)]);
+        assert_eq!(mailbox, &[(0, 99, 1)]);
+    }
+
+    #[test]
+    fn loopback_mismatch_is_error() {
         let topo = CartTopo::new(&[1], true);
         run_cluster(&topo, NetworkModel::instant(), |ctx| {
-            let h = ctx.irecv(0, 0);
-            ctx.isend(0, 0, &[1.0, 2.0]);
-            let mut buf = [0.0; 3];
-            ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+            let src = [1.0; 4];
+            let mut dst = [0.0; 3];
+            assert!(matches!(
+                ctx.loopback_into(3, &src, &mut dst),
+                Err(NetsimError::LoopbackMismatch { src_len: 4, dst_len: 3, .. })
+            ));
         });
     }
 
@@ -597,16 +960,16 @@ mod tests {
             let mut buf = vec![0.0; 256];
             // Warm the pool: the first epoch grows a fresh buffer.
             for _ in 0..3 {
-                let h = ctx.irecv(0, 9);
-                ctx.isend(0, 9, &data);
-                ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+                let h = ctx.irecv(0, 9).unwrap();
+                ctx.isend(0, 9, &data).unwrap();
+                ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
             }
             let warm = ctx.transport_allocs();
             assert!(warm >= 1);
             for _ in 0..50 {
-                let h = ctx.irecv(0, 9);
-                ctx.isend(0, 9, &data);
-                ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+                let h = ctx.irecv(0, 9).unwrap();
+                ctx.isend(0, 9, &data).unwrap();
+                ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
             }
             assert_eq!(ctx.transport_allocs(), warm, "steady state must not allocate");
         });
@@ -620,9 +983,9 @@ mod tests {
             let data = vec![1.0; 64];
             let mut buf = vec![0.0; 64];
             for _ in 0..10 {
-                let h = ctx.irecv(0, 2);
-                ctx.isend(0, 2, &data);
-                ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+                let h = ctx.irecv(0, 2).unwrap();
+                ctx.isend(0, 2, &data).unwrap();
+                ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
             }
             assert_eq!(ctx.transport_allocs(), 10);
         });
@@ -635,18 +998,18 @@ mod tests {
         run_cluster(&topo, net, |ctx| {
             // Mailbox self-send: data[0..4] -> data[8..12].
             let mut a: Vec<f64> = (0..12).map(|i| i as f64).collect();
-            let h = ctx.irecv(0, 5);
+            let h = ctx.irecv(0, 5).unwrap();
             let payload = a[0..4].to_vec();
-            ctx.isend(0, 5, &payload);
-            ctx.waitall_into(&[h], &mut [&mut a[8..12]]);
+            ctx.isend(0, 5, &payload).unwrap();
+            ctx.waitall_into(&[h], &mut [&mut a[8..12]]).unwrap();
             let t_mailbox = ctx.timers();
             let a_snapshot = a.clone();
             ctx.reset_timers();
 
             // Loopback fast path, same shape.
             let mut b: Vec<f64> = (0..12).map(|i| i as f64).collect();
-            ctx.loopback_within(5, &mut b, 0..4, 8);
-            ctx.waitall_ranges(&[], &mut b, &[]);
+            ctx.loopback_within(5, &mut b, 0..4, 8).unwrap();
+            ctx.waitall_ranges(&[], &mut b, &[]).unwrap();
             let t_loop = ctx.timers();
 
             assert_eq!(a_snapshot, b);
@@ -664,8 +1027,8 @@ mod tests {
         run_cluster(&topo, net, |ctx| {
             let src = vec![3.5; 128];
             let mut dst = vec![0.0; 128];
-            ctx.loopback_into(7, &src, &mut dst);
-            ctx.waitall_ranges(&[], &mut dst, &[]);
+            ctx.loopback_into(7, &src, &mut dst).unwrap();
+            ctx.waitall_ranges(&[], &mut dst, &[]).unwrap();
             assert_eq!(dst, src);
             let t = ctx.timers();
             assert_eq!(t.msgs, 1);
@@ -681,12 +1044,12 @@ mod tests {
         let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
             let peer = 1 - ctx.rank();
             let me = ctx.rank() as f64;
-            let h1 = ctx.irecv(peer, 1);
-            let h2 = ctx.irecv(peer, 2);
-            ctx.isend(peer, 1, &[me + 10.0; 4]);
-            ctx.isend(peer, 2, &[me + 20.0; 4]);
+            let h1 = ctx.irecv(peer, 1).unwrap();
+            let h2 = ctx.irecv(peer, 2).unwrap();
+            ctx.isend(peer, 1, &[me + 10.0; 4]).unwrap();
+            ctx.isend(peer, 2, &[me + 20.0; 4]).unwrap();
             let mut storage = vec![0.0; 16];
-            ctx.waitall_ranges(&[h1, h2], &mut storage, &[2..6, 10..14]);
+            ctx.waitall_ranges(&[h1, h2], &mut storage, &[2..6, 10..14]).unwrap();
             storage
         });
         // Rank 0 received rank 1's payloads.
@@ -694,5 +1057,124 @@ mod tests {
         assert_eq!(out[0][10..14], [21.0; 4]);
         assert_eq!(out[0][0..2], [0.0; 2]);
         assert_eq!(out[1][2..6], [10.0; 4]);
+    }
+
+    #[test]
+    fn dropped_message_times_out_with_empty_mailbox() {
+        let topo = CartTopo::new(&[1], true);
+        let cfg = FaultConfig { seed: 1, drop: 1.0, ..FaultConfig::off() };
+        let out = run_cluster_faulty(&topo, NetworkModel::instant(), cfg, |ctx| {
+            ctx.set_recv_timeout(Some(Duration::from_millis(10)));
+            let h = ctx.irecv(0, 4).unwrap();
+            ctx.isend(0, 4, &[1.0, 2.0]).unwrap();
+            let mut buf = [0.0; 2];
+            let err = ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap_err();
+            let stats = ctx.fault_stats();
+            (err, stats, ctx.take_fault_events())
+        });
+        let (err, stats, events) = &out[0];
+        assert!(matches!(err, NetsimError::Timeout { pending, .. } if pending == &[(0, 4)]));
+        assert_eq!(stats.drops, 1);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FaultKind::Drop);
+    }
+
+    #[test]
+    fn duplicated_message_arrives_twice() {
+        let topo = CartTopo::new(&[1], true);
+        let cfg = FaultConfig { seed: 3, dup: 1.0, ..FaultConfig::off() };
+        run_cluster_faulty(&topo, NetworkModel::instant(), cfg, |ctx| {
+            ctx.isend(0, 6, &[9.0; 4]).unwrap();
+            let h1 = ctx.irecv(0, 6).unwrap();
+            let h2 = ctx.irecv(0, 6).unwrap();
+            let (mut a, mut b) = ([0.0; 4], [0.0; 4]);
+            ctx.waitall_into(&[h1, h2], &mut [&mut a[..], &mut b[..]]).unwrap();
+            assert_eq!(a, [9.0; 4]);
+            assert_eq!(b, [9.0; 4]);
+            assert_eq!(ctx.fault_stats().dups, 1);
+        });
+    }
+
+    #[test]
+    fn corrupted_message_flips_exactly_one_word() {
+        let topo = CartTopo::new(&[1], true);
+        let cfg = FaultConfig { seed: 7, corrupt: 1.0, ..FaultConfig::off() };
+        run_cluster_faulty(&topo, NetworkModel::instant(), cfg, |ctx| {
+            let data: Vec<f64> = (0..16).map(|i| i as f64).collect();
+            let h = ctx.irecv(0, 2).unwrap();
+            ctx.isend(0, 2, &data).unwrap();
+            let mut buf = [0.0; 16];
+            ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
+            let differing =
+                data.iter().zip(buf.iter()).filter(|(a, b)| a.to_bits() != b.to_bits()).count();
+            assert_eq!(differing, 1, "exactly one word must be corrupted");
+        });
+    }
+
+    #[test]
+    fn fault_bypass_and_drain_recover_the_channel() {
+        let topo = CartTopo::new(&[1], true);
+        let cfg = FaultConfig { seed: 2, drop: 1.0, ..FaultConfig::off() };
+        run_cluster_faulty(&topo, NetworkModel::instant(), cfg, |ctx| {
+            // Injected drop loses the message...
+            ctx.isend(0, 8, &[1.0]).unwrap();
+            // ...the degraded path bypasses injection and gets through.
+            let was = ctx.set_fault_bypass(true);
+            assert!(!was);
+            ctx.isend(0, 8, &[2.0]).unwrap();
+            ctx.set_fault_bypass(false);
+            let h = ctx.irecv(0, 8).unwrap();
+            let mut buf = [0.0; 1];
+            ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
+            assert_eq!(buf, [2.0]);
+            assert_eq!(ctx.drain_mailbox(0, 8), 0, "nothing stale left");
+        });
+    }
+
+    #[test]
+    fn drain_mailbox_evicts_stale_messages() {
+        let topo = CartTopo::new(&[1], true);
+        run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            for _ in 0..5 {
+                ctx.isend(0, 3, &[1.0; 8]).unwrap();
+            }
+            assert_eq!(ctx.drain_mailbox(0, 3), 5);
+            assert_eq!(ctx.drain_mailbox(0, 3), 0);
+            // Pooled buffers went back: next sends reuse them.
+            let before = ctx.transport_allocs();
+            ctx.isend(0, 3, &[1.0; 8]).unwrap();
+            assert_eq!(ctx.transport_allocs(), before);
+            ctx.drain_mailbox(0, 3);
+        });
+    }
+
+    #[test]
+    fn recv_deadline_returns_frames_and_misses() {
+        let topo = CartTopo::new(&[1], true);
+        run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            ctx.isend(0, 5, &[4.0, 5.0]).unwrap();
+            let h = ctx.irecv(0, 5).unwrap();
+            let deadline = Instant::now() + Duration::from_millis(50);
+            let msg = ctx.recv_deadline(h, deadline).expect("queued message");
+            assert_eq!(msg.data(), &[4.0, 5.0]);
+            ctx.recycle(msg);
+            let h2 = ctx.irecv(0, 5).unwrap();
+            let deadline = Instant::now() + Duration::from_millis(5);
+            assert!(ctx.recv_deadline(h2, deadline).is_none(), "no message queued");
+            ctx.flush_epoch();
+        });
+    }
+
+    #[test]
+    fn jitter_slows_the_rank_wire_model() {
+        let topo = CartTopo::new(&[2], true);
+        let net = NetworkModel::theta_aries();
+        let cfg = FaultConfig { seed: 21, jitter: 0.5, ..FaultConfig::off() };
+        let out = run_cluster_faulty(&topo, net, cfg, |ctx| ctx.network().latency);
+        for (rank, &lat) in out.iter().enumerate() {
+            let expect = net.slowed(FaultPlan::new(cfg, rank).slowdown()).latency;
+            assert_eq!(lat, expect);
+            assert!(lat >= net.latency);
+        }
     }
 }

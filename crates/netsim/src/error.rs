@@ -1,0 +1,154 @@
+//! Structured transport errors.
+//!
+//! The original substrate treated every misuse or stall as a panic or an
+//! infinite block: a short payload tripped an `assert_eq!` deep inside
+//! `waitall_into`, and an unmatched receive hung the rank thread
+//! forever. Under fault injection (see [`crate::fault`]) both become
+//! *expected* runtime outcomes, so the public API reports them as typed
+//! errors instead.
+
+use std::fmt;
+
+/// Errors surfaced by the netsim public API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetsimError {
+    /// A `waitall_*` deadline expired with receives still pending.
+    ///
+    /// `pending` lists the `(source, tag)` pairs that never matched;
+    /// `mailbox` is a diagnostic dump of the `(source, tag, queued)`
+    /// keys that *are* sitting in this rank's mailbox — the deadlock
+    /// detector's view of what arrived but was never asked for.
+    Timeout {
+        /// Rank whose receive timed out.
+        rank: usize,
+        /// Posted receives that never matched, as `(source, tag)`.
+        pending: Vec<(usize, u64)>,
+        /// Unmatched mailbox keys at expiry: `(source, tag, queued)`.
+        mailbox: Vec<(usize, u64, usize)>,
+    },
+    /// A delivered message's length did not match the posted receive.
+    SizeMismatch {
+        /// Receiving rank.
+        rank: usize,
+        /// Sending rank.
+        source: usize,
+        /// Message tag.
+        tag: u64,
+        /// Elements the receive expected.
+        expected: usize,
+        /// Elements the message carried.
+        got: usize,
+    },
+    /// A send or receive referenced a rank outside the topology.
+    InvalidRank {
+        /// The offending rank id.
+        rank: usize,
+        /// Topology size.
+        size: usize,
+    },
+    /// A loopback transfer's source and destination lengths differ.
+    LoopbackMismatch {
+        /// Rank performing the loopback.
+        rank: usize,
+        /// Message tag.
+        tag: u64,
+        /// Source elements.
+        src_len: usize,
+        /// Destination elements.
+        dst_len: usize,
+    },
+    /// A reliable-exchange retry budget was exhausted without
+    /// convergence (raised by protocol layers built on the transport).
+    RetriesExhausted {
+        /// Rank that gave up.
+        rank: usize,
+        /// Rounds attempted.
+        rounds: u32,
+        /// `(source, tag)` pairs still missing.
+        pending: Vec<(usize, u64)>,
+    },
+}
+
+impl fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetsimError::Timeout { rank, pending, mailbox } => {
+                write!(
+                    f,
+                    "rank {rank}: receive deadline expired with {} pending receive(s): ",
+                    pending.len()
+                )?;
+                for (i, (src, tag)) in pending.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(src {src}, tag {tag:#x})")?;
+                }
+                if mailbox.is_empty() {
+                    write!(f, "; mailbox is empty (likely dropped or never sent)")
+                } else {
+                    write!(f, "; unmatched mailbox keys:")?;
+                    for (src, tag, n) in mailbox {
+                        write!(f, " (src {src}, tag {tag:#x}) x{n}")?;
+                    }
+                    Ok(())
+                }
+            }
+            NetsimError::SizeMismatch { rank, source, tag, expected, got } => write!(
+                f,
+                "rank {rank}: message length mismatch from rank {source} tag {tag:#x}: \
+                 expected {expected} elements, got {got}"
+            ),
+            NetsimError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} is outside the {size}-rank topology")
+            }
+            NetsimError::LoopbackMismatch { rank, tag, src_len, dst_len } => write!(
+                f,
+                "rank {rank}: loopback length mismatch (tag {tag:#x}): \
+                 source {src_len} elements, destination {dst_len}"
+            ),
+            NetsimError::RetriesExhausted { rank, rounds, pending } => write!(
+                f,
+                "rank {rank}: retry budget exhausted after {rounds} round(s) with \
+                 {} message(s) still missing",
+                pending.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_message_lists_pending_and_mailbox() {
+        let e = NetsimError::Timeout {
+            rank: 3,
+            pending: vec![(1, 0x42), (2, 7)],
+            mailbox: vec![(5, 9, 2)],
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3"));
+        assert!(s.contains("(src 1, tag 0x42)"));
+        assert!(s.contains("(src 5, tag 0x9) x2"));
+    }
+
+    #[test]
+    fn size_mismatch_names_both_ranks_and_tag() {
+        let e = NetsimError::SizeMismatch { rank: 1, source: 0, tag: 5, expected: 8, got: 6 };
+        let s = e.to_string();
+        assert!(s.contains("rank 1"));
+        assert!(s.contains("from rank 0"));
+        assert!(s.contains("expected 8"));
+        assert!(s.contains("got 6"));
+    }
+
+    #[test]
+    fn empty_mailbox_hints_at_drop() {
+        let e = NetsimError::Timeout { rank: 0, pending: vec![(1, 1)], mailbox: vec![] };
+        assert!(e.to_string().contains("dropped or never sent"));
+    }
+}

@@ -13,6 +13,13 @@
 //! The timer taxonomy (`calc`/`pack`/`call`/`wait`) matches the paper's
 //! artifact output so harness tables line up with the published ones.
 //!
+//! The fabric can also be made *hostile on purpose*: a seeded
+//! [`FaultConfig`] (see [`fault`]) deterministically drops, duplicates,
+//! corrupts and delays messages, and the transport reports stalls and
+//! damage as structured [`NetsimError`] values instead of hanging or
+//! panicking — the substrate for chaos testing the exchange protocols
+//! built on top.
+//!
 //! ```
 //! use netsim::{run_cluster, CartTopo, NetworkModel};
 //!
@@ -20,10 +27,10 @@
 //! let topo = CartTopo::new(&[2], true);
 //! let got = run_cluster(&topo, NetworkModel::theta_aries(), |ctx| {
 //!     let peer = 1 - ctx.rank();
-//!     let h = ctx.irecv(peer, 0);
-//!     ctx.isend(peer, 0, &[ctx.rank() as f64]);
+//!     let h = ctx.irecv(peer, 0).unwrap();
+//!     ctx.isend(peer, 0, &[ctx.rank() as f64]).unwrap();
 //!     let mut buf = [0.0];
-//!     ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+//!     ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
 //!     buf[0]
 //! });
 //! assert_eq!(got, vec![1.0, 0.0]);
@@ -33,13 +40,19 @@
 
 pub mod cluster;
 pub mod collective;
+pub mod error;
+pub mod fault;
 pub mod model;
 pub mod timers;
 pub mod topo;
 pub mod trace;
 
-pub use cluster::{run_cluster, RankCtx, RecvHandle};
+pub use cluster::{run_cluster, run_cluster_faulty, RankCtx, RecvHandle, RecvdMsg, POOL_CAP};
 pub use collective::TimerSummary;
+pub use error::NetsimError;
+pub use fault::{
+    frame_checksum, FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultStats, CTRL_TAG_BIT,
+};
 pub use trace::{MsgEvent, Trace};
 pub use model::NetworkModel;
 pub use timers::{timed, Timers};

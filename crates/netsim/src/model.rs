@@ -63,6 +63,22 @@ impl NetworkModel {
         NetworkModel { name: "instant", overhead: 0.0, latency: 0.0, gap: 0.0, bandwidth: f64::INFINITY }
     }
 
+    /// This model slowed down by `factor` (≥ 1): latency, gap and
+    /// per-message overhead stretch, bandwidth shrinks. Fault
+    /// injection's per-rank jitter hands every rank a slowed copy, so a
+    /// straggler NIC is a property of the rank, not of individual
+    /// messages.
+    pub fn slowed(&self, factor: f64) -> NetworkModel {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        NetworkModel {
+            name: self.name,
+            overhead: self.overhead * factor,
+            latency: self.latency * factor,
+            gap: self.gap * factor,
+            bandwidth: self.bandwidth / factor,
+        }
+    }
+
     /// `call`-side CPU time for posting `m` messages.
     #[inline]
     pub fn call_time(&self, messages: usize) -> f64 {
@@ -147,5 +163,19 @@ mod tests {
     fn instant_fabric_is_free() {
         let m = NetworkModel::instant();
         assert_eq!(m.exchange_time(1000, 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn slowed_scales_every_term() {
+        let m = NetworkModel::theta_aries();
+        let s = m.slowed(1.5);
+        assert_eq!(s.overhead, m.overhead * 1.5);
+        assert_eq!(s.latency, m.latency * 1.5);
+        assert_eq!(s.gap, m.gap * 1.5);
+        assert_eq!(s.bandwidth, m.bandwidth / 1.5);
+        assert!(s.exchange_time(26, 1 << 20) > m.exchange_time(26, 1 << 20));
+        // Factor 1 is the identity; instant stays free.
+        assert_eq!(m.slowed(1.0), m);
+        assert_eq!(NetworkModel::instant().slowed(2.0).exchange_time(10, 100), 0.0);
     }
 }

@@ -1,6 +1,14 @@
 //! Message tracing: record every posted message for schedule
 //! inspection — the tool behind `ext_message_trace`, which verifies the
 //! 42-message structure of the Layout exchange at the wire level.
+//!
+//! The trace also carries the **fault log**: every fault injected by a
+//! [`crate::fault::FaultPlan`] is appended as a [`FaultEvent`],
+//! unconditionally (message events stay opt-in and zero-cost when
+//! disabled, but a chaos run must never lose its injection record —
+//! determinism tests and the CI artifact both replay it).
+
+use crate::fault::FaultEvent;
 
 /// One traced message event.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -20,6 +28,7 @@ pub struct MsgEvent {
 pub struct Trace {
     enabled: bool,
     events: Vec<MsgEvent>,
+    faults: Vec<FaultEvent>,
 }
 
 impl Trace {
@@ -45,6 +54,44 @@ impl Trace {
         &self.events
     }
 
+    /// Record an injected fault (always kept, independent of
+    /// [`Trace::enable`]: the fault log is the chaos run's artifact).
+    pub fn record_fault(&mut self, e: FaultEvent) {
+        self.faults.push(e);
+    }
+
+    /// Injected faults recorded so far.
+    pub fn faults(&self) -> &[FaultEvent] {
+        &self.faults
+    }
+
+    /// Drain the recorded fault events.
+    pub fn take_faults(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.faults)
+    }
+
+    /// Render a fault log as a JSON array (the CI chaos artifact).
+    pub fn faults_json(rank: usize, faults: &[FaultEvent]) -> String {
+        let mut out = String::from("[");
+        for (i, f) in faults.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"rank\": {rank}, \"kind\": \"{}\", \"src\": {}, \"dest\": {}, \
+                 \"tag\": {}, \"attempt\": {}, \"bytes\": {}}}",
+                f.kind.name(),
+                f.src,
+                f.dest,
+                f.tag,
+                f.attempt,
+                f.bytes
+            ));
+        }
+        out.push(']');
+        out
+    }
+
     /// Summaries: `(sends, recvs, send_bytes)`.
     pub fn totals(&self) -> (usize, usize, usize) {
         let sends = self.events.iter().filter(|e| e.send).count();
@@ -63,6 +110,21 @@ mod tests {
         let mut t = Trace::default();
         t.record(MsgEvent { send: true, peer: 0, tag: 1, bytes: 8 });
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn faults_recorded_even_when_disabled() {
+        use crate::fault::FaultKind;
+        let mut t = Trace::default();
+        let e = FaultEvent { kind: FaultKind::Drop, src: 0, dest: 1, tag: 7, attempt: 3, bytes: 64 };
+        t.record_fault(e);
+        assert_eq!(t.faults(), &[e]);
+        let json = Trace::faults_json(2, t.faults());
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"kind\": \"drop\""));
+        assert!(json.contains("\"rank\": 2"));
+        assert_eq!(t.take_faults().len(), 1);
+        assert!(t.faults().is_empty());
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn main() {
         let shape = StencilShape::star7_default();
         for _ in 0..4 {
             // One exchange refreshes the ghosts of every field.
-            ex.exchange(ctx, &mut cur);
+            ex.exchange(ctx, &mut cur).unwrap();
             for f in 0..fields {
                 ctx.time_calc(|| {
                     apply_bricks(&shape, info, &cur, &mut nxt, decomp.compute_mask(), f)

@@ -52,7 +52,7 @@ fn main() {
         for sweep in 0..60 {
             // Ghost exchange, then the Jacobi update
             // u ← avg6(u) + h²/6 · f.
-            ex.exchange(ctx, &mut u);
+            ex.exchange(ctx, &mut u).unwrap();
             ctx.time_calc(|| {
                 apply_bricks(&avg6, info, &u, &mut tmp, mask, 0);
             });
@@ -69,7 +69,7 @@ fn main() {
 
             if sweep % 10 == 9 {
                 // Residual ||f + ∇²u||₂ needs fresh ghosts for u.
-                ex.exchange(ctx, &mut u);
+                ex.exchange(ctx, &mut u).unwrap();
                 apply_bricks(&lap, info, &u, &mut tmp, mask, 0);
                 let mut r2 = 0.0;
                 packfree::fields::for_each_interior(&decomp, |c| {

@@ -48,7 +48,7 @@ fn main() {
         for _step in 0..10 {
             // Pack-free exchange: every message is a contiguous brick
             // range; ghosts land in place.
-            exchanger.exchange(ctx, &mut cur);
+            exchanger.exchange(ctx, &mut cur).unwrap();
             ctx.time_calc(|| apply_bricks(&shape, info, &cur, &mut nxt, decomp.compute_mask(), 0));
             std::mem::swap(&mut cur, &mut nxt);
         }

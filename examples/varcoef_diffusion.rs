@@ -58,7 +58,7 @@ fn main() {
         // loop below only replays it.
         let plan = VarCoefPlan::new(info, VARCOEF_FIELDS);
         for _ in 0..20 {
-            ex.exchange(ctx, &mut cur); // one exchange, all 8 fields
+            ex.exchange(ctx, &mut cur).unwrap(); // one exchange, all 8 fields
             ctx.time_calc(|| plan.execute(&cur, &mut nxt, mask));
             // Coefficients are static: carry them into the next buffer.
             for b in 0..decomp.bricks() as u32 {

@@ -41,6 +41,7 @@ fn main() {
             ranks: vec![1, 1, 1],
             net: NetworkModel::theta_aries(),
             kernel: KernelKind::Plan,
+            faults: netsim::FaultConfig::off(),
         };
         let r = run_experiment(&cfg);
         println!(

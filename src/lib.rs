@@ -40,7 +40,10 @@ pub mod prelude {
     pub use brick::{BrickDims, BrickGrid, BrickInfo, BrickStorage, BrickView, BrickViewMut};
     pub use layout::{all_regions, surface2d, surface3d, Dir, MessagePlan, SurfaceLayout};
     pub use memview::{ContiguousView, MemFile, Segment};
-    pub use netsim::{run_cluster, CartTopo, NetworkModel, RankCtx, Timers};
+    pub use netsim::{
+        run_cluster, run_cluster_faulty, CartTopo, FaultConfig, FaultStats, NetworkModel,
+        NetsimError, RankCtx, Timers,
+    };
     pub use packfree::baselines::ArrayExchanger;
     pub use packfree::experiment::{
         run_experiment, CpuMethod, ExperimentConfig, KernelKind, MethodReport,

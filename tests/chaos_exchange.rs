@@ -1,0 +1,104 @@
+//! Acceptance chaos suite: with 10% drop + 5% corruption at a fixed
+//! seed, every exchange implementation self-heals and lands on fields
+//! bit-identical to the fault-free run, while the report accounts for
+//! both the injected damage and the recovery work.
+//!
+//! The seed can be overridden with `BRICK_CHAOS_SEED` so CI can sweep
+//! several fixed seeds without recompiling.
+
+use bricklib::prelude::*;
+
+fn seed() -> u64 {
+    std::env::var("BRICK_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn chaos() -> FaultConfig {
+    FaultConfig { seed: seed(), drop: 0.10, corrupt: 0.05, ..FaultConfig::default() }
+}
+
+fn cfg(method: CpuMethod, faults: FaultConfig) -> ExperimentConfig {
+    let mut c = ExperimentConfig::k1(method, 16);
+    c.steps = 3;
+    c.warmup = 0;
+    c.ranks = vec![2, 1, 1];
+    c.net = NetworkModel::instant();
+    c.faults = faults;
+    c
+}
+
+fn all_methods() -> Vec<CpuMethod> {
+    vec![
+        CpuMethod::Layout,
+        CpuMethod::LayoutOverlap,
+        CpuMethod::Basic,
+        CpuMethod::MemMap { page_size: memview::PAGE_4K },
+        CpuMethod::Shift { page_size: memview::PAGE_4K },
+        CpuMethod::Yask,
+        CpuMethod::MpiTypes,
+    ]
+}
+
+/// The acceptance invariant: 10% drop + 5% corruption at a fixed seed
+/// leaves every method's physics bit-identical to the fault-free run.
+#[test]
+fn chaos_runs_are_bit_identical_to_fault_free() {
+    for method in all_methods() {
+        let clean = run_experiment(&cfg(method.clone(), FaultConfig::off()));
+        let lossy = run_experiment(&cfg(method.clone(), chaos()));
+        assert!(
+            lossy.faults.total() > 0,
+            "{}: chaos schedule injected nothing",
+            method.name()
+        );
+        assert_eq!(
+            lossy.checksum.to_bits(),
+            clean.checksum.to_bits(),
+            "{} diverged under drop 10% / corrupt 5% (seed {})",
+            method.name(),
+            seed()
+        );
+    }
+}
+
+/// Dropped frames force retries and corrupted frames are caught by the
+/// checksum: the recovery counters in the report prove the protocol did
+/// the healing (rather than the faults happening to miss).
+#[test]
+fn recovery_work_is_accounted() {
+    let r = run_experiment(&cfg(CpuMethod::Layout, chaos()));
+    assert!(r.faults.drops > 0, "seed {} injected no drops", seed());
+    assert!(r.stats.retries > 0, "drops were injected but nothing was retried");
+    assert!(
+        r.faults.corrupts == 0 || r.stats.corrupt_detected > 0,
+        "corrupted frames slipped past the checksum"
+    );
+    assert_eq!(r.fault_events.len() as u64, r.faults.total());
+}
+
+/// Fault-free runs must not pay for the chaos layer: no recovery
+/// counters move and no fault events are recorded.
+#[test]
+fn fault_free_runs_report_zero_recovery() {
+    let r = run_experiment(&cfg(CpuMethod::Layout, FaultConfig::off()));
+    assert_eq!(r.faults.total(), 0);
+    assert!(r.fault_events.is_empty());
+    assert_eq!(r.stats.retries, 0);
+    assert_eq!(r.stats.duplicates_discarded, 0);
+    assert_eq!(r.stats.corrupt_detected, 0);
+    assert_eq!(r.stats.degraded_exchanges, 0);
+}
+
+/// Per-rank jitter slows the wire model but never changes delivery:
+/// physics stays bit-identical with stragglers in the cluster.
+#[test]
+fn jitter_and_delay_do_not_change_physics() {
+    let faults =
+        FaultConfig { seed: seed(), delay: 0.3, jitter: 0.5, ..FaultConfig::default() };
+    let clean = run_experiment(&cfg(CpuMethod::MemMap { page_size: memview::PAGE_4K }, FaultConfig::off()));
+    let slow = run_experiment(&cfg(CpuMethod::MemMap { page_size: memview::PAGE_4K }, faults));
+    assert_eq!(slow.checksum.to_bits(), clean.checksum.to_bits());
+    assert!(slow.faults.delays > 0, "seed {} charged no delays", seed());
+}

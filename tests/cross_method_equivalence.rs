@@ -16,6 +16,7 @@ fn cfg(method: CpuMethod, n: usize, shape: StencilShape, ranks: Vec<usize>) -> E
         ranks,
         net: NetworkModel::theta_aries(),
         kernel: KernelKind::Plan,
+        faults: netsim::FaultConfig::off(),
     }
 }
 
@@ -121,7 +122,7 @@ fn brick_matches_array_evolution() {
             }
         }
         for _ in 0..steps {
-            ex.exchange(ctx, &mut a);
+            ex.exchange(ctx, &mut a).unwrap();
             apply_bricks(&shape, info, &a, &mut b, decomp.compute_mask(), 0);
             std::mem::swap(&mut a, &mut b);
         }

@@ -56,7 +56,7 @@ fn self_periodic_2d_exchange() {
                 st.as_mut_slice()[off] = f(x as i64, y as i64);
             }
         }
-        ex.exchange(ctx, &mut st);
+        ex.exchange(ctx, &mut st).unwrap();
         let (g, n) = (8isize, 32isize);
         let mut errors = 0usize;
         for y in -g..n + g {
@@ -93,7 +93,7 @@ fn multirank_2d_exchange() {
                 st.as_mut_slice()[off] = f(origin[0] + x as i64, origin[1] + y as i64);
             }
         }
-        ex.exchange(ctx, &mut st);
+        ex.exchange(ctx, &mut st).unwrap();
         let g = 8isize;
         let mut errors = 0usize;
         for y in -g..sub as isize + g {

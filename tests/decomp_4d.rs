@@ -52,7 +52,7 @@ fn exchange_4d_self_periodic() {
         packfree::fields::fill_interior(&d, &mut st, 0, |c| {
             (c[0] + 16 * c[1] + 256 * c[2] + 4096 * c[3]) as f64
         });
-        ex.exchange(ctx, &mut st);
+        ex.exchange(ctx, &mut st).unwrap();
         packfree::fields::ghost_mismatches(&d, &st, 0, |c| {
             let w = |v: isize| v.rem_euclid(16) as usize;
             (w(c[0]) + 16 * w(c[1]) + 256 * w(c[2]) + 4096 * w(c[3])) as f64
@@ -81,7 +81,7 @@ fn larger_4d_domain_with_middle_regions() {
         packfree::fields::fill_interior(&d, &mut st, 0, |c| {
             (c[0] + 24 * c[1] + 576 * c[2] + 13824 * c[3]) as f64
         });
-        ex.exchange(ctx, &mut st);
+        ex.exchange(ctx, &mut st).unwrap();
         packfree::fields::ghost_mismatches(&d, &st, 0, |c| {
             let w = |v: isize| v.rem_euclid(24) as usize;
             (w(c[0]) + 24 * w(c[1]) + 576 * w(c[2]) + 13824 * w(c[3])) as f64

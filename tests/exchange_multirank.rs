@@ -70,7 +70,7 @@ fn run_layout_case(rank_dims: [usize; 3], sub: usize) {
         ];
         let mut st = decomp.allocate();
         fill_rank(&decomp, &mut st, origin);
-        ex.exchange(ctx, &mut st);
+        ex.exchange(ctx, &mut st).unwrap();
         check_rank(&decomp, &st, origin, global)
     });
     for (rank, e) in errors.iter().enumerate() {
@@ -126,7 +126,7 @@ fn memmap_2x2x1() {
         let mut st = MemMapStorage::allocate(&decomp).expect("memfd");
         let mut ev = ExchangeView::build(&decomp, &st).expect("views");
         fill_rank(&decomp, &mut st.storage, origin);
-        ev.exchange(ctx, &mut st);
+        ev.exchange(ctx, &mut st).unwrap();
         check_rank(&decomp, &st.storage, origin, global)
     });
     for (rank, e) in errors.iter().enumerate() {
@@ -145,9 +145,9 @@ fn exchange_is_idempotent() {
     let equal = run_cluster(&topo, NetworkModel::instant(), |ctx| {
         let mut st = decomp.allocate();
         fill_rank(&decomp, &mut st, [0, 0, 0]);
-        ex.exchange(ctx, &mut st);
+        ex.exchange(ctx, &mut st).unwrap();
         let snapshot = st.as_slice().to_vec();
-        ex.exchange(ctx, &mut st);
+        ex.exchange(ctx, &mut st).unwrap();
         st.as_slice() == snapshot.as_slice()
     });
     assert!(equal[0]);
@@ -166,7 +166,7 @@ fn exchange_never_writes_interior() {
             .flat_map(|z| (0..32).flat_map(move |y| (0..32).map(move |x| (x, y, z))))
             .map(|(x, y, z)| st.as_slice()[decomp.element_offset([x, y, z], 0)])
             .collect();
-        ex.exchange(ctx, &mut st);
+        ex.exchange(ctx, &mut st).unwrap();
         let after: Vec<f64> = (0..32)
             .flat_map(|z| (0..32).flat_map(move |y| (0..32).map(move |x| (x, y, z))))
             .map(|(x, y, z)| st.as_slice()[decomp.element_offset([x, y, z], 0)])
@@ -185,7 +185,7 @@ fn trace_matches_stats() {
     let events = run_cluster(&topo, NetworkModel::instant(), |ctx| {
         ctx.enable_trace();
         let mut st = decomp.allocate();
-        ex.exchange(ctx, &mut st);
+        ex.exchange(ctx, &mut st).unwrap();
         ctx.take_trace()
     });
     let sends: Vec<_> = events[0].iter().filter(|e| e.send).collect();

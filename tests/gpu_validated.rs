@@ -31,6 +31,7 @@ fn gpu_modes_match_cpu_physics() {
         ranks: vec![1, 1, 1],
         net: NetworkModel::instant(),
         kernel: KernelKind::Plan,
+        faults: netsim::FaultConfig::off(),
     });
     for m in [
         GpuMethod::LayoutCA,

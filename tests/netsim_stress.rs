@@ -2,7 +2,7 @@
 //! tag interleaving, all-to-all storms, lockstep multi-epoch runs, and
 //! deterministic wire-time accounting.
 
-use netsim::{run_cluster, CartTopo, NetworkModel};
+use netsim::{run_cluster, run_cluster_faulty, CartTopo, FaultConfig, NetworkModel, POOL_CAP};
 
 /// All-to-all with per-pair tags, several epochs: no message may be
 /// lost, duplicated, or misrouted.
@@ -17,18 +17,18 @@ fn all_to_all_storm() {
         for epoch in 0..epochs {
             let mut handles = Vec::new();
             for peer in 0..n {
-                handles.push(ctx.irecv(peer, (epoch * 100 + me) as u64));
+                handles.push(ctx.irecv(peer, (epoch * 100 + me) as u64).unwrap());
             }
             for peer in 0..n {
                 // Tag encodes the *receiver* so each (src, tag) is unique.
                 let payload = vec![(me * 1000 + peer * 10 + epoch) as f64; 4];
-                ctx.isend(peer, (epoch * 100 + peer) as u64, &payload);
+                ctx.isend(peer, (epoch * 100 + peer) as u64, &payload).unwrap();
             }
             let mut bufs: Vec<Vec<f64>> = (0..n).map(|_| vec![0.0; 4]).collect();
             {
                 let mut slices: Vec<&mut [f64]> =
                     bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-                ctx.waitall_into(&handles, &mut slices);
+                ctx.waitall_into(&handles, &mut slices).unwrap();
             }
             for (peer, b) in bufs.iter().enumerate() {
                 assert_eq!(b[0], (peer * 1000 + me * 10 + epoch) as f64);
@@ -54,16 +54,16 @@ fn fifo_under_load() {
         const N: usize = 500;
         if ctx.rank() == 0 {
             for i in 0..N {
-                ctx.isend(1, 9, &[i as f64]);
+                ctx.isend(1, 9, &[i as f64]).unwrap();
             }
             true
         } else {
-            let handles: Vec<_> = (0..N).map(|_| ctx.irecv(0, 9)).collect();
+            let handles: Vec<_> = (0..N).map(|_| ctx.irecv(0, 9).unwrap()).collect();
             let mut bufs: Vec<[f64; 1]> = vec![[0.0]; N];
             {
                 let mut slices: Vec<&mut [f64]> =
                     bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-                ctx.waitall_into(&handles, &mut slices);
+                ctx.waitall_into(&handles, &mut slices).unwrap();
             }
             bufs.iter().enumerate().all(|(i, b)| b[0] == i as f64)
         }
@@ -81,10 +81,10 @@ fn deterministic_wire_charges() {
         let t = run_cluster(&topo, net, |ctx| {
             let peer = 1 - ctx.rank();
             for round in 0..3u64 {
-                let h = ctx.irecv(peer, round);
-                ctx.isend(peer, round, &vec![1.0; 256 << round]);
+                let h = ctx.irecv(peer, round).unwrap();
+                ctx.isend(peer, round, &vec![1.0; 256 << round]).unwrap();
                 let mut buf = vec![0.0; 256 << round];
-                ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+                ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
             }
             ctx.timers()
         });
@@ -113,10 +113,10 @@ fn neighbor_routing_3d() {
         // must be the -x neighbor's id.
         let to = ctx.topo().neighbor(me, &[1, 0, 0]).unwrap();
         let from = ctx.topo().neighbor(me, &[-1, 0, 0]).unwrap();
-        let h = ctx.irecv(from, 1);
-        ctx.isend(to, 1, &[me as f64]);
+        let h = ctx.irecv(from, 1).unwrap();
+        ctx.isend(to, 1, &[me as f64]).unwrap();
         let mut buf = [0.0];
-        ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+        ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
         buf[0] == from as f64
     });
     assert!(ok.iter().all(|&b| b));
@@ -142,19 +142,19 @@ fn pooled_reuse_no_stale_data() {
             let len = 8 << (epoch % 5);
             let mut handles = Vec::new();
             for peer in 0..n {
-                handles.push(ctx.irecv(peer, (epoch * 10 + me) as u64));
+                handles.push(ctx.irecv(peer, (epoch * 10 + me) as u64).unwrap());
             }
             for peer in 0..n {
                 let sentinel = (me * 1_000_000 + epoch * 1_000) as f64;
                 let payload: Vec<f64> =
                     (0..len).map(|i| sentinel + i as f64).collect();
-                ctx.isend(peer, (epoch * 10 + peer) as u64, &payload);
+                ctx.isend(peer, (epoch * 10 + peer) as u64, &payload).unwrap();
             }
             let mut bufs: Vec<Vec<f64>> = (0..n).map(|_| vec![-1.0; len]).collect();
             {
                 let mut slices: Vec<&mut [f64]> =
                     bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-                ctx.waitall_into(&handles, &mut slices);
+                ctx.waitall_into(&handles, &mut slices).unwrap();
             }
             for (peer, b) in bufs.iter().enumerate() {
                 let sentinel = (peer * 1_000_000 + epoch * 1_000) as f64;
@@ -184,6 +184,34 @@ fn pooled_reuse_no_stale_data() {
             "rank {rank} still allocating after pool warm-up"
         );
     }
+}
+
+/// Duplicate faults leave orphan frames parked in the mailbox; evicting
+/// them with `drain_mailbox` must bound growth, and the recycle pool
+/// must never exceed its cap no matter how much extra traffic the
+/// fault layer manufactures.
+#[test]
+fn mailbox_and_pool_stay_bounded_under_duplication() {
+    let topo = CartTopo::new(&[2], true);
+    let faults = FaultConfig { seed: 1234, dup: 0.5, ..FaultConfig::default() };
+    let drained = run_cluster_faulty(&topo, NetworkModel::instant(), faults, |ctx| {
+        let peer = 1 - ctx.rank();
+        let mut evicted = 0usize;
+        for epoch in 0..200u64 {
+            let h = ctx.irecv(peer, epoch).unwrap();
+            ctx.isend(peer, epoch, &[epoch as f64; 16]).unwrap();
+            let mut buf = [0.0; 16];
+            ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
+            assert_eq!(buf[0], epoch as f64);
+            // This epoch's tag is never matched again, so any duplicate
+            // still parked under it is dead weight: evict it.
+            evicted += ctx.drain_mailbox(peer, epoch);
+            assert!(ctx.pool_len() <= POOL_CAP, "recycle pool exceeded its cap");
+            ctx.barrier();
+        }
+        evicted
+    });
+    assert!(drained.iter().sum::<usize>() > 0, "duplication injected nothing to evict");
 }
 
 /// Barriers across many epochs keep lockstep (no rank may lap another).

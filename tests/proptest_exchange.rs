@@ -27,7 +27,7 @@ fn exchange_is_correct(decomp: &BrickDecomp<3>, per_region: bool) -> bool {
                 }
             }
         }
-        ex.exchange(ctx, &mut st);
+        ex.exchange(ctx, &mut st).unwrap();
         let g = decomp.ghost_width() as isize;
         let (nx, ny, nz) = (nx as isize, ny as isize, nz as isize);
         let mut errors = 0usize;
@@ -146,18 +146,18 @@ proptest! {
                 }
                 match mode {
                     0 => {
-                        ex.exchange(ctx, &mut st);
-                        ex.exchange(ctx, &mut st);
+                        ex.exchange(ctx, &mut st).unwrap();
+                        ex.exchange(ctx, &mut st).unwrap();
                     }
                     1 => {
                         let mut s = ex.session(ctx);
-                        s.exchange(ctx, &mut st);
-                        s.exchange(ctx, &mut st);
+                        s.exchange(ctx, &mut st).unwrap();
+                        s.exchange(ctx, &mut st).unwrap();
                     }
                     _ => {
                         let mut s = ex.session_mailbox(ctx);
-                        s.exchange(ctx, &mut st);
-                        s.exchange(ctx, &mut st);
+                        s.exchange(ctx, &mut st).unwrap();
+                        s.exchange(ctx, &mut st).unwrap();
                     }
                 }
                 (st.as_slice().to_vec(), ctx.timers())

@@ -44,10 +44,10 @@ proptest! {
                 let dst = (me + r.dst_off) % n;
                 let src = (me + n - r.dst_off % n) % n;
                 let payload = vec![(me * 1000 + tag) as f64; r.len];
-                let h = ctx.irecv(src, tag as u64);
-                ctx.isend(dst, tag as u64, &payload);
+                let h = ctx.irecv(src, tag as u64).unwrap();
+                ctx.isend(dst, tag as u64, &payload).unwrap();
                 let mut buf = vec![0.0; r.len];
-                ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+                ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
                 let expect = (src * 1000 + tag) as f64;
                 all_ok &= buf.iter().all(|&v| v == expect);
             }
@@ -71,10 +71,10 @@ proptest! {
                 for (tag, r) in rounds.iter().enumerate() {
                     let dst = (me + r.dst_off) % n;
                     let src = (me + n - r.dst_off % n) % n;
-                    let h = ctx.irecv(src, tag as u64);
-                    ctx.isend(dst, tag as u64, &vec![0.0; r.len]);
+                    let h = ctx.irecv(src, tag as u64).unwrap();
+                    ctx.isend(dst, tag as u64, &vec![0.0; r.len]).unwrap();
                     let mut buf = vec![0.0; r.len];
-                    ctx.waitall_into(&[h], &mut [&mut buf[..]]);
+                    ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
                 }
                 ctx.timers()
             });

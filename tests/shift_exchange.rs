@@ -78,7 +78,7 @@ fn shift_self_periodic_fills_rim() {
         let mut st = MemMapStorage::allocate(&d).unwrap();
         let mut sh = ShiftExchanger::build(&d, &st).unwrap();
         fill(&d, &mut st, [0, 0, 0]);
-        sh.exchange(ctx, &mut st);
+        sh.exchange(ctx, &mut st).unwrap();
         ghost_errors(&d, &st, [0, 0, 0], [32, 32, 32])
     });
     assert_eq!(errors[0], 0);
@@ -101,7 +101,7 @@ fn shift_multirank_matches_put() {
         let mut st = MemMapStorage::allocate(&d).unwrap();
         let mut sh = ShiftExchanger::build(&d, &st).unwrap();
         fill(&d, &mut st, origin);
-        sh.exchange(ctx, &mut st);
+        sh.exchange(ctx, &mut st).unwrap();
         ghost_errors(&d, &st, origin, global)
     });
     for (rank, e) in errors.iter().enumerate() {
@@ -136,9 +136,9 @@ fn shift_supports_full_stencil_loop() {
                         (&mut a, &mut sh_a, &mut ev_a)
                     };
                     if use_shift {
-                        sh.exchange(ctx, cur);
+                        sh.exchange(ctx, cur).unwrap();
                     } else {
-                        ev.exchange(ctx, cur);
+                        ev.exchange(ctx, cur).unwrap();
                     }
                 }
                 let (cur, nxt) = if flip { (&b, &mut a) } else { (&a, &mut b) };
@@ -182,7 +182,7 @@ fn view_exchange_rejects_foreign_storage() {
         let mut b = MemMapStorage::allocate(&d).unwrap();
         let mut ev = ExchangeView::build(&d, &a).unwrap();
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            ev.exchange(ctx, &mut b);
+            ev.exchange(ctx, &mut b).unwrap();
         }))
         .is_err()
     });
