@@ -11,8 +11,12 @@
 //! zero, like `layout`'s. The `onnode_cost` bench isolates the setup
 //! explicitly.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use brick::BrickDims;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::telemetry::{Phase, Recorder};
 use netsim::{run_cluster, CartTopo, NetworkModel};
 use packfree::baselines::ArrayExchanger;
 use packfree::decomp::BrickDecomp;
@@ -76,5 +80,74 @@ fn bench_exchanges(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exchanges);
+/// Counts heap allocations so the disabled-telemetry guard below can
+/// assert an exact zero rather than eyeball a throughput delta.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The contract the whole instrumentation story rests on: a disabled
+/// recorder must never touch the heap, no matter how many scopes,
+/// charges, or counters flow through it. Runs single-threaded before
+/// any benchmark so the global counter is not polluted by workers.
+fn assert_disabled_path_allocation_free() {
+    let mut rec = Recorder::disabled();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        rec.open("exchange:bench");
+        rec.charge(Phase::Pack, 1e-6);
+        rec.charge(Phase::Wait, 1e-6);
+        rec.count("msgs_sent", 1);
+        rec.close();
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled telemetry path allocated {} times", after - before);
+}
+
+/// Same layout exchange with the recorder off vs on: the pair bounds
+/// the instrumentation tax. `disabled` should be indistinguishable from
+/// the plain `layout` rows above; `instrumented` pays span bookkeeping.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    assert_disabled_path_allocation_free();
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let topo = CartTopo::new(&[1, 1, 1], true);
+    let net = NetworkModel::instant();
+    let n = 32usize;
+    let d = BrickDecomp::<3>::layout_mode([n; 3], 8, BrickDims::cubic(8), 1, layout::surface3d());
+    let ex = Exchanger::layout(&d);
+
+    for instrumented in [false, true] {
+        let name = if instrumented { "instrumented" } else { "disabled" };
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            b.iter(|| {
+                run_cluster(&topo, net, |ctx| {
+                    if instrumented {
+                        ctx.enable_profiling();
+                    }
+                    let mut st = d.allocate();
+                    ex.exchange(ctx, &mut st).unwrap();
+                    std::hint::black_box(ctx.take_timeline());
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchanges, bench_telemetry_overhead);
 criterion_main!(benches);

@@ -32,6 +32,7 @@ fn main() {
             net: netsim::NetworkModel::theta_aries(),
             kernel: KernelKind::Plan,
             faults: netsim::FaultConfig::off(),
+            profile: false,
         };
         let r = run_experiment(&cfg);
         let s = r.summary;

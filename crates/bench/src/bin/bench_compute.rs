@@ -108,10 +108,13 @@ fn main() {
         println!("\n  {name}: planned vs gather {s:.2}x");
     }
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"compute\",\n");
-    json.push_str(&format!("  \"subdomain\": {n},\n"));
-    json.push_str(&format!("  \"steps\": {steps},\n"));
+    let mut json = bench::bench_json_header(
+        "compute",
+        0,
+        &["planned", "gather", "serial"],
+        [n, n, n],
+        steps,
+    );
     json.push_str("  \"engines\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

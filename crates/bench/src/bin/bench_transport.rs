@@ -57,7 +57,7 @@ fn time_path(ex: &Exchanger, d: &BrickDecomp<3>, steps: usize, path: Path) -> Ro
                 None => ex.exchange(ctx, &mut st).unwrap(),
             }
         }
-        let t0 = Instant::now().unwrap();
+        let t0 = Instant::now();
         for _ in 0..steps {
             match sess.as_mut() {
                 Some(s) => s.exchange(ctx, &mut st).unwrap(),
@@ -105,10 +105,13 @@ fn main() {
     let speedup = rows[0].bytes_per_s / rows[2].bytes_per_s;
     println!("\n  pooled_loopback vs fresh_mailbox: {speedup:.2}x");
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"transport\",\n");
-    json.push_str(&format!("  \"subdomain\": {n},\n"));
-    json.push_str(&format!("  \"steps\": {steps},\n"));
+    let mut json = bench::bench_json_header(
+        "transport",
+        0,
+        &["pooled_loopback", "pooled_mailbox", "fresh_mailbox"],
+        [n, n, n],
+        steps,
+    );
     json.push_str("  \"paths\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

@@ -5,6 +5,7 @@
 
 #![warn(missing_docs)]
 
+use netsim::telemetry::{chrome_trace, critical_path, PhaseBreakdown};
 use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig, KernelKind, MethodReport};
 use stencil::StencilShape;
 
@@ -31,6 +32,11 @@ pub struct Options {
     pub faults: netsim::FaultConfig,
     /// Emit machine-readable JSON instead of the artifact text format.
     pub json: bool,
+    /// Record per-rank phase timelines and report the breakdown.
+    pub profile: bool,
+    /// Write a Chrome-trace JSON file of the profiled run (implies
+    /// `profile`).
+    pub trace: Option<String>,
     /// Print help instead of running.
     pub help: bool,
 }
@@ -70,6 +76,8 @@ impl Default for Options {
             kernel: KernelKind::Plan,
             faults: netsim::FaultConfig::off(),
             json: false,
+            profile: false,
+            trace: None,
             help: false,
         }
     }
@@ -101,6 +109,13 @@ OPTIONS:
                         converge bit-identically to the fault-free run
                         (default: off)
   -j, --json            emit one JSON object instead of the text format
+  -P, --profile         record per-rank phase timelines over the timed
+                        steps and report a pack/unpack/copy/wire/wait/
+                        compute breakdown per engine scope, plus the
+                        straggler's critical path
+      --trace <file>    write the profiled run as Chrome-trace JSON
+                        (load in Perfetto / chrome://tracing; implies
+                        --profile)
   -h, --help            print this help
 
 OUTPUT: the artifact's five metrics — calc/pack/call/wait as
@@ -120,6 +135,11 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "-h" | "--help" => o.help = true,
             "-j" | "--json" => o.json = true,
+            "-P" | "--profile" => o.profile = true,
+            "--trace" => {
+                o.trace = Some(take("--trace")?);
+                o.profile = true;
+            }
             "-m" | "--method" => method_name = take("--method")?,
             "-d" | "--size" => {
                 o.size = take("--size")?.parse().map_err(|e| format!("--size: {e}"))?;
@@ -216,17 +236,101 @@ pub fn config(o: &Options) -> ExperimentConfig {
         },
         kernel: o.kernel,
         faults: o.faults,
+        profile: o.profile,
     }
 }
 
-/// Run and render the artifact metrics.
+/// Run and render the artifact metrics. With `--trace`, the profiled
+/// run is also written to that path as Chrome-trace JSON.
 pub fn run(o: &Options) -> String {
     let r = run_experiment(&config(o));
+    if let Some(path) = &o.trace {
+        std::fs::write(path, trace_json(o, &r))
+            .unwrap_or_else(|e| panic!("writing trace file {path}: {e}"));
+    }
     if o.json {
         render_json(o, &r)
     } else {
         render(o, &r)
     }
+}
+
+/// The profiled run as Chrome-trace JSON: one `chrome://tracing` /
+/// Perfetto thread per rank on the per-rank virtual clock, with run
+/// metadata and per-rank counters in `otherData`.
+pub fn trace_json(o: &Options, r: &MethodReport) -> String {
+    let meta = [
+        ("method", format!("\"{}\"", o.method.name())),
+        ("size", o.size.to_string()),
+        (
+            "rank_grid",
+            format!("[{}, {}, {}]", o.ranks[0], o.ranks[1], o.ranks[2]),
+        ),
+        ("iters", o.iters.to_string()),
+        (
+            "fault_seed",
+            match r.fault_seed {
+                Some(s) => s.to_string(),
+                None => "null".into(),
+            },
+        ),
+    ];
+    chrome_trace(&r.timelines, &meta)
+}
+
+/// One formatted breakdown row shared by the table renderer.
+fn phase_row(name: &str, b: &PhaseBreakdown) -> String {
+    format!(
+        "{name:<18} {:>9.6} {:>9.6} {:>9.6} {:>9.6} {:>9.6} {:>9.6} {:>9.6}\n",
+        b.pack,
+        b.unpack,
+        b.copy,
+        b.wire,
+        b.wait,
+        b.compute,
+        b.total()
+    )
+}
+
+/// The `--profile` text block: per-scope phase table for rank 0 plus
+/// the straggler's critical path. Empty when no timelines were
+/// recorded.
+fn render_profile(o: &Options, r: &MethodReport) -> String {
+    let Some(tl) = r.timelines.first() else {
+        return String::new();
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "profile: phase seconds over {} timed steps (rank 0)\n",
+        o.iters
+    ));
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "scope", "pack", "unpack", "copy", "wire", "wait", "compute", "total"
+    ));
+    for (name, b) in tl.scope_breakdown() {
+        out.push_str(&phase_row(name, &b));
+    }
+    out.push_str(&phase_row("(all)", &tl.phase_breakdown()));
+    if let Some(cp) = critical_path(&r.timelines) {
+        out.push_str(&format!(
+            "critical path: rank {} | total {:.6} s | imbalance {:.1}%\n",
+            cp.rank,
+            cp.total,
+            cp.imbalance * 100.0
+        ));
+        for s in &cp.segments {
+            out.push_str(&format!(
+                "  {:<18} {:.6}..{:.6} s  dominant {} ({:.0}%)\n",
+                s.name,
+                s.start,
+                s.end,
+                s.dominant.name(),
+                s.dominant_frac * 100.0
+            ));
+        }
+    }
+    out
 }
 
 /// Format a report in the artifact's style.
@@ -247,10 +351,13 @@ pub fn render(o: &Options, r: &MethodReport) -> String {
     out.push_str(&fmt("call", r.summary.call));
     out.push_str(&fmt("wait", r.summary.wait));
     out.push_str(&format!("perf {:.4} GStencil/s per rank\n", r.gstencil()));
-    if o.faults.is_active() {
+    out.push_str(&render_profile(o, r));
+    // Gate on the run's own armed state, not the (possibly unrelated)
+    // options: a fault-free report never prints a fault block.
+    if let Some(seed) = r.fault_seed {
         out.push_str(&format!(
             "faults seed {} | injected: drop {} corrupt {} dup {} delay {}\n",
-            o.faults.seed, r.faults.drops, r.faults.corrupts, r.faults.dups, r.faults.delays
+            seed, r.faults.drops, r.faults.corrupts, r.faults.dups, r.faults.delays
         ));
         out.push_str(&format!(
             "recovery: retries {} dup-discarded {} corrupt-detected {} degraded {}\n",
@@ -261,6 +368,59 @@ pub fn render(o: &Options, r: &MethodReport) -> String {
         ));
     }
     out
+}
+
+/// The `"profile"` JSON section: rank-0 phase totals, per-scope
+/// breakdowns and the cross-rank critical path. `None` when the run
+/// recorded no timelines.
+fn profile_json(r: &MethodReport) -> Option<String> {
+    let tl = r.timelines.first()?;
+    let pb = |b: &PhaseBreakdown| {
+        format!(
+            "{{\"pack\": {:.9}, \"unpack\": {:.9}, \"copy\": {:.9}, \"wire\": {:.9}, \
+             \"wait\": {:.9}, \"compute\": {:.9}, \"total\": {:.9}}}",
+            b.pack, b.unpack, b.copy, b.wire, b.wait, b.compute, b.total()
+        )
+    };
+    let mut out = String::from("  \"profile\": {\n");
+    out.push_str(&format!("    \"ranks\": {},\n", r.timelines.len()));
+    out.push_str(&format!("    \"phases\": {},\n", pb(&tl.phase_breakdown())));
+    let scopes: Vec<String> = tl
+        .scope_breakdown()
+        .iter()
+        .map(|(n, b)| format!("{{\"name\": \"{n}\", \"phases\": {}}}", pb(b)))
+        .collect();
+    out.push_str(&format!("    \"scopes\": [{}],\n", scopes.join(", ")));
+    match critical_path(&r.timelines) {
+        Some(cp) => {
+            let segs: Vec<String> = cp
+                .segments
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"name\": \"{}\", \"start\": {:.9}, \"end\": {:.9}, \
+                         \"dominant\": \"{}\", \"dominant_frac\": {:.6}}}",
+                        s.name,
+                        s.start,
+                        s.end,
+                        s.dominant.name(),
+                        s.dominant_frac
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "    \"critical_path\": {{\"rank\": {}, \"total\": {:.9}, \
+                 \"imbalance\": {:.6}, \"segments\": [{}]}}\n",
+                cp.rank,
+                cp.total,
+                cp.imbalance,
+                segs.join(", ")
+            ));
+        }
+        None => out.push_str("    \"critical_path\": null\n"),
+    }
+    out.push_str("  },\n");
+    Some(out)
 }
 
 /// Format a report as one JSON object (same five artifact metrics).
@@ -280,8 +440,13 @@ pub fn render_json(o: &Options, r: &MethodReport) -> String {
     out.push_str(&metric("pack", r.summary.pack));
     out.push_str(&metric("call", r.summary.call));
     out.push_str(&metric("wait", r.summary.wait));
-    if o.faults.is_active() {
-        out.push_str(&format!("  \"fault_seed\": {},\n", o.faults.seed));
+    if let Some(pf) = profile_json(r) {
+        out.push_str(&pf);
+    }
+    // Gate on the run's own armed state, not the (possibly unrelated)
+    // options: a fault-free report never emits fault/recovery keys.
+    if let Some(seed) = r.fault_seed {
+        out.push_str(&format!("  \"fault_seed\": {seed},\n"));
         out.push_str(&format!(
             "  \"faults\": {{\"drops\": {}, \"corrupts\": {}, \"dups\": {}, \"delays\": {}}},\n",
             r.faults.drops, r.faults.corrupts, r.faults.dups, r.faults.delays
@@ -405,6 +570,89 @@ mod tests {
         assert!(out.contains("\"method\": \"Layout\""));
         assert!(out.contains("\"pack\": [0.000000000, 0.000000000, 0.000000000]"));
         assert!(out.contains("\"gstencil_per_rank\""));
+    }
+
+    #[test]
+    fn profile_flag() {
+        assert!(p(&["-P"]).unwrap().profile);
+        assert!(p(&["--profile"]).unwrap().profile);
+        assert!(!p(&[]).unwrap().profile);
+        let o = p(&["--trace", "/tmp/t.json"]).unwrap();
+        assert!(o.profile, "--trace implies --profile");
+        assert_eq!(o.trace.as_deref(), Some("/tmp/t.json"));
+        assert!(USAGE.contains("--profile") && USAGE.contains("--trace"));
+    }
+
+    /// `--profile --json` surfaces the per-method phase breakdown:
+    /// MemMap's on-node movement is zero while the packed baseline
+    /// spends real time packing.
+    #[test]
+    fn end_to_end_profile_run() {
+        let base = ["-d", "16", "-I", "2", "-w", "0", "-n", "instant", "-P", "--json"];
+        let mm = p(&[&["-m", "memmap"][..], &base[..]].concat()).unwrap();
+        let out = run(&mm);
+        assert!(out.contains("\"profile\""));
+        assert!(out.contains("\"phases\": {\"pack\": 0.000000000, \"unpack\": 0.000000000, \"copy\": 0.000000000"));
+        assert!(out.contains("exchange:memmap"));
+        assert!(out.contains("\"critical_path\""));
+
+        let yk = p(&[&["-m", "yask"][..], &base[..]].concat()).unwrap();
+        let outy = run(&yk);
+        assert!(outy.contains("exchange:yask"));
+        let pat = "\"phases\": {\"pack\": ";
+        let i = outy.find(pat).expect("phases object present");
+        let pack: f64 = outy[i + pat.len()..]
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("pack value parses");
+        assert!(pack > 0.0, "packed baseline must show nonzero pack");
+    }
+
+    #[test]
+    fn profile_text_table() {
+        let o = p(&[
+            "-m", "memmap", "-d", "16", "-I", "2", "-w", "0", "-n", "instant", "-P",
+        ])
+        .unwrap();
+        let out = run(&o);
+        assert!(out.contains("profile: phase seconds"));
+        assert!(out.contains("exchange:memmap"));
+        assert!(out.contains("critical path: rank"));
+    }
+
+    #[test]
+    fn trace_file_is_written() {
+        let path = std::env::temp_dir().join("brickbench_trace_test.json");
+        let o = p(&[
+            "-m", "layout", "-d", "16", "-I", "2", "-w", "0", "-n", "instant",
+            "--trace", path.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&o);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"traceEvents\""));
+        assert!(body.contains("exchange:layout"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A fault-free report renders no fault/recovery output even when
+    /// the options happen to have faults armed: the block is gated on
+    /// the run's own armed state.
+    #[test]
+    fn fault_block_gated_on_armed_run() {
+        let mut o =
+            p(&["-m", "layout", "-d", "16", "-I", "2", "-w", "0", "-n", "instant"]).unwrap();
+        let clean = run_experiment(&config(&o));
+        o.faults = netsim::FaultConfig::parse("42,0.1").unwrap();
+        o.json = true;
+        let js = render_json(&o, &clean);
+        for key in ["\"faults\"", "\"recovery\"", "\"fault_events\"", "\"fault_seed\""] {
+            assert!(!js.contains(key), "fault-free JSON leaked {key}");
+        }
+        let text = render(&o, &clean);
+        assert!(!text.contains("faults seed") && !text.contains("recovery:"));
     }
 
     #[test]

@@ -228,26 +228,28 @@ impl ArrayExchanger {
         ctx: &mut RankCtx<'_>,
         grid: &mut ArrayGrid,
     ) -> Result<(), NetsimError> {
-        // Pack all 26 regions — this is the on-node data movement the
-        // paper eliminates.
-        let dirs = &self.dirs;
-        let bufs = &mut self.send_bufs;
-        ctx.time_pack(|| {
-            for (d, buf) in dirs.iter().zip(bufs.iter_mut()) {
-                grid.pack_surface(d, buf);
-            }
-        });
-        self.transport(ctx)?;
-        // Unpack into ghosts — more on-node data movement.
-        let dirs = &self.dirs;
-        let arena = &self.recv_arena;
-        let ranges = &self.recv_ranges;
-        ctx.time_pack(|| {
-            for (i, d) in dirs.iter().enumerate() {
-                grid.unpack_ghost(d, &arena[ranges[i].clone()]);
-            }
-        });
-        Ok(())
+        ctx.scoped("exchange:yask", |ctx| {
+            // Pack all 26 regions — this is the on-node data movement
+            // the paper eliminates.
+            let dirs = &self.dirs;
+            let bufs = &mut self.send_bufs;
+            ctx.time_pack(|| {
+                for (d, buf) in dirs.iter().zip(bufs.iter_mut()) {
+                    grid.pack_surface(d, buf);
+                }
+            });
+            self.transport(ctx)?;
+            // Unpack into ghosts — more on-node data movement.
+            let dirs = &self.dirs;
+            let arena = &self.recv_arena;
+            let ranges = &self.recv_ranges;
+            ctx.time_unpack(|| {
+                for (i, d) in dirs.iter().enumerate() {
+                    grid.unpack_ghost(d, &arena[ranges[i].clone()]);
+                }
+            });
+            Ok(())
+        })
     }
 
     /// MPI_Types exchange: no application-level packing; the datatype
@@ -258,27 +260,29 @@ impl ArrayExchanger {
         ctx: &mut RankCtx<'_>,
         grid: &mut ArrayGrid,
     ) -> Result<(), NetsimError> {
-        // "MPI-internal" gather through the datatype map.
-        let send_types = &self.send_types;
-        let bufs = &mut self.send_bufs;
-        let data = grid_data(grid);
-        ctx.time_call(|| {
-            for (t, buf) in send_types.iter().zip(bufs.iter_mut()) {
-                t.pack_into(data, buf);
-            }
-        });
-        self.transport(ctx)?;
-        // "MPI-internal" scatter into the ghost rim.
-        let recv_types = &self.recv_types;
-        let arena = &self.recv_arena;
-        let ranges = &self.recv_ranges;
-        let data = grid_data_mut(grid);
-        ctx.time_call(|| {
-            for (t, r) in recv_types.iter().zip(ranges.iter()) {
-                t.unpack(data, &arena[r.clone()]);
-            }
-        });
-        Ok(())
+        ctx.scoped("exchange:mpitypes", |ctx| {
+            // "MPI-internal" gather through the datatype map.
+            let send_types = &self.send_types;
+            let bufs = &mut self.send_bufs;
+            let data = grid_data(grid);
+            ctx.time_call(|| {
+                for (t, buf) in send_types.iter().zip(bufs.iter_mut()) {
+                    t.pack_into(data, buf);
+                }
+            });
+            self.transport(ctx)?;
+            // "MPI-internal" scatter into the ghost rim.
+            let recv_types = &self.recv_types;
+            let arena = &self.recv_arena;
+            let ranges = &self.recv_ranges;
+            let data = grid_data_mut(grid);
+            ctx.time_call(|| {
+                for (t, r) in recv_types.iter().zip(ranges.iter()) {
+                    t.unpack(data, &arena[r.clone()]);
+                }
+            });
+            Ok(())
+        })
     }
 }
 

@@ -89,6 +89,8 @@ pub struct Exchanger {
     stats: ExchangeStats,
     step: usize,
     dims: usize,
+    /// Timeline scope name ("exchange:layout" / "exchange:basic").
+    name: &'static str,
 }
 
 impl Exchanger {
@@ -103,6 +105,7 @@ impl Exchanger {
     }
 
     fn build<const D: usize>(decomp: &BrickDecomp<D>, per_region: bool) -> Exchanger {
+        let name = if per_region { "exchange:basic" } else { "exchange:layout" };
         let step = decomp.step();
         let brick_bytes = step * 8;
         let mut sends = Vec::new();
@@ -189,7 +192,7 @@ impl Exchanger {
         }
 
         assert_eq!(sends.len(), recvs.len(), "exchange must be symmetric");
-        Exchanger { sends, recvs, stats, step, dims: D }
+        Exchanger { sends, recvs, stats, step, dims: D, name }
     }
 
     /// Traffic statistics.
@@ -232,6 +235,14 @@ impl Exchanger {
     /// one-shot use; timestep loops should build a [`session`]
     /// (`Exchanger::session`) and drive that instead.
     pub fn exchange(
+        &self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut BrickStorage,
+    ) -> Result<(), NetsimError> {
+        ctx.scoped(self.name, |ctx| self.exchange_inner(ctx, storage))
+    }
+
+    fn exchange_inner(
         &self,
         ctx: &mut RankCtx<'_>,
         storage: &mut BrickStorage,
@@ -282,6 +293,7 @@ struct PlannedSend {
 /// neighbor ranks, tags, element ranges, loopback pairings, and a
 /// reusable handle scratch — `exchange` allocates nothing.
 pub struct ExchangeSession {
+    name: &'static str,
     sends: Vec<PlannedSend>,
     // Unpaired receives (those not satisfied by a loopback send), in
     // schedule order; `recv_ranges` stays sorted and disjoint because it
@@ -351,7 +363,7 @@ impl ExchangeSession {
             }
         }
         let handles = Vec::with_capacity(recv_srcs.len());
-        ExchangeSession { sends, recv_srcs, recv_ranges, handles, reliable: None }
+        ExchangeSession { name: ex.name, sends, recv_srcs, recv_ranges, handles, reliable: None }
     }
 
     /// One full ghost-zone exchange with zero per-step allocation.
@@ -364,6 +376,15 @@ impl ExchangeSession {
     /// frames, retry with backoff, degraded fallback), which converges
     /// to the exact same storage bits as the fault-free path.
     pub fn exchange(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut BrickStorage,
+    ) -> Result<(), NetsimError> {
+        let name = self.name;
+        ctx.scoped(name, |ctx| self.exchange_inner(ctx, storage))
+    }
+
+    fn exchange_inner(
         &mut self,
         ctx: &mut RankCtx<'_>,
         storage: &mut BrickStorage,

@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use brick::BrickDims;
 use layout::SurfaceLayout;
+use netsim::telemetry::{Phase, Recorder, Timeline};
 use netsim::{
     run_cluster_faulty, CartTopo, FaultConfig, FaultEvent, FaultStats, NetworkModel, RankCtx,
     TimerSummary, Timers,
@@ -113,6 +114,9 @@ pub struct ExperimentConfig {
     /// exchange engine routes through the reliable retry protocol and
     /// the run converges bit-identically to the fault-free schedule.
     pub faults: FaultConfig,
+    /// Record per-rank phase timelines over the timed steps (off by
+    /// default; the disabled recorder is a single branch per charge).
+    pub profile: bool,
 }
 
 impl ExperimentConfig {
@@ -131,6 +135,7 @@ impl ExperimentConfig {
             net: NetworkModel::theta_aries(),
             kernel: KernelKind::Plan,
             faults: FaultConfig::off(),
+            profile: false,
         }
     }
 }
@@ -152,16 +157,28 @@ impl Engine {
         }
     }
 
-    fn apply(
+    /// Apply the engine under a named kernel span: the plan engine
+    /// records through [`KernelPlan::execute_profiled`], the gather
+    /// reference under a `kernel:gather` scope. With a disabled
+    /// recorder this is the plain unprofiled step (charges are
+    /// single-branch no-ops); numerics are identical either way.
+    fn apply_profiled(
         &self,
         info: &brick::BrickInfo<3>,
         cur: &brick::BrickStorage,
         nxt: &mut brick::BrickStorage,
         mask: &[bool],
+        rec: &mut Recorder,
     ) {
         match self {
-            Engine::Plan(p) => p.execute(cur, nxt, mask),
-            Engine::Gather(s) => apply_bricks_gather(s, info, cur, nxt, mask, 0),
+            Engine::Plan(p) => p.execute_profiled(cur, nxt, mask, rec),
+            Engine::Gather(s) => {
+                rec.open("kernel:gather");
+                let t0 = std::time::Instant::now();
+                apply_bricks_gather(s, info, cur, nxt, mask, 0);
+                rec.charge(Phase::Compute, t0.elapsed().as_secs_f64());
+                rec.close();
+            }
         }
     }
 }
@@ -192,6 +209,14 @@ pub struct MethodReport {
     /// The full injected-fault trace, concatenated in rank order (for
     /// the chaos-run JSON artifact).
     pub fault_events: Vec<FaultEvent>,
+    /// Per-rank phase timelines over the timed steps, in rank order
+    /// (empty unless [`ExperimentConfig::profile`] was set). Spans live
+    /// on the per-rank virtual clock; their phase sums equal the
+    /// *undivided* timers (i.e. [`MethodReport::timers`] × steps).
+    pub timelines: Vec<Timeline>,
+    /// Seed of the armed fault plan, `None` when fault injection was
+    /// off — report consumers gate fault/recovery output on this.
+    pub fault_seed: Option<u64>,
 }
 
 impl MethodReport {
@@ -238,15 +263,18 @@ fn arm_fault_timeout(ctx: &mut RankCtx<'_>) {
 /// Sum the fault/recovery accounting across ranks: injected damage and
 /// the protocol's responses are run-global properties, while timers and
 /// checksums stay per-rank (ranks are symmetric). Returns rank 0's
-/// payload alongside the merged totals.
+/// payload alongside the per-rank timelines (rank order) and the merged
+/// totals.
 fn fold_faults<T>(
-    reports: Vec<(T, FaultStats, Vec<FaultEvent>, RecoveryStats)>,
-) -> (T, FaultStats, Vec<FaultEvent>, RecoveryStats) {
+    reports: Vec<(T, Timeline, FaultStats, Vec<FaultEvent>, RecoveryStats)>,
+) -> (T, Vec<Timeline>, FaultStats, Vec<FaultEvent>, RecoveryStats) {
+    let mut timelines = Vec::with_capacity(reports.len());
     let mut faults = FaultStats::default();
     let mut events = Vec::new();
     let mut recovery = RecoveryStats::default();
     let mut first = None;
-    for (payload, f, mut ev, rec) in reports {
+    for (payload, tl, f, mut ev, rec) in reports {
+        timelines.push(tl);
         faults.merge(&f);
         events.append(&mut ev);
         recovery.merge(&rec);
@@ -254,7 +282,23 @@ fn fold_faults<T>(
             first = Some(payload);
         }
     }
-    (first.expect("cluster has at least one rank"), faults, events, recovery)
+    (first.expect("cluster has at least one rank"), timelines, faults, events, recovery)
+}
+
+/// Timelines for the report: kept only when profiling was requested
+/// (a disabled recorder drains to empty timelines — drop them so
+/// consumers can gate on `!timelines.is_empty()`).
+fn keep_timelines(profile: bool, timelines: Vec<Timeline>) -> Vec<Timeline> {
+    if profile {
+        timelines
+    } else {
+        Vec::new()
+    }
+}
+
+/// Seed of the armed fault plan (`None` when fault injection is off).
+fn fault_seed(cfg: &ExperimentConfig) -> Option<u64> {
+    cfg.faults.is_active().then(|| cfg.faults.seed)
 }
 
 /// Run one experiment and return rank 0's report.
@@ -285,6 +329,7 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
     let shape = cfg.shape.clone();
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
+    let profile = cfg.profile;
 
     let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
@@ -301,6 +346,9 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
         for step in 0..steps + warmup {
             if step == warmup {
                 ctx.reset_timers();
+                if profile {
+                    ctx.enable_profiling();
+                }
             }
             let (cur, nxt, sh) = if flip {
                 (&mut sb, &mut sa, &mut shb)
@@ -308,20 +356,21 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
                 (&mut sa, &mut sb, &mut sha)
             };
             sh.exchange(ctx, cur).expect("shift exchange");
-            ctx.time_calc(|| engine.apply(info, &cur.storage, &mut nxt.storage, mask));
+            ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec));
             flip = !flip;
             ctx.barrier();
         }
         let last = if flip { &sb } else { &sa };
         let t = ctx.timers().per_step(steps);
+        let timeline = ctx.take_timeline();
         let summary = ctx.reduce_timers(&t).expect("timer reduction");
         let mut rec = sha.recovery_stats();
         rec.merge(&shb.recovery_stats());
         let payload = (t, checksum_bricks(&decomp, &last.storage), stats, summary);
-        (payload, ctx.fault_stats(), ctx.take_fault_events(), rec)
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec)
     });
 
-    let (payload, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
     let (timers, checksum, mut stats, summary) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -334,6 +383,8 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
         calc_hidden: 0.0,
         faults,
         fault_events,
+        timelines: keep_timelines(profile, timelines),
+        fault_seed: fault_seed(cfg),
     }
 }
 
@@ -355,6 +406,7 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
     let shape = cfg.shape.clone();
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
+    let profile = cfg.profile;
     let interior_mask = decomp.interior_mask();
     let surface_mask = decomp.surface_mask();
 
@@ -370,6 +422,9 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
         for step in 0..steps + warmup {
             if step == warmup {
                 ctx.reset_timers();
+                if profile {
+                    ctx.enable_profiling();
+                }
                 hidden_total = 0.0;
             }
             // Interior compute is legal before the exchange completes:
@@ -377,20 +432,21 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
             // eagerly, so sequencing interior compute between post and
             // wait is also temporally faithful.)
             let t0 = std::time::Instant::now();
-            ctx.time_calc(|| engine.apply(info, &cur, &mut nxt, &interior_mask));
+            ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur, &mut nxt, &interior_mask, rec));
             hidden_total += t0.elapsed().as_secs_f64();
             session.exchange(ctx, &mut cur).expect("layout exchange");
-            ctx.time_calc(|| engine.apply(info, &cur, &mut nxt, &surface_mask));
+            ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur, &mut nxt, &surface_mask, rec));
             std::mem::swap(&mut cur, &mut nxt);
             ctx.barrier();
         }
         let t = ctx.timers().per_step(steps);
+        let timeline = ctx.take_timeline();
         let summary = ctx.reduce_timers(&t).expect("timer reduction");
         let payload = (t, checksum_bricks(&decomp, &cur), summary, hidden_total / steps as f64);
-        (payload, ctx.fault_stats(), ctx.take_fault_events(), session.recovery_stats())
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), session.recovery_stats())
     });
 
-    let (payload, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
     let (timers, checksum, summary, hidden) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -403,6 +459,8 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
         calc_hidden: hidden,
         faults,
         fault_events,
+        timelines: keep_timelines(profile, timelines),
+        fault_seed: fault_seed(cfg),
     }
 }
 
@@ -445,6 +503,7 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
     let shape = cfg.shape.clone();
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
+    let profile = cfg.profile;
 
     let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
@@ -465,22 +524,26 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
         for step in 0..steps + warmup {
             if step == warmup {
                 ctx.reset_timers();
+                if profile {
+                    ctx.enable_profiling();
+                }
             }
             if let Some(sess) = session.as_mut() {
                 sess.exchange(ctx, &mut cur).expect("brick exchange");
             }
-            ctx.time_calc(|| engine.apply(info, &cur, &mut nxt, mask));
+            ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur, &mut nxt, mask, rec));
             std::mem::swap(&mut cur, &mut nxt);
             ctx.barrier();
         }
         let t = ctx.timers().per_step(steps);
+        let timeline = ctx.take_timeline();
         let summary = ctx.reduce_timers(&t).expect("timer reduction");
         let rec = session.as_ref().map(|s| s.recovery_stats()).unwrap_or_default();
         let payload = (t, checksum_bricks(&decomp, &cur), summary);
-        (payload, ctx.fault_stats(), ctx.take_fault_events(), rec)
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec)
     });
 
-    let (payload, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
     let (timers, checksum, summary) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -493,6 +556,8 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
         calc_hidden: 0.0,
         faults,
         fault_events,
+        timelines: keep_timelines(profile, timelines),
+        fault_seed: fault_seed(cfg),
     }
 }
 
@@ -508,6 +573,7 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
     let shape = cfg.shape.clone();
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
+    let profile = cfg.profile;
 
     let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
@@ -524,24 +590,28 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
         for step in 0..steps + warmup {
             if step == warmup {
                 ctx.reset_timers();
+                if profile {
+                    ctx.enable_profiling();
+                }
             }
             let (cur, nxt, ev) =
                 if flip { (&mut sb, &mut sa, &mut evb) } else { (&mut sa, &mut sb, &mut eva) };
             ev.exchange(ctx, cur).expect("memmap exchange");
-            ctx.time_calc(|| engine.apply(info, &cur.storage, &mut nxt.storage, mask));
+            ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec));
             flip = !flip;
             ctx.barrier();
         }
         let last = if flip { &sb } else { &sa };
         let t = ctx.timers().per_step(steps);
+        let timeline = ctx.take_timeline();
         let summary = ctx.reduce_timers(&t).expect("timer reduction");
         let mut rec = eva.recovery_stats();
         rec.merge(&evb.recovery_stats());
         let payload = (t, checksum_bricks(&decomp, &last.storage), stats, summary);
-        (payload, ctx.fault_stats(), ctx.take_fault_events(), rec)
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec)
     });
 
-    let (payload, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
     let (timers, checksum, mut stats, summary) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -554,6 +624,8 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
         calc_hidden: 0.0,
         faults,
         fault_events,
+        timelines: keep_timelines(profile, timelines),
+        fault_seed: fault_seed(cfg),
     }
 }
 
@@ -562,6 +634,7 @@ fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: 
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let subdomain = cfg.subdomain;
     let ghost = cfg.ghost;
+    let profile = cfg.profile;
 
     let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
@@ -576,22 +649,28 @@ fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: 
         for step in 0..steps + warmup {
             if step == warmup {
                 ctx.reset_timers();
+                if profile {
+                    ctx.enable_profiling();
+                }
             }
             match mode {
                 ArrayMode::Packed => ex.exchange_packed(ctx, &mut cur).expect("packed exchange"),
                 ArrayMode::Types => ex.exchange_mpitypes(ctx, &mut cur).expect("types exchange"),
             }
-            ctx.time_calc(|| cur.apply_plan_into(&plan, &mut nxt));
+            ctx.scoped("kernel:array", |ctx| {
+                ctx.time_calc(|| cur.apply_plan_into(&plan, &mut nxt))
+            });
             std::mem::swap(&mut cur, &mut nxt);
             ctx.barrier();
         }
         let t = ctx.timers().per_step(steps);
+        let timeline = ctx.take_timeline();
         let summary = ctx.reduce_timers(&t).expect("timer reduction");
         let payload = (t, cur.interior_sum(), stats, summary);
-        (payload, ctx.fault_stats(), ctx.take_fault_events(), ex.recovery_stats())
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), ex.recovery_stats())
     });
 
-    let (payload, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
     let (timers, checksum, mut stats, summary) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -604,6 +683,8 @@ fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: 
         summary: summary.expect("rank 0 holds the reduction"),
         faults,
         fault_events,
+        timelines: keep_timelines(profile, timelines),
+        fault_seed: fault_seed(cfg),
     }
 }
 
@@ -698,6 +779,47 @@ mod tests {
         let r = run_experiment(&cfg(CpuMethod::Yask));
         assert!(r.timers.pack > 0.0);
         assert_eq!(r.stats.messages, 26);
+    }
+
+    /// Profiling collects one validated timeline per rank whose phase
+    /// sums reproduce the (undivided) timers, and shows the paper's
+    /// contrast: MemMap moves no on-node bytes while the packed
+    /// baseline spends real time in pack/unpack.
+    #[test]
+    fn profiled_run_reports_phase_breakdown() {
+        let mut c = cfg(CpuMethod::MemMap { page_size: memview::PAGE_4K });
+        c.profile = true;
+        let mm = run_experiment(&c);
+        assert_eq!(mm.timelines.len(), 1);
+        let tl = &mm.timelines[0];
+        tl.validate().expect("well-formed timeline");
+        let bd = tl.phase_breakdown();
+        assert_eq!(bd.movement(), 0.0, "memmap is movement-free");
+        assert!(bd.compute > 0.0 && bd.wait > 0.0);
+        let total = mm.timers.total() * c.steps as f64;
+        assert!(
+            (bd.total() - total).abs() <= 1e-9 * total.max(1.0),
+            "phase sum {} != timer total {total}",
+            bd.total()
+        );
+
+        let mut y = cfg(CpuMethod::Yask);
+        y.profile = true;
+        let yk = run_experiment(&y);
+        let ybd = yk.timelines[0].phase_breakdown();
+        assert!(ybd.pack > 0.0 && ybd.unpack > 0.0, "packed baseline packs");
+        let roots: Vec<&str> =
+            yk.timelines[0].scope_breakdown().iter().map(|(n, _)| *n).collect();
+        assert!(roots.contains(&"exchange:yask") && roots.contains(&"kernel:array"));
+    }
+
+    /// Unprofiled runs carry no timelines; fault-free runs carry no
+    /// fault seed (report consumers gate fault output on it).
+    #[test]
+    fn unprofiled_run_is_clean() {
+        let r = run_experiment(&cfg(CpuMethod::Layout));
+        assert!(r.timelines.is_empty());
+        assert_eq!(r.fault_seed, None);
     }
 
     #[test]

@@ -244,6 +244,7 @@ pub fn run_gpu_experiment(cfg: &GpuExperimentConfig) -> GpuReport {
         net: NetworkModel::instant(),
         kernel: crate::experiment::KernelKind::Plan,
         faults: netsim::FaultConfig::off(),
+        profile: false,
     };
     let real = run_experiment(&cpu_cfg);
 

@@ -278,6 +278,14 @@ impl ExchangeView {
         ctx: &mut RankCtx<'_>,
         storage: &mut MemMapStorage,
     ) -> Result<(), NetsimError> {
+        ctx.scoped("exchange:memmap", |ctx| self.exchange_inner(ctx, storage))
+    }
+
+    fn exchange_inner(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+    ) -> Result<(), NetsimError> {
         assert!(
             Arc::ptr_eq(&self.bound_file, storage.file()),
             "ExchangeView driven with a different storage than it was built on \

@@ -179,6 +179,14 @@ impl ShiftExchanger {
         ctx: &mut RankCtx<'_>,
         storage: &mut MemMapStorage,
     ) -> Result<(), NetsimError> {
+        ctx.scoped("exchange:shift", |ctx| self.exchange_inner(ctx, storage))
+    }
+
+    fn exchange_inner(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+    ) -> Result<(), NetsimError> {
         assert!(
             std::sync::Arc::ptr_eq(&self.bound_file, storage.file()),
             "ShiftExchanger driven with a different storage than it was built on \
@@ -203,6 +211,7 @@ impl ShiftExchanger {
         let ShiftExchanger { passes, bound, reliable, .. } = self;
         let b = bound.as_ref().expect("bound above");
         for (p, pass) in passes.iter_mut().enumerate() {
+            ctx.scoped(PASS_NAMES[p.min(PASS_NAMES.len() - 1)], |ctx| {
             let (dests, srcs) = (&b.dests[p], &b.srcs[p]);
             // A pass is either entirely local (ranks along this axis = 1,
             // both directions wrap to self) or entirely remote.
@@ -260,10 +269,15 @@ impl ShiftExchanger {
                     &mut [ra[0].view.as_f64_mut(), rb[0].view.as_f64_mut()],
                 )?;
             }
+            Ok(())
+            })?;
         }
         Ok(())
     }
 }
+
+/// Timeline scope names for the serialized axis passes.
+const PASS_NAMES: [&str; 4] = ["shift:pass-x", "shift:pass-y", "shift:pass-z", "shift:pass-w"];
 
 /// Tag namespace for shift messages (distinct from the Put exchange's
 /// direction-code tags).

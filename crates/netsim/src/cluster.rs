@@ -31,6 +31,7 @@ use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use telemetry::{Phase, Recorder, Timeline};
 
 use crate::error::NetsimError;
 use crate::fault::{FaultConfig, FaultDecision, FaultEvent, FaultKind, FaultPlan, FaultStats};
@@ -196,6 +197,7 @@ pub struct RankCtx<'a> {
     barrier: &'a Barrier,
     timers: Timers,
     trace: Trace,
+    recorder: Recorder,
     // Sends posted since the last waitall (the current epoch).
     epoch_msgs: usize,
     epoch_bytes: usize,
@@ -230,17 +232,66 @@ impl<'a> RankCtx<'a> {
         self.net
     }
 
+    /// Single billing point: every second this rank is charged flows
+    /// through here, advancing both the matching [`Timers`] field and —
+    /// when profiling is on — the recorder's virtual clock. Routing all
+    /// charges through one spot is what makes the telemetry invariant
+    /// (per-phase span sums == timer totals) hold by construction.
+    fn bill(&mut self, phase: Phase, secs: f64) {
+        match phase {
+            Phase::Compute => self.timers.calc += secs,
+            Phase::Pack | Phase::Unpack | Phase::Copy => self.timers.pack += secs,
+            Phase::Wire => self.timers.call += secs,
+            Phase::Wait => self.timers.wait += secs,
+        }
+        self.recorder.charge(phase, secs);
+    }
+
     /// Run and *really time* a computation phase.
     pub fn time_calc<R>(&mut self, f: impl FnOnce() -> R) -> R {
         let (r, t) = timed(f);
-        self.timers.calc += t;
+        self.bill(Phase::Compute, t);
         r
     }
 
-    /// Run and *really time* a packing/unpacking phase.
+    /// Like [`RankCtx::time_calc`], but hands the closure the span
+    /// recorder so an instrumented kernel can attribute slices of the
+    /// measured interval itself (per-plan-stage spans). Whatever the
+    /// closure does not account for is billed as plain compute, so the
+    /// total charged always equals the really-measured wall time.
+    pub fn time_calc_with<R>(&mut self, f: impl FnOnce(&mut Recorder) -> R) -> R {
+        let mut rec = std::mem::take(&mut self.recorder);
+        let before = rec.now();
+        let (r, t) = timed(|| f(&mut rec));
+        let inner = rec.now() - before;
+        self.recorder = rec;
+        self.timers.calc += t;
+        self.recorder.charge(Phase::Compute, (t - inner).max(0.0));
+        r
+    }
+
+    /// Run and *really time* a packing phase.
     pub fn time_pack<R>(&mut self, f: impl FnOnce() -> R) -> R {
         let (r, t) = timed(f);
-        self.timers.pack += t;
+        self.bill(Phase::Pack, t);
+        r
+    }
+
+    /// Run and *really time* an unpacking phase. Accumulates into the
+    /// same `pack` timer as [`RankCtx::time_pack`] (the paper reports
+    /// one packing number) but is attributed separately in timelines.
+    pub fn time_unpack<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let (r, t) = timed(f);
+        self.bill(Phase::Unpack, t);
+        r
+    }
+
+    /// Run and *really time* an on-node staging copy that is neither
+    /// pack nor unpack (view maintenance, buffer shuffles). Shares the
+    /// `pack` timer; attributed as `copy` in timelines.
+    pub fn time_copy<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let (r, t) = timed(f);
+        self.bill(Phase::Copy, t);
         r
     }
 
@@ -248,13 +299,47 @@ impl<'a> RankCtx<'a> {
     /// (e.g. a derived-datatype pack walk), charged to `call`.
     pub fn time_call<R>(&mut self, f: impl FnOnce() -> R) -> R {
         let (r, t) = timed(f);
-        self.timers.call += t;
+        self.bill(Phase::Wire, t);
         r
     }
 
     /// Charge additional modeled seconds to `call`.
     pub fn charge_call(&mut self, secs: f64) {
-        self.timers.call += secs;
+        self.bill(Phase::Wire, secs);
+    }
+
+    /// Turn on span/counter recording for this rank. Exchange engines
+    /// then wrap their work in [`RankCtx::scoped`] and every charged
+    /// second lands as a leaf span on the rank's virtual timeline.
+    pub fn enable_profiling(&mut self) {
+        self.recorder.enable(self.rank);
+    }
+
+    /// Whether span recording is on.
+    pub fn profiling_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// Open a named scope for the duration of `f`: charges billed
+    /// inside nest under it on the timeline. Free when profiling is
+    /// off. Closure-based so spans are well-nested by construction.
+    pub fn scoped<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.recorder.open(name);
+        let r = f(self);
+        self.recorder.close();
+        r
+    }
+
+    /// Bump a named profiling counter (no-op when profiling is off).
+    pub fn note_count(&mut self, name: &'static str, delta: u64) {
+        self.recorder.count(name, delta);
+    }
+
+    /// Drain this rank's recorded timeline (empty when profiling was
+    /// never enabled). Call before timer-reducing collectives, whose
+    /// own wire traffic would otherwise pollute the spans.
+    pub fn take_timeline(&mut self) -> Timeline {
+        self.recorder.take_timeline()
     }
 
     /// Enable or disable send-buffer pooling. On by default; the
@@ -312,11 +397,13 @@ impl<'a> RankCtx<'a> {
     /// payload: `o` seconds of `call`, message/byte counters, epoch
     /// accounting, and the trace event.
     fn charge_send(&mut self, peer: usize, tag: u64, bytes: usize) {
-        self.timers.call += self.net.call_time(1);
+        self.bill(Phase::Wire, self.net.call_time(1));
         self.timers.msgs += 1;
         self.timers.wire_bytes += bytes as u64;
         self.epoch_msgs += 1;
         self.epoch_bytes += bytes;
+        self.recorder.count("msgs_sent", 1);
+        self.recorder.observe("send_bytes", bytes as f64);
         self.trace.record(MsgEvent { send: true, peer, tag, bytes });
     }
 
@@ -374,7 +461,8 @@ impl<'a> RankCtx<'a> {
             trace.record_fault(FaultEvent { kind, src: rank, dest, tag, attempt: d.attempt, bytes });
         };
         if d.delay_secs > 0.0 {
-            self.timers.wait += d.delay_secs;
+            self.bill(Phase::Wait, d.delay_secs);
+            self.recorder.count("fault_delays", 1);
             record(FaultKind::Delay, &mut self.trace, self.rank);
         }
         if d.drop {
@@ -413,7 +501,7 @@ impl<'a> RankCtx<'a> {
         let bytes = src.len() * std::mem::size_of::<f64>();
         self.charge_send(self.rank, tag, bytes);
         // The matching receive post, as `irecv` would charge it.
-        self.timers.call += self.net.call_time(1);
+        self.bill(Phase::Wire, self.net.call_time(1));
         data.copy_within(src, dst);
         self.trace.record(MsgEvent { send: false, peer: self.rank, tag, bytes });
         Ok(())
@@ -438,7 +526,7 @@ impl<'a> RankCtx<'a> {
         }
         let bytes = std::mem::size_of_val(src);
         self.charge_send(self.rank, tag, bytes);
-        self.timers.call += self.net.call_time(1);
+        self.bill(Phase::Wire, self.net.call_time(1));
         dst.copy_from_slice(src);
         self.trace.record(MsgEvent { send: false, peer: self.rank, tag, bytes });
         Ok(())
@@ -450,7 +538,7 @@ impl<'a> RankCtx<'a> {
         if source >= self.topo.size() {
             return Err(NetsimError::InvalidRank { rank: source, size: self.topo.size() });
         }
-        self.timers.call += self.net.call_time(1);
+        self.bill(Phase::Wire, self.net.call_time(1));
         Ok(RecvHandle { source, tag })
     }
 
@@ -546,7 +634,7 @@ impl<'a> RankCtx<'a> {
     /// Charge the LogGP `wait` term for this epoch's posted sends and
     /// close the epoch.
     fn close_epoch(&mut self) {
-        self.timers.wait += self.net.wait_time(self.epoch_msgs, self.epoch_bytes);
+        self.bill(Phase::Wait, self.net.wait_time(self.epoch_msgs, self.epoch_bytes));
         self.epoch_msgs = 0;
         self.epoch_bytes = 0;
     }
@@ -646,19 +734,19 @@ impl<'a> RankCtx<'a> {
     /// Charge additional modeled seconds to `wait` (used by the GPU
     /// paths to account for staging or page migration on the wire side).
     pub fn charge_wait(&mut self, secs: f64) {
-        self.timers.wait += secs;
+        self.bill(Phase::Wait, secs);
     }
 
     /// Charge additional *modeled* seconds to `calc` (used by the GPU
     /// roofline, whose kernels run on the host but are billed as device
     /// time).
     pub fn charge_calc(&mut self, secs: f64) {
-        self.timers.calc += secs;
+        self.bill(Phase::Compute, secs);
     }
 
     /// Charge additional modeled seconds to `pack`.
     pub fn charge_pack(&mut self, secs: f64) {
-        self.timers.pack += secs;
+        self.bill(Phase::Pack, secs);
     }
 
     /// Synchronize all ranks.
@@ -671,9 +759,11 @@ impl<'a> RankCtx<'a> {
         self.timers
     }
 
-    /// Zero the timers (e.g. after warmup steps).
+    /// Zero the timers (e.g. after warmup steps). Also rewinds the
+    /// profiling recorder so timelines cover exactly the timed steps.
     pub fn reset_timers(&mut self) {
         self.timers.reset();
+        self.recorder.reset();
     }
 
     /// Start recording a message trace (see [`crate::trace`]).
@@ -769,6 +859,7 @@ where
                     barrier,
                     timers: Timers::default(),
                     trace: Trace::default(),
+                    recorder: Recorder::disabled(),
                     epoch_msgs: 0,
                     epoch_bytes: 0,
                     recv_scratch: Vec::new(),
@@ -1162,6 +1253,77 @@ mod tests {
             let deadline = Instant::now() + Duration::from_millis(5);
             assert!(ctx.recv_deadline(h2, deadline).is_none(), "no message queued");
             ctx.flush_epoch();
+        });
+    }
+
+    #[test]
+    fn profiling_timeline_agrees_with_timers() {
+        let topo = CartTopo::new(&[2], true);
+        let net = NetworkModel::theta_aries();
+        let out = run_cluster(&topo, net, |ctx| {
+            ctx.enable_profiling();
+            let peer = 1 - ctx.rank();
+            ctx.scoped("exchange", |ctx| {
+                let h = ctx.irecv(peer, 0).unwrap();
+                let data = vec![1.0; 512];
+                ctx.isend(peer, 0, &data).unwrap();
+                let mut buf = vec![0.0; 512];
+                ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
+            });
+            ctx.scoped("kernel", |ctx| {
+                ctx.time_calc(|| std::hint::black_box((0..2000).sum::<u64>()));
+            });
+            (ctx.take_timeline(), ctx.timers())
+        });
+        for (tl, t) in &out {
+            tl.validate().unwrap();
+            let b = tl.phase_breakdown();
+            assert!((b.wire - t.call).abs() < 1e-12);
+            assert!((b.wait - t.wait).abs() < 1e-12);
+            assert!((b.compute - t.calc).abs() < 1e-12);
+            assert!((b.total() - t.total()).abs() < 1e-12);
+            assert_eq!(tl.counters, vec![("msgs_sent", 1)]);
+            // Both top-level scopes made it into the forest.
+            let roots: Vec<_> =
+                tl.spans.iter().filter(|s| s.depth == 0).map(|s| s.name).collect();
+            assert_eq!(roots, vec!["exchange", "kernel"]);
+        }
+    }
+
+    #[test]
+    fn disabled_profiling_records_nothing() {
+        let topo = CartTopo::new(&[1], true);
+        let out = run_cluster(&topo, NetworkModel::theta_aries(), |ctx| {
+            ctx.scoped("exchange", |ctx| {
+                ctx.isend(0, 0, &[1.0; 16]).unwrap();
+                let h = ctx.irecv(0, 0).unwrap();
+                let mut buf = [0.0; 16];
+                ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
+            });
+            assert!(!ctx.profiling_enabled());
+            ctx.take_timeline()
+        });
+        assert!(out[0].spans.is_empty());
+        assert!(out[0].counters.is_empty());
+    }
+
+    #[test]
+    fn time_calc_with_tops_up_uninstrumented_remainder() {
+        let topo = CartTopo::new(&[1], true);
+        run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            ctx.enable_profiling();
+            ctx.time_calc_with(|rec| {
+                rec.open("stage");
+                rec.charge(telemetry::Phase::Compute, 0.0);
+                rec.close();
+                std::hint::black_box((0..5000).sum::<u64>());
+            });
+            let t = ctx.timers();
+            let tl = ctx.take_timeline();
+            tl.validate().unwrap();
+            let b = tl.phase_breakdown();
+            assert!(t.calc > 0.0);
+            assert!((b.compute - t.calc).abs() < 1e-12, "remainder top-up keeps agreement");
         });
     }
 

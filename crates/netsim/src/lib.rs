@@ -38,6 +38,8 @@
 
 #![warn(missing_docs)]
 
+pub use telemetry;
+
 pub mod cluster;
 pub mod collective;
 pub mod error;

@@ -1,0 +1,142 @@
+//! Critical-path analysis over the per-rank span forest. The exchanges
+//! are bulk-synchronous (every step ends at a barrier), so the run's
+//! critical path is the straggler chain: the rank whose virtual clock
+//! finishes last, decomposed into its top-level scopes and each scope's
+//! dominant phase.
+
+use crate::{Phase, PhaseBreakdown, Timeline};
+
+/// One top-level segment on the critical path.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// Top-level scope name (or a phase name for uncovered leaf time).
+    pub name: &'static str,
+    /// Virtual start of the segment on the straggler rank.
+    pub start: f64,
+    /// Virtual end of the segment.
+    pub end: f64,
+    /// Phase contributing the most leaf time inside this segment.
+    pub dominant: Phase,
+    /// Fraction of the segment's leaf time in the dominant phase.
+    pub dominant_frac: f64,
+}
+
+/// The straggler chain for one run.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// Rank whose virtual clock finished last.
+    pub rank: usize,
+    /// Its virtual end time (the run's makespan).
+    pub total: f64,
+    /// Phase breakdown of the straggler rank.
+    pub breakdown: PhaseBreakdown,
+    /// Top-level segments, in time order.
+    pub segments: Vec<Segment>,
+    /// How far the fastest rank finished ahead of the straggler, as a
+    /// fraction of the makespan (0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+/// Analyze rank timelines and return the straggler chain, or `None`
+/// when no rank recorded anything.
+pub fn critical_path(timelines: &[Timeline]) -> Option<CriticalPath> {
+    let straggler = timelines
+        .iter()
+        .max_by(|a, b| a.end.partial_cmp(&b.end).unwrap_or(std::cmp::Ordering::Equal))?;
+    let min_end = timelines
+        .iter()
+        .map(|t| t.end)
+        .fold(f64::INFINITY, f64::min);
+    let total = straggler.end;
+    let imbalance = if total > 0.0 { (total - min_end) / total } else { 0.0 };
+
+    // Leaf time per phase inside each top-level span, keyed by the
+    // top-level span's index.
+    let mut root_of = vec![usize::MAX; straggler.spans.len()];
+    for (i, s) in straggler.spans.iter().enumerate() {
+        root_of[i] = if s.parent < 0 { i } else { root_of[s.parent as usize] };
+    }
+    let mut per_root: Vec<(usize, PhaseBreakdown)> = Vec::new();
+    for (i, s) in straggler.spans.iter().enumerate() {
+        if let Some(p) = s.phase {
+            let root = root_of[i];
+            match per_root.iter_mut().find(|(r, _)| *r == root) {
+                Some((_, b)) => *b.get_mut(p) += s.dur(),
+                None => {
+                    let mut b = PhaseBreakdown::default();
+                    *b.get_mut(p) += s.dur();
+                    per_root.push((root, b));
+                }
+            }
+        }
+    }
+
+    let segments = per_root
+        .iter()
+        .map(|&(root, ref b)| {
+            let s = &straggler.spans[root];
+            let dominant = Phase::ALL
+                .iter()
+                .copied()
+                .max_by(|&x, &y| {
+                    b.get(x).partial_cmp(&b.get(y)).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(Phase::Wait);
+            let leaf_total = b.total();
+            Segment {
+                name: s.name,
+                start: s.start,
+                end: s.end,
+                dominant,
+                dominant_frac: if leaf_total > 0.0 { b.get(dominant) / leaf_total } else { 0.0 },
+            }
+        })
+        .collect();
+
+    Some(CriticalPath {
+        rank: straggler.rank,
+        total,
+        breakdown: straggler.phase_breakdown(),
+        segments,
+        imbalance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn rank_timeline(rank: usize, wait: f64) -> Timeline {
+        let mut r = Recorder::disabled();
+        r.enable(rank);
+        r.open("exchange:layout");
+        r.charge(Phase::Wire, 1.0);
+        r.charge(Phase::Wait, wait);
+        r.close();
+        r.open("kernel");
+        r.charge(Phase::Compute, 2.0);
+        r.close();
+        r.take_timeline()
+    }
+
+    #[test]
+    fn straggler_is_slowest_rank() {
+        let tl = vec![rank_timeline(0, 1.0), rank_timeline(1, 5.0), rank_timeline(2, 0.5)];
+        let cp = critical_path(&tl).unwrap();
+        assert_eq!(cp.rank, 1);
+        assert_eq!(cp.total, 8.0);
+        assert_eq!(cp.segments.len(), 2);
+        assert_eq!(cp.segments[0].name, "exchange:layout");
+        assert_eq!(cp.segments[0].dominant, Phase::Wait);
+        assert!(cp.segments[0].dominant_frac > 0.8);
+        assert_eq!(cp.segments[1].dominant, Phase::Compute);
+        let expect_imbalance = (8.0 - 3.5) / 8.0;
+        assert!((cp.imbalance - expect_imbalance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(critical_path(&[]).is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Chrome-trace (Trace Event Format) export, loadable in Perfetto or
+//! `chrome://tracing`. One process, one thread per rank; virtual
+//! seconds map to trace microseconds.
+
+use crate::Timeline;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Serialize rank timelines as Chrome-trace JSON. `meta` is a list of
+/// `(key, already-serialized JSON value)` pairs stored under
+/// `otherData` next to the per-rank counters and histograms.
+pub fn chrome_trace(timelines: &[Timeline], meta: &[(&str, String)]) -> String {
+    let mut ev: Vec<String> = Vec::new();
+    for t in timelines {
+        ev.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+             \"args\":{{\"name\":\"rank {}\"}}}}",
+            t.rank, t.rank
+        ));
+        for s in &t.spans {
+            let cat = s.phase.map(|p| p.name()).unwrap_or("scope");
+            ev.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\
+                 \"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}}}}}",
+                esc(s.name),
+                cat,
+                t.rank,
+                json_f64(s.start * 1e6),
+                json_f64(s.dur() * 1e6),
+                s.depth
+            ));
+        }
+    }
+
+    let mut other: Vec<String> = Vec::new();
+    for (k, v) in meta {
+        other.push(format!("\"{}\":{}", esc(k), v));
+    }
+    let ranks: Vec<String> = timelines
+        .iter()
+        .map(|t| {
+            let counters: Vec<String> = t
+                .counters
+                .iter()
+                .map(|(n, v)| format!("\"{}\":{}", esc(n), v))
+                .collect();
+            let hists: Vec<String> = t
+                .hists
+                .iter()
+                .map(|(n, h)| {
+                    format!(
+                        "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                        esc(n),
+                        h.count,
+                        json_f64(h.sum),
+                        json_f64(h.min),
+                        json_f64(h.max),
+                        json_f64(h.mean())
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"rank\":{},\"end_s\":{},\"counters\":{{{}}},\"histograms\":{{{}}}}}",
+                t.rank,
+                json_f64(t.end),
+                counters.join(","),
+                hists.join(",")
+            )
+        })
+        .collect();
+    other.push(format!("\"ranks\":[{}]", ranks.join(",")));
+
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",\"otherData\":{{{}}}}}",
+        ev.join(","),
+        other.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Phase, Recorder};
+
+    #[test]
+    fn export_is_wellformed_and_scaled() {
+        let mut r = Recorder::disabled();
+        r.enable(3);
+        r.open("exchange:\"quoted\"");
+        r.charge(Phase::Wire, 0.25);
+        r.close();
+        r.count("msgs", 7);
+        r.observe("bytes", 4096.0);
+        let t = r.take_timeline();
+        let s = chrome_trace(&[t], &[("method", "\"yask\"".to_string())]);
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.contains("\"ph\":\"M\""));
+        assert!(s.contains("\"tid\":3"));
+        assert!(s.contains("\"dur\":250000")); // 0.25 s -> 250000 µs
+        assert!(s.contains("exchange:\\\"quoted\\\""));
+        assert!(s.contains("\"method\":\"yask\""));
+        assert!(s.contains("\"msgs\":7"));
+        // Balanced braces/brackets outside strings => crude but
+        // effective well-formedness check without a JSON dep.
+        let (mut depth, mut in_str, mut esc_next) = (0i32, false, false);
+        for c in s.chars() {
+            if esc_next {
+                esc_next = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc_next = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

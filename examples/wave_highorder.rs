@@ -42,6 +42,7 @@ fn main() {
             net: NetworkModel::theta_aries(),
             kernel: KernelKind::Plan,
             faults: netsim::FaultConfig::off(),
+            profile: false,
         };
         let r = run_experiment(&cfg);
         println!(

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate a brick-bench Chrome trace against scripts/trace_schema.json.
+
+Stdlib only (no jsonschema dependency): implements the draft-07 subset
+the schema uses (type / required / properties / items / enum / minimum /
+minItems), then applies the semantic checks a generic validator cannot
+express: every duration ("X") event carries cat/ts/dur, at least one X
+event exists, and no span outlives its rank's recorded end time.
+
+Usage: validate_trace.py SCHEMA TRACE
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+}
+
+
+def check(schema, value, path, errors):
+    t = schema.get("type")
+    if t:
+        want = TYPES[t]
+        ok = isinstance(value, want)
+        if t in ("integer", "number") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {t}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                check(sub, value[key], f"{path}.{key}", errors)
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            errors.append(f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        items = schema.get("items")
+        if items:
+            for i, v in enumerate(value):
+                check(items, v, f"{path}[{i}]", errors)
+
+
+def semantic(trace, errors):
+    events = trace.get("traceEvents", [])
+    xs = [e for e in events if e.get("ph") == "X"]
+    if not xs:
+        errors.append("traceEvents: no duration (ph=X) events")
+    for i, e in enumerate(xs):
+        for key in ("cat", "ts", "dur"):
+            if key not in e:
+                errors.append(f"X event {i} ({e.get('name')!r}): missing {key!r}")
+    ends = {
+        r["rank"]: r["end_s"] * 1e6
+        for r in trace.get("otherData", {}).get("ranks", [])
+        if isinstance(r, dict) and "rank" in r and "end_s" in r
+    }
+    for i, e in enumerate(xs):
+        end = ends.get(e.get("tid"))
+        if end is not None and e.get("ts", 0) + e.get("dur", 0) > end + 1e-3:
+            errors.append(
+                f"X event {i} ({e.get('name')!r}) ends at "
+                f"{e['ts'] + e['dur']:.3f}us, past rank end {end:.3f}us"
+            )
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    with open(sys.argv[2]) as f:
+        trace = json.load(f)
+    errors = []
+    check(schema, trace, "$", errors)
+    semantic(trace, errors)
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        sys.exit(1)
+    nx = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    print(f"ok: {sys.argv[2]} valid ({nx} spans, {len(trace['otherData']['ranks'])} ranks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ fn cfg(method: CpuMethod, n: usize, shape: StencilShape, ranks: Vec<usize>) -> E
         net: NetworkModel::theta_aries(),
         kernel: KernelKind::Plan,
         faults: netsim::FaultConfig::off(),
+        profile: false,
     }
 }
 

@@ -32,6 +32,7 @@ fn gpu_modes_match_cpu_physics() {
         net: NetworkModel::instant(),
         kernel: KernelKind::Plan,
         faults: netsim::FaultConfig::off(),
+        profile: false,
     });
     for m in [
         GpuMethod::LayoutCA,
