@@ -34,6 +34,9 @@ pub struct Options {
     pub json: bool,
     /// Record per-rank phase timelines and report the breakdown.
     pub profile: bool,
+    /// Drive the timestep through the dependency-graph overlap
+    /// scheduler (brick engines only).
+    pub overlap: bool,
     /// Write a Chrome-trace JSON file of the profiled run (implies
     /// `profile`).
     pub trace: Option<String>,
@@ -77,6 +80,7 @@ impl Default for Options {
             faults: netsim::FaultConfig::off(),
             json: false,
             profile: false,
+            overlap: false,
             trace: None,
             help: false,
         }
@@ -108,6 +112,12 @@ OPTIONS:
                         e.g. 42,0.1,0.05 — exchanges retry until they
                         converge bit-identically to the fault-free run
                         (default: off)
+  -o, --overlap         run the timestep as a dependency graph: interior
+                        bricks compute while halo messages are on the
+                        wire, boundary bricks as their ghosts arrive;
+                        bit-identical to the phased schedule and reports
+                        the fraction of wire time hidden
+                        (memmap/layout/basic/shift only)
   -j, --json            emit one JSON object instead of the text format
   -P, --profile         record per-rank phase timelines over the timed
                         steps and report a pack/unpack/copy/wire/wait/
@@ -135,6 +145,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "-h" | "--help" => o.help = true,
             "-j" | "--json" => o.json = true,
+            "-o" | "--overlap" => o.overlap = true,
             "-P" | "--profile" => o.profile = true,
             "--trace" => {
                 o.trace = Some(take("--trace")?);
@@ -205,6 +216,17 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         "mpi-types" => CpuMethod::MpiTypes,
         other => return Err(format!("unknown method '{other}'")),
     };
+    if o.overlap
+        && !matches!(
+            o.method,
+            CpuMethod::MemMap { .. } | CpuMethod::Layout | CpuMethod::Basic | CpuMethod::Shift { .. }
+        )
+    {
+        return Err(format!(
+            "--overlap needs a split-capable exchange engine \
+             (memmap | layout | basic | shift), not '{method_name}'"
+        ));
+    }
     if o.size % 8 != 0 || o.size < 16 {
         return Err("--size must be a multiple of 8, at least 16".into());
     }
@@ -237,6 +259,7 @@ pub fn config(o: &Options) -> ExperimentConfig {
         kernel: o.kernel,
         faults: o.faults,
         profile: o.profile,
+        overlap: o.overlap,
     }
 }
 
@@ -312,7 +335,8 @@ fn render_profile(o: &Options, r: &MethodReport) -> String {
         out.push_str(&phase_row(name, &b));
     }
     out.push_str(&phase_row("(all)", &tl.phase_breakdown()));
-    if let Some(cp) = critical_path(&r.timelines) {
+    if let Some(mut cp) = critical_path(&r.timelines) {
+        cp.overlap = r.overlap_stats;
         out.push_str(&format!(
             "critical path: rank {} | total {:.6} s | imbalance {:.1}%\n",
             cp.rank,
@@ -327,6 +351,14 @@ fn render_profile(o: &Options, r: &MethodReport) -> String {
                 s.end,
                 s.dominant.name(),
                 s.dominant_frac * 100.0
+            ));
+        }
+        if let Some(ov) = cp.overlap {
+            out.push_str(&format!(
+                "  overlap: hidden {:.6} of {:.6} wire s ({:.1}% efficiency)\n",
+                ov.hidden_wire,
+                ov.total_wire,
+                ov.efficiency() * 100.0
             ));
         }
     }
@@ -351,6 +383,14 @@ pub fn render(o: &Options, r: &MethodReport) -> String {
     out.push_str(&fmt("call", r.summary.call));
     out.push_str(&fmt("wait", r.summary.wait));
     out.push_str(&format!("perf {:.4} GStencil/s per rank\n", r.gstencil()));
+    if let Some(ov) = r.overlap_stats {
+        out.push_str(&format!(
+            "overlap: hidden {:.6} of {:.6} wire s ({:.1}% efficiency)\n",
+            ov.hidden_wire,
+            ov.total_wire,
+            ov.efficiency() * 100.0
+        ));
+    }
     out.push_str(&render_profile(o, r));
     // Gate on the run's own armed state, not the (possibly unrelated)
     // options: a fault-free report never prints a fault block.
@@ -392,7 +432,18 @@ fn profile_json(r: &MethodReport) -> Option<String> {
         .collect();
     out.push_str(&format!("    \"scopes\": [{}],\n", scopes.join(", ")));
     match critical_path(&r.timelines) {
-        Some(cp) => {
+        Some(mut cp) => {
+            cp.overlap = r.overlap_stats;
+            let ov = match cp.overlap {
+                Some(ov) => format!(
+                    "{{\"hidden_wire\": {:.9}, \"total_wire\": {:.9}, \
+                     \"efficiency\": {:.6}}}",
+                    ov.hidden_wire,
+                    ov.total_wire,
+                    ov.efficiency()
+                ),
+                None => "null".into(),
+            };
             let segs: Vec<String> = cp
                 .segments
                 .iter()
@@ -410,10 +461,11 @@ fn profile_json(r: &MethodReport) -> Option<String> {
                 .collect();
             out.push_str(&format!(
                 "    \"critical_path\": {{\"rank\": {}, \"total\": {:.9}, \
-                 \"imbalance\": {:.6}, \"segments\": [{}]}}\n",
+                 \"imbalance\": {:.6}, \"overlap\": {}, \"segments\": [{}]}}\n",
                 cp.rank,
                 cp.total,
                 cp.imbalance,
+                ov,
                 segs.join(", ")
             ));
         }
@@ -440,6 +492,15 @@ pub fn render_json(o: &Options, r: &MethodReport) -> String {
     out.push_str(&metric("pack", r.summary.pack));
     out.push_str(&metric("call", r.summary.call));
     out.push_str(&metric("wait", r.summary.wait));
+    if let Some(ov) = r.overlap_stats {
+        out.push_str(&format!(
+            "  \"overlap\": {{\"hidden_wire\": {:.9}, \"total_wire\": {:.9}, \
+             \"efficiency\": {:.6}}},\n",
+            ov.hidden_wire,
+            ov.total_wire,
+            ov.efficiency()
+        ));
+    }
     if let Some(pf) = profile_json(r) {
         out.push_str(&pf);
     }
@@ -620,6 +681,42 @@ mod tests {
         assert!(out.contains("profile: phase seconds"));
         assert!(out.contains("exchange:memmap"));
         assert!(out.contains("critical path: rank"));
+    }
+
+    #[test]
+    fn overlap_flag() {
+        assert!(p(&["-o"]).unwrap().overlap);
+        assert!(p(&["--overlap"]).unwrap().overlap);
+        assert!(!p(&[]).unwrap().overlap);
+        assert!(p(&["-m", "yask", "-o"]).is_err());
+        assert!(p(&["-m", "yask-ol", "-o"]).is_err());
+        assert!(p(&["-m", "mpi-types", "--overlap"]).is_err());
+        assert!(p(&["-m", "shift", "-o"]).is_ok());
+        assert!(USAGE.contains("--overlap"));
+    }
+
+    /// An overlapped run computes bit-identical physics to the phased
+    /// schedule and reports overlap accounting in both output formats.
+    #[test]
+    fn end_to_end_overlap_run() {
+        let o = p(&[
+            "-m", "layout", "-d", "16", "-I", "2", "-w", "0", "-r", "2x1x1", "-o", "-P",
+        ])
+        .unwrap();
+        let over = run_experiment(&config(&o));
+        let phased =
+            run_experiment(&config(&Options { overlap: false, ..o.clone() }));
+        assert_eq!(over.checksum.to_bits(), phased.checksum.to_bits());
+        let stats = over.overlap_stats.expect("overlap run records stats");
+        assert!(stats.total_wire > 0.0, "modeled fabric must bill wire time");
+        let text = render(&o, &over);
+        assert!(text.contains("overlap: hidden"));
+        assert!(text.contains("% efficiency"));
+        let js = render_json(&o, &over);
+        assert!(js.contains("\"overlap\": {\"hidden_wire\""));
+        assert!(js.contains("\"efficiency\""));
+        let phased_js = render_json(&o, &phased);
+        assert!(!phased_js.contains("\"overlap\": {"), "phased run must not claim overlap");
     }
 
     #[test]

@@ -210,9 +210,9 @@ impl ArrayExchanger {
         }
         rel.begin();
         let mut k = 0usize;
-        for i in 0..dirs.len() {
-            if b.loopback[i].is_none() {
-                rel.stage(k, &send_bufs[i]);
+        for (buf, lb) in send_bufs.iter().zip(&b.loopback) {
+            if lb.is_none() {
+                rel.stage(k, buf);
                 k += 1;
             }
         }

@@ -304,6 +304,13 @@ pub struct ExchangeSession {
     // Self-healing protocol state, built on first use under a fault
     // plan; the fault-free hot path never touches it.
     reliable: Option<ReliableSession>,
+    // Split-exchange (begin/poll/finish) state, reused across steps.
+    done: Vec<bool>,
+    pend_handles: Vec<RecvHandle>,
+    pend_ranges: Vec<std::ops::Range<usize>>,
+    // The begin() of this step ran the atomic reliable exchange, which
+    // flushes its own epochs — finish() must not close another one.
+    fault_step: bool,
 }
 
 impl ExchangeSession {
@@ -363,7 +370,19 @@ impl ExchangeSession {
             }
         }
         let handles = Vec::with_capacity(recv_srcs.len());
-        ExchangeSession { name: ex.name, sends, recv_srcs, recv_ranges, handles, reliable: None }
+        let done = vec![false; recv_ranges.len()];
+        ExchangeSession {
+            name: ex.name,
+            sends,
+            recv_srcs,
+            recv_ranges,
+            handles,
+            reliable: None,
+            done,
+            pend_handles: Vec::new(),
+            pend_ranges: Vec::new(),
+            fault_step: false,
+        }
     }
 
     /// One full ghost-zone exchange with zero per-step allocation.
@@ -456,6 +475,112 @@ impl ExchangeSession {
         let ranges = &self.recv_ranges;
         let slice = storage.as_mut_slice();
         rel.run(ctx, |i, payload| slice[ranges[i].clone()].copy_from_slice(payload))
+    }
+
+    /// Element ranges of the unpaired (mailbox) receives, in schedule
+    /// order. Split-exchange completion indices returned by [`Self::begin`]
+    /// and [`Self::poll`] index into this slice; a dependency graph maps
+    /// them back to the ghost bricks they fill.
+    pub fn recv_ranges(&self) -> &[std::ops::Range<usize>] {
+        &self.recv_ranges
+    }
+
+    /// First half of a split exchange: post every send and receive, then
+    /// return without waiting. Loopback self-sends complete inline and
+    /// the matching ghost ranges are already filled on return; mailbox
+    /// receives complete later via [`Self::poll`] / [`Self::finish`].
+    /// Indices (into [`Self::recv_ranges`]) of receives that completed
+    /// during this call are appended to `completed`.
+    ///
+    /// Under an armed fault plan the reliable protocol is collective and
+    /// cannot be split, so `begin` runs the whole exchange and reports
+    /// every receive as complete; the overlap window simply collapses
+    /// for that step, which keeps chaos runs bit-identical.
+    pub fn begin(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut BrickStorage,
+        completed: &mut Vec<usize>,
+    ) -> Result<(), NetsimError> {
+        let name = self.name;
+        self.done.clear();
+        self.done.resize(self.recv_ranges.len(), false);
+        if ctx.fault_active() {
+            ctx.scoped(name, |ctx| self.exchange_reliable(ctx, storage))?;
+            for i in 0..self.recv_ranges.len() {
+                self.done[i] = true;
+                completed.push(i);
+            }
+            self.fault_step = true;
+            return Ok(());
+        }
+        self.fault_step = false;
+        ctx.scoped(name, |ctx| {
+            for m in &self.sends {
+                ctx.note_payload(m.payload_bytes);
+                match m.loopback_dst {
+                    Some(dst) => {
+                        ctx.loopback_within(m.tag, storage.as_mut_slice(), m.elems.clone(), dst)?
+                    }
+                    None => ctx.isend(m.dest, m.tag, &storage.as_slice()[m.elems.clone()])?,
+                }
+            }
+            self.handles.clear();
+            for &(src, tag) in &self.recv_srcs {
+                self.handles.push(ctx.irecv(src, tag)?);
+            }
+            Ok(())
+        })
+    }
+
+    /// Middle of a split exchange: drain whatever has already arrived,
+    /// copying payloads into their ghost ranges without blocking or
+    /// billing wait time. Returns how many receives newly completed;
+    /// their indices are appended to `completed`.
+    pub fn poll(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut BrickStorage,
+        completed: &mut Vec<usize>,
+    ) -> Result<usize, NetsimError> {
+        if self.fault_step {
+            return Ok(0);
+        }
+        ctx.progress(
+            &self.handles,
+            storage.as_mut_slice(),
+            &self.recv_ranges,
+            &mut self.done,
+            completed,
+        )
+    }
+
+    /// Second half of a split exchange: block on the receives still
+    /// outstanding and close the communication epoch (billing `wait`
+    /// exactly as the phased [`Self::exchange`] would). Must be called
+    /// once per [`Self::begin`], even when `poll` drained everything.
+    pub fn finish(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut BrickStorage,
+    ) -> Result<(), NetsimError> {
+        if self.fault_step {
+            // The reliable protocol already flushed its epochs.
+            self.fault_step = false;
+            return Ok(());
+        }
+        self.pend_handles.clear();
+        self.pend_ranges.clear();
+        for (i, &d) in self.done.iter().enumerate() {
+            if !d {
+                self.pend_handles.push(self.handles[i]);
+                self.pend_ranges.push(self.recv_ranges[i].clone());
+            }
+        }
+        let name = self.name;
+        ctx.scoped(name, |ctx| {
+            ctx.waitall_ranges(&self.pend_handles, storage.as_mut_slice(), &self.pend_ranges)
+        })
     }
 }
 

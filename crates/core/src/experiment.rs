@@ -7,12 +7,13 @@ use std::time::Duration;
 
 use brick::BrickDims;
 use layout::SurfaceLayout;
-use netsim::telemetry::{Phase, Recorder, Timeline};
+use netsim::telemetry::{OverlapStats, Phase, Recorder, Timeline};
 use netsim::{
     run_cluster_faulty, CartTopo, FaultConfig, FaultEvent, FaultStats, NetworkModel, RankCtx,
     TimerSummary, Timers,
 };
-use stencil::{apply_bricks_gather, ArrayGrid, KernelPlan, StencilShape};
+use sched::{DepGraph, OverlapTimer};
+use stencil::{apply_bricks_gather, ArrayGrid, KernelPlan, PlanSplit, StencilShape};
 
 use crate::baselines::ArrayExchanger;
 use crate::decomp::BrickDecomp;
@@ -117,6 +118,12 @@ pub struct ExperimentConfig {
     /// Record per-rank phase timelines over the timed steps (off by
     /// default; the disabled recorder is a single branch per charge).
     pub profile: bool,
+    /// Run the timestep as a dependency graph (off by default): post the
+    /// exchange, compute interior bricks while messages are on the wire,
+    /// compute boundary bricks as their ghost dependencies complete, and
+    /// only then block on the remainder. Supported by the brick engines
+    /// (`Layout`, `Basic`, `MemMap`, `Shift`); other methods ignore it.
+    pub overlap: bool,
 }
 
 impl ExperimentConfig {
@@ -136,6 +143,7 @@ impl ExperimentConfig {
             kernel: KernelKind::Plan,
             faults: FaultConfig::off(),
             profile: false,
+            overlap: false,
         }
     }
 }
@@ -217,6 +225,11 @@ pub struct MethodReport {
     /// Seed of the armed fault plan, `None` when fault injection was
     /// off — report consumers gate fault/recovery output on this.
     pub fault_seed: Option<u64>,
+    /// Wire-hiding accounting of a dependency-graph run (rank 0):
+    /// `Some` iff the run was driven with [`ExperimentConfig::overlap`]
+    /// through a scheduler that measures it, `None` for phased runs and
+    /// the coarse `*-OL` overlap methods.
+    pub overlap_stats: Option<OverlapStats>,
 }
 
 impl MethodReport {
@@ -298,13 +311,17 @@ fn keep_timelines(profile: bool, timelines: Vec<Timeline>) -> Vec<Timeline> {
 
 /// Seed of the armed fault plan (`None` when fault injection is off).
 fn fault_seed(cfg: &ExperimentConfig) -> Option<u64> {
-    cfg.faults.is_active().then(|| cfg.faults.seed)
+    cfg.faults.is_active().then_some(cfg.faults.seed)
 }
 
 /// Run one experiment and return rank 0's report.
 pub fn run_experiment(cfg: &ExperimentConfig) -> MethodReport {
     let topo = CartTopo::new(&cfg.ranks, true);
     match &cfg.method {
+        CpuMethod::MemMap { page_size } if cfg.overlap => run_memmap_dag(cfg, &topo, *page_size),
+        CpuMethod::Layout if cfg.overlap => run_brick_dag(cfg, &topo, BrickMsgs::Runs),
+        CpuMethod::Basic if cfg.overlap => run_brick_dag(cfg, &topo, BrickMsgs::PerRegion),
+        CpuMethod::Shift { page_size } if cfg.overlap => run_shift_dag(cfg, &topo, *page_size),
         CpuMethod::MemMap { page_size } => run_memmap(cfg, &topo, *page_size),
         CpuMethod::Layout => run_brick(cfg, &topo, BrickOrder::Surface3d, BrickMsgs::Runs),
         CpuMethod::LayoutOverlap => run_brick_overlap(cfg, &topo),
@@ -315,6 +332,14 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> MethodReport {
         CpuMethod::MpiTypes => run_array(cfg, &topo, ArrayMode::Types, false),
         CpuMethod::Shift { page_size } => run_shift(cfg, &topo, *page_size),
     }
+}
+
+/// The wire clock: accumulated modeled communication seconds (`call` +
+/// `wait`) — the deltas the overlap scheduler measures its hiding
+/// window against.
+fn wire_clock(ctx: &RankCtx<'_>) -> f64 {
+    let t = ctx.timers();
+    t.call + t.wait
 }
 
 fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> MethodReport {
@@ -385,6 +410,7 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
         fault_events,
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
+        overlap_stats: None,
     }
 }
 
@@ -461,6 +487,412 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
         fault_events,
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
+        overlap_stats: None,
+    }
+}
+
+/// Dependency-graph brick driver (the overlap scheduler): begin the
+/// split exchange, compute interior bricks while messages are on the
+/// wire, compute boundary bricks in batches as their ghost dependencies
+/// complete, then block only on what is still missing. Each brick is
+/// computed exactly once from the `cur` grid (fixed for the whole
+/// step), so the result is bit-identical to the phased schedule no
+/// matter when messages land.
+fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> MethodReport {
+    let decomp = BrickDecomp::<3>::layout_mode(
+        cfg.subdomain,
+        cfg.ghost,
+        BrickDims::cubic(cfg.brick),
+        1,
+        layout::surface3d(),
+    );
+    let exchanger = match msgs {
+        BrickMsgs::Runs => Exchanger::layout(&decomp),
+        BrickMsgs::PerRegion => Exchanger::basic(&decomp),
+        BrickMsgs::ComputeOnly => unreachable!("compute-only method has nothing to overlap"),
+    };
+    let mut stats = exchanger.stats();
+    let shape = cfg.shape.clone();
+    let (steps, warmup) = (cfg.steps, cfg.warmup);
+    let kernel = cfg.kernel;
+    let profile = cfg.profile;
+    let interior_mask = decomp.interior_mask();
+    let step_elems = decomp.step();
+
+    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+        arm_fault_timeout(ctx);
+        let info = decomp.brick_info();
+        let compute = decomp.compute_mask();
+        let engine = Engine::bind(kernel, &shape, info);
+        let mut cur = decomp.allocate();
+        let mut nxt = decomp.allocate();
+        fill_bricks(&decomp, &mut cur);
+        let mut session = exchanger.session(ctx);
+        // Completion index -> the ghost bricks that receive fills.
+        let recv_ghosts: Vec<Vec<u32>> = session
+            .recv_ranges()
+            .iter()
+            .map(|r| ((r.start / step_elems) as u32..(r.end / step_elems) as u32).collect())
+            .collect();
+        let mut split = PlanSplit::new(&interior_mask, compute);
+        let mut graph = DepGraph::build(info, split.boundary(), &recv_ghosts);
+        let mut timer = OverlapTimer::new();
+        let mut completed: Vec<usize> = Vec::new();
+        let mut ready: Vec<u32> = Vec::new();
+        for step in 0..steps + warmup {
+            if step == warmup {
+                ctx.reset_timers();
+                if profile {
+                    ctx.enable_profiling();
+                }
+                timer = OverlapTimer::new();
+            }
+            timer.begin_step(wire_clock(ctx));
+            completed.clear();
+            session.begin(ctx, &mut cur, &mut completed).expect("begin exchange");
+            // Interior compute hides the in-flight exchange: it reads no
+            // ghost bricks.
+            let t0 = std::time::Instant::now();
+            ctx.time_calc_with(|rec| {
+                engine.apply_profiled(info, &cur, &mut nxt, split.interior(), rec)
+            });
+            timer.hide(t0.elapsed().as_secs_f64());
+            ready.clear();
+            ready.extend_from_slice(graph.begin_step());
+            for &c in &completed {
+                graph.complete(c, &mut ready);
+            }
+            loop {
+                if !ready.is_empty() {
+                    let t0 = std::time::Instant::now();
+                    let mask = split.stage_batch(&ready);
+                    ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur, &mut nxt, mask, rec));
+                    split.clear_batch();
+                    timer.hide(t0.elapsed().as_secs_f64());
+                    ready.clear();
+                }
+                if graph.pending() == 0 {
+                    break;
+                }
+                completed.clear();
+                let newly = session.poll(ctx, &mut cur, &mut completed).expect("poll exchange");
+                for &c in &completed {
+                    graph.complete(c, &mut ready);
+                }
+                if newly == 0 && ready.is_empty() {
+                    // Nothing on the wire yet and nothing to compute:
+                    // stop probing; the finishing wait exposes the rest.
+                    break;
+                }
+            }
+            session.finish(ctx, &mut cur).expect("finish exchange");
+            timer.end_step(wire_clock(ctx));
+            // Boundary bricks whose dependencies only resolved at the
+            // blocking finish — the exposed part of the step.
+            if graph.pending() > 0 {
+                ready.clear();
+                graph.unready(&mut ready);
+                let mask = split.stage_batch(&ready);
+                ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur, &mut nxt, mask, rec));
+                split.clear_batch();
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            ctx.barrier();
+        }
+        let t = ctx.timers().per_step(steps);
+        let timeline = ctx.take_timeline();
+        let summary = ctx.reduce_timers(&t).expect("timer reduction");
+        let payload =
+            (t, checksum_bricks(&decomp, &cur), summary, timer.hidden_total() / steps as f64, timer.stats());
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), session.recovery_stats())
+    });
+
+    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
+    let (timers, checksum, summary, hidden, ostats) = payload;
+    stats.absorb_recovery(&recovery);
+    MethodReport {
+        timers,
+        stats,
+        points: decomp.points(),
+        overlap: true,
+        checksum,
+        summary: summary.expect("rank 0 holds the reduction"),
+        calc_hidden: hidden,
+        faults,
+        fault_events,
+        timelines: keep_timelines(profile, timelines),
+        fault_seed: fault_seed(cfg),
+        overlap_stats: Some(ostats),
+    }
+}
+
+fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> MethodReport {
+    let decomp = memmap_decomp(
+        cfg.subdomain,
+        cfg.ghost,
+        BrickDims::cubic(cfg.brick),
+        1,
+        layout::surface3d(),
+        page_size,
+    );
+    let shape = cfg.shape.clone();
+    let (steps, warmup) = (cfg.steps, cfg.warmup);
+    let kernel = cfg.kernel;
+    let profile = cfg.profile;
+    let interior_mask = decomp.interior_mask();
+    let step_elems = decomp.step();
+
+    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+        arm_fault_timeout(ctx);
+        let info = decomp.brick_info();
+        let compute = decomp.compute_mask();
+        let engine = Engine::bind(kernel, &shape, info);
+        let mut sa = MemMapStorage::allocate(&decomp).expect("memfd allocation");
+        let mut sb = MemMapStorage::allocate(&decomp).expect("memfd allocation");
+        let mut eva = ExchangeView::build(&decomp, &sa).expect("view construction");
+        let mut evb = ExchangeView::build(&decomp, &sb).expect("view construction");
+        fill_bricks(&decomp, &mut sa.storage);
+        let stats = eva.stats();
+        // Both views carry the same schedule; bind one up front so the
+        // mailbox ranges are available for graph construction.
+        eva.ensure_bound(ctx, &sa);
+        let recv_ghosts: Vec<Vec<u32>> = eva
+            .mailbox_ranges()
+            .iter()
+            .map(|r| ((r.start / step_elems) as u32..(r.end / step_elems) as u32).collect())
+            .collect();
+        let mut split = PlanSplit::new(&interior_mask, compute);
+        let mut graph = DepGraph::build(info, split.boundary(), &recv_ghosts);
+        let mut timer = OverlapTimer::new();
+        let mut completed: Vec<usize> = Vec::new();
+        let mut ready: Vec<u32> = Vec::new();
+        let mut flip = false;
+        for step in 0..steps + warmup {
+            if step == warmup {
+                ctx.reset_timers();
+                if profile {
+                    ctx.enable_profiling();
+                }
+                timer = OverlapTimer::new();
+            }
+            let (cur, nxt, ev) =
+                if flip { (&mut sb, &mut sa, &mut evb) } else { (&mut sa, &mut sb, &mut eva) };
+            timer.begin_step(wire_clock(ctx));
+            completed.clear();
+            ev.begin(ctx, cur, &mut completed).expect("begin exchange");
+            let t0 = std::time::Instant::now();
+            ctx.time_calc_with(|rec| {
+                engine.apply_profiled(info, &cur.storage, &mut nxt.storage, split.interior(), rec)
+            });
+            timer.hide(t0.elapsed().as_secs_f64());
+            ready.clear();
+            ready.extend_from_slice(graph.begin_step());
+            for &c in &completed {
+                graph.complete(c, &mut ready);
+            }
+            loop {
+                if !ready.is_empty() {
+                    let t0 = std::time::Instant::now();
+                    let mask = split.stage_batch(&ready);
+                    ctx.time_calc_with(|rec| {
+                        engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
+                    });
+                    split.clear_batch();
+                    timer.hide(t0.elapsed().as_secs_f64());
+                    ready.clear();
+                }
+                if graph.pending() == 0 {
+                    break;
+                }
+                completed.clear();
+                let newly = ev.poll(ctx, cur, &mut completed).expect("poll exchange");
+                for &c in &completed {
+                    graph.complete(c, &mut ready);
+                }
+                if newly == 0 && ready.is_empty() {
+                    break;
+                }
+            }
+            ev.finish(ctx, cur).expect("finish exchange");
+            timer.end_step(wire_clock(ctx));
+            if graph.pending() > 0 {
+                ready.clear();
+                graph.unready(&mut ready);
+                let mask = split.stage_batch(&ready);
+                ctx.time_calc_with(|rec| {
+                    engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
+                });
+                split.clear_batch();
+            }
+            flip = !flip;
+            ctx.barrier();
+        }
+        let last = if flip { &sb } else { &sa };
+        let t = ctx.timers().per_step(steps);
+        let timeline = ctx.take_timeline();
+        let summary = ctx.reduce_timers(&t).expect("timer reduction");
+        let mut rec = eva.recovery_stats();
+        rec.merge(&evb.recovery_stats());
+        let payload = (
+            t,
+            checksum_bricks(&decomp, &last.storage),
+            stats,
+            summary,
+            timer.hidden_total() / steps as f64,
+            timer.stats(),
+        );
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec)
+    });
+
+    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
+    let (timers, checksum, mut stats, summary, hidden, ostats) = payload;
+    stats.absorb_recovery(&recovery);
+    MethodReport {
+        timers,
+        stats,
+        points: decomp.points(),
+        overlap: true,
+        checksum,
+        summary: summary.expect("rank 0 holds the reduction"),
+        calc_hidden: hidden,
+        faults,
+        fault_events,
+        timelines: keep_timelines(profile, timelines),
+        fault_seed: fault_seed(cfg),
+        overlap_stats: Some(ostats),
+    }
+}
+
+fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> MethodReport {
+    let decomp = memmap_decomp(
+        cfg.subdomain,
+        cfg.ghost,
+        BrickDims::cubic(cfg.brick),
+        1,
+        layout::surface3d(),
+        page_size,
+    );
+    let shape = cfg.shape.clone();
+    let (steps, warmup) = (cfg.steps, cfg.warmup);
+    let kernel = cfg.kernel;
+    let profile = cfg.profile;
+    let interior_mask = decomp.interior_mask();
+
+    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+        arm_fault_timeout(ctx);
+        let info = decomp.brick_info();
+        let compute = decomp.compute_mask();
+        let engine = Engine::bind(kernel, &shape, info);
+        let mut sa = MemMapStorage::allocate(&decomp).expect("memfd allocation");
+        let mut sb = MemMapStorage::allocate(&decomp).expect("memfd allocation");
+        let mut sha = crate::shift::ShiftExchanger::build(&decomp, &sa).expect("shift views");
+        let mut shb = crate::shift::ShiftExchanger::build(&decomp, &sb).expect("shift views");
+        fill_bricks(&decomp, &mut sa.storage);
+        let stats = sha.stats();
+        // Only the final pass is posted asynchronously — its two slab
+        // receives are the graph's gating dependencies; earlier axes'
+        // ghosts are valid when begin() returns.
+        let recv_ghosts: Vec<Vec<u32>> =
+            sha.final_recv_bricks().iter().map(|b| b.to_vec()).collect();
+        let mut split = PlanSplit::new(&interior_mask, compute);
+        let mut graph = DepGraph::build(info, split.boundary(), &recv_ghosts);
+        let mut timer = OverlapTimer::new();
+        let mut completed: Vec<usize> = Vec::new();
+        let mut ready: Vec<u32> = Vec::new();
+        let mut flip = false;
+        for step in 0..steps + warmup {
+            if step == warmup {
+                ctx.reset_timers();
+                if profile {
+                    ctx.enable_profiling();
+                }
+                timer = OverlapTimer::new();
+            }
+            let (cur, nxt, sh) =
+                if flip { (&mut sb, &mut sa, &mut shb) } else { (&mut sa, &mut sb, &mut sha) };
+            timer.begin_step(wire_clock(ctx));
+            completed.clear();
+            sh.begin(ctx, cur, &mut completed).expect("begin exchange");
+            let t0 = std::time::Instant::now();
+            ctx.time_calc_with(|rec| {
+                engine.apply_profiled(info, &cur.storage, &mut nxt.storage, split.interior(), rec)
+            });
+            timer.hide(t0.elapsed().as_secs_f64());
+            ready.clear();
+            ready.extend_from_slice(graph.begin_step());
+            for &c in &completed {
+                graph.complete(c, &mut ready);
+            }
+            loop {
+                if !ready.is_empty() {
+                    let t0 = std::time::Instant::now();
+                    let mask = split.stage_batch(&ready);
+                    ctx.time_calc_with(|rec| {
+                        engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
+                    });
+                    split.clear_batch();
+                    timer.hide(t0.elapsed().as_secs_f64());
+                    ready.clear();
+                }
+                if graph.pending() == 0 {
+                    break;
+                }
+                completed.clear();
+                let newly = sh.poll(ctx, &mut completed).expect("poll exchange");
+                for &c in &completed {
+                    graph.complete(c, &mut ready);
+                }
+                if newly == 0 && ready.is_empty() {
+                    break;
+                }
+            }
+            sh.finish(ctx).expect("finish exchange");
+            timer.end_step(wire_clock(ctx));
+            if graph.pending() > 0 {
+                ready.clear();
+                graph.unready(&mut ready);
+                let mask = split.stage_batch(&ready);
+                ctx.time_calc_with(|rec| {
+                    engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
+                });
+                split.clear_batch();
+            }
+            flip = !flip;
+            ctx.barrier();
+        }
+        let last = if flip { &sb } else { &sa };
+        let t = ctx.timers().per_step(steps);
+        let timeline = ctx.take_timeline();
+        let summary = ctx.reduce_timers(&t).expect("timer reduction");
+        let mut rec = sha.recovery_stats();
+        rec.merge(&shb.recovery_stats());
+        let payload = (
+            t,
+            checksum_bricks(&decomp, &last.storage),
+            stats,
+            summary,
+            timer.hidden_total() / steps as f64,
+            timer.stats(),
+        );
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec)
+    });
+
+    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
+    let (timers, checksum, mut stats, summary, hidden, ostats) = payload;
+    stats.absorb_recovery(&recovery);
+    MethodReport {
+        timers,
+        stats,
+        points: decomp.points(),
+        overlap: true,
+        checksum,
+        summary: summary.expect("rank 0 holds the reduction"),
+        calc_hidden: hidden,
+        faults,
+        fault_events,
+        timelines: keep_timelines(profile, timelines),
+        fault_seed: fault_seed(cfg),
+        overlap_stats: Some(ostats),
     }
 }
 
@@ -558,6 +990,7 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
         fault_events,
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
+        overlap_stats: None,
     }
 }
 
@@ -626,6 +1059,7 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
         fault_events,
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
+        overlap_stats: None,
     }
 }
 
@@ -685,6 +1119,7 @@ fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: 
         fault_events,
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
+        overlap_stats: None,
     }
 }
 
@@ -839,6 +1274,53 @@ mod tests {
         r.overlap = true;
         assert!(r.step_time() <= plain.step_time());
         assert!(r.step_time() >= plain.timers.pack + plain.timers.calc);
+    }
+
+    /// The dependency-graph scheduler computes each brick exactly once
+    /// from the step-frozen `cur` grid, so every overlapped engine must
+    /// be bit-identical to its phased counterpart — and must report a
+    /// well-formed wire-hiding measurement.
+    #[test]
+    fn overlapped_runs_bit_identical_to_phased() {
+        for m in [
+            CpuMethod::Layout,
+            CpuMethod::Basic,
+            CpuMethod::MemMap { page_size: memview::PAGE_4K },
+            CpuMethod::Shift { page_size: memview::PAGE_4K },
+        ] {
+            let phased = run_experiment(&cfg(m.clone()));
+            let mut oc = cfg(m.clone());
+            oc.overlap = true;
+            let ov = run_experiment(&oc);
+            assert_eq!(
+                ov.checksum.to_bits(),
+                phased.checksum.to_bits(),
+                "overlap diverged for {m:?}"
+            );
+            assert!(ov.overlap);
+            let s = ov.overlap_stats.expect("dag run reports overlap stats");
+            assert!(s.total_wire > 0.0, "{m:?} charged no wire time");
+            assert!((0.0..=1.0).contains(&s.efficiency()));
+            assert!(ov.calc_hidden > 0.0, "{m:?} hid no compute");
+        }
+    }
+
+    /// A multi-rank dependency-graph run under fault injection: the
+    /// reliable protocol collapses the overlap window (begin() runs it
+    /// atomically) but the grid must still converge bit-identically.
+    #[test]
+    fn overlapped_chaos_run_converges() {
+        let mut c = cfg(CpuMethod::Layout);
+        c.ranks = vec![2, 1, 1];
+        c.overlap = true;
+        c.faults =
+            FaultConfig { seed: 42, drop: 0.05, corrupt: 0.02, dup: 0.05, ..FaultConfig::off() };
+        let lossy = run_experiment(&c);
+        let mut clean_cfg = c.clone();
+        clean_cfg.faults = FaultConfig::off();
+        let clean = run_experiment(&clean_cfg);
+        assert_eq!(lossy.checksum.to_bits(), clean.checksum.to_bits());
+        assert!(lossy.faults.total() > 0, "seed 42 at these rates must inject something");
     }
 
     #[test]

@@ -245,6 +245,7 @@ pub fn run_gpu_experiment(cfg: &GpuExperimentConfig) -> GpuReport {
         kernel: crate::experiment::KernelKind::Plan,
         faults: netsim::FaultConfig::off(),
         profile: false,
+        overlap: false,
     };
     let real = run_experiment(&cpu_cfg);
 

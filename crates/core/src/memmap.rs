@@ -104,6 +104,13 @@ pub struct ExchangeView {
     /// Self-healing protocol state, built on first use under a fault
     /// plan; the fault-free hot path never touches it.
     reliable: Option<ReliableSession>,
+    // Split-exchange (begin/poll/finish) state, reused across steps.
+    done: Vec<bool>,
+    pend_handles: Vec<RecvHandle>,
+    pend_ranges: Vec<std::ops::Range<usize>>,
+    // The begin() of this step ran the atomic reliable exchange, which
+    // flushes its own epochs — finish() must not close another one.
+    fault_step: bool,
 }
 
 /// Neighbor ranks, loopback pairings and mailbox receive ranges for one
@@ -199,6 +206,10 @@ impl ExchangeView {
             bound: None,
             handles: Vec::new(),
             reliable: None,
+            done: Vec::new(),
+            pend_handles: Vec::new(),
+            pend_ranges: Vec::new(),
+            fault_step: false,
         })
     }
 
@@ -281,11 +292,12 @@ impl ExchangeView {
         ctx.scoped("exchange:memmap", |ctx| self.exchange_inner(ctx, storage))
     }
 
-    fn exchange_inner(
-        &mut self,
-        ctx: &mut RankCtx<'_>,
-        storage: &mut MemMapStorage,
-    ) -> Result<(), NetsimError> {
+    /// Resolve the rank-bound schedule if this view has not yet been
+    /// driven on `ctx`'s rank (idempotent otherwise). [`Self::exchange`]
+    /// and [`Self::begin`] call this themselves; a dependency-graph
+    /// driver calls it up front so [`Self::mailbox_ranges`] is available
+    /// before the first exchange.
+    pub fn ensure_bound(&mut self, ctx: &RankCtx<'_>, storage: &MemMapStorage) {
         assert!(
             Arc::ptr_eq(&self.bound_file, storage.file()),
             "ExchangeView driven with a different storage than it was built on \
@@ -295,6 +307,22 @@ impl ExchangeView {
             self.bound = Some(self.bind(ctx));
             self.reliable = None;
         }
+    }
+
+    /// Element ranges of the mailbox (non-loopback) receives, in
+    /// schedule order. Split-exchange completion indices returned by
+    /// [`Self::begin`] and [`Self::poll`] index into this slice.
+    /// Requires [`Self::ensure_bound`] (or a prior exchange) first.
+    pub fn mailbox_ranges(&self) -> &[std::ops::Range<usize>] {
+        &self.bound.as_ref().expect("call ensure_bound first").mailbox_ranges
+    }
+
+    fn exchange_inner(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+    ) -> Result<(), NetsimError> {
+        self.ensure_bound(ctx, storage);
         if ctx.fault_active() {
             return self.exchange_reliable(ctx, storage);
         }
@@ -379,6 +407,108 @@ impl ExchangeView {
         let slice = storage.storage.as_mut_slice();
         let ranges = &b.mailbox_ranges;
         rel.run(ctx, |i, payload| slice[ranges[i].clone()].copy_from_slice(payload))
+    }
+
+    /// First half of a split exchange: post every send and receive, then
+    /// return without waiting. Loopback self-sends complete inline (their
+    /// ghost groups are filled on return); mailbox receives complete
+    /// later via [`Self::poll`] / [`Self::finish`]. Indices (into
+    /// [`Self::mailbox_ranges`]) of receives completed during this call
+    /// are appended to `completed`.
+    ///
+    /// Under an armed fault plan the reliable protocol is collective and
+    /// cannot be split, so `begin` runs the whole exchange and reports
+    /// every receive as complete; the overlap window collapses for that
+    /// step, keeping chaos runs bit-identical.
+    pub fn begin(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+        completed: &mut Vec<usize>,
+    ) -> Result<(), NetsimError> {
+        self.ensure_bound(ctx, storage);
+        let n = self.bound.as_ref().expect("bound above").mailbox_ranges.len();
+        self.done.clear();
+        self.done.resize(n, false);
+        if ctx.fault_active() {
+            ctx.scoped("exchange:memmap", |ctx| self.exchange_reliable(ctx, storage))?;
+            for i in 0..n {
+                self.done[i] = true;
+                completed.push(i);
+            }
+            self.fault_step = true;
+            return Ok(());
+        }
+        self.fault_step = false;
+        ctx.scoped("exchange:memmap", |ctx| {
+            let ExchangeView { sends, recvs, bound, handles, .. } = self;
+            let b = bound.as_ref().expect("bound above");
+            for (i, m) in sends.iter().enumerate() {
+                ctx.note_payload(m.payload_bytes);
+                match b.send_loopback[i] {
+                    Some(j) => {
+                        let r = &recvs[j];
+                        ctx.loopback_into(
+                            m.tag,
+                            m.view.as_f64(),
+                            &mut storage.storage.as_mut_slice()[r.elems.clone()],
+                        )?;
+                    }
+                    None => ctx.isend(b.send_dests[i], m.tag, m.view.as_f64())?,
+                }
+            }
+            handles.clear();
+            for &(src, tag) in &b.mailbox_srcs {
+                handles.push(ctx.irecv(src, tag)?);
+            }
+            Ok(())
+        })
+    }
+
+    /// Middle of a split exchange: drain whatever has already arrived
+    /// straight into the ghost groups, without blocking or billing wait
+    /// time. Returns how many receives newly completed; their indices
+    /// are appended to `completed`.
+    pub fn poll(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+        completed: &mut Vec<usize>,
+    ) -> Result<usize, NetsimError> {
+        if self.fault_step {
+            return Ok(0);
+        }
+        let ExchangeView { bound, handles, done, .. } = self;
+        let b = bound.as_ref().expect("begin binds the schedule");
+        ctx.progress(handles, storage.storage.as_mut_slice(), &b.mailbox_ranges, done, completed)
+    }
+
+    /// Second half of a split exchange: block on the receives still
+    /// outstanding and close the communication epoch (billing `wait`
+    /// exactly as the phased [`Self::exchange`] would). Must be called
+    /// once per [`Self::begin`], even when `poll` drained everything.
+    pub fn finish(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+    ) -> Result<(), NetsimError> {
+        if self.fault_step {
+            // The reliable protocol already flushed its epochs.
+            self.fault_step = false;
+            return Ok(());
+        }
+        self.pend_handles.clear();
+        self.pend_ranges.clear();
+        let b = self.bound.as_ref().expect("begin binds the schedule");
+        for (i, &d) in self.done.iter().enumerate() {
+            if !d {
+                self.pend_handles.push(self.handles[i]);
+                self.pend_ranges.push(b.mailbox_ranges[i].clone());
+            }
+        }
+        ctx.scoped("exchange:memmap", |ctx| {
+            ctx.waitall_ranges(&self.pend_handles, storage.storage.as_mut_slice(), &self.pend_ranges)
+        })
     }
 }
 

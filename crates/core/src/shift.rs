@@ -15,7 +15,7 @@ use std::ops::Range;
 
 use layout::Dir;
 use memview::{host_page_size, is_aligned, ContiguousView, Segment};
-use netsim::{NetsimError, RankCtx};
+use netsim::{NetsimError, RankCtx, RecvHandle};
 
 use crate::decomp::BrickDecomp;
 use crate::exchange::ExchangeStats;
@@ -48,6 +48,16 @@ pub struct ShiftExchanger {
     /// Per-pass self-healing protocol state, built on first use under a
     /// fault plan; local (loopback) passes never need one.
     reliable: Vec<Option<ReliableSession>>,
+    /// Physical brick indices of the final pass's two receive slabs
+    /// (completion order `[positive, negative]`) — the ghost bricks a
+    /// dependency-graph driver gates boundary compute on.
+    final_recv_bricks: [Vec<u32>; 2],
+    // Split-exchange state for the final axis pass.
+    fin_pending: [Option<RecvHandle>; 2],
+    // The begin() of this step completed the final pass atomically (the
+    // reliable protocol flushes its own epochs) — finish() must not
+    // close another one.
+    fault_step: bool,
 }
 
 /// Per-pass `[positive, negative]` destination and source ranks for one
@@ -80,6 +90,7 @@ impl ShiftExchanger {
 
         let mut passes = Vec::with_capacity(D);
         let mut stats = ExchangeStats::default();
+        let mut final_recv_bricks: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
 
         for axis in 0..D {
             // Per-axis coordinate ranges of the slab cross-section:
@@ -115,6 +126,9 @@ impl ShiftExchanger {
                 let send_bricks = slab_bricks(decomp, axis, send_band, &cross);
                 let recv_bricks = slab_bricks(decomp, axis, recv_band, &cross);
                 assert_eq!(send_bricks.len(), recv_bricks.len());
+                if axis + 1 == D {
+                    final_recv_bricks[if positive { 0 } else { 1 }] = recv_bricks.clone();
+                }
 
                 let sview = build_view(storage, &send_bricks, brick_bytes)?;
                 let rview = build_view(storage, &recv_bricks, brick_bytes)?;
@@ -146,6 +160,9 @@ impl ShiftExchanger {
             bound_file: std::sync::Arc::clone(storage.file()),
             bound: None,
             reliable,
+            final_recv_bricks,
+            fin_pending: [None, None],
+            fault_step: false,
         })
     }
 
@@ -182,11 +199,10 @@ impl ShiftExchanger {
         ctx.scoped("exchange:shift", |ctx| self.exchange_inner(ctx, storage))
     }
 
-    fn exchange_inner(
-        &mut self,
-        ctx: &mut RankCtx<'_>,
-        storage: &mut MemMapStorage,
-    ) -> Result<(), NetsimError> {
+    /// Resolve the rank-bound neighbor table if this exchanger has not
+    /// yet been driven on `ctx`'s rank (idempotent otherwise).
+    /// [`Self::exchange`] and [`Self::begin`] call this themselves.
+    pub fn ensure_bound(&mut self, ctx: &RankCtx<'_>, storage: &MemMapStorage) {
         assert!(
             std::sync::Arc::ptr_eq(&self.bound_file, storage.file()),
             "ShiftExchanger driven with a different storage than it was built on \
@@ -208,6 +224,14 @@ impl ShiftExchanger {
             self.bound = Some(ShiftBound { rank, dests, srcs });
             self.reliable.iter_mut().for_each(|r| *r = None);
         }
+    }
+
+    fn exchange_inner(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+    ) -> Result<(), NetsimError> {
+        self.ensure_bound(ctx, storage);
         let ShiftExchanger { passes, bound, reliable, .. } = self;
         let b = bound.as_ref().expect("bound above");
         for (p, pass) in passes.iter_mut().enumerate() {
@@ -273,6 +297,189 @@ impl ShiftExchanger {
             })?;
         }
         Ok(())
+    }
+
+    /// Physical brick indices of the final pass's two receive slabs, in
+    /// split-exchange completion order (`0` = positive direction, `1` =
+    /// negative). A dependency-graph driver gates boundary compute on
+    /// these; ghosts received by the earlier (serialized) passes are
+    /// already valid when [`Self::begin`] returns.
+    pub fn final_recv_bricks(&self) -> [&[u32]; 2] {
+        [&self.final_recv_bricks[0], &self.final_recv_bricks[1]]
+    }
+
+    /// First half of a split exchange. Passes `0..D-1` are serialized
+    /// data dependencies (corner data is forwarded axis by axis), so
+    /// they run to completion exactly as in [`Self::exchange`]; only the
+    /// final pass is posted without waiting. Indices (into
+    /// [`Self::final_recv_bricks`]) of final-pass receives that
+    /// completed during this call are appended to `completed`.
+    ///
+    /// A local (single-rank-axis) final pass completes via loopback
+    /// inline; an armed fault plan runs the collective reliable protocol
+    /// to completion. Either way the overlap window collapses and both
+    /// indices are reported complete, keeping results bit-identical.
+    pub fn begin(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+        completed: &mut Vec<usize>,
+    ) -> Result<(), NetsimError> {
+        self.ensure_bound(ctx, storage);
+        self.fault_step = false;
+        self.fin_pending = [None, None];
+        let ShiftExchanger { passes, bound, reliable, fin_pending, fault_step, .. } = self;
+        let b = bound.as_ref().expect("bound above");
+        let last = passes.len() - 1;
+        ctx.scoped("exchange:shift", |ctx| {
+            for (p, pass) in passes.iter_mut().enumerate() {
+                ctx.scoped(PASS_NAMES[p.min(PASS_NAMES.len() - 1)], |ctx| {
+                    let (dests, srcs) = (&b.dests[p], &b.srcs[p]);
+                    let local = dests[0] == b.rank;
+                    debug_assert_eq!(local, dests[1] == b.rank);
+                    if local {
+                        let ShiftPass { sends, recvs } = pass;
+                        for i in 0..2 {
+                            ctx.note_payload(sends[i].bytes);
+                            ctx.loopback_into(
+                                sends[i].tag,
+                                sends[i].view.as_f64(),
+                                recvs[i].view.as_f64_mut(),
+                            )?;
+                        }
+                        if p < last {
+                            ctx.waitall_into(&[], &mut [])?;
+                        } else {
+                            // Ghosts are filled, but the epoch stays
+                            // open; finish() closes it so the `wait`
+                            // charge matches the phased exchange.
+                            completed.push(0);
+                            completed.push(1);
+                        }
+                    } else if ctx.fault_active() {
+                        let rel = reliable[p].get_or_insert_with(|| {
+                            ReliableSession::new(
+                                (0..2)
+                                    .map(|i| RelSend { dest: dests[i], tag: pass.sends[i].tag })
+                                    .collect(),
+                                (0..2)
+                                    .map(|i| RelRecv {
+                                        src: srcs[i],
+                                        tag: pass.recvs[i].tag,
+                                        elems: pass.recvs[i].view.as_f64().len(),
+                                    })
+                                    .collect(),
+                            )
+                        });
+                        for send in &pass.sends {
+                            ctx.note_payload(send.bytes);
+                        }
+                        rel.begin();
+                        rel.stage(0, pass.sends[0].view.as_f64());
+                        rel.stage(1, pass.sends[1].view.as_f64());
+                        let recvs = &mut pass.recvs;
+                        rel.run(ctx, |i, payload| {
+                            recvs[i].view.as_f64_mut().copy_from_slice(payload)
+                        })?;
+                        if p == last {
+                            completed.push(0);
+                            completed.push(1);
+                            *fault_step = true;
+                        }
+                    } else if p < last {
+                        let h0 = ctx.irecv(srcs[0], pass.recvs[0].tag)?;
+                        let h1 = ctx.irecv(srcs[1], pass.recvs[1].tag)?;
+                        for (send, &dest) in pass.sends.iter().zip(&dests[..2]) {
+                            ctx.note_payload(send.bytes);
+                            ctx.isend(dest, send.tag, send.view.as_f64())?;
+                        }
+                        let (ra, rb) = pass.recvs.split_at_mut(1);
+                        ctx.waitall_into(
+                            &[h0, h1],
+                            &mut [ra[0].view.as_f64_mut(), rb[0].view.as_f64_mut()],
+                        )?;
+                    } else {
+                        fin_pending[0] = Some(ctx.irecv(srcs[0], pass.recvs[0].tag)?);
+                        fin_pending[1] = Some(ctx.irecv(srcs[1], pass.recvs[1].tag)?);
+                        for (send, &dest) in pass.sends.iter().zip(&dests[..2]) {
+                            ctx.note_payload(send.bytes);
+                            ctx.isend(dest, send.tag, send.view.as_f64())?;
+                        }
+                    }
+                    Ok(())
+                })?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Middle of a split exchange: drain final-pass messages that have
+    /// already arrived straight into their ghost slab views, without
+    /// blocking or billing wait time. Returns how many receives newly
+    /// completed; their indices are appended to `completed`.
+    pub fn poll(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        completed: &mut Vec<usize>,
+    ) -> Result<usize, NetsimError> {
+        if self.fault_step {
+            return Ok(0);
+        }
+        let last = self.passes.len() - 1;
+        let srcs = self.bound.as_ref().expect("begin binds the schedule").srcs[last];
+        let mut newly = 0usize;
+        for (i, &src) in srcs.iter().enumerate() {
+            let Some(h) = self.fin_pending[i] else { continue };
+            let Some(msg) = ctx.try_wait(h) else { continue };
+            let tag = self.passes[last].recvs[i].tag;
+            let dst = self.passes[last].recvs[i].view.as_f64_mut();
+            if msg.data().len() != dst.len() {
+                let err = NetsimError::SizeMismatch {
+                    rank: ctx.rank(),
+                    source: src,
+                    tag,
+                    expected: dst.len(),
+                    got: msg.data().len(),
+                };
+                ctx.recycle(msg);
+                return Err(err);
+            }
+            dst.copy_from_slice(msg.data());
+            ctx.recycle(msg);
+            self.fin_pending[i] = None;
+            completed.push(i);
+            newly += 1;
+        }
+        Ok(newly)
+    }
+
+    /// Second half of a split exchange: block on the final-pass receives
+    /// still outstanding and close the communication epoch (billing
+    /// `wait` exactly as the phased [`Self::exchange`] would). Must be
+    /// called once per [`Self::begin`], even when `poll` drained
+    /// everything.
+    pub fn finish(&mut self, ctx: &mut RankCtx<'_>) -> Result<(), NetsimError> {
+        if self.fault_step {
+            // The reliable protocol already flushed its epochs.
+            self.fault_step = false;
+            return Ok(());
+        }
+        let last = self.passes.len() - 1;
+        let ShiftExchanger { passes, fin_pending, .. } = self;
+        ctx.scoped("exchange:shift", |ctx| {
+            ctx.scoped(PASS_NAMES[last.min(PASS_NAMES.len() - 1)], |ctx| {
+                let (ra, rb) = passes[last].recvs.split_at_mut(1);
+                let mut handles: Vec<RecvHandle> = Vec::with_capacity(2);
+                let mut bufs: Vec<&mut [f64]> = Vec::with_capacity(2);
+                for (i, slab) in [&mut ra[0], &mut rb[0]].into_iter().enumerate() {
+                    if let Some(h) = fin_pending[i].take() {
+                        handles.push(h);
+                        bufs.push(slab.view.as_f64_mut());
+                    }
+                }
+                ctx.waitall_into(&handles, &mut bufs)
+            })
+        })
     }
 }
 

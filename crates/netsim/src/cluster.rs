@@ -163,8 +163,12 @@ impl Mailbox {
 }
 
 /// A posted nonblocking receive; completed by
-/// [`RankCtx::waitall_into`] or [`RankCtx::waitall_ranges`].
+/// [`RankCtx::waitall_into`], [`RankCtx::waitall_ranges`], or — on the
+/// non-blocking overlap path — [`RankCtx::try_wait`] /
+/// [`RankCtx::progress`].
 #[derive(Clone, Copy, Debug)]
+#[must_use = "a posted receive must be completed (waitall_*, try_wait, or progress) \
+              or the message leaks in the mailbox"]
 pub struct RecvHandle {
     source: usize,
     tag: u64,
@@ -457,7 +461,7 @@ impl<'a> RankCtx<'a> {
 
     /// Record fault events and charge the delay penalty.
     fn apply_send_faults(&mut self, dest: usize, tag: u64, bytes: usize, d: &FaultDecision) {
-        let mut record = |kind: FaultKind, trace: &mut Trace, rank: usize| {
+        let record = |kind: FaultKind, trace: &mut Trace, rank: usize| {
             trace.record_fault(FaultEvent { kind, src: rank, dest, tag, attempt: d.attempt, bytes });
         };
         if d.delay_secs > 0.0 {
@@ -572,6 +576,92 @@ impl<'a> RankCtx<'a> {
         if let Some(owner) = msg.owner {
             self.pools[owner].put(msg.data);
         }
+    }
+
+    /// Non-blocking completion probe for one posted receive: pop the
+    /// matching message if it has already arrived, else return `None`
+    /// immediately. Never blocks, bills nothing, and leaves the send
+    /// epoch open — the overlap scheduler polls this between interior
+    /// compute batches and the eventual `waitall_*` (or
+    /// [`RankCtx::flush_epoch`]) still charges the epoch's LogGP `wait`
+    /// term exactly once. A loopback or an already-delivered self-send
+    /// completes on the first probe.
+    ///
+    /// Each message is returned exactly once: a `Some` consumes the
+    /// mailbox entry, so probing the same handle again waits for the
+    /// *next* message on that channel (non-overtaking order).
+    pub fn try_wait(&mut self, h: RecvHandle) -> Option<RecvdMsg> {
+        let msg = self.mailboxes[self.rank].try_pop((h.source, h.tag))?;
+        self.trace.record(MsgEvent {
+            send: false,
+            peer: h.source,
+            tag: h.tag,
+            bytes: msg.data.len() * 8,
+        });
+        Some(RecvdMsg { owner: msg.owner, data: msg.data })
+    }
+
+    /// Drive a batch of posted receives forward without blocking:
+    /// for every handle not yet marked in `done`, pop its message if
+    /// present, verify its length against `ranges[i]`, scatter it into
+    /// `storage[ranges[i]]`, recycle the buffer, flag `done[i]`, and
+    /// push `i` onto `completed`. Returns how many receives newly
+    /// completed this call.
+    ///
+    /// Partial-completion semantics: buffers are consumed exactly once
+    /// (a completed index is skipped on later calls), nothing is billed
+    /// and the send epoch stays open — close it via the finishing
+    /// `waitall_ranges` over the still-pending subset (or
+    /// [`RankCtx::flush_epoch`] once everything completed), so the
+    /// LogGP `wait` lump and the deadline machinery keep their phased
+    /// semantics. A wrong-length message reports
+    /// [`NetsimError::SizeMismatch`] after recycling it.
+    pub fn progress(
+        &mut self,
+        handles: &[RecvHandle],
+        storage: &mut [f64],
+        ranges: &[Range<usize>],
+        done: &mut [bool],
+        completed: &mut Vec<usize>,
+    ) -> Result<usize, NetsimError> {
+        assert_eq!(handles.len(), ranges.len());
+        assert_eq!(handles.len(), done.len());
+        let mut newly = 0usize;
+        for (i, h) in handles.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let Some(msg) = self.mailboxes[self.rank].try_pop((h.source, h.tag)) else {
+                continue;
+            };
+            if msg.data.len() != ranges[i].len() {
+                let err = NetsimError::SizeMismatch {
+                    rank: self.rank,
+                    source: h.source,
+                    tag: h.tag,
+                    expected: ranges[i].len(),
+                    got: msg.data.len(),
+                };
+                if let Some(owner) = msg.owner {
+                    self.pools[owner].put(msg.data);
+                }
+                return Err(err);
+            }
+            self.trace.record(MsgEvent {
+                send: false,
+                peer: h.source,
+                tag: h.tag,
+                bytes: msg.data.len() * 8,
+            });
+            storage[ranges[i].clone()].copy_from_slice(&msg.data);
+            if let Some(owner) = msg.owner {
+                self.pools[owner].put(msg.data);
+            }
+            done[i] = true;
+            completed.push(i);
+            newly += 1;
+        }
+        Ok(newly)
     }
 
     /// Evict every queued message for `(source, tag)` — stale
@@ -1028,6 +1118,145 @@ mod tests {
         assert_eq!(*rank, 0);
         assert_eq!(pending, &[(0, 7)]);
         assert_eq!(mailbox, &[(0, 99, 1)]);
+    }
+
+    #[test]
+    fn try_wait_returns_each_message_exactly_once() {
+        let topo = CartTopo::new(&[1], true);
+        run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            let h = ctx.irecv(0, 4).unwrap();
+            assert!(ctx.try_wait(h).is_none(), "nothing sent yet");
+            ctx.isend(0, 4, &[2.5, 3.5]).unwrap();
+            let msg = ctx.try_wait(h).expect("self-send completes immediately");
+            assert_eq!(msg.data(), &[2.5, 3.5]);
+            ctx.recycle(msg);
+            assert!(ctx.try_wait(h).is_none(), "message must be consumed exactly once");
+            ctx.flush_epoch();
+        });
+    }
+
+    #[test]
+    fn progress_partially_completes_and_consumes_buffers_once() {
+        let topo = CartTopo::new(&[2], true);
+        let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            let peer = 1 - ctx.rank();
+            if ctx.rank() == 0 {
+                // Stagger the two sends around rank 1's first poll.
+                ctx.isend(peer, 10, &[1.0, 2.0]).unwrap();
+                ctx.barrier(); // rank 1 polls: only tag 10 is in flight
+                ctx.barrier(); // rank 1 saw exactly one completion
+                ctx.isend(peer, 11, &[3.0, 4.0]).unwrap();
+                ctx.flush_epoch();
+                Vec::new()
+            } else {
+                let handles = [ctx.irecv(peer, 10).unwrap(), ctx.irecv(peer, 11).unwrap()];
+                let ranges = [0..2, 2..4];
+                let mut storage = vec![0.0; 4];
+                let mut done = [false, false];
+                let mut completed = Vec::new();
+                ctx.barrier();
+                // Poll until the first message lands (send is async).
+                while completed.is_empty() {
+                    ctx.progress(&handles, &mut storage, &ranges, &mut done, &mut completed)
+                        .unwrap();
+                }
+                assert_eq!(completed, vec![0]);
+                assert_eq!(&storage[..2], &[1.0, 2.0]);
+                assert!(done[0] && !done[1]);
+                // A repeated poll must not re-deliver the completed index.
+                let n = ctx
+                    .progress(&handles, &mut storage, &ranges, &mut done, &mut completed)
+                    .unwrap();
+                assert_eq!(n, 0);
+                ctx.barrier();
+                while done.iter().any(|d| !d) {
+                    ctx.progress(&handles, &mut storage, &ranges, &mut done, &mut completed)
+                        .unwrap();
+                }
+                assert_eq!(completed, vec![0, 1]);
+                ctx.flush_epoch();
+                storage
+            }
+        });
+        assert_eq!(out[1], vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn deadline_still_fires_after_partial_progress() {
+        let topo = CartTopo::new(&[1], true);
+        let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            // One satisfied channel, one genuinely stuck channel.
+            let handles = [ctx.irecv(0, 20).unwrap(), ctx.irecv(0, 21).unwrap()];
+            ctx.isend(0, 20, &[7.0]).unwrap();
+            let ranges = [0..1, 1..2];
+            let mut storage = vec![0.0; 2];
+            let mut done = [false, false];
+            let mut completed = Vec::new();
+            ctx.progress(&handles, &mut storage, &ranges, &mut done, &mut completed).unwrap();
+            assert_eq!(completed, vec![0]);
+            // The finishing blocking wait over the stuck remainder must
+            // still honor the armed deadline.
+            ctx.set_recv_timeout(Some(Duration::from_millis(10)));
+            ctx.waitall_ranges(&handles[1..], &mut storage, &ranges[1..])
+        });
+        let Err(NetsimError::Timeout { rank, pending, .. }) = &out[0] else {
+            panic!("expected timeout, got {:?}", out[0]);
+        };
+        assert_eq!(*rank, 0);
+        assert_eq!(pending, &[(0, 21)]);
+    }
+
+    #[test]
+    fn progress_then_waitall_bills_same_wait_as_phased() {
+        // The overlap path (progress + finishing waitall over the
+        // remainder) must charge exactly the LogGP epoch lump the
+        // phased waitall charges: polling bills nothing.
+        let topo = CartTopo::new(&[1], true);
+        let net = NetworkModel::theta_aries();
+        let out = run_cluster(&topo, net, |ctx| {
+            let handles = [ctx.irecv(0, 30).unwrap(), ctx.irecv(0, 31).unwrap()];
+            ctx.isend(0, 30, &[1.0; 64]).unwrap();
+            ctx.isend(0, 31, &[2.0; 64]).unwrap();
+            let ranges = [0..64, 64..128];
+            let mut storage = vec![0.0; 128];
+            let mut done = [false, false];
+            let mut completed = Vec::new();
+            let wait_before = ctx.timers().wait;
+            ctx.progress(&handles, &mut storage, &ranges, &mut done, &mut completed).unwrap();
+            assert_eq!(completed, vec![0, 1], "self-sends complete on the first poll");
+            assert_eq!(ctx.timers().wait, wait_before, "polling must not bill wait");
+            // All receives already done: the empty finishing waitall
+            // closes the epoch with the full posted-send totals.
+            ctx.waitall_ranges(&[], &mut storage, &[]).unwrap();
+            ctx.timers()
+        });
+        assert!((out[0].wait - net.wait_time(2, 2 * 64 * 8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn progress_size_mismatch_is_structured_error() {
+        let topo = CartTopo::new(&[1], true);
+        let out = run_cluster(&topo, NetworkModel::instant(), |ctx| {
+            let handles = [ctx.irecv(0, 40).unwrap()];
+            ctx.isend(0, 40, &[1.0, 2.0, 3.0]).unwrap();
+            let mut storage = vec![0.0; 2];
+            let mut done = [false];
+            let mut completed = Vec::new();
+            let range = 0..2;
+            let r = ctx.progress(
+                &handles,
+                &mut storage,
+                std::slice::from_ref(&range),
+                &mut done,
+                &mut completed,
+            );
+            ctx.flush_epoch();
+            r
+        });
+        assert_eq!(
+            out[0],
+            Err(NetsimError::SizeMismatch { rank: 0, source: 0, tag: 40, expected: 2, got: 3 })
+        );
     }
 
     #[test]

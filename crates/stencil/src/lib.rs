@@ -42,6 +42,6 @@ pub mod varcoef;
 pub use array::{ArrayGrid, ArrayPlan};
 pub use brickstencil::{apply_bricks, apply_bricks_gather, apply_bricks_serial, gstencil_per_sec};
 pub use mpitypes::Datatype;
-pub use plan::{KernelPlan, VarCoefPlan};
+pub use plan::{KernelPlan, PlanSplit, VarCoefPlan};
 pub use shape::{cube125_coeffs, star7_coeffs, StencilShape};
 pub use varcoef::{apply_varcoef7_bricks, VARCOEF_FIELDS};

@@ -39,6 +39,87 @@ use crate::shape::{star7_coeffs, StencilShape};
 /// plan over a brick whose stencil crosses a missing neighbor panics.
 const MISSING: usize = usize::MAX;
 
+/// Interior/boundary split of a plan's compute set, with a reusable
+/// per-brick readiness mask — the stencil side of the overlap
+/// scheduler. The interior sub-plan (bricks whose stencil reads no
+/// ghost data) can run while halo messages are on the wire; boundary
+/// bricks are staged into the readiness mask in batches as their ghost
+/// dependencies complete and executed through the owning
+/// [`KernelPlan`] / [`VarCoefPlan`] with no per-batch allocation.
+pub struct PlanSplit {
+    /// `compute ∧ interior`: the sub-plan safe to run before any
+    /// message arrives.
+    interior: Vec<bool>,
+    /// `compute ∧ ¬interior` brick ids, ascending.
+    boundary: Vec<u32>,
+    /// Readiness mask for the current boundary batch.
+    stage: Vec<bool>,
+    /// Bricks staged in the current batch (for O(batch) clearing).
+    staged: Vec<u32>,
+}
+
+impl PlanSplit {
+    /// Split `compute` against `interior_mask` (per-brick, e.g.
+    /// `BrickDecomp::interior_mask`). Masks must be the same length.
+    pub fn new(interior_mask: &[bool], compute: &[bool]) -> PlanSplit {
+        assert_eq!(interior_mask.len(), compute.len(), "mask length mismatch");
+        let interior: Vec<bool> =
+            interior_mask.iter().zip(compute).map(|(&i, &c)| i && c).collect();
+        let boundary: Vec<u32> = compute
+            .iter()
+            .zip(interior_mask)
+            .enumerate()
+            .filter(|(_, (&c, &i))| c && !i)
+            .map(|(b, _)| b as u32)
+            .collect();
+        let stage = vec![false; compute.len()];
+        PlanSplit { interior, boundary, stage, staged: Vec::new() }
+    }
+
+    /// The interior sub-plan's compute mask.
+    pub fn interior(&self) -> &[bool] {
+        &self.interior
+    }
+
+    /// Boundary brick ids (ascending) — the bricks whose readiness the
+    /// scheduler tracks.
+    pub fn boundary(&self) -> &[u32] {
+        &self.boundary
+    }
+
+    /// Number of interior bricks in the split.
+    pub fn interior_count(&self) -> usize {
+        self.interior.iter().filter(|&&b| b).count()
+    }
+
+    /// Mark a batch of boundary bricks ready; returns the readiness
+    /// mask to hand to `execute`. Call [`PlanSplit::clear_batch`] after
+    /// executing. Staging the same brick twice in one batch is allowed.
+    pub fn stage_batch(&mut self, bricks: &[u32]) -> &[bool] {
+        for &b in bricks {
+            debug_assert!(
+                !self.interior[b as usize],
+                "staged brick {b} is interior; it was already computed"
+            );
+            self.stage[b as usize] = true;
+            self.staged.push(b);
+        }
+        &self.stage
+    }
+
+    /// The current batch's readiness mask.
+    pub fn batch_mask(&self) -> &[bool] {
+        &self.stage
+    }
+
+    /// Reset the readiness mask after executing a batch.
+    pub fn clear_batch(&mut self) {
+        for b in self.staged.drain(..) {
+            self.stage[b as usize] = false;
+        }
+    }
+}
+
 /// One tap's read pattern for one brick row, brick-independent (the
 /// [`VarCoefPlan`] executor's descriptor): the source brick is named by
 /// adjacency *code*, resolved through the per-brick neighbor-base
@@ -162,6 +243,16 @@ impl KernelPlan {
     /// The field index this plan was compiled for.
     pub fn field(&self) -> usize {
         self.field
+    }
+
+    /// Split this plan's compute set into interior/boundary sub-plans
+    /// for overlap scheduling (masks must cover this plan's bricks).
+    /// The plan's radius assertion (`r ≤` every brick extent) is what
+    /// makes a boundary brick's dependencies exactly its 27-adjacency
+    /// neighbor bricks, so completing those receives makes it safe.
+    pub fn split(&self, interior_mask: &[bool], compute: &[bool]) -> PlanSplit {
+        assert_eq!(interior_mask.len(), self.bricks, "mask length mismatch");
+        PlanSplit::new(interior_mask, compute)
     }
 
     /// Apply the planned stencil to every brick selected by
@@ -462,6 +553,13 @@ impl VarCoefPlan {
         }
     }
 
+    /// Split this plan's compute set into interior/boundary sub-plans
+    /// for overlap scheduling (see [`KernelPlan::split`]).
+    pub fn split(&self, interior_mask: &[bool], compute: &[bool]) -> PlanSplit {
+        assert_eq!(interior_mask.len(), self.bricks, "mask length mismatch");
+        PlanSplit::new(interior_mask, compute)
+    }
+
     /// Apply the planned variable-coefficient stencil to every brick
     /// selected by `compute[b]`, writing field 0 of `output`.
     pub fn execute(&self, input: &BrickStorage, output: &mut BrickStorage, compute: &[bool]) {
@@ -646,6 +744,32 @@ mod tests {
         assert_eq!(tl.spans[0].name, "kernel:plan");
         assert!(tl.spans.len() >= 2, "scope plus at least one compute leaf");
         assert_eq!(tl.counters, vec![("bricks_computed", info.bricks() as u64)]);
+    }
+
+    /// Interior-then-boundary-batches execution through a [`PlanSplit`]
+    /// is bit-identical to one full-mask execute: each brick runs
+    /// exactly once and batch partition cannot change its bits.
+    #[test]
+    fn split_execution_bit_identical_to_full() {
+        let shape = StencilShape::cube125_default();
+        let (info, input, mut out_full) = setup(3, 4);
+        let mut out_split = info.allocate(1);
+        let compute = vec![true; info.bricks()];
+        // A fake interior: every 3rd brick (the split only needs masks).
+        let interior: Vec<bool> = (0..info.bricks()).map(|b| b % 3 == 0).collect();
+        let plan = KernelPlan::new(&info, &shape, 1, 0);
+        plan.execute(&input, &mut out_full, &compute);
+
+        let mut split = plan.split(&interior, &compute);
+        plan.execute(&input, &mut out_split, split.interior());
+        let boundary: Vec<u32> = split.boundary().to_vec();
+        assert_eq!(boundary.len() + split.interior_count(), info.bricks());
+        for batch in boundary.chunks(5) {
+            split.stage_batch(batch);
+            plan.execute(&input, &mut out_split, split.batch_mask());
+            split.clear_batch();
+        }
+        assert_eq!(out_split.as_slice(), out_full.as_slice());
     }
 
     /// The varcoef plan is bit-identical to a point-by-point serial

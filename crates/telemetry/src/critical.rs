@@ -21,6 +21,41 @@ pub struct Segment {
     pub dominant_frac: f64,
 }
 
+/// Communication/computation overlap accounting for one run: how much
+/// of the modeled wire time (`call + wait`) was hidden behind interior
+/// compute by an overlap scheduler. The spans on a rank's timeline stay
+/// well-nested on a single virtual clock, so overlap is expressed
+/// through this metric (and the step-time model), never through
+/// overlapping spans.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OverlapStats {
+    /// Seconds of wire time hidden behind concurrent compute,
+    /// `min(hidden compute, total wire)` per step summed over steps.
+    pub hidden_wire: f64,
+    /// Total modeled wire seconds (`call + wait`) the overlap window
+    /// competed against.
+    pub total_wire: f64,
+}
+
+impl OverlapStats {
+    /// Overlap efficiency: hidden wire time as a fraction of total wire
+    /// time (0 = fully exposed, 1 = fully hidden). Zero when no wire
+    /// time was modeled.
+    pub fn efficiency(&self) -> f64 {
+        if self.total_wire > 0.0 {
+            (self.hidden_wire / self.total_wire).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulate another run's (or rank's) overlap totals.
+    pub fn merge(&mut self, o: &OverlapStats) {
+        self.hidden_wire += o.hidden_wire;
+        self.total_wire += o.total_wire;
+    }
+}
+
 /// The straggler chain for one run.
 #[derive(Clone, Debug)]
 pub struct CriticalPath {
@@ -35,6 +70,11 @@ pub struct CriticalPath {
     /// How far the fastest rank finished ahead of the straggler, as a
     /// fraction of the makespan (0 = perfectly balanced).
     pub imbalance: f64,
+    /// Overlap accounting when the run used an overlap scheduler
+    /// (`None` for phased runs). Set by the driver that owns the
+    /// scheduler; [`critical_path`] itself cannot reconstruct it from
+    /// well-nested spans.
+    pub overlap: Option<OverlapStats>,
 }
 
 /// Analyze rank timelines and return the straggler chain, or `None`
@@ -99,6 +139,7 @@ pub fn critical_path(timelines: &[Timeline]) -> Option<CriticalPath> {
         breakdown: straggler.phase_breakdown(),
         segments,
         imbalance,
+        overlap: None,
     })
 }
 
@@ -138,5 +179,21 @@ mod tests {
     #[test]
     fn empty_input_yields_none() {
         assert!(critical_path(&[]).is_none());
+    }
+
+    #[test]
+    fn overlap_efficiency_clamps_and_merges() {
+        let mut a = OverlapStats { hidden_wire: 3.0, total_wire: 4.0 };
+        assert!((a.efficiency() - 0.75).abs() < 1e-12);
+        a.merge(&OverlapStats { hidden_wire: 1.0, total_wire: 0.0 });
+        assert_eq!(a.total_wire, 4.0);
+        assert_eq!(a.efficiency(), 1.0, "hidden beyond total clamps to 1");
+        assert_eq!(OverlapStats::default().efficiency(), 0.0, "no wire = nothing to hide");
+    }
+
+    #[test]
+    fn critical_path_defaults_to_no_overlap() {
+        let tl = vec![rank_timeline(0, 1.0)];
+        assert!(critical_path(&tl).unwrap().overlap.is_none());
     }
 }

@@ -28,7 +28,7 @@ mod export;
 mod hist;
 mod timeline;
 
-pub use critical::{critical_path, CriticalPath, Segment};
+pub use critical::{critical_path, CriticalPath, OverlapStats, Segment};
 pub use export::chrome_trace;
 pub use hist::Histogram;
 pub use timeline::{PhaseBreakdown, Timeline};

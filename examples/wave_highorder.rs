@@ -43,6 +43,7 @@ fn main() {
             kernel: KernelKind::Plan,
             faults: netsim::FaultConfig::off(),
             profile: false,
+            overlap: false,
         };
         let r = run_experiment(&cfg);
         println!(
