@@ -37,6 +37,10 @@ pub struct Options {
     /// Drive the timestep through the dependency-graph overlap
     /// scheduler (brick engines only).
     pub overlap: bool,
+    /// Rank execution substrate: one OS thread per rank (`thread`) or
+    /// the event-driven multiplexer (`event`). Defaults to the
+    /// `NETSIM_BACKEND` environment variable, then `thread`.
+    pub backend: netsim::Backend,
     /// Write a Chrome-trace JSON file of the profiled run (implies
     /// `profile`).
     pub trace: Option<String>,
@@ -81,6 +85,7 @@ impl Default for Options {
             json: false,
             profile: false,
             overlap: false,
+            backend: netsim::Backend::from_env(),
             trace: None,
             help: false,
         }
@@ -112,6 +117,12 @@ OPTIONS:
                         e.g. 42,0.1,0.05 — exchanges retry until they
                         converge bit-identically to the fault-free run
                         (default: off)
+  -B, --backend <name>  thread | event — rank execution substrate: one OS
+                        thread per rank (the reference) or the
+                        event-driven multiplexer that simulates
+                        thousands of ranks on one machine; results are
+                        bit-identical (default: $NETSIM_BACKEND, then
+                        thread)
   -o, --overlap         run the timestep as a dependency graph: interior
                         bricks compute while halo messages are on the
                         wire, boundary bricks as their ghosts arrive;
@@ -197,6 +208,11 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
             "-f" | "--faults" => {
                 o.faults = netsim::FaultConfig::parse(&take("--faults")?)?;
             }
+            "-B" | "--backend" => {
+                let name = take("--backend")?;
+                o.backend = netsim::Backend::parse(&name)
+                    .ok_or_else(|| format!("unknown backend '{name}' (thread | event)"))?;
+            }
             "-p" | "--page" => {
                 page = take("--page")?.parse().map_err(|e| format!("--page: {e}"))?;
                 if !matches!(page, 4096 | 16384 | 65536) {
@@ -260,6 +276,7 @@ pub fn config(o: &Options) -> ExperimentConfig {
         faults: o.faults,
         profile: o.profile,
         overlap: o.overlap,
+        backend: o.backend,
     }
 }
 
@@ -788,6 +805,35 @@ mod tests {
         let text = render(&o, &chaos);
         assert!(text.contains("faults seed 7"));
         assert!(text.contains("recovery:"));
+    }
+
+    #[test]
+    fn backend_flag() {
+        assert_eq!(p(&["-B", "event"]).unwrap().backend, netsim::Backend::Event);
+        assert_eq!(p(&["--backend", "thread"]).unwrap().backend, netsim::Backend::Thread);
+        assert!(p(&["-B", "fiber"]).is_err());
+        assert!(USAGE.contains("--backend"));
+    }
+
+    /// The full CLI pipeline on the event backend computes the same
+    /// physics (to the bit) as the thread reference.
+    #[test]
+    fn end_to_end_event_backend_run() {
+        if !netsim::Backend::event_supported() {
+            return;
+        }
+        let base = p(&["-m", "layout", "-d", "16", "-I", "2", "-w", "0", "-r", "2x1x1"]).unwrap();
+        let thread = run_experiment(&config(&Options {
+            backend: netsim::Backend::Thread,
+            ..base.clone()
+        }));
+        let event = run_experiment(&config(&Options {
+            backend: netsim::Backend::Event,
+            ..base.clone()
+        }));
+        assert_eq!(event.checksum.to_bits(), thread.checksum.to_bits());
+        assert_eq!(event.timers.call.to_bits(), thread.timers.call.to_bits());
+        assert_eq!(event.timers.wait.to_bits(), thread.timers.wait.to_bits());
     }
 
     #[test]

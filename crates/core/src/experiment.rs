@@ -9,7 +9,7 @@ use brick::BrickDims;
 use layout::SurfaceLayout;
 use netsim::telemetry::{OverlapStats, Phase, Recorder, Timeline};
 use netsim::{
-    run_cluster_faulty, CartTopo, FaultConfig, FaultEvent, FaultStats, NetworkModel, RankCtx,
+    run_cluster_on, Backend, CartTopo, FaultConfig, FaultEvent, FaultStats, NetworkModel, RankCtx,
     TimerSummary, Timers,
 };
 use sched::{DepGraph, OverlapTimer};
@@ -124,6 +124,12 @@ pub struct ExperimentConfig {
     /// only then block on the remainder. Supported by the brick engines
     /// (`Layout`, `Basic`, `MemMap`, `Shift`); other methods ignore it.
     pub overlap: bool,
+    /// Rank execution substrate: OS thread per rank (`Thread`, the
+    /// reference) or the event-driven multiplexer (`Event`, scales to
+    /// thousands of ranks on one machine). Both produce bit-identical
+    /// results. Defaults to the `NETSIM_BACKEND` environment variable
+    /// (then `Thread`); the CLI `--backend` flag overrides it.
+    pub backend: Backend,
 }
 
 impl ExperimentConfig {
@@ -144,6 +150,7 @@ impl ExperimentConfig {
             faults: FaultConfig::off(),
             profile: false,
             overlap: false,
+            backend: Backend::from_env(),
         }
     }
 }
@@ -356,7 +363,7 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
     let kernel = cfg.kernel;
     let profile = cfg.profile;
 
-    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+    let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
         let info = decomp.brick_info();
         let mask = decomp.compute_mask();
@@ -436,7 +443,7 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
     let interior_mask = decomp.interior_mask();
     let surface_mask = decomp.surface_mask();
 
-    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+    let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
         let info = decomp.brick_info();
         let engine = Engine::bind(kernel, &shape, info);
@@ -519,7 +526,7 @@ fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> Me
     let interior_mask = decomp.interior_mask();
     let step_elems = decomp.step();
 
-    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+    let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
         let info = decomp.brick_info();
         let compute = decomp.compute_mask();
@@ -642,7 +649,7 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
     let interior_mask = decomp.interior_mask();
     let step_elems = decomp.step();
 
-    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+    let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
         let info = decomp.brick_info();
         let compute = decomp.compute_mask();
@@ -778,7 +785,7 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
     let profile = cfg.profile;
     let interior_mask = decomp.interior_mask();
 
-    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+    let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
         let info = decomp.brick_info();
         let compute = decomp.compute_mask();
@@ -937,7 +944,7 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
     let kernel = cfg.kernel;
     let profile = cfg.profile;
 
-    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+    let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
         let info = decomp.brick_info();
         let mask = decomp.compute_mask();
@@ -1008,7 +1015,7 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
     let kernel = cfg.kernel;
     let profile = cfg.profile;
 
-    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+    let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
         let info = decomp.brick_info();
         let mask = decomp.compute_mask();
@@ -1070,7 +1077,7 @@ fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: 
     let ghost = cfg.ghost;
     let profile = cfg.profile;
 
-    let reports = run_cluster_faulty(topo, cfg.net, cfg.faults, |ctx| {
+    let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
         let mut cur = ArrayGrid::new(subdomain, ghost);
         let mut nxt = ArrayGrid::new(subdomain, ghost);

@@ -1,4 +1,17 @@
-//! Thread-per-rank cluster with MPI-style nonblocking point-to-point.
+//! Virtual cluster with MPI-style nonblocking point-to-point, runnable
+//! on two interchangeable backends (see [`Backend`]):
+//!
+//! * **Thread** — one OS thread per rank, blocking on condvars. The
+//!   reference implementation: simple, preemptive, and limited to
+//!   roughly a thousand ranks by kernel scheduling overhead.
+//! * **Event** — ranks are resumable tasks multiplexed onto a small
+//!   worker pool by [`crate::event`]; a rank that would block parks and
+//!   is re-queued when its message, barrier release, or (virtual)
+//!   timer fires. Scales to 10k+ ranks on one machine.
+//!
+//! Both backends run the *same* rank-body code against the same
+//! [`RankCtx`] API, with modeled time billed identically — results are
+//! bit-identical across backends by construction.
 //!
 //! Data really moves between rank memories (one copy, standing in for
 //! NIC DMA and therefore not charged to any on-node timer); completion
@@ -23,11 +36,18 @@
 //! arms a deadline and `waitall_*` reports a structured
 //! [`NetsimError::Timeout`] — including a dump of the unmatched mailbox
 //! keys, the deadlock detector's view — instead of blocking.
+//!
+//! A rank body that panics no longer aborts the whole process through
+//! a poisoned join: the panic is caught at the rank boundary, the rest
+//! of the cluster is woken and unwound, and the run reports a
+//! structured [`NetsimError::RankPanicked`] (via [`try_run_cluster`];
+//! the panicking convenience wrappers re-panic with that message).
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::Barrier;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -93,6 +113,55 @@ struct MailboxInner {
 }
 
 /// One rank's incoming-message store.
+/// A cancellable cluster barrier for the thread backend: like
+/// `std::sync::Barrier`, but a panicking rank can [`abort`] it so the
+/// surviving ranks return (with `false`) instead of blocking forever on
+/// a rendezvous that can never complete.
+///
+/// [`abort`]: AbortableBarrier::abort
+struct AbortableBarrier {
+    /// (arrived count, generation).
+    state: Mutex<(usize, u64)>,
+    cv: Condvar,
+    size: usize,
+    aborted: AtomicBool,
+}
+
+impl AbortableBarrier {
+    fn new(size: usize) -> AbortableBarrier {
+        AbortableBarrier { state: Mutex::new((0, 0)), cv: Condvar::new(), size, aborted: AtomicBool::new(false) }
+    }
+
+    /// Wait for all ranks; `false` means the barrier was aborted.
+    fn wait(&self) -> bool {
+        let mut g = self.state.lock();
+        if self.aborted.load(Ordering::SeqCst) {
+            return false;
+        }
+        g.0 += 1;
+        if g.0 == self.size {
+            g.0 = 0;
+            g.1 += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        let gen = g.1;
+        while g.1 == gen {
+            self.cv.wait(&mut g);
+            if self.aborted.load(Ordering::SeqCst) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn abort(&self) {
+        let _g = self.state.lock();
+        self.aborted.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+}
+
 struct Mailbox {
     inner: Mutex<MailboxInner>,
     signal: Condvar,
@@ -110,14 +179,19 @@ impl Mailbox {
     }
 
     /// Pop the next message for `key`, blocking until `deadline` (or
-    /// forever when `None`). `None` return = deadline expired.
-    fn pop_deadline(&self, key: Key, deadline: Option<Instant>) -> Option<Msg> {
+    /// forever when `None`). `None` return = deadline expired, or the
+    /// cluster is aborting (a peer rank panicked) — both mean "stop
+    /// waiting, the message is not coming".
+    fn pop_deadline(&self, key: Key, deadline: Option<Instant>, abort: &AtomicBool) -> Option<Msg> {
         let mut g = self.inner.lock();
         loop {
             if let Some(q) = g.queues.get_mut(&key) {
                 if let Some(v) = q.pop_front() {
                     return Some(v);
                 }
+            }
+            if abort.load(Ordering::SeqCst) {
+                return None;
             }
             match deadline {
                 None => self.signal.wait(&mut g),
@@ -129,6 +203,12 @@ impl Mailbox {
                 }
             }
         }
+    }
+
+    /// Wake any thread-backend waiter so it observes the abort flag.
+    fn interrupt(&self) {
+        let _g = self.inner.lock();
+        self.signal.notify_all();
     }
 
     /// Pop without blocking.
@@ -191,6 +271,19 @@ impl RecvdMsg {
     }
 }
 
+/// Which execution substrate a rank runs on. Blocking operations
+/// (mailbox waits, barriers) route through here; everything else —
+/// matching, billing, fault injection — is backend-independent code,
+/// which is what makes the two backends bit-identical by construction.
+enum Runtime<'a> {
+    /// One OS thread per rank; blocking = condvar waits.
+    Thread { barrier: &'a AbortableBarrier },
+    /// Resumable task multiplexed by the event scheduler; blocking =
+    /// park/wake. Task id == rank.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Event { sched: &'a crate::event::Sched },
+}
+
 /// Per-rank execution context handed to the rank body.
 pub struct RankCtx<'a> {
     rank: usize,
@@ -198,7 +291,8 @@ pub struct RankCtx<'a> {
     net: NetworkModel,
     mailboxes: &'a [Mailbox],
     pools: &'a [BufferPool],
-    barrier: &'a Barrier,
+    runtime: Runtime<'a>,
+    abort: &'a AtomicBool,
     timers: Timers,
     trace: Trace,
     recorder: Recorder,
@@ -456,6 +550,7 @@ impl<'a> RankCtx<'a> {
             self.mailboxes[dest].push((self.rank, tag), Msg { owner: None, data: msg.data.clone() });
         }
         self.mailboxes[dest].push((self.rank, tag), msg);
+        self.notify_peer(dest);
         Ok(())
     }
 
@@ -555,13 +650,74 @@ impl<'a> RankCtx<'a> {
         self.mailboxes[self.rank].unmatched_keys()
     }
 
+    /// Backend-routed blocking pop from this rank's mailbox. `None` =
+    /// the deadline expired (or the cluster aborted) before a match.
+    ///
+    /// Thread backend: condvar wait with a real wall-clock deadline.
+    /// Event backend: arm a mailbox wake, re-poll (the push may already
+    /// have landed — delivery is eager), then park. The deadline is
+    /// *virtual*: it fires only at scheduler quiescence, i.e. exactly
+    /// when the awaited message provably cannot arrive any more, so a
+    /// lossy chaos run times out instantly instead of sleeping.
+    fn blocking_pop(&self, key: Key, deadline: Option<Instant>) -> Option<Msg> {
+        let mb = &self.mailboxes[self.rank];
+        match self.runtime {
+            Runtime::Thread { .. } => mb.pop_deadline(key, deadline, self.abort),
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Runtime::Event { sched } => loop {
+                if let Some(m) = mb.try_pop(key) {
+                    return Some(m);
+                }
+                sched.arm_mailbox(self.rank);
+                // Close the arm/push race: the push may have landed
+                // between the miss above and the arm.
+                if let Some(m) = mb.try_pop(key) {
+                    sched.disarm_mailbox(self.rank);
+                    return Some(m);
+                }
+                if sched.park(self.rank as u32, deadline) == crate::event::Wake::Expired {
+                    sched.disarm_mailbox(self.rank);
+                    return mb.try_pop(key);
+                }
+            },
+        }
+    }
+
+    /// Give other ranks CPU time after an unproductive poll. The event
+    /// backend is cooperative: a spin-polling rank (overlap `try_wait`
+    /// / `progress` loops) must yield on a miss or it starves the very
+    /// producers it is waiting on. The thread backend relies on kernel
+    /// preemption and does nothing.
+    fn poll_miss(&self) {
+        match self.runtime {
+            Runtime::Thread { .. } => {}
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Runtime::Event { sched } => sched.yield_now(),
+        }
+    }
+
+    /// Wake `dest` if it is parked waiting on its mailbox (event
+    /// backend; pushes under the thread backend signal the mailbox
+    /// condvar directly).
+    fn notify_peer(&self, dest: usize) {
+        match self.runtime {
+            Runtime::Thread { .. } => {}
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Runtime::Event { sched } => {
+                if dest != self.rank {
+                    sched.notify_mailbox(dest);
+                }
+            }
+        }
+    }
+
     /// Complete one posted receive, blocking until `deadline` (`None`
     /// = the message never arrived in time — *not* an error here: retry
     /// protocols treat a miss as "still pending" and re-request). The
     /// frame is handed back raw so callers can verify checksums and
     /// sequence trailers; recycle it with [`RankCtx::recycle`].
     pub fn recv_deadline(&mut self, h: RecvHandle, deadline: Instant) -> Option<RecvdMsg> {
-        let msg = self.mailboxes[self.rank].pop_deadline((h.source, h.tag), Some(deadline))?;
+        let msg = self.blocking_pop((h.source, h.tag), Some(deadline))?;
         self.trace.record(MsgEvent {
             send: false,
             peer: h.source,
@@ -591,7 +747,10 @@ impl<'a> RankCtx<'a> {
     /// mailbox entry, so probing the same handle again waits for the
     /// *next* message on that channel (non-overtaking order).
     pub fn try_wait(&mut self, h: RecvHandle) -> Option<RecvdMsg> {
-        let msg = self.mailboxes[self.rank].try_pop((h.source, h.tag))?;
+        let Some(msg) = self.mailboxes[self.rank].try_pop((h.source, h.tag)) else {
+            self.poll_miss();
+            return None;
+        };
         self.trace.record(MsgEvent {
             send: false,
             peer: h.source,
@@ -661,6 +820,9 @@ impl<'a> RankCtx<'a> {
             completed.push(i);
             newly += 1;
         }
+        if newly == 0 {
+            self.poll_miss();
+        }
         Ok(newly)
     }
 
@@ -691,8 +853,7 @@ impl<'a> RankCtx<'a> {
         self.recv_scratch.clear();
         let deadline = self.recv_timeout.map(|t| Instant::now() + t);
         for (i, h) in handles.iter().enumerate() {
-            let Some(msg) = self.mailboxes[self.rank].pop_deadline((h.source, h.tag), deadline)
-            else {
+            let Some(msg) = self.blocking_pop((h.source, h.tag), deadline) else {
                 let pending = handles[i..].iter().map(|h| (h.source, h.tag)).collect();
                 let mailbox = self.mailboxes[self.rank].unmatched_keys();
                 self.recycle_scratch();
@@ -839,9 +1000,19 @@ impl<'a> RankCtx<'a> {
         self.bill(Phase::Pack, secs);
     }
 
-    /// Synchronize all ranks.
+    /// Synchronize all ranks. Returns silently even if the cluster is
+    /// aborting (a peer panicked): the surviving ranks are being
+    /// unwound via timeout errors, not blocked forever.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        match self.runtime {
+            Runtime::Thread { barrier } => {
+                barrier.wait();
+            }
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Runtime::Event { sched } => {
+                sched.barrier_wait(self.rank as u32);
+            }
+        }
     }
 
     /// Snapshot of the accumulated timers.
@@ -898,14 +1069,147 @@ fn scatter_parallel(storage: &mut [f64], base: usize, ranges: &[Range<usize>], m
     );
 }
 
-/// Run `body` once per rank of `topo` on its own OS thread and collect
-/// the per-rank results in rank order.
+/// Which cluster substrate to run ranks on. See the module docs; the
+/// two backends are observationally equivalent (bit-identical results
+/// and modeled timers), they differ only in how far they scale and how
+/// blocking is implemented.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// One OS thread per rank (the reference backend).
+    #[default]
+    Thread,
+    /// Event-driven rank multiplexing on a worker pool
+    /// ([`crate::event`]). Falls back to `Thread` (with a warning) on
+    /// platforms without the task substrate (non-x86-64 / non-Linux).
+    Event,
+}
+
+impl Backend {
+    /// Parse `"thread"` / `"event"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.to_ascii_lowercase().as_str() {
+            "thread" | "threads" => Some(Backend::Thread),
+            "event" | "events" => Some(Backend::Event),
+            _ => None,
+        }
+    }
+
+    /// Backend selected by the `NETSIM_BACKEND` environment variable,
+    /// defaulting to [`Backend::Thread`]. This is what the convenience
+    /// runners ([`run_cluster`], [`run_cluster_faulty`]) use, so an
+    /// entire existing test suite can be re-run on the event backend by
+    /// exporting `NETSIM_BACKEND=event`.
+    pub fn from_env() -> Backend {
+        match std::env::var("NETSIM_BACKEND") {
+            Ok(v) => Backend::parse(&v).unwrap_or_default(),
+            Err(_) => Backend::Thread,
+        }
+    }
+
+    /// Whether the event backend's task substrate is compiled in on
+    /// this platform.
+    pub fn event_supported() -> bool {
+        cfg!(all(target_os = "linux", target_arch = "x86_64"))
+    }
+
+    /// Stable lowercase name (used in bench JSON and CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Thread => "thread",
+            Backend::Event => "event",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Backend, String> {
+        Backend::parse(s).ok_or_else(|| format!("unknown backend {s:?} (want thread|event)"))
+    }
+}
+
+/// Render a caught panic payload for [`NetsimError::RankPanicked`].
+fn payload_string(p: Box<dyn std::any::Any + Send>) -> String {
+    match p.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<opaque panic payload>".to_string(),
+        },
+    }
+}
+
+/// Build the per-rank context; shared verbatim by both backends so
+/// modeled billing cannot diverge between them.
+#[allow(clippy::too_many_arguments)]
+fn rank_ctx<'a>(
+    rank: usize,
+    topo: &'a CartTopo,
+    net: NetworkModel,
+    faults: FaultConfig,
+    mailboxes: &'a [Mailbox],
+    pools: &'a [BufferPool],
+    runtime: Runtime<'a>,
+    abort: &'a AtomicBool,
+) -> RankCtx<'a> {
+    let fault = faults.is_active().then(|| FaultPlan::new(faults, rank));
+    let net = match &fault {
+        Some(plan) => net.slowed(plan.slowdown()),
+        None => net,
+    };
+    RankCtx {
+        rank,
+        topo,
+        net,
+        mailboxes,
+        pools,
+        runtime,
+        abort,
+        timers: Timers::default(),
+        trace: Trace::default(),
+        recorder: Recorder::disabled(),
+        epoch_msgs: 0,
+        epoch_bytes: 0,
+        recv_scratch: Vec::new(),
+        pooling: true,
+        transport_allocs: 0,
+        fault,
+        fault_bypass: false,
+        recv_timeout: None,
+    }
+}
+
+/// Run `body` once per rank of `topo` on the backend selected by
+/// `NETSIM_BACKEND` (default: thread-per-rank) and collect the per-rank
+/// results in rank order. Panics with the [`NetsimError::RankPanicked`]
+/// report if a rank body panics; use [`try_run_cluster`] to get it as
+/// a value.
 pub fn run_cluster<R, F>(topo: &CartTopo, net: NetworkModel, body: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&mut RankCtx<'_>) -> R + Sync,
 {
     run_cluster_faulty(topo, net, FaultConfig::off(), body)
+}
+
+/// Like [`run_cluster`], but returns the structured error instead of
+/// panicking when a rank body panics.
+pub fn try_run_cluster<R, F>(
+    topo: &CartTopo,
+    net: NetworkModel,
+    body: F,
+) -> Result<Vec<R>, NetsimError>
+where
+    R: Send,
+    F: Fn(&mut RankCtx<'_>) -> R + Sync,
+{
+    try_run_cluster_on(Backend::from_env(), topo, net, FaultConfig::off(), body)
 }
 
 /// Like [`run_cluster`], but with a seeded [`FaultConfig`] armed: every
@@ -921,10 +1225,99 @@ where
     R: Send,
     F: Fn(&mut RankCtx<'_>) -> R + Sync,
 {
+    run_cluster_on(Backend::from_env(), topo, net, faults, body)
+}
+
+/// [`run_cluster_faulty`] with the structured-error contract of
+/// [`try_run_cluster`].
+pub fn try_run_cluster_faulty<R, F>(
+    topo: &CartTopo,
+    net: NetworkModel,
+    faults: FaultConfig,
+    body: F,
+) -> Result<Vec<R>, NetsimError>
+where
+    R: Send,
+    F: Fn(&mut RankCtx<'_>) -> R + Sync,
+{
+    try_run_cluster_on(Backend::from_env(), topo, net, faults, body)
+}
+
+/// Run a cluster on an explicitly chosen [`Backend`]. Panics with the
+/// structured report if a rank body panics.
+pub fn run_cluster_on<R, F>(
+    backend: Backend,
+    topo: &CartTopo,
+    net: NetworkModel,
+    faults: FaultConfig,
+    body: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx<'_>) -> R + Sync,
+{
+    match try_run_cluster_on(backend, topo, net, faults, body) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Run a cluster on an explicitly chosen [`Backend`], reporting a rank
+/// panic as [`NetsimError::RankPanicked`] (first panic observed = root
+/// cause; the remaining ranks are woken and unwound, not abandoned).
+pub fn try_run_cluster_on<R, F>(
+    backend: Backend,
+    topo: &CartTopo,
+    net: NetworkModel,
+    faults: FaultConfig,
+    body: F,
+) -> Result<Vec<R>, NetsimError>
+where
+    R: Send,
+    F: Fn(&mut RankCtx<'_>) -> R + Sync,
+{
+    match backend {
+        Backend::Thread => run_thread_cluster(topo, net, faults, &body),
+        Backend::Event => {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            {
+                run_event_cluster(topo, net, faults, &body)
+            }
+            #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+            {
+                static WARNED: AtomicBool = AtomicBool::new(false);
+                if !WARNED.swap(true, Ordering::SeqCst) {
+                    eprintln!(
+                        "netsim: event backend not supported on this platform; \
+                         falling back to thread backend"
+                    );
+                }
+                run_thread_cluster(topo, net, faults, &body)
+            }
+        }
+    }
+}
+
+/// Thread-per-rank runner. A panicking rank is caught at the rank
+/// boundary; the abort flag plus mailbox/barrier interrupts unwind the
+/// surviving ranks (their pending receives report `Timeout`), and the
+/// first panic becomes the run's [`NetsimError::RankPanicked`].
+fn run_thread_cluster<R, F>(
+    topo: &CartTopo,
+    net: NetworkModel,
+    faults: FaultConfig,
+    body: &F,
+) -> Result<Vec<R>, NetsimError>
+where
+    R: Send,
+    F: Fn(&mut RankCtx<'_>) -> R + Sync,
+{
     let size = topo.size();
     let mailboxes: Vec<Mailbox> = (0..size).map(|_| Mailbox::new()).collect();
     let pools: Vec<BufferPool> = (0..size).map(|_| BufferPool::new()).collect();
-    let barrier = Barrier::new(size);
+    let barrier = AbortableBarrier::new(size);
+    let abort = AtomicBool::new(false);
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
 
     std::thread::scope(|s| {
@@ -933,41 +1326,120 @@ where
             let mailboxes = &mailboxes;
             let pools = &pools;
             let barrier = &barrier;
-            let body = &body;
+            let abort = &abort;
+            let panics = &panics;
             joins.push(s.spawn(move || {
-                let fault = faults.is_active().then(|| FaultPlan::new(faults, rank));
-                let net = match &fault {
-                    Some(plan) => net.slowed(plan.slowdown()),
-                    None => net,
-                };
-                let mut ctx = RankCtx {
+                let mut ctx = rank_ctx(
                     rank,
                     topo,
                     net,
+                    faults,
                     mailboxes,
                     pools,
-                    barrier,
-                    timers: Timers::default(),
-                    trace: Trace::default(),
-                    recorder: Recorder::disabled(),
-                    epoch_msgs: 0,
-                    epoch_bytes: 0,
-                    recv_scratch: Vec::new(),
-                    pooling: true,
-                    transport_allocs: 0,
-                    fault,
-                    fault_bypass: false,
-                    recv_timeout: None,
-                };
-                *slot = Some(body(&mut ctx));
+                    Runtime::Thread { barrier },
+                    abort,
+                );
+                match catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
+                    Ok(r) => *slot = Some(r),
+                    Err(p) => {
+                        panics.lock().push((rank, payload_string(p)));
+                        abort.store(true, Ordering::SeqCst);
+                        barrier.abort();
+                        for mb in mailboxes {
+                            mb.interrupt();
+                        }
+                    }
+                }
             }));
         }
         for j in joins {
-            j.join().expect("rank thread panicked");
+            // Rank panics are caught inside the closure; a join error
+            // here would mean the harness itself failed.
+            j.join().expect("rank worker thread lost");
         }
     });
 
-    results.into_iter().map(|r| r.unwrap()).collect()
+    if let Some((rank, payload)) = panics.into_inner().into_iter().next() {
+        return Err(NetsimError::RankPanicked { rank, payload });
+    }
+    Ok(results.into_iter().map(|r| r.unwrap()).collect())
+}
+
+/// Event-driven runner: one resumable task per rank on a work-stealing
+/// worker pool; see [`crate::event`] for the scheduling rules.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn run_event_cluster<R, F>(
+    topo: &CartTopo,
+    net: NetworkModel,
+    faults: FaultConfig,
+    body: &F,
+) -> Result<Vec<R>, NetsimError>
+where
+    R: Send,
+    F: Fn(&mut RankCtx<'_>) -> R + Sync,
+{
+    use crate::event::{default_stack_bytes, default_workers, Sched};
+
+    let size = topo.size();
+    let mailboxes: Vec<Mailbox> = (0..size).map(|_| Mailbox::new()).collect();
+    let pools: Vec<BufferPool> = (0..size).map(|_| BufferPool::new()).collect();
+    let abort = AtomicBool::new(false);
+    let results: Vec<Mutex<Option<R>>> = (0..size).map(|_| Mutex::new(None)).collect();
+
+    // Rank bodies need `&Sched` (for parking), but the scheduler is
+    // built *from* the bodies. Tasks only ever run inside `sched.run()`,
+    // so they can read the pointer through this cell, which is filled
+    // right after construction and before `run`.
+    let sched_cell = AtomicUsize::new(0);
+
+    {
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..size)
+            .map(|rank| {
+                let mailboxes = &mailboxes;
+                let pools = &pools;
+                let abort = &abort;
+                let results = &results;
+                let sched_cell = &sched_cell;
+                Box::new(move || {
+                    // SAFETY: filled with a pointer to the live Sched
+                    // before run(); the Sched outlives all its tasks.
+                    let sched: &Sched =
+                        unsafe { &*(sched_cell.load(Ordering::SeqCst) as *const Sched) };
+                    let mut ctx = rank_ctx(
+                        rank,
+                        topo,
+                        net,
+                        faults,
+                        mailboxes,
+                        pools,
+                        Runtime::Event { sched },
+                        abort,
+                    );
+                    let r = body(&mut ctx);
+                    *results[rank].lock() = Some(r);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+
+        // SAFETY: `run()` below drives every task to completion (or
+        // abandonment after abort) before this scope ends, so the
+        // borrows captured by the bodies stay valid for as long as any
+        // task can run.
+        let sched = unsafe { Sched::new(bodies, default_workers().min(size.max(1)), default_stack_bytes(size)) };
+        sched_cell.store(&sched as *const Sched as usize, Ordering::SeqCst);
+        sched.run();
+
+        let mut panics = sched.take_panics();
+        if !panics.is_empty() {
+            let (rank, payload) = panics.remove(0);
+            return Err(NetsimError::RankPanicked { rank, payload: payload_string(payload) });
+        }
+    }
+
+    Ok(results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("rank task completed without a result"))
+        .collect())
 }
 
 #[cfg(test)]

@@ -67,6 +67,17 @@ pub enum NetsimError {
         /// `(source, tag)` pairs still missing.
         pending: Vec<(usize, u64)>,
     },
+    /// A rank body panicked. The panic was caught at the rank boundary,
+    /// the surviving ranks were woken and unwound, and the first panic
+    /// observed (the root cause — later ones are usually secondary
+    /// failures of ranks unblocked by the abort) is reported here
+    /// instead of tearing down the process through a poisoned join.
+    RankPanicked {
+        /// Rank whose body panicked first.
+        rank: usize,
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
 }
 
 impl fmt::Display for NetsimError {
@@ -113,6 +124,9 @@ impl fmt::Display for NetsimError {
                  {} message(s) still missing",
                 pending.len()
             ),
+            NetsimError::RankPanicked { rank, payload } => {
+                write!(f, "rank {rank} panicked: {payload}")
+            }
         }
     }
 }
@@ -150,5 +164,13 @@ mod tests {
     fn empty_mailbox_hints_at_drop() {
         let e = NetsimError::Timeout { rank: 0, pending: vec![(1, 1)], mailbox: vec![] };
         assert!(e.to_string().contains("dropped or never sent"));
+    }
+
+    #[test]
+    fn rank_panicked_reports_rank_and_payload() {
+        let e = NetsimError::RankPanicked { rank: 7, payload: "index out of bounds".into() };
+        let s = e.to_string();
+        assert!(s.contains("rank 7 panicked"));
+        assert!(s.contains("index out of bounds"));
     }
 }

@@ -1,0 +1,761 @@
+//! Event-driven rank scheduler: multiplexes thousands of simulated
+//! ranks (stackful [`crate::task::Task`]s) onto a small worker pool.
+//!
+//! This is the engine behind [`crate::cluster::Backend::Event`]. The
+//! thread backend burns one OS thread (and two kernel context switches
+//! per blocking hand-off) per rank, which tops out around a thousand
+//! ranks on one machine. Here a rank that would block — on a mailbox
+//! recv, a `waitall`, a barrier — *parks*: it saves its registers and
+//! returns the worker to the run queue, and is re-queued when the event
+//! that unblocks it fires (a message push, the last barrier arrival, a
+//! timer expiry). Ranks never spin in kernel space, so the simulable
+//! rank count is bounded by memory, not by scheduler thrash.
+//!
+//! ## Structure
+//!
+//! * **Run queues**: one deque per worker; a task's home queue is
+//!   `rank % workers`. Owners pop from the front, idle workers steal
+//!   from the back of other queues. Queue bookkeeping lives under a
+//!   single scheduler mutex — with a handful of workers and coarse
+//!   tasks (a rank runs a whole compute phase per slice) the lock is
+//!   not a bottleneck, and it makes quiescence detection exact.
+//! * **Two-phase parking**: a task *requests* parking and suspends;
+//!   its worker then *applies* the transition under the task's state
+//!   lock. A wake that races with the request (message pushed between
+//!   the task's last mailbox poll and the state flip) sets
+//!   `wake_pending`, which the apply step converts into an immediate
+//!   re-queue. Wakes are never lost; spurious wakes are absorbed by
+//!   the callers' re-check loops.
+//! * **Virtual deadlines**: recv timeouts do not block wall-clock
+//!   time. A deadline is recorded when the task parks, and fires only
+//!   at *quiescence* — no task runnable or running — because with
+//!   eager message delivery that is exactly the moment the awaited
+//!   message provably can never arrive. Chaos runs that spend seconds
+//!   in real timeouts on the thread backend finish instantly here,
+//!   with identical outcomes.
+//! * **Deadlock recovery**: quiescence with parked tasks but no armed
+//!   deadline means the simulated program is deadlocked. Instead of
+//!   hanging like thread-per-rank would, the scheduler aborts the
+//!   cluster: every parked task is woken with an expiry signal, recv
+//!   paths surface structured [`crate::NetsimError::Timeout`] reports,
+//!   and the run terminates.
+//!
+//! Panics in a rank body are caught at the task boundary and collected;
+//! the first one aborts the cluster and becomes a
+//! [`crate::NetsimError::RankPanicked`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::task::{suspend, Directive, StackSlab, Task};
+
+/// Why [`Sched::park`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wake {
+    /// The event the task parked for fired (mailbox push, barrier
+    /// release); re-check the condition.
+    Notified,
+    /// The park deadline expired (at quiescence) or the cluster is
+    /// aborting; give up on the awaited event.
+    Expired,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Running,
+    Parked,
+    Finished,
+}
+
+struct TaskMeta {
+    state: TState,
+    /// A wake arrived while the task was still `Running` (pre-park
+    /// race); convert the next park request into a re-queue.
+    wake_pending: bool,
+    /// The task is being woken by deadline expiry / abort, not by its
+    /// awaited event.
+    expired: bool,
+    /// Deadline requested by the in-flight park, consumed by the
+    /// worker when it applies the transition.
+    pending_deadline: Option<Instant>,
+}
+
+struct Core {
+    queues: Vec<VecDeque<u32>>,
+    /// Tasks sitting in some queue.
+    queued: usize,
+    /// Tasks currently executing on a worker.
+    running: usize,
+    /// Unfinished tasks.
+    live: usize,
+    /// Workers blocked on the condvar.
+    sleepers: usize,
+    /// Armed virtual deadline per task (`None` = parked without one, or
+    /// not parked). A fixed slot per task instead of a heap: the slot
+    /// is cleared whenever its task leaves the parked state, so there
+    /// are no stale entries to drain, the steady-state park/wake hot
+    /// path never allocates, and memory stays O(ranks) over any run
+    /// length. Expiry scans for the minimum — O(ranks), but only at
+    /// quiescence, when by definition there is nothing else to do.
+    deadlines: Vec<Option<Instant>>,
+}
+
+struct BarrierState {
+    count: usize,
+    gen: u64,
+    waiting: Vec<u32>,
+}
+
+/// The scheduler: tasks, their state machines, run queues, the
+/// cluster-wide barrier and the panic/abort plumbing.
+pub struct Sched {
+    tasks: Vec<Task>,
+    /// Backs every task stack; must outlive `tasks` (dropped after —
+    /// struct fields drop in declaration order).
+    _slab: StackSlab,
+    metas: Vec<Mutex<TaskMeta>>,
+    /// Per-rank "poke me on mailbox push" flags. Set only while the
+    /// rank is inside a mailbox wait loop, so a message push never
+    /// wakes a rank parked on an unrelated event (e.g. the barrier).
+    want_wake: Vec<AtomicBool>,
+    core: Mutex<Core>,
+    work: Condvar,
+    barrier: Mutex<BarrierState>,
+    panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send + 'static>)>>,
+    abort: AtomicBool,
+    deadlocked: AtomicBool,
+    nworkers: usize,
+}
+
+impl Sched {
+    /// Build a scheduler over `bodies` (one task per rank, task id ==
+    /// index) with `workers` workers and `stack_bytes` per task stack.
+    ///
+    /// # Safety
+    ///
+    /// Bodies may borrow non-`'static` state; the caller must call
+    /// [`Sched::run`] to completion before that state is dropped (and
+    /// must not drop an un-run `Sched` whose bodies borrow locals
+    /// while resuming tasks elsewhere — in practice: build, run, drop).
+    pub unsafe fn new(
+        bodies: Vec<Box<dyn FnOnce() + Send + '_>>,
+        workers: usize,
+        stack_bytes: usize,
+    ) -> Sched {
+        let n = bodies.len();
+        let workers = workers.max(1);
+        // One slab mmap for every stack: per-task mappings cost two
+        // syscalls and two kernel VMAs each, which both dominates spawn
+        // time and hits vm.max_map_count near 32k ranks.
+        let slab = StackSlab::new(n, stack_bytes);
+        let tasks: Vec<Task> =
+            bodies.into_iter().enumerate().map(|(i, b)| Task::new_in(&slab, i, b)).collect();
+        let metas = (0..n)
+            .map(|_| {
+                Mutex::new(TaskMeta {
+                    state: TState::Runnable,
+                    wake_pending: false,
+                    expired: false,
+                    pending_deadline: None,
+                })
+            })
+            .collect();
+        let mut queues: Vec<VecDeque<u32>> =
+            (0..workers).map(|_| VecDeque::with_capacity(n)).collect();
+        for t in 0..n {
+            queues[t % workers].push_back(t as u32);
+        }
+        Sched {
+            tasks,
+            _slab: slab,
+            metas,
+            want_wake: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            core: Mutex::new(Core {
+                queues,
+                queued: n,
+                running: 0,
+                live: n,
+                sleepers: 0,
+                deadlines: vec![None; n],
+            }),
+            work: Condvar::new(),
+            barrier: Mutex::new(BarrierState { count: 0, gen: 0, waiting: Vec::with_capacity(n) }),
+            panics: Mutex::new(Vec::new()),
+            abort: AtomicBool::new(false),
+            deadlocked: AtomicBool::new(false),
+            nworkers: workers,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the scheduler has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Drive all tasks to completion. The calling thread becomes
+    /// worker 0; `workers - 1` helper threads are spawned for the
+    /// duration of the run.
+    pub fn run(&self) {
+        if self.nworkers == 1 {
+            self.worker_loop(0);
+        } else {
+            std::thread::scope(|s| {
+                for w in 1..self.nworkers {
+                    s.spawn(move || self.worker_loop(w));
+                }
+                self.worker_loop(0);
+            });
+        }
+    }
+
+    fn worker_loop(&self, w: usize) {
+        loop {
+            if let Some(tid) = self.grab(w) {
+                self.run_one(tid);
+                continue;
+            }
+            let mut core = self.core.lock().unwrap();
+            if core.queued > 0 {
+                continue; // lost a race with grab; retry
+            }
+            if core.live == 0 {
+                self.work.notify_all();
+                return;
+            }
+            if core.running == 0 {
+                // Quiescence: every live task is parked. Advance the
+                // virtual clock to the earliest armed deadline —
+                // min by (instant, task) for deterministic expiry
+                // order — or declare deadlock.
+                let earliest = core
+                    .deadlines
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, d)| d.map(|when| (when, t as u32)))
+                    .min();
+                if let Some((_, tid)) = earliest {
+                    core.deadlines[tid as usize] = None;
+                    drop(core);
+                    self.expire(tid);
+                } else {
+                    drop(core);
+                    self.deadlocked.store(true, Ordering::SeqCst);
+                    self.abort.store(true, Ordering::SeqCst);
+                    self.wake_all_parked();
+                }
+                continue;
+            }
+            core.sleepers += 1;
+            let mut core = self.work.wait(core).unwrap();
+            core.sleepers -= 1;
+        }
+    }
+
+    fn grab(&self, w: usize) -> Option<u32> {
+        let mut core = self.core.lock().unwrap();
+        let tid = core.queues[w].pop_front().or_else(|| {
+            (0..core.queues.len())
+                .filter(|&o| o != w)
+                .find_map(|o| core.queues[o].pop_back())
+        })?;
+        core.queued -= 1;
+        core.running += 1;
+        drop(core);
+        self.metas[tid as usize].lock().unwrap().state = TState::Running;
+        Some(tid)
+    }
+
+    fn run_one(&self, tid: u32) {
+        let t = tid as usize;
+        match self.tasks[t].resume() {
+            Directive::Finished => {
+                if let Some(payload) = self.tasks[t].take_panic() {
+                    self.panics.lock().unwrap().push((t, payload));
+                    self.abort.store(true, Ordering::SeqCst);
+                    self.metas[t].lock().unwrap().state = TState::Finished;
+                    self.wake_all_parked();
+                } else {
+                    self.metas[t].lock().unwrap().state = TState::Finished;
+                }
+                let mut core = self.core.lock().unwrap();
+                core.running -= 1;
+                core.live -= 1;
+                if core.live == 0 {
+                    self.work.notify_all();
+                }
+            }
+            Directive::Yield => {
+                {
+                    let mut m = self.metas[t].lock().unwrap();
+                    m.state = TState::Runnable;
+                    m.wake_pending = false;
+                }
+                let mut core = self.core.lock().unwrap();
+                let home = t % core.queues.len();
+                core.queues[home].push_back(tid);
+                core.queued += 1;
+                core.running -= 1;
+                if core.sleepers > 0 {
+                    self.work.notify_one();
+                }
+            }
+            Directive::Park => {
+                let mut m = self.metas[t].lock().unwrap();
+                let dl = m.pending_deadline.take();
+                if m.wake_pending {
+                    // The event fired between the task's request and
+                    // now: re-queue instead of parking.
+                    m.wake_pending = false;
+                    m.state = TState::Runnable;
+                    drop(m);
+                    let mut core = self.core.lock().unwrap();
+                    let home = t % core.queues.len();
+                    core.queues[home].push_back(tid);
+                    core.queued += 1;
+                    core.running -= 1;
+                    if core.sleepers > 0 {
+                        self.work.notify_one();
+                    }
+                } else {
+                    m.state = TState::Parked;
+                    drop(m);
+                    let mut core = self.core.lock().unwrap();
+                    core.running -= 1;
+                    core.deadlines[t] = dl;
+                }
+            }
+        }
+    }
+
+    /// Wake `tid` because its virtual deadline was selected at
+    /// quiescence. At quiescence no task is running, so nothing can
+    /// have raced the wake; the `Parked` check is belt-and-braces.
+    fn expire(&self, tid: u32) {
+        let mut m = self.metas[tid as usize].lock().unwrap();
+        if m.state == TState::Parked {
+            m.expired = true;
+            m.state = TState::Runnable;
+            drop(m);
+            self.enqueue(tid);
+        }
+    }
+
+    fn wake_all_parked(&self) {
+        for t in 0..self.tasks.len() {
+            let mut m = self.metas[t].lock().unwrap();
+            if m.state == TState::Parked {
+                m.expired = true;
+                m.state = TState::Runnable;
+                drop(m);
+                self.enqueue(t as u32);
+            }
+        }
+    }
+
+    fn enqueue(&self, tid: u32) {
+        let mut core = self.core.lock().unwrap();
+        // Leaving the parked state invalidates any armed deadline.
+        core.deadlines[tid as usize] = None;
+        let home = tid as usize % core.queues.len();
+        core.queues[home].push_back(tid);
+        core.queued += 1;
+        if core.sleepers > 0 {
+            self.work.notify_one();
+        }
+    }
+
+    /// Make `tid` runnable because the event it parked for fired. Safe
+    /// against every phase of the park protocol: a still-running task
+    /// gets `wake_pending`, a parked one is re-queued, a queued or
+    /// finished one is left alone.
+    pub fn make_runnable(&self, tid: u32) {
+        let mut m = self.metas[tid as usize].lock().unwrap();
+        match m.state {
+            TState::Parked => {
+                m.state = TState::Runnable;
+                drop(m);
+                self.enqueue(tid);
+            }
+            TState::Running => m.wake_pending = true,
+            TState::Runnable | TState::Finished => {}
+        }
+    }
+
+    /// Called by a producer after pushing into `rank`'s mailbox: wake
+    /// the rank if it declared interest via [`Sched::arm_mailbox`].
+    pub fn notify_mailbox(&self, rank: usize) {
+        if self.want_wake[rank].swap(false, Ordering::SeqCst) {
+            self.make_runnable(rank as u32);
+        }
+    }
+
+    /// Declare that `rank` is about to poll its mailbox and wants a
+    /// wake on the next push. Callers must re-poll after arming (the
+    /// push may already have happened).
+    pub fn arm_mailbox(&self, rank: usize) {
+        self.want_wake[rank].store(true, Ordering::SeqCst);
+    }
+
+    /// Withdraw a previously armed mailbox wake (the poll succeeded).
+    pub fn disarm_mailbox(&self, rank: usize) {
+        self.want_wake[rank].store(false, Ordering::SeqCst);
+    }
+
+    /// Park the calling task (which must be `tid`) until a wake or
+    /// until `deadline` fires at quiescence. Returns immediately with
+    /// [`Wake::Expired`] if the cluster is aborting, or with
+    /// [`Wake::Notified`] if a wake already raced in.
+    pub fn park(&self, tid: u32, deadline: Option<Instant>) -> Wake {
+        {
+            let mut m = self.metas[tid as usize].lock().unwrap();
+            if self.abort.load(Ordering::SeqCst) {
+                m.expired = false;
+                return Wake::Expired;
+            }
+            if m.wake_pending {
+                m.wake_pending = false;
+                return Wake::Notified;
+            }
+            m.pending_deadline = deadline;
+        }
+        suspend(Directive::Park);
+        let mut m = self.metas[tid as usize].lock().unwrap();
+        if m.expired {
+            m.expired = false;
+            Wake::Expired
+        } else {
+            Wake::Notified
+        }
+    }
+
+    /// Cooperatively yield the calling task to the back of its run
+    /// queue. Spin-polling paths (`try_wait`, `progress`) call this on
+    /// a miss so producers get CPU time even on a single worker.
+    pub fn yield_now(&self) {
+        suspend(Directive::Yield);
+    }
+
+    /// Cluster-wide barrier for the calling task `tid`. Returns `false`
+    /// if the cluster aborted instead of releasing the barrier.
+    pub fn barrier_wait(&self, tid: u32) -> bool {
+        let my_gen;
+        {
+            let mut b = self.barrier.lock().unwrap();
+            if self.abort.load(Ordering::SeqCst) {
+                return false;
+            }
+            b.count += 1;
+            if b.count == self.tasks.len() {
+                b.count = 0;
+                b.gen += 1;
+                // Wake in place and clear (capacity is retained —
+                // `mem::take` would surrender it and force the next
+                // generation to reallocate). Holding the barrier lock
+                // while waking is safe: `make_runnable` only touches
+                // task metas and the core queue, never barrier state.
+                for i in 0..b.waiting.len() {
+                    self.make_runnable(b.waiting[i]);
+                }
+                b.waiting.clear();
+                return true;
+            }
+            my_gen = b.gen;
+            b.waiting.push(tid);
+        }
+        loop {
+            if self.abort.load(Ordering::SeqCst) {
+                return false;
+            }
+            if self.barrier.lock().unwrap().gen != my_gen {
+                return true;
+            }
+            self.park(tid, None);
+        }
+    }
+
+    /// Whether the cluster is aborting (rank panic or deadlock).
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+
+    /// Whether abort was triggered by deadlock detection.
+    pub fn deadlock_detected(&self) -> bool {
+        self.deadlocked.load(Ordering::SeqCst)
+    }
+
+    /// Drain captured rank panics, in the order they were observed
+    /// (the first is the root cause; later ones are usually secondary
+    /// failures of ranks woken by the abort).
+    pub fn take_panics(&self) -> Vec<(usize, Box<dyn std::any::Any + Send + 'static>)> {
+        std::mem::take(&mut *self.panics.lock().unwrap())
+    }
+}
+
+/// Number of workers to use: `NETSIM_WORKERS` if set, else the
+/// machine's parallelism capped at 8 (coarse tasks stop scaling past
+/// that, and fewer workers keep scheduling overhead predictable).
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("NETSIM_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Per-task stack size for an `n`-rank cluster: `NETSIM_STACK_BYTES`
+/// if set, else [`crate::task::DEFAULT_STACK_BYTES`], shrunk to
+/// 128 KiB past ~16k ranks. The reservation is virtual either way, but
+/// at huge rank counts the *address-space spread* itself costs: 64k
+/// one-MiB stacks sprawl over 64 GiB of sparse VA, and the page-table
+/// and TLB footprint of walking them dominates the simulation. Rank
+/// bodies at those scales are communication skeletons with shallow
+/// frames; anything deeper can restore big stacks via the env knob.
+pub fn default_stack_bytes(n: usize) -> usize {
+    if let Ok(v) = std::env::var("NETSIM_STACK_BYTES") {
+        if let Ok(b) = v.trim().parse::<usize>() {
+            return b.max(16 * 1024);
+        }
+    }
+    if n > 16 * 1024 {
+        128 * 1024
+    } else {
+        crate::task::DEFAULT_STACK_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn run_bodies(bodies: Vec<Box<dyn FnOnce() + Send + '_>>, workers: usize) -> Sched {
+        let sched = unsafe { Sched::new(bodies, workers, 256 * 1024) };
+        sched.run();
+        sched
+    }
+
+    #[test]
+    fn tasks_all_complete() {
+        let n = 100;
+        let count = AtomicUsize::new(0);
+        std::thread::scope(|_| {
+            let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n)
+                .map(|_| {
+                    let c = &count;
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_bodies(bodies, 1);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn mailbox_handshake_wakes_consumer() {
+        // Producer pushes into a shared slot and pokes; consumer parks
+        // until the value arrives. Exercises arm/notify and the
+        // wake_pending race path.
+        let slot: Mutex<Option<u64>> = Mutex::new(None);
+        let got = AtomicUsize::new(0);
+        let sched_holder: Mutex<Option<&Sched>> = Mutex::new(None);
+        // Tasks need &Sched before Sched exists; thread the reference
+        // through a once-set holder primed by the first task to run.
+        // Simpler for the test: build bodies that read it lazily.
+        let holder = &sched_holder;
+        let slot_ref = &slot;
+        let got_ref = &got;
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            // rank 0: consumer
+            Box::new(move || {
+                let sched = holder.lock().unwrap().unwrap();
+                loop {
+                    if let Some(v) = slot_ref.lock().unwrap().take() {
+                        got_ref.store(v as usize, Ordering::SeqCst);
+                        return;
+                    }
+                    sched.arm_mailbox(0);
+                    if let Some(v) = slot_ref.lock().unwrap().take() {
+                        sched.disarm_mailbox(0);
+                        got_ref.store(v as usize, Ordering::SeqCst);
+                        return;
+                    }
+                    sched.park(0, None);
+                }
+            }),
+            // rank 1: producer, yields a few times first so the
+            // consumer definitely parks.
+            Box::new(move || {
+                let sched = holder.lock().unwrap().unwrap();
+                for _ in 0..3 {
+                    sched.yield_now();
+                }
+                *slot_ref.lock().unwrap() = Some(42);
+                sched.notify_mailbox(0);
+            }),
+        ];
+        let sched = unsafe { Sched::new(bodies, 1, 256 * 1024) };
+        *sched_holder.lock().unwrap() = Some(unsafe { std::mem::transmute::<&Sched, &Sched>(&sched) });
+        sched.run();
+        assert_eq!(got.load(Ordering::SeqCst), 42);
+        assert!(!sched.aborted());
+    }
+
+    #[test]
+    fn barrier_releases_all_ranks_together() {
+        let n = 16;
+        let before = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        let holder: Mutex<Option<&Sched>> = Mutex::new(None);
+        let (h, b, v) = (&holder, &before, &violations);
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n)
+            .map(|i| {
+                Box::new(move || {
+                    let sched = h.lock().unwrap().unwrap();
+                    b.fetch_add(1, Ordering::SeqCst);
+                    assert!(sched.barrier_wait(i as u32));
+                    if b.load(Ordering::SeqCst) != n {
+                        v.fetch_add(1, Ordering::SeqCst);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let sched = unsafe { Sched::new(bodies, 1, 256 * 1024) };
+        *h.lock().unwrap() = Some(unsafe { std::mem::transmute::<&Sched, &Sched>(&sched) });
+        sched.run();
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn deadline_fires_at_quiescence_without_real_waiting() {
+        // A 10-minute deadline must fire immediately once nothing else
+        // can run: the clock is virtual.
+        let expired = AtomicUsize::new(0);
+        let holder: Mutex<Option<&Sched>> = Mutex::new(None);
+        let (h, e) = (&holder, &expired);
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(move || {
+            let sched = h.lock().unwrap().unwrap();
+            let far = Instant::now() + Duration::from_secs(600);
+            if sched.park(0, Some(far)) == Wake::Expired {
+                e.fetch_add(1, Ordering::SeqCst);
+            }
+        })];
+        let sched = unsafe { Sched::new(bodies, 1, 256 * 1024) };
+        *h.lock().unwrap() = Some(unsafe { std::mem::transmute::<&Sched, &Sched>(&sched) });
+        let t0 = Instant::now();
+        sched.run();
+        assert!(t0.elapsed() < Duration::from_secs(5), "deadline must be virtual");
+        assert_eq!(expired.load(Ordering::SeqCst), 1);
+        assert!(!sched.deadlock_detected());
+    }
+
+    #[test]
+    fn deadlines_expire_in_timestamp_order() {
+        let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let holder: Mutex<Option<&Sched>> = Mutex::new(None);
+        let (h, o) = (&holder, &order);
+        let base = Instant::now() + Duration::from_secs(100);
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|i| {
+                Box::new(move || {
+                    let sched = h.lock().unwrap().unwrap();
+                    // rank i parks with deadline base + (3 - i): expiry
+                    // order must be 3, 2, 1, 0.
+                    let dl = base + Duration::from_secs((3 - i) as u64);
+                    assert_eq!(sched.park(i as u32, Some(dl)), Wake::Expired);
+                    o.lock().unwrap().push(i);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let sched = unsafe { Sched::new(bodies, 1, 256 * 1024) };
+        *h.lock().unwrap() = Some(unsafe { std::mem::transmute::<&Sched, &Sched>(&sched) });
+        sched.run();
+        assert_eq!(*order.lock().unwrap(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn true_deadlock_is_detected_and_recovered() {
+        // Two ranks park forever with no deadline: the scheduler must
+        // detect the deadlock, abort, and wake both with Expired.
+        let expired = AtomicUsize::new(0);
+        let holder: Mutex<Option<&Sched>> = Mutex::new(None);
+        let (h, e) = (&holder, &expired);
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..2)
+            .map(|i| {
+                Box::new(move || {
+                    let sched = h.lock().unwrap().unwrap();
+                    if sched.park(i as u32, None) == Wake::Expired {
+                        e.fetch_add(1, Ordering::SeqCst);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let sched = unsafe { Sched::new(bodies, 1, 256 * 1024) };
+        *h.lock().unwrap() = Some(unsafe { std::mem::transmute::<&Sched, &Sched>(&sched) });
+        sched.run();
+        assert!(sched.deadlock_detected());
+        assert!(sched.aborted());
+        assert_eq!(expired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panic_aborts_cluster_and_is_captured_first() {
+        let holder: Mutex<Option<&Sched>> = Mutex::new(None);
+        let h = &holder;
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(move || {
+                let sched = h.lock().unwrap().unwrap();
+                // Parked forever; must be released by the abort.
+                let _ = sched.park(0, None);
+            }),
+            Box::new(move || {
+                let sched = h.lock().unwrap().unwrap();
+                sched.yield_now();
+                panic!("rank 1 died");
+            }),
+        ];
+        let sched = unsafe { Sched::new(bodies, 1, 256 * 1024) };
+        *h.lock().unwrap() = Some(unsafe { std::mem::transmute::<&Sched, &Sched>(&sched) });
+        sched.run();
+        let panics = sched.take_panics();
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].0, 1);
+        assert_eq!(panics[0].1.downcast_ref::<&str>(), Some(&"rank 1 died"));
+        assert!(sched.aborted());
+        assert!(!sched.deadlock_detected());
+    }
+
+    #[test]
+    fn work_stealing_multi_worker_completes() {
+        let n = 64;
+        let count = AtomicUsize::new(0);
+        let holder: Mutex<Option<&Sched>> = Mutex::new(None);
+        let (h, c) = (&holder, &count);
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n)
+            .map(|_| {
+                Box::new(move || {
+                    let sched = h.lock().unwrap().unwrap();
+                    for _ in 0..4 {
+                        sched.yield_now();
+                    }
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let sched = unsafe { Sched::new(bodies, 4, 256 * 1024) };
+        *h.lock().unwrap() = Some(unsafe { std::mem::transmute::<&Sched, &Sched>(&sched) });
+        sched.run();
+        assert_eq!(count.load(Ordering::SeqCst), n);
+    }
+}

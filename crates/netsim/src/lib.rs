@@ -43,13 +43,20 @@ pub use telemetry;
 pub mod cluster;
 pub mod collective;
 pub mod error;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub mod event;
 pub mod fault;
 pub mod model;
 pub mod timers;
 pub mod topo;
 pub mod trace;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub mod task;
 
-pub use cluster::{run_cluster, run_cluster_faulty, RankCtx, RecvHandle, RecvdMsg, POOL_CAP};
+pub use cluster::{
+    run_cluster, run_cluster_faulty, run_cluster_on, try_run_cluster, try_run_cluster_faulty,
+    try_run_cluster_on, Backend, RankCtx, RecvHandle, RecvdMsg, POOL_CAP,
+};
 pub use collective::TimerSummary;
 pub use error::NetsimError;
 pub use fault::{

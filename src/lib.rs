@@ -41,8 +41,8 @@ pub mod prelude {
     pub use layout::{all_regions, surface2d, surface3d, Dir, MessagePlan, SurfaceLayout};
     pub use memview::{ContiguousView, MemFile, Segment};
     pub use netsim::{
-        run_cluster, run_cluster_faulty, CartTopo, FaultConfig, FaultStats, NetworkModel,
-        NetsimError, RankCtx, Timers,
+        run_cluster, run_cluster_faulty, run_cluster_on, Backend, CartTopo, FaultConfig,
+        FaultStats, NetworkModel, NetsimError, RankCtx, Timers,
     };
     pub use packfree::baselines::ArrayExchanger;
     pub use packfree::experiment::{

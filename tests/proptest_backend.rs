@@ -1,0 +1,171 @@
+//! Property-based tests on the event-driven cluster backend: for every
+//! exchange engine, stencil shape, rank split, and chaos seed, running
+//! the experiment on the event multiplexer must produce bit-identical
+//! physics AND bit-identical modeled timers to the thread-per-rank
+//! reference. The two substrates implement blocking completely
+//! differently (condvar sleeps vs coroutine parking on a virtual
+//! clock), so any drift is a scheduler bug, never an acceptable
+//! tolerance. The matrix mirrors `proptest_overlap.rs`.
+
+use bricklib::prelude::*;
+use proptest::prelude::*;
+
+/// Run one configuration on both backends and compare the full
+/// observable fingerprint: interior checksum bits, the modeled
+/// `call`/`wait` timer bits, and traffic counters. (The really-measured
+/// `calc`/`pack` fields are wall-clock and excluded by design.)
+fn backends_match(
+    method: CpuMethod,
+    shape: StencilShape,
+    width: usize,
+    n: usize,
+    ranks: Vec<usize>,
+    faults: FaultConfig,
+    overlap: bool,
+) -> bool {
+    if !Backend::event_supported() {
+        return true; // nothing to compare on this platform
+    }
+    let mut cfg = ExperimentConfig {
+        method,
+        subdomain: [n; 3],
+        ghost: width,
+        brick: width,
+        shape,
+        steps: 2,
+        warmup: 1,
+        ranks,
+        net: NetworkModel::theta_aries(),
+        kernel: KernelKind::Plan,
+        faults,
+        profile: false,
+        overlap,
+        backend: Backend::Thread,
+    };
+    // MpiTypes charges its really-measured element walk into `call`
+    // (mirroring MPI library-internal time — see baselines.rs), so for
+    // that engine `call` is wall-clock, not modeled, and is excluded
+    // like `calc`/`pack`.
+    let call_is_modeled = !matches!(cfg.method, CpuMethod::MpiTypes);
+    let t = run_experiment(&cfg);
+    cfg.backend = Backend::Event;
+    let e = run_experiment(&cfg);
+    let fp = |r: &MethodReport| {
+        (
+            r.checksum.to_bits(),
+            if call_is_modeled { r.timers.call.to_bits() } else { 0 },
+            r.timers.wait.to_bits(),
+            r.stats.messages,
+            r.stats.payload_bytes,
+            r.faults.total(),
+            r.stats.retries,
+        )
+    };
+    fp(&t) == fp(&e)
+}
+
+fn arb_shape() -> impl Strategy<Value = StencilShape> {
+    prop_oneof![
+        Just(StencilShape::star7_default()),
+        Just(StencilShape::cube125_default()),
+    ]
+}
+
+fn arb_ranks() -> impl Strategy<Value = Vec<usize>> {
+    prop_oneof![
+        Just(vec![1, 1, 1]),
+        Just(vec![2, 1, 1]),
+        Just(vec![1, 2, 1]),
+        Just(vec![1, 1, 2]),
+        Just(vec![2, 2, 1]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The brick engines (any width) agree across backends.
+    #[test]
+    fn brick_engines_backend_bit_identical(
+        shape in arb_shape(),
+        width in prop_oneof![Just(4usize), Just(8usize)],
+        ranks in arb_ranks(),
+        per_region in any::<bool>(),
+    ) {
+        let method = if per_region { CpuMethod::Basic } else { CpuMethod::Layout };
+        let n = 2 * width.max(8);
+        prop_assert!(backends_match(
+            method, shape, width, n, ranks, FaultConfig::off(), false
+        ));
+    }
+
+    /// The paged engines (memmap/shift) and the packed array baselines
+    /// agree across backends.
+    #[test]
+    fn other_engines_backend_bit_identical(
+        shape in arb_shape(),
+        ranks in arb_ranks(),
+        engine in 0u8..4,
+    ) {
+        let method = match engine {
+            0 => CpuMethod::MemMap { page_size: 4096 },
+            1 => CpuMethod::Shift { page_size: 4096 },
+            2 => CpuMethod::Yask,
+            _ => CpuMethod::MpiTypes,
+        };
+        prop_assert!(backends_match(
+            method, shape, 8, 16, ranks, FaultConfig::off(), false
+        ));
+    }
+
+    /// Seeded chaos exercises the timeout/retry machinery through the
+    /// two completely different blocking implementations (2-second real
+    /// condvar waits vs virtual-clock expiry at quiescence); the
+    /// reliable protocol must converge to the same bits on both.
+    #[test]
+    fn chaos_backend_bit_identical(
+        seed in 1u64..64,
+        shift in any::<bool>(),
+    ) {
+        let method = if shift {
+            CpuMethod::Shift { page_size: 4096 }
+        } else {
+            CpuMethod::Layout
+        };
+        let faults = FaultConfig::parse(&format!("{seed},0.05,0.02,0.05")).unwrap();
+        prop_assert!(backends_match(
+            method,
+            StencilShape::star7_default(),
+            8,
+            16,
+            vec![2, 1, 1],
+            faults,
+            false,
+        ));
+    }
+
+    /// The dependency-graph overlap scheduler polls and parks in a
+    /// tighter loop than the phased drivers; it too must agree across
+    /// backends, with and without chaos.
+    #[test]
+    fn overlap_backend_bit_identical(
+        seed in 0u64..32,
+        per_region in any::<bool>(),
+    ) {
+        let method = if per_region { CpuMethod::Basic } else { CpuMethod::Layout };
+        let faults = if seed == 0 {
+            FaultConfig::off()
+        } else {
+            FaultConfig::parse(&format!("{seed},0.05,0.02,0.05")).unwrap()
+        };
+        prop_assert!(backends_match(
+            method,
+            StencilShape::star7_default(),
+            8,
+            16,
+            vec![2, 1, 1],
+            faults,
+            true,
+        ));
+    }
+}
