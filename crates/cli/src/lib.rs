@@ -5,7 +5,7 @@
 
 #![warn(missing_docs)]
 
-use netsim::telemetry::{chrome_trace, critical_path, PhaseBreakdown};
+use netsim::telemetry::{chrome_trace, critical_path, OverlapStats, PhaseBreakdown};
 use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig, KernelKind, MethodReport};
 use stencil::StencilShape;
 
@@ -37,6 +37,11 @@ pub struct Options {
     /// Drive the timestep through the dependency-graph overlap
     /// scheduler (brick engines only).
     pub overlap: bool,
+    /// Partitioned early-bird exchange: boundary bricks ship on
+    /// persistent partitioned channels the moment they are computed
+    /// (implies the dependency-graph schedule; split-capable engines
+    /// only).
+    pub partitioned: bool,
     /// Rank execution substrate: one OS thread per rank (`thread`) or
     /// the event-driven multiplexer (`event`). Defaults to the
     /// `NETSIM_BACKEND` environment variable, then `thread`.
@@ -66,9 +71,19 @@ pub enum Net {
     Aries,
     /// EDR InfiniBand (Summit).
     Edr,
+    /// Cray Aries with seeded per-rank wire jitter: data-safe slowdown
+    /// spread that leaves early-shipping windows open (no loss, no
+    /// retry protocol).
+    AriesJitter,
     /// Instantaneous (on-node costs only).
     Instant,
 }
+
+/// Seed of the `aries-jitter` preset's per-rank slowdown draw.
+const JITTER_SEED: u64 = 2021;
+/// Slowdown spread of the `aries-jitter` preset: each rank's wire is
+/// scaled by a factor in `[1, 1.35]`.
+const JITTER_SPREAD: f64 = 0.35;
 
 impl Default for Options {
     fn default() -> Options {
@@ -85,6 +100,7 @@ impl Default for Options {
             json: false,
             profile: false,
             overlap: false,
+            partitioned: false,
             backend: netsim::Backend::from_env(),
             trace: None,
             help: false,
@@ -107,7 +123,11 @@ OPTIONS:
   -w, --warmup <N>      warmup iterations (default: 1)
   -r, --ranks <XxYxZ>   rank grid, e.g. 2x2x2 (default: 1x1x1 self-periodic)
   -s, --stencil <name>  star7 | star13 | cube125 (default: star7)
-  -n, --net <name>      aries | edr | instant (default: aries)
+  -n, --net <name>      aries | edr | aries-jitter | instant (default:
+                        aries); aries-jitter is Aries plus a seeded
+                        per-rank wire slowdown in [1, 1.35] — data-safe
+                        jitter that stresses early shipping (an explicit
+                        --faults spec overrides the preset's seed)
   -k, --kernel <name>   plan | gather — brick compute engine: precompiled
                         kernel plan vs per-step halo gather (default: plan)
   -p, --page <bytes>    MemMap page size: 4096 | 16384 | 65536
@@ -128,6 +148,15 @@ OPTIONS:
                         wire, boundary bricks as their ghosts arrive;
                         bit-identical to the phased schedule and reports
                         the fraction of wire time hidden
+                        (memmap/layout/basic/shift only)
+  -e, --partitioned     partitioned early-bird exchange: each boundary
+                        brick ships on a persistent partitioned channel
+                        the moment it is computed, in destination-
+                        priority order; the next exchange only posts the
+                        remainder. Implies the dependency-graph
+                        schedule, stays bit-identical to --overlap and
+                        the phased run, and reports the fraction of
+                        halo bytes shipped early
                         (memmap/layout/basic/shift only)
   -j, --json            emit one JSON object instead of the text format
   -P, --profile         record per-rank phase timelines over the timed
@@ -157,6 +186,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
             "-h" | "--help" => o.help = true,
             "-j" | "--json" => o.json = true,
             "-o" | "--overlap" => o.overlap = true,
+            "-e" | "--partitioned" => o.partitioned = true,
             "-P" | "--profile" => o.profile = true,
             "--trace" => {
                 o.trace = Some(take("--trace")?);
@@ -194,6 +224,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                 o.net = match take("--net")?.as_str() {
                     "aries" => Net::Aries,
                     "edr" => Net::Edr,
+                    "aries-jitter" => Net::AriesJitter,
                     "instant" => Net::Instant,
                     other => return Err(format!("unknown net '{other}'")),
                 };
@@ -232,14 +263,15 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         "mpi-types" => CpuMethod::MpiTypes,
         other => return Err(format!("unknown method '{other}'")),
     };
-    if o.overlap
+    if (o.overlap || o.partitioned)
         && !matches!(
             o.method,
             CpuMethod::MemMap { .. } | CpuMethod::Layout | CpuMethod::Basic | CpuMethod::Shift { .. }
         )
     {
+        let flag = if o.partitioned { "--partitioned" } else { "--overlap" };
         return Err(format!(
-            "--overlap needs a split-capable exchange engine \
+            "{flag} needs a split-capable exchange engine \
              (memmap | layout | basic | shift), not '{method_name}'"
         ));
     }
@@ -268,14 +300,22 @@ pub fn config(o: &Options) -> ExperimentConfig {
         warmup: o.warmup,
         ranks: o.ranks.clone(),
         net: match o.net {
-            Net::Aries => netsim::NetworkModel::theta_aries(),
+            Net::Aries | Net::AriesJitter => netsim::NetworkModel::theta_aries(),
             Net::Edr => netsim::NetworkModel::summit_edr(),
             Net::Instant => netsim::NetworkModel::instant(),
         },
         kernel: o.kernel,
-        faults: o.faults,
+        // The jitter preset supplies a seeded, data-safe slowdown
+        // spread — unless the user armed their own fault spec, which
+        // then rules (it may already carry jitter).
+        faults: if o.net == Net::AriesJitter && !o.faults.is_active() {
+            netsim::FaultConfig { seed: JITTER_SEED, jitter: JITTER_SPREAD, ..netsim::FaultConfig::off() }
+        } else {
+            o.faults
+        },
         profile: o.profile,
         overlap: o.overlap,
+        partitioned: o.partitioned,
         backend: o.backend,
     }
 }
@@ -316,6 +356,29 @@ pub fn trace_json(o: &Options, r: &MethodReport) -> String {
         ),
     ];
     chrome_trace(&r.timelines, &meta)
+}
+
+/// The overlap-accounting JSON object shared by `render_json` and the
+/// critical-path section; partitioned runs carry the early-shipping
+/// counters too.
+fn overlap_json(ov: &OverlapStats) -> String {
+    let mut s = format!(
+        "{{\"hidden_wire\": {:.9}, \"total_wire\": {:.9}, \"efficiency\": {:.6}",
+        ov.hidden_wire,
+        ov.total_wire,
+        ov.efficiency()
+    );
+    if ov.partitioned() {
+        s.push_str(&format!(
+            ", \"early_bytes\": {}, \"partition_bytes\": {}, \
+             \"early_shipped_fraction\": {:.6}",
+            ov.early_bytes,
+            ov.partition_bytes,
+            ov.early_shipped_fraction()
+        ));
+    }
+    s.push('}');
+    s
 }
 
 /// One formatted breakdown row shared by the table renderer.
@@ -377,6 +440,14 @@ fn render_profile(o: &Options, r: &MethodReport) -> String {
                 ov.total_wire,
                 ov.efficiency() * 100.0
             ));
+            if ov.partitioned() {
+                out.push_str(&format!(
+                    "  partitioned: {} of {} halo bytes shipped early ({:.1}%)\n",
+                    ov.early_bytes,
+                    ov.partition_bytes,
+                    ov.early_shipped_fraction() * 100.0
+                ));
+            }
         }
     }
     out
@@ -407,6 +478,14 @@ pub fn render(o: &Options, r: &MethodReport) -> String {
             ov.total_wire,
             ov.efficiency() * 100.0
         ));
+        if ov.partitioned() {
+            out.push_str(&format!(
+                "partitioned: {} of {} halo bytes shipped early ({:.1}%)\n",
+                ov.early_bytes,
+                ov.partition_bytes,
+                ov.early_shipped_fraction() * 100.0
+            ));
+        }
     }
     out.push_str(&render_profile(o, r));
     // Gate on the run's own armed state, not the (possibly unrelated)
@@ -452,13 +531,7 @@ fn profile_json(r: &MethodReport) -> Option<String> {
         Some(mut cp) => {
             cp.overlap = r.overlap_stats;
             let ov = match cp.overlap {
-                Some(ov) => format!(
-                    "{{\"hidden_wire\": {:.9}, \"total_wire\": {:.9}, \
-                     \"efficiency\": {:.6}}}",
-                    ov.hidden_wire,
-                    ov.total_wire,
-                    ov.efficiency()
-                ),
+                Some(ov) => overlap_json(&ov),
                 None => "null".into(),
             };
             let segs: Vec<String> = cp
@@ -510,13 +583,7 @@ pub fn render_json(o: &Options, r: &MethodReport) -> String {
     out.push_str(&metric("call", r.summary.call));
     out.push_str(&metric("wait", r.summary.wait));
     if let Some(ov) = r.overlap_stats {
-        out.push_str(&format!(
-            "  \"overlap\": {{\"hidden_wire\": {:.9}, \"total_wire\": {:.9}, \
-             \"efficiency\": {:.6}}},\n",
-            ov.hidden_wire,
-            ov.total_wire,
-            ov.efficiency()
-        ));
+        out.push_str(&format!("  \"overlap\": {},\n", overlap_json(&ov)));
     }
     if let Some(pf) = profile_json(r) {
         out.push_str(&pf);
@@ -734,6 +801,85 @@ mod tests {
         assert!(js.contains("\"efficiency\""));
         let phased_js = render_json(&o, &phased);
         assert!(!phased_js.contains("\"overlap\": {"), "phased run must not claim overlap");
+    }
+
+    #[test]
+    fn partitioned_flag() {
+        assert!(p(&["-e"]).unwrap().partitioned);
+        assert!(p(&["--partitioned"]).unwrap().partitioned);
+        assert!(!p(&[]).unwrap().partitioned);
+        assert!(p(&["-m", "yask", "-e"]).is_err());
+        assert!(p(&["-m", "mpi-types", "--partitioned"]).is_err());
+        assert!(p(&["-m", "shift", "-e"]).is_ok());
+        assert!(USAGE.contains("--partitioned"));
+    }
+
+    #[test]
+    fn aries_jitter_preset() {
+        let o = p(&["-n", "aries-jitter"]).unwrap();
+        assert_eq!(o.net, Net::AriesJitter);
+        let cfg = config(&o);
+        assert_eq!(cfg.net, netsim::NetworkModel::theta_aries());
+        assert_eq!(cfg.faults.seed, JITTER_SEED);
+        assert_eq!(cfg.faults.jitter, JITTER_SPREAD);
+        assert!(!cfg.faults.lossy(), "jitter preset must stay data-safe");
+        assert!(USAGE.contains("aries-jitter"));
+
+        // An explicit fault spec rules over the preset.
+        let o = p(&["-n", "aries-jitter", "-f", "9,0,0,0,0,0.1"]).unwrap();
+        let cfg = config(&o);
+        assert_eq!(cfg.faults.seed, 9);
+        assert_eq!(cfg.faults.jitter, 0.1);
+    }
+
+    /// A partitioned CLI run stays bit-identical to phased and overlap
+    /// and reports the early-shipped fraction in both output formats.
+    #[test]
+    fn end_to_end_partitioned_run() {
+        let o = p(&[
+            "-m", "layout", "-d", "16", "-I", "3", "-w", "1", "-r", "1x1x2", "-e",
+        ])
+        .unwrap();
+        let part = run_experiment(&config(&o));
+        let phased = run_experiment(&config(&Options {
+            partitioned: false,
+            ..o.clone()
+        }));
+        assert_eq!(part.checksum.to_bits(), phased.checksum.to_bits());
+        let stats = part.overlap_stats.expect("partitioned run records stats");
+        assert!(stats.partitioned(), "partition counters must be armed");
+        assert!(stats.early_shipped_fraction() > 0.0, "nothing shipped early");
+        let text = render(&o, &part);
+        assert!(text.contains("partitioned:"));
+        assert!(text.contains("shipped early"));
+        let js = render_json(&o, &part);
+        assert!(js.contains("\"early_shipped_fraction\""));
+        assert!(js.contains("\"early_bytes\""));
+        let phased_js = render_json(&o, &phased);
+        assert!(
+            !phased_js.contains("early_shipped_fraction"),
+            "phased run must not claim early shipping"
+        );
+    }
+
+    /// Jittered fabric + partitioned mode is the tentpole's headline
+    /// configuration: slow ranks keep windows open, early fragments
+    /// fill them, the physics stays exact.
+    #[test]
+    fn end_to_end_partitioned_jitter_run() {
+        let o = p(&[
+            "-m", "memmap", "-d", "16", "-I", "3", "-w", "1", "-r", "1x1x2", "-e",
+            "-n", "aries-jitter",
+        ])
+        .unwrap();
+        let part = run_experiment(&config(&o));
+        let clean = run_experiment(&config(&Options {
+            partitioned: false,
+            net: Net::Aries,
+            ..o.clone()
+        }));
+        assert_eq!(part.checksum.to_bits(), clean.checksum.to_bits());
+        assert!(part.overlap_stats.expect("stats").early_shipped_fraction() > 0.0);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 
 use brick::BrickStorage;
 use layout::{all_regions, Dir};
-use netsim::{NetsimError, RankCtx, RecvHandle};
+use netsim::{
+    NetsimError, PartitionStats, PartitionTable, PartitionedRecv, PartitionedSend, RankCtx,
+    RecvHandle,
+};
+use sched::SendPriority;
 
 use crate::decomp::BrickDecomp;
 use crate::reliable::{RecoveryStats, RelRecv, RelSend, ReliableSession};
@@ -288,6 +292,170 @@ struct PlannedSend {
     loopback_dst: Option<usize>,
 }
 
+/// Tag plane for partition-granularity reliable frames: base channel
+/// tags stay below 2^32 and the control channel uses bit 62, so
+/// `(tag, partition)` maps to a tag no phased message ever uses.
+pub(crate) fn partition_tag(tag: u64, p: usize) -> u64 {
+    tag | ((p as u64 + 1) << 32)
+}
+
+/// One send channel handed to [`PartitionedExchange::build`]: where the
+/// engine's message goes, how big it is, and which storage bricks
+/// compose its payload, in message order.
+pub(crate) struct PartSendSpec {
+    /// Index into the owning engine's send schedule.
+    pub src_idx: usize,
+    /// Destination rank.
+    pub dest: usize,
+    /// Base message tag (partition frames derive from it).
+    pub tag: u64,
+    /// Payload bytes, used to rank channels by exposure.
+    pub bytes: usize,
+    /// Storage bricks composing the message, in payload order.
+    pub bricks: Vec<usize>,
+}
+
+/// Partitioned-channel state shared by every exchange engine: the
+/// persistent [`PartitionedSend`]/[`PartitionedRecv`] channels, the
+/// storage-brick → `(channel, partition)` map driving `pready`, the
+/// destination-priority classes, and (lazily, under lossy faults) a
+/// partition-granularity [`ReliableSession`].
+pub(crate) struct PartitionedExchange {
+    /// Persistent send channels, one per non-loopback engine send.
+    pub psends: Vec<PartitionedSend>,
+    /// For `psends[k]`: index into the engine's send schedule.
+    pub psend_src: Vec<usize>,
+    /// Persistent receive channels, one per mailbox receive.
+    pub precvs: Vec<PartitionedRecv>,
+    /// Storage brick → the `(channel k, partition p)` pairs it feeds.
+    brick_parts: Vec<Vec<(u32, u32)>>,
+    /// Destination-priority classes over storage bricks (class 0 feeds
+    /// the most-exposed channel).
+    pub priority: SendPriority,
+    /// Elements per partition (one padded storage brick).
+    pub part_elems: usize,
+    /// Partition-granularity retry protocol, built on first lossy step.
+    pub rel: Option<ReliableSession>,
+    /// Flat reliable receive index → `(mailbox receive j, partition p)`.
+    pub rel_recv_map: Vec<(u32, u32)>,
+}
+
+impl PartitionedExchange {
+    /// Build channels from the engine's send/recv schedule. `recvs` is
+    /// `(src, tag, total_elems)` per mailbox receive; `total_bricks` is
+    /// the padded brick count of the storage the brick map indexes.
+    pub fn build(
+        sends: Vec<PartSendSpec>,
+        recvs: &[(usize, u64, usize)],
+        part_elems: usize,
+        total_bricks: usize,
+        eager_bytes: usize,
+    ) -> PartitionedExchange {
+        // Channel exposure rank: largest payload drains slowest, so its
+        // source bricks get the most urgent class.
+        let mut by_size: Vec<usize> = (0..sends.len()).collect();
+        by_size.sort_by_key(|&k| std::cmp::Reverse(sends[k].bytes));
+        let mut class = vec![0u32; sends.len()];
+        for (c, &k) in by_size.iter().enumerate() {
+            class[k] = c as u32;
+        }
+        let mut priority = SendPriority::new(total_bricks);
+        let mut brick_parts: Vec<Vec<(u32, u32)>> = vec![Vec::new(); total_bricks];
+        let mut psends = Vec::with_capacity(sends.len());
+        let mut psend_src = Vec::with_capacity(sends.len());
+        for (k, s) in sends.iter().enumerate() {
+            let table = PartitionTable::even(s.bricks.len() * part_elems, part_elems);
+            psends.push(PartitionedSend::new(s.dest, s.tag, table).with_eager(eager_bytes));
+            psend_src.push(s.src_idx);
+            for (p, &b) in s.bricks.iter().enumerate() {
+                brick_parts[b].push((k as u32, p as u32));
+                priority.assign(b as u32, class[k]);
+            }
+        }
+        let precvs = recvs
+            .iter()
+            .map(|&(src, tag, elems)| PartitionedRecv::new(src, tag, elems))
+            .collect();
+        PartitionedExchange {
+            psends,
+            psend_src,
+            precvs,
+            brick_parts,
+            priority,
+            part_elems,
+            rel: None,
+            rel_recv_map: Vec::new(),
+        }
+    }
+
+    /// Disjoint borrows for `pready` driving: the send channels
+    /// (mutable), their engine send indices, and the storage-brick →
+    /// `(channel, partition)` map.
+    #[allow(clippy::type_complexity)]
+    pub fn pready_parts(
+        &mut self,
+    ) -> (&mut [PartitionedSend], &[usize], &[Vec<(u32, u32)>]) {
+        (&mut self.psends, &self.psend_src, &self.brick_parts)
+    }
+
+    /// Accumulated early-shipping counters across all send channels.
+    pub fn stats(&self) -> PartitionStats {
+        let mut s = PartitionStats::default();
+        for ps in &self.psends {
+            s.merge(&ps.stats());
+        }
+        s
+    }
+
+    /// Zero the counters (drivers call this when warmup ends).
+    pub fn reset_stats(&mut self) {
+        for ps in &mut self.psends {
+            ps.reset_stats();
+        }
+    }
+
+    /// Build (once) the partition-granularity reliable session: one
+    /// retry channel per `(engine channel, partition)`, so a fault on
+    /// one fragment retransmits that partition alone.
+    pub fn ensure_reliable(&mut self) {
+        if self.rel.is_some() {
+            return;
+        }
+        let mut rsends = Vec::new();
+        for ps in &self.psends {
+            for p in 0..ps.table().parts() {
+                rsends.push(RelSend { dest: ps.dest(), tag: partition_tag(ps.tag(), p) });
+            }
+        }
+        let mut rrecvs = Vec::new();
+        let mut map = Vec::new();
+        for (j, pr) in self.precvs.iter().enumerate() {
+            let table = PartitionTable::even(pr.total_elems(), self.part_elems);
+            for p in 0..table.parts() {
+                rrecvs.push(RelRecv {
+                    src: pr.src(),
+                    tag: partition_tag(pr.tag(), p),
+                    elems: table.range(p).len(),
+                });
+                map.push((j as u32, p as u32));
+            }
+        }
+        self.rel = Some(ReliableSession::new(rsends, rrecvs));
+        self.rel_recv_map = map;
+    }
+
+    /// Disjoint borrows for running the partition-granularity retry
+    /// protocol: the session (mutable), the engine send indices, and
+    /// the flat receive map. Call [`Self::ensure_reliable`] first.
+    pub fn reliable_parts(&mut self) -> (&mut ReliableSession, &[usize], &[(u32, u32)]) {
+        (
+            self.rel.as_mut().expect("call ensure_reliable first"),
+            &self.psend_src,
+            &self.rel_recv_map,
+        )
+    }
+}
+
 /// An [`Exchanger`] schedule bound to one rank. Everything per-step is
 /// precomputed at build time (the pattern is Static, per the paper):
 /// neighbor ranks, tags, element ranges, loopback pairings, and a
@@ -311,6 +479,9 @@ pub struct ExchangeSession {
     // The begin() of this step ran the atomic reliable exchange, which
     // flushes its own epochs — finish() must not close another one.
     fault_step: bool,
+    // Persistent partitioned channels (early-bird mode); None keeps the
+    // session on the classic whole-message path.
+    partitioned: Option<PartitionedExchange>,
 }
 
 impl ExchangeSession {
@@ -382,7 +553,98 @@ impl ExchangeSession {
             pend_handles: Vec::new(),
             pend_ranges: Vec::new(),
             fault_step: false,
+            partitioned: None,
         }
+    }
+
+    /// Switch this session into partitioned early-bird mode: every
+    /// non-loopback send becomes a persistent [`PartitionedSend`] whose
+    /// partitions are the padded storage bricks composing the message
+    /// (`step` elements each), every mailbox receive a persistent
+    /// [`PartitionedRecv`]. `bricks` is the padded brick count of the
+    /// storage the completion driver indexes.
+    pub fn enable_partitioned(&mut self, step: usize, bricks: usize, eager_bytes: usize) {
+        let sends = self
+            .sends
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.loopback_dst.is_none())
+            .map(|(i, m)| PartSendSpec {
+                src_idx: i,
+                dest: m.dest,
+                tag: m.tag,
+                bytes: m.payload_bytes,
+                bricks: (m.elems.start / step..m.elems.end / step).collect(),
+            })
+            .collect();
+        let recvs: Vec<(usize, u64, usize)> = self
+            .recv_srcs
+            .iter()
+            .zip(&self.recv_ranges)
+            .map(|(&(src, tag), r)| (src, tag, r.len()))
+            .collect();
+        self.partitioned = Some(PartitionedExchange::build(
+            sends,
+            &recvs,
+            step,
+            bricks,
+            eager_bytes,
+        ));
+    }
+
+    /// Destination-priority classes over storage bricks (`None` unless
+    /// partitioned mode is on).
+    pub fn priority(&self) -> Option<&SendPriority> {
+        self.partitioned.as_ref().map(|p| &p.priority)
+    }
+
+    /// Early-shipping counters accumulated since the last reset (all
+    /// zero when partitioned mode is off).
+    pub fn partition_stats(&self) -> PartitionStats {
+        self.partitioned
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default()
+    }
+
+    /// Zero the early-shipping counters (drivers call this at the end
+    /// of warmup so reported fractions cover timed steps only).
+    pub fn reset_partition_stats(&mut self) {
+        if let Some(p) = self.partitioned.as_mut() {
+            p.reset_stats();
+        }
+    }
+
+    /// Mark freshly-computed boundary bricks ready on their partitioned
+    /// channels, shipping any eager-sized ready prefix immediately.
+    /// `next` is the destination storage of the running step (the data
+    /// the *next* exchange will send). No-op when partitioned mode is
+    /// off or the run is lossy (the retry protocol owns lossy traffic).
+    pub fn pready_bricks(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        bricks: &[u32],
+        next: &BrickStorage,
+    ) -> Result<(), NetsimError> {
+        let Some(part) = self.partitioned.as_mut() else {
+            return Ok(());
+        };
+        if ctx.fault_lossy() {
+            return Ok(());
+        }
+        let name = self.name;
+        let sends = &self.sends;
+        ctx.scoped(name, |ctx| {
+            let (psends, psend_src, brick_parts) = part.pready_parts();
+            for &b in bricks {
+                let Some(list) = brick_parts.get(b as usize) else { continue };
+                for &(k, p) in list {
+                    let m = &sends[psend_src[k as usize]];
+                    psends[k as usize].pready(ctx, p as usize, &next.as_slice()[m.elems.clone()])?;
+                }
+            }
+            Ok(())
+        })
     }
 
     /// One full ghost-zone exchange with zero per-step allocation.
@@ -408,8 +670,18 @@ impl ExchangeSession {
         ctx: &mut RankCtx<'_>,
         storage: &mut BrickStorage,
     ) -> Result<(), NetsimError> {
-        if ctx.fault_active() {
+        if ctx.fault_lossy() {
             return self.exchange_reliable(ctx, storage);
+        }
+        if self.partitioned.is_some() {
+            // Phased entry over partitioned channels: no bricks were
+            // marked ready, so everything ships at flush — the LogGP
+            // charges degenerate to the whole-message schedule.
+            self.done.clear();
+            self.done.resize(self.recv_ranges.len(), false);
+            let mut completed = Vec::new();
+            self.begin_partitioned(ctx, storage, &mut completed)?;
+            return self.finish_partitioned(ctx, storage);
         }
         for m in &self.sends {
             ctx.note_payload(m.payload_bytes);
@@ -431,7 +703,11 @@ impl ExchangeSession {
 
     /// Recovery-protocol totals (zero unless a chaos run engaged it).
     pub fn recovery_stats(&self) -> RecoveryStats {
-        self.reliable.as_ref().map(|r| r.stats()).unwrap_or_default()
+        let mut s = self.reliable.as_ref().map(|r| r.stats()).unwrap_or_default();
+        if let Some(r) = self.partitioned.as_ref().and_then(|p| p.rel.as_ref()) {
+            s.merge(&r.stats());
+        }
+        s
     }
 
     /// The exchange under an armed fault plan: loopbacks stay on the
@@ -442,6 +718,9 @@ impl ExchangeSession {
         ctx: &mut RankCtx<'_>,
         storage: &mut BrickStorage,
     ) -> Result<(), NetsimError> {
+        if self.partitioned.is_some() {
+            return self.exchange_reliable_partitioned(ctx, storage);
+        }
         if self.reliable.is_none() {
             let sends = self
                 .sends
@@ -477,6 +756,99 @@ impl ExchangeSession {
         rel.run(ctx, |i, payload| slice[ranges[i].clone()].copy_from_slice(payload))
     }
 
+    /// The lossy-fault exchange at partition granularity: each
+    /// `(channel, partition)` pair is its own retry channel, so a
+    /// dropped or damaged fragment retransmits one padded brick, never
+    /// the whole message.
+    fn exchange_reliable_partitioned(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut BrickStorage,
+    ) -> Result<(), NetsimError> {
+        for m in &self.sends {
+            ctx.note_payload(m.payload_bytes);
+            if let Some(dst) = m.loopback_dst {
+                ctx.loopback_within(m.tag, storage.as_mut_slice(), m.elems.clone(), dst)?;
+            }
+        }
+        let part = self.partitioned.as_mut().expect("checked by caller");
+        part.ensure_reliable();
+        let PartitionedExchange { psends, psend_src, rel, rel_recv_map, part_elems, .. } = part;
+        let rel = rel.as_mut().expect("built above");
+        rel.begin();
+        let mut idx = 0usize;
+        for (k, &i) in psend_src.iter().enumerate() {
+            let data = &storage.as_slice()[self.sends[i].elems.clone()];
+            let table = psends[k].table();
+            for p in 0..table.parts() {
+                rel.stage(idx, &data[table.range(p)]);
+                idx += 1;
+            }
+        }
+        let ranges = &self.recv_ranges;
+        let pe = *part_elems;
+        let slice = storage.as_mut_slice();
+        rel.run(ctx, |i, payload| {
+            let (j, p) = rel_recv_map[i];
+            let lo = ranges[j as usize].start + p as usize * pe;
+            slice[lo..lo + payload.len()].copy_from_slice(payload);
+        })
+    }
+
+    /// `begin` over partitioned channels: loopbacks complete inline,
+    /// each send channel *flushes* — settling deferred-fragment LogGP
+    /// residuals first, then shipping whatever `pready` did not already
+    /// put on the wire — and each receive channel re-arms and drains
+    /// fragments that raced ahead.
+    fn begin_partitioned(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut BrickStorage,
+        completed: &mut Vec<usize>,
+    ) -> Result<(), NetsimError> {
+        for m in &self.sends {
+            if let Some(dst) = m.loopback_dst {
+                ctx.note_payload(m.payload_bytes);
+                ctx.loopback_within(m.tag, storage.as_mut_slice(), m.elems.clone(), dst)?;
+            }
+        }
+        let part = self.partitioned.as_mut().expect("checked by caller");
+        let PartitionedExchange { psends, psend_src, precvs, .. } = part;
+        for (k, &i) in psend_src.iter().enumerate() {
+            let m = &self.sends[i];
+            ctx.note_payload(m.payload_bytes);
+            psends[k].flush(ctx, &storage.as_slice()[m.elems.clone()])?;
+        }
+        for (j, pr) in precvs.iter_mut().enumerate() {
+            pr.begin(ctx)?;
+            if pr.poll(ctx, &mut storage.as_mut_slice()[self.recv_ranges[j].clone()])? {
+                self.done[j] = true;
+                completed.push(j);
+            }
+        }
+        Ok(())
+    }
+
+    /// `finish` over partitioned channels: block the receives still
+    /// outstanding, then close the deferred communication epoch so
+    /// `wait` is billed exactly once per step.
+    fn finish_partitioned(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut BrickStorage,
+    ) -> Result<(), NetsimError> {
+        let part = self.partitioned.as_mut().expect("checked by caller");
+        let precvs = &mut part.precvs;
+        for (j, pr) in precvs.iter_mut().enumerate() {
+            if !self.done[j] {
+                pr.finish(ctx, &mut storage.as_mut_slice()[self.recv_ranges[j].clone()])?;
+                self.done[j] = true;
+            }
+        }
+        ctx.flush_epoch();
+        Ok(())
+    }
+
     /// Element ranges of the unpaired (mailbox) receives, in schedule
     /// order. Split-exchange completion indices returned by [`Self::begin`]
     /// and [`Self::poll`] index into this slice; a dependency graph maps
@@ -505,7 +877,7 @@ impl ExchangeSession {
         let name = self.name;
         self.done.clear();
         self.done.resize(self.recv_ranges.len(), false);
-        if ctx.fault_active() {
+        if ctx.fault_lossy() {
             ctx.scoped(name, |ctx| self.exchange_reliable(ctx, storage))?;
             for i in 0..self.recv_ranges.len() {
                 self.done[i] = true;
@@ -515,6 +887,9 @@ impl ExchangeSession {
             return Ok(());
         }
         self.fault_step = false;
+        if self.partitioned.is_some() {
+            return ctx.scoped(name, |ctx| self.begin_partitioned(ctx, storage, completed));
+        }
         ctx.scoped(name, |ctx| {
             for m in &self.sends {
                 ctx.note_payload(m.payload_bytes);
@@ -546,6 +921,20 @@ impl ExchangeSession {
         if self.fault_step {
             return Ok(0);
         }
+        if let Some(part) = self.partitioned.as_mut() {
+            let mut newly = 0usize;
+            for (j, pr) in part.precvs.iter_mut().enumerate() {
+                if self.done[j] {
+                    continue;
+                }
+                if pr.poll(ctx, &mut storage.as_mut_slice()[self.recv_ranges[j].clone()])? {
+                    self.done[j] = true;
+                    completed.push(j);
+                    newly += 1;
+                }
+            }
+            return Ok(newly);
+        }
         ctx.progress(
             &self.handles,
             storage.as_mut_slice(),
@@ -568,6 +957,10 @@ impl ExchangeSession {
             // The reliable protocol already flushed its epochs.
             self.fault_step = false;
             return Ok(());
+        }
+        if self.partitioned.is_some() {
+            let name = self.name;
+            return ctx.scoped(name, |ctx| self.finish_partitioned(ctx, storage));
         }
         self.pend_handles.clear();
         self.pend_ranges.clear();

@@ -124,6 +124,16 @@ pub struct ExperimentConfig {
     /// only then block on the remainder. Supported by the brick engines
     /// (`Layout`, `Basic`, `MemMap`, `Shift`); other methods ignore it.
     pub overlap: bool,
+    /// Partitioned early-bird exchange (off by default): drive the
+    /// dependency-graph schedule over persistent partitioned channels —
+    /// each boundary brick is marked ready (`pready`) the moment it is
+    /// computed, in destination-priority order, and eager-sized ready
+    /// prefixes ship immediately instead of waiting for the step's
+    /// `begin`. Implies the dependency-graph drivers; supported by the
+    /// same engines as [`ExperimentConfig::overlap`] (`Layout`, `Basic`,
+    /// `MemMap`, `Shift`); other methods ignore it. Results stay
+    /// bit-identical to the phased schedule.
+    pub partitioned: bool,
     /// Rank execution substrate: OS thread per rank (`Thread`, the
     /// reference) or the event-driven multiplexer (`Event`, scales to
     /// thousands of ranks on one machine). Both produce bit-identical
@@ -150,6 +160,7 @@ impl ExperimentConfig {
             faults: FaultConfig::off(),
             profile: false,
             overlap: false,
+            partitioned: false,
             backend: Backend::from_env(),
         }
     }
@@ -324,11 +335,12 @@ fn fault_seed(cfg: &ExperimentConfig) -> Option<u64> {
 /// Run one experiment and return rank 0's report.
 pub fn run_experiment(cfg: &ExperimentConfig) -> MethodReport {
     let topo = CartTopo::new(&cfg.ranks, true);
+    let dag = cfg.overlap || cfg.partitioned;
     match &cfg.method {
-        CpuMethod::MemMap { page_size } if cfg.overlap => run_memmap_dag(cfg, &topo, *page_size),
-        CpuMethod::Layout if cfg.overlap => run_brick_dag(cfg, &topo, BrickMsgs::Runs),
-        CpuMethod::Basic if cfg.overlap => run_brick_dag(cfg, &topo, BrickMsgs::PerRegion),
-        CpuMethod::Shift { page_size } if cfg.overlap => run_shift_dag(cfg, &topo, *page_size),
+        CpuMethod::MemMap { page_size } if dag => run_memmap_dag(cfg, &topo, *page_size),
+        CpuMethod::Layout if dag => run_brick_dag(cfg, &topo, BrickMsgs::Runs),
+        CpuMethod::Basic if dag => run_brick_dag(cfg, &topo, BrickMsgs::PerRegion),
+        CpuMethod::Shift { page_size } if dag => run_shift_dag(cfg, &topo, *page_size),
         CpuMethod::MemMap { page_size } => run_memmap(cfg, &topo, *page_size),
         CpuMethod::Layout => run_brick(cfg, &topo, BrickOrder::Surface3d, BrickMsgs::Runs),
         CpuMethod::LayoutOverlap => run_brick_overlap(cfg, &topo),
@@ -523,6 +535,7 @@ fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> Me
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
     let profile = cfg.profile;
+    let partitioned = cfg.partitioned;
     let interior_mask = decomp.interior_mask();
     let step_elems = decomp.step();
 
@@ -535,6 +548,12 @@ fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> Me
         let mut nxt = decomp.allocate();
         fill_bricks(&decomp, &mut cur);
         let mut session = exchanger.session(ctx);
+        if partitioned {
+            session.enable_partitioned(step_elems, decomp.bricks(), netsim::DEFAULT_EAGER_BYTES);
+        }
+        // Destination-priority classes, owned by the driver so the
+        // session stays mutably borrowable while batches are ordered.
+        let prio = session.priority().cloned();
         // Completion index -> the ghost bricks that receive fills.
         let recv_ghosts: Vec<Vec<u32>> = session
             .recv_ranges()
@@ -553,7 +572,14 @@ fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> Me
                     ctx.enable_profiling();
                 }
                 timer = OverlapTimer::new();
+                session.reset_partition_stats();
             }
+            // Early fragments are timestamped on the running virtual
+            // clock, so skip `pready` on the step whose flush straddles
+            // the warmup timer reset, and on the final step (whose
+            // fragments would never flush).
+            let pready_live =
+                partitioned && step + 1 != warmup && step + 1 != steps + warmup;
             timer.begin_step(wire_clock(ctx));
             completed.clear();
             session.begin(ctx, &mut cur, &mut completed).expect("begin exchange");
@@ -571,11 +597,36 @@ fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> Me
             }
             loop {
                 if !ready.is_empty() {
-                    let t0 = std::time::Instant::now();
-                    let mask = split.stage_batch(&ready);
-                    ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur, &mut nxt, mask, rec));
-                    split.clear_batch();
-                    timer.hide(t0.elapsed().as_secs_f64());
+                    match &prio {
+                        // Partitioned mode: compute the batch in
+                        // destination-priority groups, marking each
+                        // group's bricks ready the moment they exist so
+                        // the most-exposed channel drains first.
+                        Some(pr) => {
+                            pr.order(&mut ready);
+                            for batch in pr.groups(&ready) {
+                                let t0 = std::time::Instant::now();
+                                let mask = split.stage_batch(batch);
+                                ctx.time_calc_with(|rec| {
+                                    engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
+                                });
+                                split.clear_batch();
+                                timer.hide(t0.elapsed().as_secs_f64());
+                                if pready_live {
+                                    session.pready_bricks(ctx, batch, &nxt).expect("pready");
+                                }
+                            }
+                        }
+                        None => {
+                            let t0 = std::time::Instant::now();
+                            let mask = split.stage_batch(&ready);
+                            ctx.time_calc_with(|rec| {
+                                engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
+                            });
+                            split.clear_batch();
+                            timer.hide(t0.elapsed().as_secs_f64());
+                        }
+                    }
                     ready.clear();
                 }
                 if graph.pending() == 0 {
@@ -595,17 +646,40 @@ fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> Me
             session.finish(ctx, &mut cur).expect("finish exchange");
             timer.end_step(wire_clock(ctx));
             // Boundary bricks whose dependencies only resolved at the
-            // blocking finish — the exposed part of the step.
+            // blocking finish — the exposed part of the step. They are
+            // still marked ready so the *next* step's messages start
+            // draining before its begin().
             if graph.pending() > 0 {
                 ready.clear();
                 graph.unready(&mut ready);
-                let mask = split.stage_batch(&ready);
-                ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur, &mut nxt, mask, rec));
-                split.clear_batch();
+                match &prio {
+                    Some(pr) => {
+                        pr.order(&mut ready);
+                        for batch in pr.groups(&ready) {
+                            let mask = split.stage_batch(batch);
+                            ctx.time_calc_with(|rec| {
+                                engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
+                            });
+                            split.clear_batch();
+                            if pready_live {
+                                session.pready_bricks(ctx, batch, &nxt).expect("pready");
+                            }
+                        }
+                    }
+                    None => {
+                        let mask = split.stage_batch(&ready);
+                        ctx.time_calc_with(|rec| {
+                            engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
+                        });
+                        split.clear_batch();
+                    }
+                }
             }
             std::mem::swap(&mut cur, &mut nxt);
             ctx.barrier();
         }
+        let ps = session.partition_stats();
+        timer.record_partition(ps.early_bytes, ps.total_bytes);
         let t = ctx.timers().per_step(steps);
         let timeline = ctx.take_timeline();
         let summary = ctx.reduce_timers(&t).expect("timer reduction");
@@ -646,6 +720,7 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
     let profile = cfg.profile;
+    let partitioned = cfg.partitioned;
     let interior_mask = decomp.interior_mask();
     let step_elems = decomp.step();
 
@@ -660,9 +735,16 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
         let mut evb = ExchangeView::build(&decomp, &sb).expect("view construction");
         fill_bricks(&decomp, &mut sa.storage);
         let stats = eva.stats();
-        // Both views carry the same schedule; bind one up front so the
-        // mailbox ranges are available for graph construction.
+        // Both views carry the same schedule; bind both up front so the
+        // mailbox ranges are available for graph construction and the
+        // partitioned channels survive the double-buffer flips.
         eva.ensure_bound(ctx, &sa);
+        evb.ensure_bound(ctx, &sb);
+        if partitioned {
+            eva.enable_partitioned(step_elems, decomp.bricks(), netsim::DEFAULT_EAGER_BYTES);
+            evb.enable_partitioned(step_elems, decomp.bricks(), netsim::DEFAULT_EAGER_BYTES);
+        }
+        let prio = eva.priority().cloned();
         let recv_ghosts: Vec<Vec<u32>> = eva
             .mailbox_ranges()
             .iter()
@@ -681,9 +763,20 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
                     ctx.enable_profiling();
                 }
                 timer = OverlapTimer::new();
+                eva.reset_partition_stats();
+                evb.reset_partition_stats();
             }
-            let (cur, nxt, ev) =
-                if flip { (&mut sb, &mut sa, &mut evb) } else { (&mut sa, &mut sb, &mut eva) };
+            let pready_live =
+                partitioned && step + 1 != warmup && step + 1 != steps + warmup;
+            // `ev` drives this step's exchange out of `cur`; `evn` is the
+            // view aliasing `nxt`, whose bricks become shippable as the
+            // stencil writes them — `pready` on it feeds the NEXT step's
+            // partitioned channels.
+            let (cur, nxt, ev, evn) = if flip {
+                (&mut sb, &mut sa, &mut evb, &mut eva)
+            } else {
+                (&mut sa, &mut sb, &mut eva, &mut evb)
+            };
             timer.begin_step(wire_clock(ctx));
             completed.clear();
             ev.begin(ctx, cur, &mut completed).expect("begin exchange");
@@ -699,13 +792,44 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
             }
             loop {
                 if !ready.is_empty() {
-                    let t0 = std::time::Instant::now();
-                    let mask = split.stage_batch(&ready);
-                    ctx.time_calc_with(|rec| {
-                        engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
-                    });
-                    split.clear_batch();
-                    timer.hide(t0.elapsed().as_secs_f64());
+                    match &prio {
+                        Some(pr) => {
+                            pr.order(&mut ready);
+                            for batch in pr.groups(&ready) {
+                                let t0 = std::time::Instant::now();
+                                let mask = split.stage_batch(batch);
+                                ctx.time_calc_with(|rec| {
+                                    engine.apply_profiled(
+                                        info,
+                                        &cur.storage,
+                                        &mut nxt.storage,
+                                        mask,
+                                        rec,
+                                    )
+                                });
+                                split.clear_batch();
+                                timer.hide(t0.elapsed().as_secs_f64());
+                                if pready_live {
+                                    evn.pready_bricks(ctx, batch).expect("pready");
+                                }
+                            }
+                        }
+                        None => {
+                            let t0 = std::time::Instant::now();
+                            let mask = split.stage_batch(&ready);
+                            ctx.time_calc_with(|rec| {
+                                engine.apply_profiled(
+                                    info,
+                                    &cur.storage,
+                                    &mut nxt.storage,
+                                    mask,
+                                    rec,
+                                )
+                            });
+                            split.clear_batch();
+                            timer.hide(t0.elapsed().as_secs_f64());
+                        }
+                    }
                     ready.clear();
                 }
                 if graph.pending() == 0 {
@@ -725,15 +849,41 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
             if graph.pending() > 0 {
                 ready.clear();
                 graph.unready(&mut ready);
-                let mask = split.stage_batch(&ready);
-                ctx.time_calc_with(|rec| {
-                    engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
-                });
-                split.clear_batch();
+                match &prio {
+                    Some(pr) => {
+                        pr.order(&mut ready);
+                        for batch in pr.groups(&ready) {
+                            let mask = split.stage_batch(batch);
+                            ctx.time_calc_with(|rec| {
+                                engine.apply_profiled(
+                                    info,
+                                    &cur.storage,
+                                    &mut nxt.storage,
+                                    mask,
+                                    rec,
+                                )
+                            });
+                            split.clear_batch();
+                            if pready_live {
+                                evn.pready_bricks(ctx, batch).expect("pready");
+                            }
+                        }
+                    }
+                    None => {
+                        let mask = split.stage_batch(&ready);
+                        ctx.time_calc_with(|rec| {
+                            engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
+                        });
+                        split.clear_batch();
+                    }
+                }
             }
             flip = !flip;
             ctx.barrier();
         }
+        let mut ps = eva.partition_stats();
+        ps.merge(&evb.partition_stats());
+        timer.record_partition(ps.early_bytes, ps.total_bytes);
         let last = if flip { &sb } else { &sa };
         let t = ctx.timers().per_step(steps);
         let timeline = ctx.take_timeline();
@@ -783,7 +933,9 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
     let profile = cfg.profile;
+    let partitioned = cfg.partitioned;
     let interior_mask = decomp.interior_mask();
+    let step_elems = decomp.step();
 
     let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
@@ -796,6 +948,13 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
         let mut shb = crate::shift::ShiftExchanger::build(&decomp, &sb).expect("shift views");
         fill_bricks(&decomp, &mut sa.storage);
         let stats = sha.stats();
+        if partitioned {
+            sha.ensure_bound(ctx, &sa);
+            shb.ensure_bound(ctx, &sb);
+            sha.enable_partitioned(step_elems, decomp.bricks(), netsim::DEFAULT_EAGER_BYTES);
+            shb.enable_partitioned(step_elems, decomp.bricks(), netsim::DEFAULT_EAGER_BYTES);
+        }
+        let prio = sha.priority().cloned();
         // Only the final pass is posted asynchronously — its two slab
         // receives are the graph's gating dependencies; earlier axes'
         // ghosts are valid when begin() returns.
@@ -814,9 +973,18 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
                     ctx.enable_profiling();
                 }
                 timer = OverlapTimer::new();
+                sha.reset_partition_stats();
+                shb.reset_partition_stats();
             }
-            let (cur, nxt, sh) =
-                if flip { (&mut sb, &mut sa, &mut shb) } else { (&mut sa, &mut sb, &mut sha) };
+            let pready_live =
+                partitioned && step + 1 != warmup && step + 1 != steps + warmup;
+            // `sh` is bound to `cur`; `shn` aliases `nxt` and owns the
+            // NEXT step's final-pass channels — readiness flows to it.
+            let (cur, nxt, sh, shn) = if flip {
+                (&mut sb, &mut sa, &mut shb, &mut sha)
+            } else {
+                (&mut sa, &mut sb, &mut sha, &mut shb)
+            };
             timer.begin_step(wire_clock(ctx));
             completed.clear();
             sh.begin(ctx, cur, &mut completed).expect("begin exchange");
@@ -832,13 +1000,44 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
             }
             loop {
                 if !ready.is_empty() {
-                    let t0 = std::time::Instant::now();
-                    let mask = split.stage_batch(&ready);
-                    ctx.time_calc_with(|rec| {
-                        engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
-                    });
-                    split.clear_batch();
-                    timer.hide(t0.elapsed().as_secs_f64());
+                    match &prio {
+                        Some(pr) => {
+                            pr.order(&mut ready);
+                            for batch in pr.groups(&ready) {
+                                let t0 = std::time::Instant::now();
+                                let mask = split.stage_batch(batch);
+                                ctx.time_calc_with(|rec| {
+                                    engine.apply_profiled(
+                                        info,
+                                        &cur.storage,
+                                        &mut nxt.storage,
+                                        mask,
+                                        rec,
+                                    )
+                                });
+                                split.clear_batch();
+                                timer.hide(t0.elapsed().as_secs_f64());
+                                if pready_live {
+                                    shn.pready_bricks(ctx, batch).expect("pready");
+                                }
+                            }
+                        }
+                        None => {
+                            let t0 = std::time::Instant::now();
+                            let mask = split.stage_batch(&ready);
+                            ctx.time_calc_with(|rec| {
+                                engine.apply_profiled(
+                                    info,
+                                    &cur.storage,
+                                    &mut nxt.storage,
+                                    mask,
+                                    rec,
+                                )
+                            });
+                            split.clear_batch();
+                            timer.hide(t0.elapsed().as_secs_f64());
+                        }
+                    }
                     ready.clear();
                 }
                 if graph.pending() == 0 {
@@ -858,15 +1057,41 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
             if graph.pending() > 0 {
                 ready.clear();
                 graph.unready(&mut ready);
-                let mask = split.stage_batch(&ready);
-                ctx.time_calc_with(|rec| {
-                    engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
-                });
-                split.clear_batch();
+                match &prio {
+                    Some(pr) => {
+                        pr.order(&mut ready);
+                        for batch in pr.groups(&ready) {
+                            let mask = split.stage_batch(batch);
+                            ctx.time_calc_with(|rec| {
+                                engine.apply_profiled(
+                                    info,
+                                    &cur.storage,
+                                    &mut nxt.storage,
+                                    mask,
+                                    rec,
+                                )
+                            });
+                            split.clear_batch();
+                            if pready_live {
+                                shn.pready_bricks(ctx, batch).expect("pready");
+                            }
+                        }
+                    }
+                    None => {
+                        let mask = split.stage_batch(&ready);
+                        ctx.time_calc_with(|rec| {
+                            engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
+                        });
+                        split.clear_batch();
+                    }
+                }
             }
             flip = !flip;
             ctx.barrier();
         }
+        let mut ps = sha.partition_stats();
+        ps.merge(&shb.partition_stats());
+        timer.record_partition(ps.early_bytes, ps.total_bytes);
         let last = if flip { &sb } else { &sa };
         let t = ctx.timers().per_step(steps);
         let timeline = ctx.take_timeline();
@@ -1328,6 +1553,100 @@ mod tests {
         let clean = run_experiment(&clean_cfg);
         assert_eq!(lossy.checksum.to_bits(), clean.checksum.to_bits());
         assert!(lossy.faults.total() > 0, "seed 42 at these rates must inject something");
+    }
+
+    /// Partitioned channels ship each boundary brick the moment the
+    /// stencil writes it, but the receiver assembles the exact same
+    /// mailbox bytes — every engine must stay bit-identical to its
+    /// phased counterpart, and a multi-rank run must ship a nonzero
+    /// early fraction.
+    #[test]
+    fn partitioned_runs_bit_identical_to_phased() {
+        for m in [
+            CpuMethod::Layout,
+            CpuMethod::Basic,
+            CpuMethod::MemMap { page_size: memview::PAGE_4K },
+            CpuMethod::Shift { page_size: memview::PAGE_4K },
+        ] {
+            // Distribute the LAST axis: shift only partitions its final
+            // pass, which is local unless that axis crosses ranks.
+            let mut base = cfg(m.clone());
+            base.ranks = vec![1, 1, 2];
+            base.steps = 4;
+            let phased = run_experiment(&base);
+            let mut pc = base.clone();
+            pc.partitioned = true;
+            let part = run_experiment(&pc);
+            assert_eq!(
+                part.checksum.to_bits(),
+                phased.checksum.to_bits(),
+                "partitioned diverged for {m:?}"
+            );
+            let s = part.overlap_stats.expect("partitioned run reports overlap stats");
+            assert!(s.partitioned(), "{m:?} recorded no partition traffic");
+            // Shift's final-pass slabs open with forwarded ghost bricks
+            // that are only valid at flush time, so its ready prefix
+            // never advances: channels stay correct but ship nothing
+            // early. Every gather-style engine must ship a real
+            // fraction.
+            if matches!(m, CpuMethod::Shift { .. }) {
+                assert_eq!(s.early_shipped_fraction(), 0.0);
+            } else {
+                assert!(
+                    s.early_shipped_fraction() > 0.0,
+                    "{m:?} shipped nothing early (fraction {})",
+                    s.early_shipped_fraction()
+                );
+            }
+        }
+    }
+
+    /// Single-rank partitioned runs have only loopback traffic — the
+    /// scheduler must degrade to plain overlap without recording a
+    /// partition denominator.
+    #[test]
+    fn partitioned_single_rank_degrades_cleanly() {
+        let mut c = cfg(CpuMethod::Layout);
+        c.partitioned = true;
+        let r = run_experiment(&c);
+        let phased = run_experiment(&cfg(CpuMethod::Layout));
+        assert_eq!(r.checksum.to_bits(), phased.checksum.to_bits());
+        let s = r.overlap_stats.expect("stats present");
+        assert!(!s.partitioned(), "loopback-only run must not count partitions");
+    }
+
+    /// Faults collapse partitioned streaming back to the reliable
+    /// protocol at partition granularity; the grid still converges
+    /// bit-identically to a clean phased run.
+    #[test]
+    fn partitioned_chaos_run_converges() {
+        for m in [
+            CpuMethod::Layout,
+            CpuMethod::MemMap { page_size: memview::PAGE_4K },
+            CpuMethod::Shift { page_size: memview::PAGE_4K },
+        ] {
+            let mut c = cfg(m.clone());
+            c.ranks = vec![1, 1, 2];
+            c.partitioned = true;
+            c.faults = FaultConfig {
+                seed: 42,
+                drop: 0.05,
+                corrupt: 0.02,
+                dup: 0.05,
+                ..FaultConfig::off()
+            };
+            let lossy = run_experiment(&c);
+            let mut clean_cfg = c.clone();
+            clean_cfg.faults = FaultConfig::off();
+            clean_cfg.partitioned = false;
+            let clean = run_experiment(&clean_cfg);
+            assert_eq!(
+                lossy.checksum.to_bits(),
+                clean.checksum.to_bits(),
+                "lossy partitioned diverged for {m:?}"
+            );
+            assert!(lossy.faults.total() > 0, "seed 42 at these rates must inject something");
+        }
     }
 
     #[test]

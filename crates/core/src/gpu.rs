@@ -246,6 +246,7 @@ pub fn run_gpu_experiment(cfg: &GpuExperimentConfig) -> GpuReport {
         faults: netsim::FaultConfig::off(),
         profile: false,
         overlap: false,
+        partitioned: false,
         backend: netsim::Backend::from_env(),
     };
     let real = run_experiment(&cpu_cfg);

@@ -10,10 +10,11 @@ use std::sync::Arc;
 use brick::BrickStorage;
 use layout::{all_regions, Dir};
 use memview::{host_page_size, is_aligned, ContiguousView, MappedBacking, MemFile, Segment};
-use netsim::{NetsimError, RankCtx, RecvHandle};
+use netsim::{NetsimError, PartitionStats, RankCtx, RecvHandle};
+use sched::SendPriority;
 
 use crate::decomp::{pad_bricks_for, BrickDecomp};
-use crate::exchange::ExchangeStats;
+use crate::exchange::{ExchangeStats, PartSendSpec, PartitionedExchange};
 use crate::reliable::{RecoveryStats, RelRecv, RelSend, ReliableSession};
 
 /// Brick storage whose backing is an mmap-able in-memory file (the
@@ -77,6 +78,10 @@ struct ViewMsg {
     tag: u64,
     view: ContiguousView,
     payload_bytes: usize,
+    /// Padded storage bricks composing the view, in view order (pad
+    /// bricks included — the view ships them, so partitions stay
+    /// page-aligned brick-sized sub-ranges).
+    bricks: Vec<usize>,
 }
 
 struct GhostRecv {
@@ -111,6 +116,9 @@ pub struct ExchangeView {
     // The begin() of this step ran the atomic reliable exchange, which
     // flushes its own epochs — finish() must not close another one.
     fault_step: bool,
+    // Persistent partitioned channels (early-bird mode); None keeps the
+    // view on the classic whole-message path.
+    partitioned: Option<PartitionedExchange>,
 }
 
 /// Neighbor ranks, loopback pairings and mailbox receive ranges for one
@@ -145,6 +153,7 @@ impl ExchangeView {
             // run, merged into per-run file segments.
             let mut segments: Vec<Segment> = Vec::new();
             let mut payload = 0usize;
+            let mut view_bricks: Vec<usize> = Vec::new();
             for run in &nplan.send_runs {
                 let chunks: Vec<_> = run.clone().map(|i| &decomp.surface_chunks()[i]).collect();
                 let run_payload: usize = chunks.iter().map(|c| c.len()).sum();
@@ -153,6 +162,7 @@ impl ExchangeView {
                 }
                 payload += run_payload;
                 let range = chunks.first().unwrap().padded.start..chunks.last().unwrap().padded.end;
+                view_bricks.extend(range.clone());
                 let seg = storage.byte_range(&range);
                 assert!(
                     is_aligned(seg.file_offset, host) && is_aligned(seg.len, host),
@@ -178,6 +188,7 @@ impl ExchangeView {
                 tag: s.code(D) as u64,
                 view,
                 payload_bytes: payload * brick_bytes,
+                bricks: view_bricks,
             });
 
             // Receive side: ghost group g(s) is stored contiguously
@@ -210,6 +221,7 @@ impl ExchangeView {
             pend_handles: Vec::new(),
             pend_ranges: Vec::new(),
             fault_step: false,
+            partitioned: None,
         })
     }
 
@@ -306,7 +318,96 @@ impl ExchangeView {
         if self.bound.as_ref().is_none_or(|b| b.rank != ctx.rank()) {
             self.bound = Some(self.bind(ctx));
             self.reliable = None;
+            self.partitioned = None;
         }
+    }
+
+    /// Switch this view into partitioned early-bird mode: every
+    /// non-loopback send view becomes a persistent partitioned channel
+    /// whose partitions are the padded storage bricks of the view
+    /// (`step` elements each, page-aligned by construction, so `pready`
+    /// still reads straight out of the mmap view — pack-free). Requires
+    /// [`Self::ensure_bound`] first.
+    pub fn enable_partitioned(&mut self, step: usize, bricks: usize, eager_bytes: usize) {
+        let b = self.bound.as_ref().expect("call ensure_bound first");
+        let sends = self
+            .sends
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| b.send_loopback[*i].is_none())
+            .map(|(i, m)| PartSendSpec {
+                src_idx: i,
+                dest: b.send_dests[i],
+                tag: m.tag,
+                bytes: m.payload_bytes,
+                bricks: m.bricks.clone(),
+            })
+            .collect();
+        let recvs: Vec<(usize, u64, usize)> = b
+            .mailbox_srcs
+            .iter()
+            .zip(&b.mailbox_ranges)
+            .map(|(&(src, tag), r)| (src, tag, r.len()))
+            .collect();
+        self.partitioned = Some(PartitionedExchange::build(
+            sends,
+            &recvs,
+            step,
+            bricks,
+            eager_bytes,
+        ));
+    }
+
+    /// Destination-priority classes over storage bricks (`None` unless
+    /// partitioned mode is on).
+    pub fn priority(&self) -> Option<&SendPriority> {
+        self.partitioned.as_ref().map(|p| &p.priority)
+    }
+
+    /// Early-shipping counters accumulated since the last reset.
+    pub fn partition_stats(&self) -> PartitionStats {
+        self.partitioned
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default()
+    }
+
+    /// Zero the early-shipping counters.
+    pub fn reset_partition_stats(&mut self) {
+        if let Some(p) = self.partitioned.as_mut() {
+            p.reset_stats();
+        }
+    }
+
+    /// Mark freshly-computed boundary bricks ready on their partitioned
+    /// channels. The payload comes straight from this view's mmap
+    /// segments (which alias the storage the bricks were computed
+    /// into), so early shipping stays pack-free. Call this on the view
+    /// bound to the *destination* storage of the running step. No-op
+    /// when partitioned mode is off or the run is lossy.
+    pub fn pready_bricks(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        bricks: &[u32],
+    ) -> Result<(), NetsimError> {
+        let Some(part) = self.partitioned.as_mut() else {
+            return Ok(());
+        };
+        if ctx.fault_lossy() {
+            return Ok(());
+        }
+        let sends = &self.sends;
+        ctx.scoped("exchange:memmap", |ctx| {
+            let (psends, psend_src, brick_parts) = part.pready_parts();
+            for &b in bricks {
+                let Some(list) = brick_parts.get(b as usize) else { continue };
+                for &(k, p) in list {
+                    let m = &sends[psend_src[k as usize]];
+                    psends[k as usize].pready(ctx, p as usize, m.view.as_f64())?;
+                }
+            }
+            Ok(())
+        })
     }
 
     /// Element ranges of the mailbox (non-loopback) receives, in
@@ -323,8 +424,18 @@ impl ExchangeView {
         storage: &mut MemMapStorage,
     ) -> Result<(), NetsimError> {
         self.ensure_bound(ctx, storage);
-        if ctx.fault_active() {
+        if ctx.fault_lossy() {
             return self.exchange_reliable(ctx, storage);
+        }
+        if self.partitioned.is_some() {
+            // Phased entry over partitioned channels: nothing was
+            // marked ready, so everything ships at flush.
+            let n = self.bound.as_ref().expect("bound above").mailbox_ranges.len();
+            self.done.clear();
+            self.done.resize(n, false);
+            let mut completed = Vec::new();
+            self.begin_partitioned(ctx, storage, &mut completed)?;
+            return self.finish_partitioned(ctx, storage);
         }
         let ExchangeView { sends, recvs, bound, handles, .. } = self;
         let b = bound.as_ref().expect("bound above");
@@ -353,7 +464,11 @@ impl ExchangeView {
 
     /// Recovery-protocol totals (zero unless a chaos run engaged it).
     pub fn recovery_stats(&self) -> RecoveryStats {
-        self.reliable.as_ref().map(|r| r.stats()).unwrap_or_default()
+        let mut s = self.reliable.as_ref().map(|r| r.stats()).unwrap_or_default();
+        if let Some(r) = self.partitioned.as_ref().and_then(|p| p.rel.as_ref()) {
+            s.merge(&r.stats());
+        }
+        s
     }
 
     /// The exchange under an armed fault plan: loopbacks stay on the
@@ -365,6 +480,9 @@ impl ExchangeView {
         ctx: &mut RankCtx<'_>,
         storage: &mut MemMapStorage,
     ) -> Result<(), NetsimError> {
+        if self.partitioned.is_some() {
+            return self.exchange_reliable_partitioned(ctx, storage);
+        }
         if self.reliable.is_none() {
             let b = self.bound.as_ref().expect("bound by exchange");
             let rel_sends = self
@@ -409,6 +527,111 @@ impl ExchangeView {
         rel.run(ctx, |i, payload| slice[ranges[i].clone()].copy_from_slice(payload))
     }
 
+    /// The lossy-fault exchange at partition granularity: frames are
+    /// staged per padded brick straight from the mmap views, so a
+    /// dropped fragment retransmits one brick, never the whole view.
+    fn exchange_reliable_partitioned(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+    ) -> Result<(), NetsimError> {
+        let ExchangeView { sends, recvs, bound, partitioned, .. } = self;
+        let b = bound.as_ref().expect("bound by caller");
+        for (i, m) in sends.iter().enumerate() {
+            ctx.note_payload(m.payload_bytes);
+            if let Some(j) = b.send_loopback[i] {
+                let r = &recvs[j];
+                ctx.loopback_into(
+                    m.tag,
+                    m.view.as_f64(),
+                    &mut storage.storage.as_mut_slice()[r.elems.clone()],
+                )?;
+            }
+        }
+        let part = partitioned.as_mut().expect("checked by caller");
+        part.ensure_reliable();
+        let pe = part.part_elems;
+        let (rel, psend_src, rel_recv_map) = part.reliable_parts();
+        rel.begin();
+        let mut idx = 0usize;
+        for &i in psend_src.iter() {
+            let data = sends[i].view.as_f64();
+            let parts = data.len() / pe + usize::from(data.len() % pe != 0);
+            for p in 0..parts {
+                let hi = ((p + 1) * pe).min(data.len());
+                rel.stage(idx, &data[p * pe..hi]);
+                idx += 1;
+            }
+        }
+        let ranges = &b.mailbox_ranges;
+        let slice = storage.storage.as_mut_slice();
+        rel.run(ctx, |i, payload| {
+            let (j, p) = rel_recv_map[i];
+            let lo = ranges[j as usize].start + p as usize * pe;
+            slice[lo..lo + payload.len()].copy_from_slice(payload);
+        })
+    }
+
+    /// `begin` over partitioned channels: loopbacks complete inline,
+    /// each send view flushes (settling deferred-fragment residuals
+    /// first), each receive channel re-arms and drains early arrivals.
+    fn begin_partitioned(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+        completed: &mut Vec<usize>,
+    ) -> Result<(), NetsimError> {
+        let ExchangeView { sends, recvs, bound, partitioned, done, .. } = self;
+        let b = bound.as_ref().expect("bound by caller");
+        for (i, m) in sends.iter().enumerate() {
+            if let Some(j) = b.send_loopback[i] {
+                ctx.note_payload(m.payload_bytes);
+                let r = &recvs[j];
+                ctx.loopback_into(
+                    m.tag,
+                    m.view.as_f64(),
+                    &mut storage.storage.as_mut_slice()[r.elems.clone()],
+                )?;
+            }
+        }
+        let part = partitioned.as_mut().expect("checked by caller");
+        let PartitionedExchange { psends, psend_src, precvs, .. } = part;
+        for (k, &i) in psend_src.iter().enumerate() {
+            ctx.note_payload(sends[i].payload_bytes);
+            psends[k].flush(ctx, sends[i].view.as_f64())?;
+        }
+        for (j, pr) in precvs.iter_mut().enumerate() {
+            pr.begin(ctx)?;
+            let dst = &mut storage.storage.as_mut_slice()[b.mailbox_ranges[j].clone()];
+            if pr.poll(ctx, dst)? {
+                done[j] = true;
+                completed.push(j);
+            }
+        }
+        Ok(())
+    }
+
+    /// `finish` over partitioned channels: block the receives still
+    /// outstanding, then close the deferred communication epoch.
+    fn finish_partitioned(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        storage: &mut MemMapStorage,
+    ) -> Result<(), NetsimError> {
+        let ExchangeView { bound, partitioned, done, .. } = self;
+        let b = bound.as_ref().expect("bound by caller");
+        let part = partitioned.as_mut().expect("checked by caller");
+        for (j, pr) in part.precvs.iter_mut().enumerate() {
+            if !done[j] {
+                let dst = &mut storage.storage.as_mut_slice()[b.mailbox_ranges[j].clone()];
+                pr.finish(ctx, dst)?;
+                done[j] = true;
+            }
+        }
+        ctx.flush_epoch();
+        Ok(())
+    }
+
     /// First half of a split exchange: post every send and receive, then
     /// return without waiting. Loopback self-sends complete inline (their
     /// ghost groups are filled on return); mailbox receives complete
@@ -430,7 +653,7 @@ impl ExchangeView {
         let n = self.bound.as_ref().expect("bound above").mailbox_ranges.len();
         self.done.clear();
         self.done.resize(n, false);
-        if ctx.fault_active() {
+        if ctx.fault_lossy() {
             ctx.scoped("exchange:memmap", |ctx| self.exchange_reliable(ctx, storage))?;
             for i in 0..n {
                 self.done[i] = true;
@@ -440,6 +663,10 @@ impl ExchangeView {
             return Ok(());
         }
         self.fault_step = false;
+        if self.partitioned.is_some() {
+            return ctx
+                .scoped("exchange:memmap", |ctx| self.begin_partitioned(ctx, storage, completed));
+        }
         ctx.scoped("exchange:memmap", |ctx| {
             let ExchangeView { sends, recvs, bound, handles, .. } = self;
             let b = bound.as_ref().expect("bound above");
@@ -478,6 +705,22 @@ impl ExchangeView {
         if self.fault_step {
             return Ok(0);
         }
+        if let Some(part) = self.partitioned.as_mut() {
+            let b = self.bound.as_ref().expect("begin binds the schedule");
+            let mut newly = 0usize;
+            for (j, pr) in part.precvs.iter_mut().enumerate() {
+                if self.done[j] {
+                    continue;
+                }
+                let dst = &mut storage.storage.as_mut_slice()[b.mailbox_ranges[j].clone()];
+                if pr.poll(ctx, dst)? {
+                    self.done[j] = true;
+                    completed.push(j);
+                    newly += 1;
+                }
+            }
+            return Ok(newly);
+        }
         let ExchangeView { bound, handles, done, .. } = self;
         let b = bound.as_ref().expect("begin binds the schedule");
         ctx.progress(handles, storage.storage.as_mut_slice(), &b.mailbox_ranges, done, completed)
@@ -496,6 +739,9 @@ impl ExchangeView {
             // The reliable protocol already flushed its epochs.
             self.fault_step = false;
             return Ok(());
+        }
+        if self.partitioned.is_some() {
+            return ctx.scoped("exchange:memmap", |ctx| self.finish_partitioned(ctx, storage));
         }
         self.pend_handles.clear();
         self.pend_ranges.clear();

@@ -15,10 +15,11 @@ use std::ops::Range;
 
 use layout::Dir;
 use memview::{host_page_size, is_aligned, ContiguousView, Segment};
-use netsim::{NetsimError, RankCtx, RecvHandle};
+use netsim::{NetsimError, PartitionStats, RankCtx, RecvHandle};
+use sched::SendPriority;
 
 use crate::decomp::BrickDecomp;
-use crate::exchange::ExchangeStats;
+use crate::exchange::{ExchangeStats, PartSendSpec, PartitionedExchange};
 use crate::memmap::MemMapStorage;
 use crate::reliable::{RecoveryStats, RelRecv, RelSend, ReliableSession};
 
@@ -52,12 +53,21 @@ pub struct ShiftExchanger {
     /// (completion order `[positive, negative]`) — the ghost bricks a
     /// dependency-graph driver gates boundary compute on.
     final_recv_bricks: [Vec<u32>; 2],
+    /// Physical brick indices of the final pass's two send slabs, in
+    /// view order — the partition map for early-bird mode.
+    final_send_bricks: [Vec<u32>; 2],
     // Split-exchange state for the final axis pass.
     fin_pending: [Option<RecvHandle>; 2],
+    // Per-direction completion flags for the partitioned final pass.
+    fin_done: [bool; 2],
     // The begin() of this step completed the final pass atomically (the
     // reliable protocol flushes its own epochs) — finish() must not
     // close another one.
     fault_step: bool,
+    // Persistent partitioned channels for the final pass (early-bird
+    // mode); None keeps the exchanger on the classic path. Earlier
+    // passes are serialized data dependencies and cannot ship early.
+    partitioned: Option<PartitionedExchange>,
 }
 
 /// Per-pass `[positive, negative]` destination and source ranks for one
@@ -91,6 +101,7 @@ impl ShiftExchanger {
         let mut passes = Vec::with_capacity(D);
         let mut stats = ExchangeStats::default();
         let mut final_recv_bricks: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        let mut final_send_bricks: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
 
         for axis in 0..D {
             // Per-axis coordinate ranges of the slab cross-section:
@@ -128,6 +139,7 @@ impl ShiftExchanger {
                 assert_eq!(send_bricks.len(), recv_bricks.len());
                 if axis + 1 == D {
                     final_recv_bricks[if positive { 0 } else { 1 }] = recv_bricks.clone();
+                    final_send_bricks[if positive { 0 } else { 1 }] = send_bricks.clone();
                 }
 
                 let sview = build_view(storage, &send_bricks, brick_bytes)?;
@@ -161,8 +173,11 @@ impl ShiftExchanger {
             bound: None,
             reliable,
             final_recv_bricks,
+            final_send_bricks,
             fin_pending: [None, None],
+            fin_done: [false, false],
             fault_step: false,
+            partitioned: None,
         })
     }
 
@@ -173,7 +188,100 @@ impl ShiftExchanger {
         for rel in self.reliable.iter().flatten() {
             total.merge(&rel.stats());
         }
+        if let Some(r) = self.partitioned.as_ref().and_then(|p| p.rel.as_ref()) {
+            total.merge(&r.stats());
+        }
         total
+    }
+
+    /// Switch the *final* axis pass into partitioned early-bird mode:
+    /// its two slab views become persistent partitioned channels whose
+    /// partitions are padded storage bricks (`step` elements). Earlier
+    /// passes stay serialized — their payloads depend on received
+    /// ghosts, so no brick of theirs is ready before the step's
+    /// exchange anyway. Requires [`Self::ensure_bound`] first; a local
+    /// (single-rank-axis) final pass has nothing to partition and
+    /// leaves the exchanger on the classic path.
+    pub fn enable_partitioned(&mut self, step: usize, bricks: usize, eager_bytes: usize) {
+        let b = self.bound.as_ref().expect("call ensure_bound first");
+        let last = self.passes.len() - 1;
+        if b.dests[last][0] == b.rank {
+            return;
+        }
+        let pass = &self.passes[last];
+        let sends = (0..2)
+            .map(|i| PartSendSpec {
+                src_idx: i,
+                dest: b.dests[last][i],
+                tag: pass.sends[i].tag,
+                bytes: pass.sends[i].bytes,
+                bricks: self.final_send_bricks[i].iter().map(|&x| x as usize).collect(),
+            })
+            .collect();
+        let recvs: Vec<(usize, u64, usize)> = (0..2)
+            .map(|i| (b.srcs[last][i], pass.recvs[i].tag, pass.recvs[i].view.as_f64().len()))
+            .collect();
+        self.partitioned = Some(PartitionedExchange::build(
+            sends,
+            &recvs,
+            step,
+            bricks,
+            eager_bytes,
+        ));
+    }
+
+    /// Destination-priority classes over storage bricks (`None` unless
+    /// partitioned mode is on).
+    pub fn priority(&self) -> Option<&SendPriority> {
+        self.partitioned.as_ref().map(|p| &p.priority)
+    }
+
+    /// Early-shipping counters accumulated since the last reset.
+    pub fn partition_stats(&self) -> PartitionStats {
+        self.partitioned
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default()
+    }
+
+    /// Zero the early-shipping counters.
+    pub fn reset_partition_stats(&mut self) {
+        if let Some(p) = self.partitioned.as_mut() {
+            p.reset_stats();
+        }
+    }
+
+    /// Mark freshly-computed boundary bricks ready on the final pass's
+    /// partitioned channels. The payload comes straight from the slab
+    /// views (aliasing the storage the bricks were computed into) —
+    /// pack-free. Bricks received by earlier passes interleave the
+    /// slabs and are never marked ready, so they bound the shippable
+    /// prefix; they flush with the remainder at the next `begin`.
+    /// No-op when partitioned mode is off or the run is lossy.
+    pub fn pready_bricks(
+        &mut self,
+        ctx: &mut RankCtx<'_>,
+        bricks: &[u32],
+    ) -> Result<(), NetsimError> {
+        let Some(part) = self.partitioned.as_mut() else {
+            return Ok(());
+        };
+        if ctx.fault_lossy() {
+            return Ok(());
+        }
+        let last = self.passes.len() - 1;
+        let sends = &self.passes[last].sends;
+        ctx.scoped("exchange:shift", |ctx| {
+            let (psends, psend_src, brick_parts) = part.pready_parts();
+            for &b in bricks {
+                let Some(list) = brick_parts.get(b as usize) else { continue };
+                for &(k, p) in list {
+                    let data = sends[psend_src[k as usize]].view.as_f64();
+                    psends[k as usize].pready(ctx, p as usize, data)?;
+                }
+            }
+            Ok(())
+        })
     }
 
     /// Traffic statistics: `2·D` messages; wire bytes exceed the Put
@@ -223,6 +331,7 @@ impl ShiftExchanger {
             }
             self.bound = Some(ShiftBound { rank, dests, srcs });
             self.reliable.iter_mut().for_each(|r| *r = None);
+            self.partitioned = None;
         }
     }
 
@@ -255,7 +364,7 @@ impl ShiftExchanger {
                 }
                 // Close the epoch: charges the pass's `wait` term.
                 ctx.waitall_into(&[], &mut [])?;
-            } else if ctx.fault_active() {
+            } else if ctx.fault_lossy() {
                 let rel = reliable[p].get_or_insert_with(|| {
                     ReliableSession::new(
                         (0..2)
@@ -328,7 +437,10 @@ impl ShiftExchanger {
         self.ensure_bound(ctx, storage);
         self.fault_step = false;
         self.fin_pending = [None, None];
-        let ShiftExchanger { passes, bound, reliable, fin_pending, fault_step, .. } = self;
+        self.fin_done = [false, false];
+        let ShiftExchanger {
+            passes, bound, reliable, fin_pending, fin_done, fault_step, partitioned, ..
+        } = self;
         let b = bound.as_ref().expect("bound above");
         let last = passes.len() - 1;
         ctx.scoped("exchange:shift", |ctx| {
@@ -356,7 +468,41 @@ impl ShiftExchanger {
                             completed.push(0);
                             completed.push(1);
                         }
-                    } else if ctx.fault_active() {
+                    } else if ctx.fault_lossy() {
+                        if p == last && partitioned.is_some() {
+                            // Partition-granularity recovery for the
+                            // final pass: one retry channel per padded
+                            // brick, so a fault costs one fragment.
+                            let part = partitioned.as_mut().expect("checked");
+                            part.ensure_reliable();
+                            let pe = part.part_elems;
+                            let (rel, psend_src, rel_recv_map) = part.reliable_parts();
+                            for send in &pass.sends {
+                                ctx.note_payload(send.bytes);
+                            }
+                            rel.begin();
+                            let mut idx = 0usize;
+                            for &i in psend_src.iter() {
+                                let data = pass.sends[i].view.as_f64();
+                                let parts = data.len().div_ceil(pe);
+                                for q in 0..parts {
+                                    let hi = ((q + 1) * pe).min(data.len());
+                                    rel.stage(idx, &data[q * pe..hi]);
+                                    idx += 1;
+                                }
+                            }
+                            let recvs = &mut pass.recvs;
+                            rel.run(ctx, |i, payload| {
+                                let (j, q) = rel_recv_map[i];
+                                let lo = q as usize * pe;
+                                recvs[j as usize].view.as_f64_mut()[lo..lo + payload.len()]
+                                    .copy_from_slice(payload);
+                            })?;
+                            completed.push(0);
+                            completed.push(1);
+                            *fault_step = true;
+                            return Ok(());
+                        }
                         let rel = reliable[p].get_or_insert_with(|| {
                             ReliableSession::new(
                                 (0..2)
@@ -385,6 +531,24 @@ impl ShiftExchanger {
                             completed.push(0);
                             completed.push(1);
                             *fault_step = true;
+                        }
+                    } else if p == last && partitioned.is_some() {
+                        // Partitioned final pass: flush each slab
+                        // channel (settling early-fragment residuals
+                        // first), then re-arm the receive channels and
+                        // drain fragments that raced ahead.
+                        let part = partitioned.as_mut().expect("checked");
+                        let PartitionedExchange { psends, psend_src, precvs, .. } = part;
+                        for (k, &i) in psend_src.iter().enumerate() {
+                            ctx.note_payload(pass.sends[i].bytes);
+                            psends[k].flush(ctx, pass.sends[i].view.as_f64())?;
+                        }
+                        for (j, pr) in precvs.iter_mut().enumerate() {
+                            pr.begin(ctx)?;
+                            if pr.poll(ctx, pass.recvs[j].view.as_f64_mut())? {
+                                fin_done[j] = true;
+                                completed.push(j);
+                            }
                         }
                     } else if p < last {
                         let h0 = ctx.irecv(srcs[0], pass.recvs[0].tag)?;
@@ -426,6 +590,21 @@ impl ShiftExchanger {
             return Ok(0);
         }
         let last = self.passes.len() - 1;
+        if let Some(part) = self.partitioned.as_mut() {
+            let recvs = &mut self.passes[last].recvs;
+            let mut newly = 0usize;
+            for (j, pr) in part.precvs.iter_mut().enumerate() {
+                if self.fin_done[j] {
+                    continue;
+                }
+                if pr.poll(ctx, recvs[j].view.as_f64_mut())? {
+                    self.fin_done[j] = true;
+                    completed.push(j);
+                    newly += 1;
+                }
+            }
+            return Ok(newly);
+        }
         let srcs = self.bound.as_ref().expect("begin binds the schedule").srcs[last];
         let mut newly = 0usize;
         for (i, &src) in srcs.iter().enumerate() {
@@ -465,9 +644,20 @@ impl ShiftExchanger {
             return Ok(());
         }
         let last = self.passes.len() - 1;
-        let ShiftExchanger { passes, fin_pending, .. } = self;
+        let ShiftExchanger { passes, fin_pending, fin_done, partitioned, .. } = self;
         ctx.scoped("exchange:shift", |ctx| {
             ctx.scoped(PASS_NAMES[last.min(PASS_NAMES.len() - 1)], |ctx| {
+                if let Some(part) = partitioned.as_mut() {
+                    let recvs = &mut passes[last].recvs;
+                    for (j, pr) in part.precvs.iter_mut().enumerate() {
+                        if !fin_done[j] {
+                            pr.finish(ctx, recvs[j].view.as_f64_mut())?;
+                            fin_done[j] = true;
+                        }
+                    }
+                    ctx.flush_epoch();
+                    return Ok(());
+                }
                 let (ra, rb) = passes[last].recvs.split_at_mut(1);
                 let mut handles: Vec<RecvHandle> = Vec::with_capacity(2);
                 let mut bufs: Vec<&mut [f64]> = Vec::with_capacity(2);

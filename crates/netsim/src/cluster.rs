@@ -466,6 +466,22 @@ impl<'a> RankCtx<'a> {
         self.fault.is_some() && !self.fault_bypass
     }
 
+    /// Whether the armed fault plan can actually lose or damage data
+    /// (drop/corrupt/dup). Delay- or jitter-only plans stretch modeled
+    /// time but deliver every payload intact, so engines keep their
+    /// fast overlap/partitioned paths open under them.
+    pub fn fault_lossy(&self) -> bool {
+        self.fault_active() && self.fault.as_ref().is_some_and(|p| p.config().lossy())
+    }
+
+    /// This rank's virtual clock: the sum of every second billed so far
+    /// (compute, pack, call and wait). Monotone between timer resets.
+    /// The partitioned-channel layer timestamps shipped fragments with
+    /// it so fragment bandwidth can drain behind later billed work.
+    pub fn virtual_time(&self) -> f64 {
+        self.timers.total()
+    }
+
     /// Injection totals for this rank so far.
     pub fn fault_stats(&self) -> FaultStats {
         self.fault.as_ref().map(|p| p.stats()).unwrap_or_default()
@@ -493,13 +509,16 @@ impl<'a> RankCtx<'a> {
 
     /// Charge the send-side wire model for one message of `bytes`
     /// payload: `o` seconds of `call`, message/byte counters, epoch
-    /// accounting, and the trace event.
-    fn charge_send(&mut self, peer: usize, tag: u64, bytes: usize) {
+    /// accounting (skipped for deferred sends, whose `wait` the caller
+    /// settles itself), and the trace event.
+    fn charge_send(&mut self, peer: usize, tag: u64, bytes: usize, epoch: bool) {
         self.bill(Phase::Wire, self.net.call_time(1));
         self.timers.msgs += 1;
         self.timers.wire_bytes += bytes as u64;
-        self.epoch_msgs += 1;
-        self.epoch_bytes += bytes;
+        if epoch {
+            self.epoch_msgs += 1;
+            self.epoch_bytes += bytes;
+        }
         self.recorder.count("msgs_sent", 1);
         self.recorder.observe("send_bytes", bytes as f64);
         self.trace.record(MsgEvent { send: true, peer, tag, bytes });
@@ -513,11 +532,37 @@ impl<'a> RankCtx<'a> {
     /// dropped, duplicated, corrupted or delayed; every injected fault
     /// is recorded in the [`Trace`] fault log.
     pub fn isend(&mut self, dest: usize, tag: u64, data: &[f64]) -> Result<(), NetsimError> {
+        self.isend_impl(dest, tag, data, true)
+    }
+
+    /// Post a nonblocking send whose LogGP `wait` term is *deferred*:
+    /// the fragment is charged `o` seconds of `call` and counted like
+    /// any other message, but it does not join the current send epoch —
+    /// the caller owns its serialization cost and settles it later (see
+    /// [`crate::partition::PartitionedSend`], which drains fragment
+    /// bandwidth behind subsequently billed compute and bills only the
+    /// residual). Fault plans apply exactly as for [`RankCtx::isend`].
+    pub fn isend_deferred(
+        &mut self,
+        dest: usize,
+        tag: u64,
+        data: &[f64],
+    ) -> Result<(), NetsimError> {
+        self.isend_impl(dest, tag, data, false)
+    }
+
+    fn isend_impl(
+        &mut self,
+        dest: usize,
+        tag: u64,
+        data: &[f64],
+        epoch: bool,
+    ) -> Result<(), NetsimError> {
         if dest >= self.topo.size() {
             return Err(NetsimError::InvalidRank { rank: dest, size: self.topo.size() });
         }
         let bytes = std::mem::size_of_val(data);
-        self.charge_send(dest, tag, bytes);
+        self.charge_send(dest, tag, bytes, epoch);
         let decision = match self.fault.as_mut() {
             Some(plan) if !self.fault_bypass => plan.decide(dest, tag, data.len()),
             _ => FaultDecision::default(),
@@ -598,7 +643,7 @@ impl<'a> RankCtx<'a> {
             });
         }
         let bytes = src.len() * std::mem::size_of::<f64>();
-        self.charge_send(self.rank, tag, bytes);
+        self.charge_send(self.rank, tag, bytes, true);
         // The matching receive post, as `irecv` would charge it.
         self.bill(Phase::Wire, self.net.call_time(1));
         data.copy_within(src, dst);
@@ -624,7 +669,7 @@ impl<'a> RankCtx<'a> {
             });
         }
         let bytes = std::mem::size_of_val(src);
-        self.charge_send(self.rank, tag, bytes);
+        self.charge_send(self.rank, tag, bytes, true);
         self.bill(Phase::Wire, self.net.call_time(1));
         dst.copy_from_slice(src);
         self.trace.record(MsgEvent { send: false, peer: self.rank, tag, bytes });
@@ -725,6 +770,29 @@ impl<'a> RankCtx<'a> {
             bytes: msg.data.len() * 8,
         });
         Some(RecvdMsg { owner: msg.owner, data: msg.data })
+    }
+
+    /// Complete one posted receive, blocking until it arrives (or until
+    /// the armed receive deadline — see [`RankCtx::set_recv_timeout`] —
+    /// expires, which is a [`NetsimError::Timeout`]). Bills nothing and
+    /// leaves the send epoch open; the frame is handed back raw, so
+    /// recycle it with [`RankCtx::recycle`].
+    pub fn recv_blocking(&mut self, h: RecvHandle) -> Result<RecvdMsg, NetsimError> {
+        let deadline = self.recv_timeout.map(|t| Instant::now() + t);
+        let Some(msg) = self.blocking_pop((h.source, h.tag), deadline) else {
+            return Err(NetsimError::Timeout {
+                rank: self.rank,
+                pending: vec![(h.source, h.tag)],
+                mailbox: self.mailbox_keys(),
+            });
+        };
+        self.trace.record(MsgEvent {
+            send: false,
+            peer: h.source,
+            tag: h.tag,
+            bytes: msg.data.len() * 8,
+        });
+        Ok(RecvdMsg { owner: msg.owner, data: msg.data })
     }
 
     /// Return a completed message's buffer to its owner's pool.

@@ -63,6 +63,14 @@ impl FaultConfig {
             || self.jitter > 0.0
     }
 
+    /// Whether data can be lost or damaged in flight. Delay and jitter
+    /// only stretch modeled time — every payload still arrives intact —
+    /// so exchange engines only need the reliable retry protocol when
+    /// this is true.
+    pub fn lossy(&self) -> bool {
+        self.drop > 0.0 || self.corrupt > 0.0 || self.dup > 0.0
+    }
+
     /// Parse the CLI form `seed[,drop[,corrupt[,dup[,delay[,jitter]]]]]`,
     /// e.g. `--faults 42,0.1,0.05`.
     pub fn parse(spec: &str) -> Result<FaultConfig, String> {

@@ -47,6 +47,7 @@ pub mod error;
 pub mod event;
 pub mod fault;
 pub mod model;
+pub mod partition;
 pub mod timers;
 pub mod topo;
 pub mod trace;
@@ -61,6 +62,9 @@ pub use collective::TimerSummary;
 pub use error::NetsimError;
 pub use fault::{
     frame_checksum, FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultStats, CTRL_TAG_BIT,
+};
+pub use partition::{
+    PartitionStats, PartitionTable, PartitionedRecv, PartitionedSend, DEFAULT_EAGER_BYTES,
 };
 pub use trace::{MsgEvent, Trace};
 pub use model::NetworkModel;

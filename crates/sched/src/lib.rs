@@ -225,9 +225,90 @@ impl OverlapTimer {
         self.hidden_total
     }
 
+    /// Fold partitioned-channel byte totals (early-shipped vs total
+    /// payload routed through partitioned sends) into the stats. The
+    /// drivers call this once per run with the engine's accumulated
+    /// channel counters.
+    pub fn record_partition(&mut self, early_bytes: u64, total_bytes: u64) {
+        self.stats.early_bytes += early_bytes;
+        self.stats.partition_bytes += total_bytes;
+    }
+
     /// The folded overlap statistics.
     pub fn stats(&self) -> OverlapStats {
         self.stats
+    }
+}
+
+/// Destination-priority ordering for ready boundary bricks: bricks
+/// feeding the most-exposed neighbor channel ship first, so the biggest
+/// partitioned message starts draining earliest. Engines assign each
+/// send-source brick the priority class of its owning channel (0 =
+/// most exposed, by payload bytes descending); bricks feeding several
+/// channels take the most urgent class, and bricks feeding none sort
+/// last.
+#[derive(Clone, Debug)]
+pub struct SendPriority {
+    class_of: Vec<u32>,
+}
+
+impl SendPriority {
+    /// Priority class of a brick that feeds no send channel: computed
+    /// after every sender in a batch.
+    pub const LAST: u32 = u32::MAX;
+
+    /// All bricks start at [`SendPriority::LAST`].
+    pub fn new(bricks: usize) -> SendPriority {
+        SendPriority { class_of: vec![Self::LAST; bricks] }
+    }
+
+    /// Assign brick `b` to priority class `class`, keeping the most
+    /// urgent (smallest) class when the brick feeds several channels.
+    pub fn assign(&mut self, b: u32, class: u32) {
+        let slot = &mut self.class_of[b as usize];
+        *slot = (*slot).min(class);
+    }
+
+    /// The brick's assigned class.
+    pub fn class_of(&self, b: u32) -> u32 {
+        self.class_of[b as usize]
+    }
+
+    /// Order a ready batch most-urgent-first (stable: equal classes
+    /// keep their completion order).
+    pub fn order(&self, ready: &mut [u32]) {
+        ready.sort_by_key(|&b| self.class_of(b));
+    }
+
+    /// Split an [`SendPriority::order`]-ed batch into runs of equal
+    /// class, so a driver can stage each run as one parallel sub-batch
+    /// and mark its partitions ready before starting the next.
+    pub fn groups<'a>(&'a self, ordered: &'a [u32]) -> PriorityGroups<'a> {
+        PriorityGroups { pri: self, rest: ordered }
+    }
+}
+
+/// Iterator over equal-priority runs of an ordered batch (see
+/// [`SendPriority::groups`]).
+pub struct PriorityGroups<'a> {
+    pri: &'a SendPriority,
+    rest: &'a [u32],
+}
+
+impl<'a> Iterator for PriorityGroups<'a> {
+    type Item = &'a [u32];
+
+    fn next(&mut self) -> Option<&'a [u32]> {
+        let first = *self.rest.first()?;
+        let class = self.pri.class_of(first);
+        let len = self
+            .rest
+            .iter()
+            .position(|&b| self.pri.class_of(b) != class)
+            .unwrap_or(self.rest.len());
+        let (run, rest) = self.rest.split_at(len);
+        self.rest = rest;
+        Some(run)
     }
 }
 
@@ -335,5 +416,33 @@ mod tests {
         assert!((s.total_wire - 2.0).abs() < 1e-12);
         assert!((s.efficiency() - 0.625).abs() < 1e-12);
         assert!((t.hidden_total() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_timer_folds_partition_bytes() {
+        let mut t = OverlapTimer::new();
+        t.record_partition(300, 400);
+        t.record_partition(100, 400);
+        let s = t.stats();
+        assert_eq!(s.early_bytes, 300 + 100);
+        assert_eq!(s.partition_bytes, 800);
+        assert!((s.early_shipped_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn send_priority_orders_and_groups_most_urgent_first() {
+        let mut p = SendPriority::new(8);
+        p.assign(3, 1);
+        p.assign(5, 0);
+        p.assign(6, 0);
+        p.assign(3, 2); // keeps the more urgent class 1
+        assert_eq!(p.class_of(3), 1);
+        assert_eq!(p.class_of(0), SendPriority::LAST, "non-senders sort last");
+        let mut ready = vec![0, 3, 5, 1, 6];
+        p.order(&mut ready);
+        assert_eq!(ready, vec![5, 6, 3, 0, 1], "stable within a class");
+        let groups: Vec<&[u32]> = p.groups(&ready).collect();
+        assert_eq!(groups, vec![&[5, 6][..], &[3][..], &[0, 1][..]]);
+        assert!(p.groups(&[]).next().is_none());
     }
 }

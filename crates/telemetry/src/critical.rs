@@ -35,6 +35,12 @@ pub struct OverlapStats {
     /// Total modeled wire seconds (`call + wait`) the overlap window
     /// competed against.
     pub total_wire: f64,
+    /// Payload bytes shipped early through partitioned channels
+    /// (`pready` fragments that left before the owning message's
+    /// injection point). Zero for non-partitioned runs.
+    pub early_bytes: u64,
+    /// Total payload bytes routed through partitioned channels.
+    pub partition_bytes: u64,
 }
 
 impl OverlapStats {
@@ -49,10 +55,28 @@ impl OverlapStats {
         }
     }
 
+    /// Fraction of partitioned payload that left the rank before the
+    /// owning message's injection point (0 when the run used no
+    /// partitioned channels).
+    pub fn early_shipped_fraction(&self) -> f64 {
+        if self.partition_bytes > 0 {
+            self.early_bytes as f64 / self.partition_bytes as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether any payload was routed through partitioned channels.
+    pub fn partitioned(&self) -> bool {
+        self.partition_bytes > 0
+    }
+
     /// Accumulate another run's (or rank's) overlap totals.
     pub fn merge(&mut self, o: &OverlapStats) {
         self.hidden_wire += o.hidden_wire;
         self.total_wire += o.total_wire;
+        self.early_bytes += o.early_bytes;
+        self.partition_bytes += o.partition_bytes;
     }
 }
 
@@ -183,12 +207,23 @@ mod tests {
 
     #[test]
     fn overlap_efficiency_clamps_and_merges() {
-        let mut a = OverlapStats { hidden_wire: 3.0, total_wire: 4.0 };
+        let mut a = OverlapStats { hidden_wire: 3.0, total_wire: 4.0, ..Default::default() };
         assert!((a.efficiency() - 0.75).abs() < 1e-12);
-        a.merge(&OverlapStats { hidden_wire: 1.0, total_wire: 0.0 });
+        a.merge(&OverlapStats { hidden_wire: 1.0, total_wire: 0.0, ..Default::default() });
         assert_eq!(a.total_wire, 4.0);
         assert_eq!(a.efficiency(), 1.0, "hidden beyond total clamps to 1");
         assert_eq!(OverlapStats::default().efficiency(), 0.0, "no wire = nothing to hide");
+    }
+
+    #[test]
+    fn early_shipped_fraction_tracks_partition_bytes() {
+        let mut a = OverlapStats::default();
+        assert!(!a.partitioned());
+        assert_eq!(a.early_shipped_fraction(), 0.0, "no partitioned traffic = 0");
+        a.merge(&OverlapStats { early_bytes: 600, partition_bytes: 1000, ..Default::default() });
+        a.merge(&OverlapStats { early_bytes: 200, partition_bytes: 1000, ..Default::default() });
+        assert!(a.partitioned());
+        assert!((a.early_shipped_fraction() - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn main() {
             faults: netsim::FaultConfig::off(),
             profile: false,
             overlap: false,
+            partitioned: false,
             backend: netsim::Backend::from_env(),
         };
         let r = run_experiment(&cfg);

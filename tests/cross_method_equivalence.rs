@@ -19,6 +19,7 @@ fn cfg(method: CpuMethod, n: usize, shape: StencilShape, ranks: Vec<usize>) -> E
         faults: netsim::FaultConfig::off(),
         profile: false,
         overlap: false,
+        partitioned: false,
         backend: Backend::from_env(),
     }
 }

@@ -34,6 +34,7 @@ fn gpu_modes_match_cpu_physics() {
         faults: netsim::FaultConfig::off(),
         profile: false,
         overlap: false,
+        partitioned: false,
         backend: Backend::from_env(),
     });
     for m in [

@@ -40,6 +40,7 @@ fn backends_match(
         faults,
         profile: false,
         overlap,
+        partitioned: false,
         backend: Backend::Thread,
     };
     // MpiTypes charges its really-measured element walk into `call`

@@ -34,6 +34,7 @@ fn overlap_matches_phased(
         faults,
         profile: false,
         overlap: false,
+        partitioned: false,
         backend: Backend::from_env(),
     };
     let phased = run_experiment(&cfg);
