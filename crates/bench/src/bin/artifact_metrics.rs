@@ -33,6 +33,7 @@ fn main() {
             kernel: KernelKind::Plan,
             faults: netsim::FaultConfig::off(),
             profile: false,
+            checkpoint_every: 0,
             overlap: false,
             partitioned: false,
             backend: netsim::Backend::from_env(),

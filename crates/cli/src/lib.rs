@@ -30,6 +30,9 @@ pub struct Options {
     pub kernel: KernelKind,
     /// Seeded fault injection (chaos mode); off by default.
     pub faults: netsim::FaultConfig,
+    /// Buddy-checkpoint interval in steps (0 = off; a kill:/stall:
+    /// schedule forces interval 1 when unset).
+    pub checkpoint_every: usize,
     /// Emit machine-readable JSON instead of the artifact text format.
     pub json: bool,
     /// Record per-rank phase timelines and report the breakdown.
@@ -97,6 +100,7 @@ impl Default for Options {
             net: Net::Aries,
             kernel: KernelKind::Plan,
             faults: netsim::FaultConfig::off(),
+            checkpoint_every: 0,
             json: false,
             profile: false,
             overlap: false,
@@ -136,7 +140,19 @@ OPTIONS:
                         [,delay[,jitter]]]]], probabilities in [0,1],
                         e.g. 42,0.1,0.05 — exchanges retry until they
                         converge bit-identically to the fault-free run
-                        (default: off)
+                        (default: off). Process faults go anywhere in
+                        the list: kill:RANK@STEP[+OP] crash-stops the
+                        rank mid-step (survived via buddy checkpoints
+                        and an epoch-based recovery, bit-identical to
+                        the fault-free run; needs >= 2 ranks and a
+                        memmap/layout/basic/shift method), and
+                        stall:RANK@STEP[+OP]:SECS bills a fail-slow
+                        stall to the rank's wait timer
+  -c, --checkpoint-every <K>
+                        buddy-checkpoint interval in steps: every K
+                        steps each rank snapshots its grid to rank+1's
+                        memory (0 = off; a kill:/stall: schedule forces
+                        K=1 when unset; memmap/layout/basic/shift only)
   -B, --backend <name>  thread | event — rank execution substrate: one OS
                         thread per rank (the reference) or the
                         event-driven multiplexer that simulates
@@ -239,6 +255,11 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
             "-f" | "--faults" => {
                 o.faults = netsim::FaultConfig::parse(&take("--faults")?)?;
             }
+            "-c" | "--checkpoint-every" => {
+                o.checkpoint_every = take("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+            }
             "-B" | "--backend" => {
                 let name = take("--backend")?;
                 o.backend = netsim::Backend::parse(&name)
@@ -274,6 +295,20 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
             "{flag} needs a split-capable exchange engine \
              (memmap | layout | basic | shift), not '{method_name}'"
         ));
+    }
+    if (o.faults.proc_active() || o.checkpoint_every > 0)
+        && !matches!(
+            o.method,
+            CpuMethod::MemMap { .. } | CpuMethod::Layout | CpuMethod::Basic | CpuMethod::Shift { .. }
+        )
+    {
+        return Err(format!(
+            "kill:/stall:/--checkpoint-every need a resilient exchange engine \
+             (memmap | layout | basic | shift), not '{method_name}'"
+        ));
+    }
+    if o.faults.kill.is_some() && o.ranks.iter().product::<usize>() < 2 {
+        return Err("kill: needs at least 2 ranks (the victim restores from its buddy)".into());
     }
     if o.size % 8 != 0 || o.size < 16 {
         return Err("--size must be a multiple of 8, at least 16".into());
@@ -314,6 +349,7 @@ pub fn config(o: &Options) -> ExperimentConfig {
             o.faults
         },
         profile: o.profile,
+        checkpoint_every: o.checkpoint_every,
         overlap: o.overlap,
         partitioned: o.partitioned,
         backend: o.backend,
@@ -503,6 +539,27 @@ pub fn render(o: &Options, r: &MethodReport) -> String {
             r.stats.degraded_exchanges
         ));
     }
+    // Gate on the harness's own accounting: only resilient runs (an
+    // armed checkpoint interval or a survived process fault) print it.
+    if r.recovery.armed() {
+        let rv = &r.recovery;
+        out.push_str(&format!(
+            "checkpoints: {} snapshots, {} bytes to buddy ranks\n",
+            rv.checkpoints, rv.checkpoint_bytes
+        ));
+        if rv.recovery_epochs > 0 {
+            out.push_str(&format!(
+                "rank failure: rank {} died at step {} | {} recovery epoch(s) | \
+                 replayed {} step(s) | restored {} bytes | detected in {:.6} s\n",
+                rv.failed_rank,
+                rv.failed_step,
+                rv.recovery_epochs,
+                rv.replayed_steps,
+                rv.restore_bytes,
+                rv.detect_latency_s
+            ));
+        }
+    }
     out
 }
 
@@ -609,6 +666,22 @@ pub fn render_json(o: &Options, r: &MethodReport) -> String {
             fault_events_json(&r.fault_events)
         ));
     }
+    if r.recovery.armed() {
+        let rv = &r.recovery;
+        out.push_str(&format!(
+            "  \"resilience\": {{\"checkpoints\": {}, \"checkpoint_bytes\": {}, \
+             \"recovery_epochs\": {}, \"replayed_steps\": {}, \"restore_bytes\": {}, \
+             \"detect_latency_s\": {:.9}, \"failed_rank\": {}, \"failed_step\": {}}},\n",
+            rv.checkpoints,
+            rv.checkpoint_bytes,
+            rv.recovery_epochs,
+            rv.replayed_steps,
+            rv.restore_bytes,
+            rv.detect_latency_s,
+            rv.failed_rank,
+            rv.failed_step
+        ));
+    }
     out.push_str(&format!("  \"gstencil_per_rank\": {:.6}\n", r.gstencil()));
     out.push_str("}\n");
     out
@@ -690,6 +763,41 @@ mod tests {
         assert!(p(&["--iters", "0"]).is_err());
         assert!(p(&["--frobnicate"]).is_err());
         assert!(p(&["-d"]).is_err());
+    }
+
+    #[test]
+    fn resilience_flags() {
+        assert_eq!(p(&[]).unwrap().checkpoint_every, 0);
+        let o = p(&["-c", "3"]).unwrap();
+        assert_eq!(o.checkpoint_every, 3);
+        let o = p(&["--checkpoint-every", "2", "-f", "kill:1@3", "-r", "2x1x1"]).unwrap();
+        assert_eq!(o.checkpoint_every, 2);
+        assert_eq!(o.faults.kill.map(|k| (k.rank, k.step)), Some((1, 3)));
+        assert_eq!(config(&o).checkpoint_every, 2);
+        // kill: needs a buddy rank, and resilience needs a split-capable
+        // engine.
+        assert!(p(&["-f", "kill:0@1"]).is_err());
+        assert!(p(&["-m", "yask", "-c", "2"]).is_err());
+        assert!(p(&["-m", "mpi-types", "-f", "kill:1@0", "-r", "2x1x1"]).is_err());
+        assert!(p(&["-c", "x"]).is_err());
+        assert!(USAGE.contains("--checkpoint-every"));
+        assert!(USAGE.contains("kill:RANK@STEP"));
+    }
+
+    #[test]
+    fn killed_run_reports_recovery() {
+        let o = p(&[
+            "-m", "layout", "-d", "16", "-I", "3", "-w", "0", "-n", "instant", "-r", "2x1x1",
+            "-f", "kill:1@1", "-c", "1", "--json",
+        ])
+        .unwrap();
+        let out = run(&o);
+        assert!(out.contains("\"resilience\""));
+        assert!(out.contains("\"recovery_epochs\": 1"));
+        assert!(out.contains("\"failed_rank\": 1"));
+        let text = render(&o, &run_experiment(&config(&o)));
+        assert!(text.contains("rank failure: rank 1 died at step 1"));
+        assert!(text.contains("checkpoints:"));
     }
 
     #[test]

@@ -1,0 +1,660 @@
+//! Buddy checkpointing and the epoch-based recovery harness.
+//!
+//! The timestep drivers in [`crate::experiment`] hand their loop body to
+//! [`drive`] as a single closure over [`DriveOp`]. On a fault-free,
+//! checkpoint-free configuration the harness degenerates to the classic
+//! `for step { body; barrier }` loop. With process faults or
+//! `--checkpoint-every` armed it becomes resilient:
+//!
+//! 1. **Checkpoint.** Every K steps (and always before step 0) each rank
+//!    snapshots its current grid ([`DriveOp::Snapshot`]), appends a
+//!    `[step, checksum]` trailer (the same FNV frame checksum the
+//!    reliable protocol uses), and exchanges the frame with its buddy
+//!    `(rank + 1) % n` around the ring. Slots are double-buffered, so a
+//!    failure can never leave a rank holding only a torn frame.
+//! 2. **Detect.** Kills fire only inside the armed step window (see
+//!    [`netsim::RankCtx::set_fault_step`]); the victim revokes the
+//!    communicator on its way down, and every survivor's next blocking
+//!    operation — at the latest the per-step fence — unwinds with
+//!    [`NetsimError::RankFailed`] instead of hanging.
+//! 3. **Recover** (ULFM-style, see [`recover_epoch`]): a join fence
+//!    gathers every rank (including the respawned victim) on the revoked
+//!    communicator; stale data-plane frames are purged (delivery is
+//!    eager, so by fence time every pre-failure send has landed); an
+//!    NBX-style agreement round settles the common recovery step; the
+//!    buddy streams the victim's snapshot back, the anti-buddy
+//!    `(f - 1) % n` re-seeds the redundancy the victim lost; every rank
+//!    rolls its grid back ([`DriveOp::Restore`]) and rebuilds its
+//!    persistent artifacts — exchange sessions, partitioned channel
+//!    tables, dependency graph ([`DriveOp::Rebuild`]); and a final fence
+//!    un-revokes the communicator before anyone resumes.
+//! 4. **Replay.** Execution resumes at the recovery step. The step body
+//!    is deterministic in the grid contents, so the replayed run is
+//!    bit-identical to the fault-free schedule.
+//!
+//! Recovery control traffic flows on its own reserved tag namespace
+//! (fault-exempt, preserved by the post-fence purge); step fences and
+//! checkpoint frames use a second reserved namespace that is *not*
+//! preserved, because after a failure any such frame is stale by
+//! construction.
+
+use netsim::{frame_checksum, FaultKind, NetsimError, RankCtx, CTRL_TAG_BIT};
+
+/// Per-step control namespace: fence tokens and checkpoint frames.
+/// Purged (with the data plane) during recovery — a surviving token
+/// from a fence the victim never joined must not leak into the next one.
+const STEP_JOIN: u64 = CTRL_TAG_BIT | 0x7EC0_0000;
+const STEP_REL: u64 = CTRL_TAG_BIT | 0x7EC0_0001;
+const CKPT: u64 = CTRL_TAG_BIT | 0x7EC0_0002;
+
+/// Recovery-epoch namespace: everything sent between the join fence and
+/// the release fence. The mailbox purge keeps `RECO_NS | 0..=7`.
+const RECO_NS: u64 = CTRL_TAG_BIT | 0x7EC1_0000;
+const JOIN_A: u64 = RECO_NS;
+const REL_A: u64 = RECO_NS | 1;
+const AGREE: u64 = RECO_NS | 2;
+const PLAN: u64 = RECO_NS | 3;
+const RESTORE: u64 = RECO_NS | 4;
+const REBUDDY: u64 = RECO_NS | 5;
+const JOIN_B: u64 = RECO_NS | 6;
+const REL_B: u64 = RECO_NS | 7;
+
+/// One operation the harness asks of the driver's loop closure.
+///
+/// `Step` is the ordinary timestep body (exchange + compute + swap —
+/// everything except the end-of-step synchronization, which the harness
+/// owns). The other three only fire on resilient configurations.
+pub enum DriveOp<'a> {
+    /// Execute timestep `step` (0-based, warmup included).
+    Step(usize),
+    /// Append the current grid (the storage the *next* step reads) to
+    /// the buffer. Must capture everything `Restore` needs to reproduce
+    /// the step-boundary state bit-exactly.
+    Snapshot(&'a mut Vec<f64>),
+    /// Overwrite the current grid with a snapshot taken by `Snapshot`.
+    Restore(&'a [f64]),
+    /// Recreate every persistent artifact whose state the aborted step
+    /// may have torn: exchange sessions (and their reliable sequence
+    /// numbers), partitioned send/recv tables, the dependency graph and
+    /// overlap timer. Called on *every* rank during recovery.
+    Rebuild,
+}
+
+/// Resilience knobs for one [`drive`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryCfg {
+    /// Total steps to drive (timed + warmup).
+    pub steps: usize,
+    /// Checkpoint interval in steps; 0 disables checkpointing (a kill
+    /// schedule still forces interval 1 so recovery has a base state).
+    pub checkpoint_every: usize,
+    /// Whether a process-fault schedule (kill or stall) is armed.
+    pub proc_faults: bool,
+}
+
+impl RecoveryCfg {
+    /// Whether [`drive`] runs the resilient path at all.
+    pub fn resilient(&self) -> bool {
+        self.checkpoint_every > 0 || self.proc_faults
+    }
+
+    fn interval(&self) -> usize {
+        if self.checkpoint_every == 0 {
+            1
+        } else {
+            self.checkpoint_every
+        }
+    }
+}
+
+/// Checkpoint/recovery accounting for one run, merged across ranks by
+/// the experiment drivers (bytes and counts sum; latencies and replay
+/// depth take the cluster maximum).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailureRecovery {
+    /// Snapshots taken (cluster-wide after merge).
+    pub checkpoints: u64,
+    /// Bytes captured into snapshots.
+    pub checkpoint_bytes: u64,
+    /// Bytes streamed to the respawned rank during recovery (buddy
+    /// restore + anti-buddy re-seed).
+    pub restore_bytes: u64,
+    /// Completed steps rolled back and re-executed.
+    pub replayed_steps: u64,
+    /// Recovery epochs executed (0 on a clean run).
+    pub recovery_epochs: u64,
+    /// Wall-clock seconds from the kill to the first survivor
+    /// observation (maximum across ranks).
+    pub detect_latency_s: f64,
+    /// The rank that failed, -1 if none did.
+    pub failed_rank: i64,
+    /// The step the victim was executing, -1 if none failed.
+    pub failed_step: i64,
+}
+
+impl Default for FailureRecovery {
+    fn default() -> FailureRecovery {
+        FailureRecovery {
+            checkpoints: 0,
+            checkpoint_bytes: 0,
+            restore_bytes: 0,
+            replayed_steps: 0,
+            recovery_epochs: 0,
+            detect_latency_s: 0.0,
+            failed_rank: -1,
+            failed_step: -1,
+        }
+    }
+}
+
+impl FailureRecovery {
+    /// Fold another rank's accounting into this one.
+    pub fn merge(&mut self, o: &FailureRecovery) {
+        self.checkpoints += o.checkpoints;
+        self.checkpoint_bytes += o.checkpoint_bytes;
+        self.restore_bytes += o.restore_bytes;
+        self.replayed_steps = self.replayed_steps.max(o.replayed_steps);
+        self.recovery_epochs = self.recovery_epochs.max(o.recovery_epochs);
+        self.detect_latency_s = self.detect_latency_s.max(o.detect_latency_s);
+        if self.failed_rank < 0 {
+            self.failed_rank = o.failed_rank;
+            self.failed_step = o.failed_step;
+        }
+    }
+
+    /// Whether this run exercised the resilient path at all.
+    pub fn armed(&self) -> bool {
+        self.checkpoints > 0 || self.recovery_epochs > 0
+    }
+}
+
+/// Double-buffered checkpoint slots: this rank's own snapshots and the
+/// buddy frames it guards for `(rank - 1) % n`. `step` entries are -1
+/// until the slot holds a complete, checksum-verified frame.
+struct CkptStore {
+    own: [Vec<f64>; 2],
+    own_step: [i64; 2],
+    foreign: [Vec<f64>; 2],
+    foreign_step: [i64; 2],
+    /// Which buffer the next checkpoint writes.
+    cursor: usize,
+    /// Reusable wire frame (`payload ++ [step, checksum]`).
+    frame: Vec<f64>,
+}
+
+impl CkptStore {
+    fn new() -> CkptStore {
+        CkptStore {
+            own: [Vec::new(), Vec::new()],
+            own_step: [-1; 2],
+            foreign: [Vec::new(), Vec::new()],
+            foreign_step: [-1; 2],
+            cursor: 0,
+            frame: Vec::new(),
+        }
+    }
+
+    fn latest_step(&self) -> i64 {
+        self.own_step[0].max(self.own_step[1])
+    }
+
+    fn own_slot(&self, step: i64) -> Option<&[f64]> {
+        self.own_step.iter().position(|&s| s == step).map(|i| self.own[i].as_slice())
+    }
+}
+
+/// Split a buddy frame into `(step, payload)`, verifying the trailer
+/// checksum. Control frames are fault-exempt, so a mismatch is an
+/// invariant violation, not an injected fault.
+fn open_frame(frame: &[f64], tag: u64) -> (i64, &[f64]) {
+    assert!(frame.len() >= 2, "checkpoint frame too short");
+    let (payload, trailer) = frame.split_at(frame.len() - 2);
+    let step = trailer[0].to_bits() as i64;
+    let sum = trailer[1].to_bits();
+    assert_eq!(
+        sum,
+        frame_checksum(payload, tag, step as u64),
+        "buddy checkpoint frame failed its checksum"
+    );
+    (step, payload)
+}
+
+/// Rank-0-rooted message fence: everyone checks in, rank 0 releases.
+/// When `clear` is set, rank 0 acknowledges the failure cluster-wide
+/// *before* releasing, so no rank can leave the fence and still observe
+/// the stale revocation.
+fn fence(ctx: &mut RankCtx<'_>, join: u64, rel: u64, clear: bool) -> Result<(), NetsimError> {
+    let n = ctx.size();
+    if n == 1 {
+        if clear {
+            ctx.clear_failure();
+        }
+        return Ok(());
+    }
+    if ctx.rank() == 0 {
+        for src in 1..n {
+            let h = ctx.irecv(src, join)?;
+            let m = ctx.recv_blocking(h)?;
+            ctx.recycle(m);
+        }
+        if clear {
+            ctx.clear_failure();
+        }
+        for dst in 1..n {
+            ctx.isend(dst, rel, &[1.0])?;
+        }
+    } else {
+        ctx.isend(0, join, &[1.0])?;
+        let h = ctx.irecv(0, rel)?;
+        let m = ctx.recv_blocking(h)?;
+        ctx.recycle(m);
+    }
+    ctx.flush_epoch();
+    Ok(())
+}
+
+/// Take one checkpoint labeled `step` (the state a replay of `step`
+/// starts from) and exchange it with the buddy ring.
+fn take_checkpoint<'a, F>(
+    ctx: &mut RankCtx<'a>,
+    body: &mut F,
+    st: &mut CkptStore,
+    rec: &mut FailureRecovery,
+    step: usize,
+) -> Result<(), NetsimError>
+where
+    F: FnMut(&mut RankCtx<'a>, DriveOp<'_>) -> Result<(), NetsimError>,
+{
+    let n = ctx.size();
+    let me = ctx.rank();
+    let slot = st.cursor;
+    st.cursor ^= 1;
+    st.own_step[slot] = -1;
+    let buf = &mut st.own[slot];
+    buf.clear();
+    body(ctx, DriveOp::Snapshot(buf))?;
+    st.own_step[slot] = step as i64;
+    rec.checkpoints += 1;
+    rec.checkpoint_bytes += (st.own[slot].len() * 8) as u64;
+    ctx.note_count("checkpoints", 1);
+    if n > 1 {
+        let buddy = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        let sum = frame_checksum(&st.own[slot], CKPT, step as u64);
+        st.frame.clear();
+        st.frame.extend_from_slice(&st.own[slot]);
+        st.frame.push(f64::from_bits(step as u64));
+        st.frame.push(f64::from_bits(sum));
+        ctx.isend(buddy, CKPT, &st.frame)?;
+        let h = ctx.irecv(prev, CKPT)?;
+        let m = match ctx.recv_blocking(h) {
+            Ok(m) => m,
+            Err(e @ NetsimError::RankFailed { .. }) => {
+                // A peer died while we were blocked on the buddy frame.
+                // Kills fire only inside an armed step body, never inside
+                // this exchange, so `prev` finished its isend before dying
+                // and (delivery being eager) the frame is already queued —
+                // complete the recv non-blocking, then let the caller
+                // enter recovery with the slot intact.
+                st.foreign_step[slot] = -1;
+                if let Some(m) = ctx.try_wait(h) {
+                    let (fstep, payload) = open_frame(m.data(), CKPT);
+                    st.foreign[slot].clear();
+                    st.foreign[slot].extend_from_slice(payload);
+                    st.foreign_step[slot] = fstep;
+                    ctx.recycle(m);
+                }
+                ctx.flush_epoch();
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
+        let (fstep, payload) = open_frame(m.data(), CKPT);
+        st.foreign_step[slot] = -1;
+        st.foreign[slot].clear();
+        st.foreign[slot].extend_from_slice(payload);
+        st.foreign_step[slot] = fstep;
+        ctx.recycle(m);
+        ctx.flush_epoch();
+    }
+    Ok(())
+}
+
+/// NBX-style agreement (centralized variant): rank 0 gathers every
+/// rank's latest complete checkpoint step and broadcasts the minimum
+/// over the ranks that hold one — the cluster's common recovery step.
+/// Synchronized checkpoints make the survivor values identical; the
+/// respawned victim contributes -1 and learns the step here.
+fn agree(ctx: &mut RankCtx<'_>, latest: i64) -> Result<i64, NetsimError> {
+    let n = ctx.size();
+    if ctx.rank() == 0 {
+        let mut s_rec = if latest >= 0 { latest } else { i64::MAX };
+        for src in 1..n {
+            let h = ctx.irecv(src, AGREE)?;
+            let m = ctx.recv_blocking(h)?;
+            let v = m.data()[0].to_bits() as i64;
+            if v >= 0 {
+                s_rec = s_rec.min(v);
+            }
+            ctx.recycle(m);
+        }
+        assert!(s_rec != i64::MAX, "recovery with no surviving checkpoint");
+        for dst in 1..n {
+            ctx.isend(dst, PLAN, &[f64::from_bits(s_rec as u64)])?;
+        }
+        ctx.flush_epoch();
+        Ok(s_rec)
+    } else {
+        ctx.isend(0, AGREE, &[f64::from_bits(latest as u64)])?;
+        let h = ctx.irecv(0, PLAN)?;
+        let m = ctx.recv_blocking(h)?;
+        let v = m.data()[0].to_bits() as i64;
+        ctx.recycle(m);
+        ctx.flush_epoch();
+        Ok(v)
+    }
+}
+
+/// Send one stored slot as a framed transfer to the respawned rank.
+fn send_slot(
+    ctx: &mut RankCtx<'_>,
+    st: &mut CkptStore,
+    data_step: i64,
+    own: bool,
+    dest: usize,
+    tag: u64,
+) -> Result<(), NetsimError> {
+    // Field-level borrows: the slot arrays and the scratch frame are
+    // disjoint, so index the slots directly instead of going through the
+    // `&self` accessors (which would pin the whole store immutably).
+    let (slot_steps, slots) =
+        if own { (&st.own_step, &st.own) } else { (&st.foreign_step, &st.foreign) };
+    let idx = slot_steps.iter().position(|&s| s == data_step).unwrap_or_else(|| {
+        panic!("no {} checkpoint for recovery step {data_step}", if own { "own" } else { "buddy" })
+    });
+    let slot = slots[idx].as_slice();
+    let sum = frame_checksum(slot, tag, data_step as u64);
+    st.frame.clear();
+    st.frame.extend_from_slice(slot);
+    st.frame.push(f64::from_bits(data_step as u64));
+    st.frame.push(f64::from_bits(sum));
+    ctx.isend(dest, tag, &st.frame)
+}
+
+/// One recovery epoch. Returns the step execution resumes at.
+fn recover_epoch<'a, F>(
+    ctx: &mut RankCtx<'a>,
+    body: &mut F,
+    st: &mut CkptStore,
+    rec: &mut FailureRecovery,
+) -> Result<usize, NetsimError>
+where
+    F: FnMut(&mut RankCtx<'a>, DriveOp<'_>) -> Result<(), NetsimError>,
+{
+    let n = ctx.size();
+    let me = ctx.rank();
+    let (failed, failed_step) =
+        ctx.failed_info().expect("recovery epoch entered without a pending failure");
+    ctx.begin_recovery();
+    // Close the aborted step's accounting epoch before fencing.
+    ctx.flush_epoch();
+    fence(ctx, JOIN_A, REL_A, false)?;
+    // Every pre-failure send has landed (delivery is eager and the whole
+    // cluster has joined), so anything outside the recovery namespace is
+    // stale: data frames of the aborted step, fence tokens from a fence
+    // the victim never joined, orphaned collective contributions.
+    let purged = ctx.drain_all_except(|_, tag| tag & !0xF == RECO_NS);
+    ctx.note_count("recovery_purged_msgs", purged as u64);
+    let s_rec = agree(ctx, st.latest_step())?;
+    let buddy = (failed + 1) % n;
+    let anti = (failed + n - 1) % n;
+    if me == failed {
+        // Adopt the lost grid from the buddy's guarded frame.
+        let h = ctx.irecv(buddy, RESTORE)?;
+        let m = ctx.recv_blocking(h)?;
+        let (fstep, payload) = open_frame(m.data(), RESTORE);
+        assert_eq!(fstep, s_rec, "buddy restored the wrong checkpoint");
+        body(ctx, DriveOp::Restore(payload))?;
+        st.own[0].clear();
+        st.own[0].extend_from_slice(payload);
+        st.own_step[0] = s_rec;
+        st.cursor = 1;
+        rec.restore_bytes += (payload.len() * 8) as u64;
+        ctx.recycle(m);
+        // Re-seed the redundancy this incarnation lost: it guards the
+        // anti-buddy's snapshots.
+        let h = ctx.irecv(anti, REBUDDY)?;
+        let m = ctx.recv_blocking(h)?;
+        let (fstep, payload) = open_frame(m.data(), REBUDDY);
+        st.foreign[0].clear();
+        st.foreign[0].extend_from_slice(payload);
+        st.foreign_step[0] = fstep;
+        rec.restore_bytes += (payload.len() * 8) as u64;
+        ctx.recycle(m);
+    } else {
+        if me == buddy {
+            send_slot(ctx, st, s_rec, false, failed, RESTORE)?;
+        }
+        if me == anti {
+            send_slot(ctx, st, s_rec, true, failed, REBUDDY)?;
+        }
+        // Survivors roll back to their local snapshot of the same step.
+        let snap = st
+            .own_slot(s_rec)
+            .expect("survivor missing the agreed checkpoint")
+            .to_vec();
+        body(ctx, DriveOp::Restore(&snap))?;
+    }
+    ctx.flush_epoch();
+    body(ctx, DriveOp::Rebuild)?;
+    fence(ctx, JOIN_B, REL_B, true)?;
+    ctx.end_recovery();
+    rec.recovery_epochs += 1;
+    rec.replayed_steps = rec.replayed_steps.max((failed_step as i64 - s_rec).max(0) as u64);
+    rec.failed_rank = failed as i64;
+    rec.failed_step = failed_step as i64;
+    if let Some(d) = ctx.detect_latency() {
+        rec.detect_latency_s = rec.detect_latency_s.max(d);
+    }
+    ctx.note_count("recovery_epochs", 1);
+    Ok(s_rec as usize)
+}
+
+/// Drive `cfg.steps` timesteps of `body`, transparently surviving a
+/// single crash-stop rank failure when the configuration is resilient.
+///
+/// Non-resilient configurations run the exact legacy schedule (step +
+/// barrier); nothing else is sent, so timers and results are unchanged.
+pub fn drive<'a, F>(
+    ctx: &mut RankCtx<'a>,
+    cfg: &RecoveryCfg,
+    body: &mut F,
+) -> Result<FailureRecovery, NetsimError>
+where
+    F: FnMut(&mut RankCtx<'a>, DriveOp<'_>) -> Result<(), NetsimError>,
+{
+    if !cfg.resilient() {
+        for step in 0..cfg.steps {
+            body(ctx, DriveOp::Step(step))?;
+            ctx.barrier();
+        }
+        return Ok(FailureRecovery::default());
+    }
+    let k = cfg.interval();
+    let mut st = CkptStore::new();
+    let mut rec = FailureRecovery::default();
+    let mut step = 0usize;
+    if ctx.incarnation() > 0 {
+        // Respawned victim: its first-incarnation trace died with it, so
+        // re-record the kill, then join the recovery epoch directly.
+        if let Some((_, fs)) = ctx.failed_info() {
+            ctx.record_proc_fault_event(FaultKind::Kill, fs, 0);
+        }
+        step = ctx.scoped("recovery", |ctx| recover_epoch(ctx, body, &mut st, &mut rec))?;
+    } else {
+        // The base checkpoint: a kill inside step 0 replays from scratch.
+        // A fast victim can die in its step body while this rank is still
+        // blocked in the checkpoint exchange, so a RankFailed here enters
+        // recovery like any in-step failure (the slot is already intact —
+        // see the try_wait fallback in `take_checkpoint`).
+        match ctx.scoped("checkpoint", |ctx| take_checkpoint(ctx, body, &mut st, &mut rec, 0)) {
+            Ok(()) => {}
+            Err(NetsimError::RankFailed { .. }) => {
+                step = ctx.scoped("recovery", |ctx| recover_epoch(ctx, body, &mut st, &mut rec))?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    while step < cfg.steps {
+        ctx.set_fault_step(step as u64);
+        let r = body(ctx, DriveOp::Step(step));
+        ctx.clear_fault_step();
+        // The fence catches survivors whose own step completed cleanly
+        // while a peer died: nobody passes it until every rank joined.
+        let r = r.and_then(|()| fence(ctx, STEP_JOIN, STEP_REL, false));
+        match r {
+            Ok(()) => {
+                step += 1;
+                if step < cfg.steps && step.is_multiple_of(k) {
+                    let r = ctx.scoped("checkpoint", |ctx| {
+                        take_checkpoint(ctx, body, &mut st, &mut rec, step)
+                    });
+                    match r {
+                        Ok(()) => {}
+                        Err(NetsimError::RankFailed { .. }) => {
+                            step = ctx
+                                .scoped("recovery", |ctx| recover_epoch(ctx, body, &mut st, &mut rec))?;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Err(NetsimError::RankFailed { .. }) => {
+                step = ctx.scoped("recovery", |ctx| recover_epoch(ctx, body, &mut st, &mut rec))?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{
+        run_cluster_on, Backend, CartTopo, FaultConfig, NetworkModel, ProcFault,
+    };
+
+    /// A toy resilient body: each step, every rank sends its scalar to
+    /// the right neighbor and folds the received value in. Fully
+    /// deterministic, so a killed-and-recovered run must converge to the
+    /// clean result bit-for-bit.
+    fn ring_sum(backend: Backend, ranks: usize, steps: usize, faults: FaultConfig, k: usize) -> Vec<f64> {
+        let topo = CartTopo::new(&[ranks], true);
+        let proc_faults = faults.proc_active();
+        let expect_recovery = faults.kill.is_some();
+        run_cluster_on(backend, &topo, NetworkModel::instant(), faults, move |ctx| {
+            let rank = ctx.rank();
+            let n = ctx.size();
+            let right = (rank + 1) % n;
+            let left = (rank + n - 1) % n;
+            let mut state = vec![(rank + 1) as f64];
+            let mut drv = |ctx: &mut RankCtx<'_>, op: DriveOp<'_>| -> Result<(), NetsimError> {
+                match op {
+                    DriveOp::Step(step) => {
+                        ctx.isend(right, 0x51E9, &state)?;
+                        let h = ctx.irecv(left, 0x51E9)?;
+                        let m = ctx.recv_blocking(h)?;
+                        let v = m.data()[0];
+                        ctx.recycle(m);
+                        ctx.flush_epoch();
+                        state[0] = state[0] * 0.5 + v * 0.5 + step as f64;
+                    }
+                    DriveOp::Snapshot(buf) => buf.extend_from_slice(&state),
+                    DriveOp::Restore(data) => state.copy_from_slice(data),
+                    DriveOp::Rebuild => {}
+                }
+                Ok(())
+            };
+            let cfg = RecoveryCfg { steps, checkpoint_every: k, proc_faults };
+            let rec = drive(ctx, &cfg, &mut drv).expect("drive");
+            if expect_recovery {
+                assert!(rec.recovery_epochs >= 1, "kill schedule must trigger recovery");
+                // Restore traffic lands on the respawned victim only.
+                if ctx.rank() as i64 == rec.failed_rank {
+                    assert!(rec.restore_bytes > 0, "victim must be restored from its buddy");
+                }
+            }
+            state[0]
+        })
+    }
+
+    #[test]
+    fn clean_run_with_checkpoints_matches_plain() {
+        for backend in [Backend::Thread, Backend::Event] {
+            let plain = ring_sum(backend, 4, 6, FaultConfig::off(), 0);
+            let ck = ring_sum(backend, 4, 6, FaultConfig::off(), 2);
+            assert_eq!(plain, ck, "checkpointing changed results on {backend:?}");
+        }
+    }
+
+    #[test]
+    fn killed_run_converges_bit_identically() {
+        for backend in [Backend::Thread, Backend::Event] {
+            let clean = ring_sum(backend, 4, 6, FaultConfig::off(), 0);
+            for victim in [0, 2] {
+                for at in [0, 3, 5] {
+                    let faults = FaultConfig {
+                        kill: Some(ProcFault { rank: victim, step: at, op: 1, stall_secs: 0.0 }),
+                        ..FaultConfig::off()
+                    };
+                    let killed = ring_sum(backend, 4, 6, faults, 2);
+                    assert_eq!(
+                        clean, killed,
+                        "kill {victim}@{at} diverged on {backend:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_run_converges_and_bills_wait() {
+        let faults = FaultConfig {
+            stall: Some(ProcFault { rank: 1, step: 2, op: 0, stall_secs: 0.25 }),
+            ..FaultConfig::off()
+        };
+        let clean = ring_sum(Backend::Thread, 3, 5, FaultConfig::off(), 0);
+        let stalled = ring_sum(Backend::Thread, 3, 5, faults, 0);
+        assert_eq!(clean, stalled, "a stall must not change results");
+    }
+
+    #[test]
+    fn merge_folds_counts_and_maxima() {
+        let mut a = FailureRecovery {
+            checkpoints: 2,
+            checkpoint_bytes: 100,
+            replayed_steps: 1,
+            detect_latency_s: 0.5,
+            ..FailureRecovery::default()
+        };
+        let b = FailureRecovery {
+            checkpoints: 3,
+            checkpoint_bytes: 50,
+            restore_bytes: 10,
+            replayed_steps: 4,
+            recovery_epochs: 1,
+            detect_latency_s: 0.1,
+            failed_rank: 2,
+            failed_step: 7,
+        };
+        a.merge(&b);
+        assert_eq!(a.checkpoints, 5);
+        assert_eq!(a.checkpoint_bytes, 150);
+        assert_eq!(a.restore_bytes, 10);
+        assert_eq!(a.replayed_steps, 4);
+        assert_eq!(a.recovery_epochs, 1);
+        assert_eq!(a.detect_latency_s, 0.5);
+        assert_eq!((a.failed_rank, a.failed_step), (2, 7));
+    }
+}

@@ -9,13 +9,14 @@ use brick::BrickDims;
 use layout::SurfaceLayout;
 use netsim::telemetry::{OverlapStats, Phase, Recorder, Timeline};
 use netsim::{
-    run_cluster_on, Backend, CartTopo, FaultConfig, FaultEvent, FaultStats, NetworkModel, RankCtx,
-    TimerSummary, Timers,
+    run_cluster_on, Backend, CartTopo, FaultConfig, FaultEvent, FaultStats, NetsimError,
+    NetworkModel, RankCtx, TimerSummary, Timers,
 };
 use sched::{DepGraph, OverlapTimer};
 use stencil::{apply_bricks_gather, ArrayGrid, KernelPlan, PlanSplit, StencilShape};
 
 use crate::baselines::ArrayExchanger;
+use crate::checkpoint::{drive, DriveOp, FailureRecovery, RecoveryCfg};
 use crate::decomp::BrickDecomp;
 use crate::exchange::{ExchangeStats, Exchanger};
 use crate::memmap::{memmap_decomp, ExchangeView, MemMapStorage};
@@ -124,6 +125,14 @@ pub struct ExperimentConfig {
     /// only then block on the remainder. Supported by the brick engines
     /// (`Layout`, `Basic`, `MemMap`, `Shift`); other methods ignore it.
     pub overlap: bool,
+    /// Buddy-checkpoint interval in steps (0 = off). When set — or when
+    /// a process-fault schedule is armed, which forces interval 1 — the
+    /// brick engines (`Layout`, `Basic`, `MemMap`, `Shift`) run through
+    /// the resilient harness in [`crate::checkpoint`]: each rank
+    /// snapshots its grid to a buddy every K steps and a crash-stop rank
+    /// failure is survived by an epoch-based recovery that converges
+    /// bit-identically to the fault-free run.
+    pub checkpoint_every: usize,
     /// Partitioned early-bird exchange (off by default): drive the
     /// dependency-graph schedule over persistent partitioned channels —
     /// each boundary brick is marked ready (`pready`) the moment it is
@@ -159,9 +168,19 @@ impl ExperimentConfig {
             kernel: KernelKind::Plan,
             faults: FaultConfig::off(),
             profile: false,
+            checkpoint_every: 0,
             overlap: false,
             partitioned: false,
             backend: Backend::from_env(),
+        }
+    }
+
+    /// The resilience knobs [`crate::checkpoint::drive`] runs under.
+    fn recovery_cfg(&self) -> RecoveryCfg {
+        RecoveryCfg {
+            steps: self.steps + self.warmup,
+            checkpoint_every: self.checkpoint_every,
+            proc_faults: self.faults.proc_active(),
         }
     }
 }
@@ -248,6 +267,10 @@ pub struct MethodReport {
     /// through a scheduler that measures it, `None` for phased runs and
     /// the coarse `*-OL` overlap methods.
     pub overlap_stats: Option<OverlapStats>,
+    /// Checkpoint/recovery accounting merged across ranks (all zeros —
+    /// `!recovery.armed()` — unless the run was resilient; see
+    /// [`ExperimentConfig::checkpoint_every`]).
+    pub recovery: FailureRecovery,
 }
 
 impl MethodReport {
@@ -296,24 +319,27 @@ fn arm_fault_timeout(ctx: &mut RankCtx<'_>) {
 /// checksums stay per-rank (ranks are symmetric). Returns rank 0's
 /// payload alongside the per-rank timelines (rank order) and the merged
 /// totals.
+#[allow(clippy::type_complexity)]
 fn fold_faults<T>(
-    reports: Vec<(T, Timeline, FaultStats, Vec<FaultEvent>, RecoveryStats)>,
-) -> (T, Vec<Timeline>, FaultStats, Vec<FaultEvent>, RecoveryStats) {
+    reports: Vec<(T, Timeline, FaultStats, Vec<FaultEvent>, RecoveryStats, FailureRecovery)>,
+) -> (T, Vec<Timeline>, FaultStats, Vec<FaultEvent>, RecoveryStats, FailureRecovery) {
     let mut timelines = Vec::with_capacity(reports.len());
     let mut faults = FaultStats::default();
     let mut events = Vec::new();
     let mut recovery = RecoveryStats::default();
+    let mut failure = FailureRecovery::default();
     let mut first = None;
-    for (payload, tl, f, mut ev, rec) in reports {
+    for (payload, tl, f, mut ev, rec, fr) in reports {
         timelines.push(tl);
         faults.merge(&f);
         events.append(&mut ev);
         recovery.merge(&rec);
+        failure.merge(&fr);
         if first.is_none() {
             first = Some(payload);
         }
     }
-    (first.expect("cluster has at least one rank"), timelines, faults, events, recovery)
+    (first.expect("cluster has at least one rank"), timelines, faults, events, recovery, failure)
 }
 
 /// Timelines for the report: kept only when profiling was requested
@@ -332,8 +358,34 @@ fn fault_seed(cfg: &ExperimentConfig) -> Option<u64> {
     cfg.faults.is_active().then_some(cfg.faults.seed)
 }
 
+/// Panic early (with an actionable message) on resilience configurations
+/// the drivers cannot honor, instead of hanging or silently ignoring a
+/// kill schedule.
+fn validate_resilience(cfg: &ExperimentConfig) {
+    if !(cfg.faults.proc_active() || cfg.checkpoint_every > 0) {
+        return;
+    }
+    assert!(
+        matches!(
+            cfg.method,
+            CpuMethod::Layout | CpuMethod::Basic | CpuMethod::MemMap { .. } | CpuMethod::Shift { .. }
+        ),
+        "process faults / checkpointing are only supported by the Layout, Basic, MemMap and \
+         Shift engines (got {:?})",
+        cfg.method
+    );
+    if cfg.faults.kill.is_some() {
+        let n: usize = cfg.ranks.iter().product();
+        assert!(
+            n >= 2,
+            "kill faults need at least 2 ranks: the victim's checkpoint lives on its buddy"
+        );
+    }
+}
+
 /// Run one experiment and return rank 0's report.
 pub fn run_experiment(cfg: &ExperimentConfig) -> MethodReport {
+    validate_resilience(cfg);
     let topo = CartTopo::new(&cfg.ranks, true);
     let dag = cfg.overlap || cfg.partitioned;
     match &cfg.method {
@@ -374,6 +426,7 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
     let profile = cfg.profile;
+    let rcfg = cfg.recovery_cfg();
 
     let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
@@ -387,23 +440,42 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
         fill_bricks(&decomp, &mut sa.storage);
         let stats = sha.stats();
         let mut flip = false;
-        for step in 0..steps + warmup {
-            if step == warmup {
-                ctx.reset_timers();
-                if profile {
-                    ctx.enable_profiling();
+        let mut body = |ctx: &mut RankCtx<'_>, op: DriveOp<'_>| -> Result<(), NetsimError> {
+            match op {
+                DriveOp::Step(step) => {
+                    if step == warmup {
+                        ctx.reset_timers();
+                        if profile {
+                            ctx.enable_profiling();
+                        }
+                    }
+                    let (cur, nxt, sh) = if flip {
+                        (&mut sb, &mut sa, &mut shb)
+                    } else {
+                        (&mut sa, &mut sb, &mut sha)
+                    };
+                    sh.exchange(ctx, cur)?;
+                    ctx.time_calc_with(|rec| {
+                        engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
+                    });
+                    flip = !flip;
+                }
+                DriveOp::Snapshot(buf) => {
+                    let cur = if flip { &sb } else { &sa };
+                    buf.extend_from_slice(cur.storage.as_slice());
+                }
+                DriveOp::Restore(data) => {
+                    let cur = if flip { &mut sb } else { &mut sa };
+                    cur.storage.as_mut_slice().copy_from_slice(data);
+                }
+                DriveOp::Rebuild => {
+                    sha = crate::shift::ShiftExchanger::build(&decomp, &sa).expect("shift views");
+                    shb = crate::shift::ShiftExchanger::build(&decomp, &sb).expect("shift views");
                 }
             }
-            let (cur, nxt, sh) = if flip {
-                (&mut sb, &mut sa, &mut shb)
-            } else {
-                (&mut sa, &mut sb, &mut sha)
-            };
-            sh.exchange(ctx, cur).expect("shift exchange");
-            ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec));
-            flip = !flip;
-            ctx.barrier();
-        }
+            Ok(())
+        };
+        let frec = drive(ctx, &rcfg, &mut body).expect("shift drive");
         let last = if flip { &sb } else { &sa };
         let t = ctx.timers().per_step(steps);
         let timeline = ctx.take_timeline();
@@ -411,10 +483,10 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
         let mut rec = sha.recovery_stats();
         rec.merge(&shb.recovery_stats());
         let payload = (t, checksum_bricks(&decomp, &last.storage), stats, summary);
-        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec)
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec, frec)
     });
 
-    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery, failure) = fold_faults(reports);
     let (timers, checksum, mut stats, summary) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -430,6 +502,7 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
         overlap_stats: None,
+        recovery: failure,
     }
 }
 
@@ -488,10 +561,17 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
         let timeline = ctx.take_timeline();
         let summary = ctx.reduce_timers(&t).expect("timer reduction");
         let payload = (t, checksum_bricks(&decomp, &cur), summary, hidden_total / steps as f64);
-        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), session.recovery_stats())
+        (
+            payload,
+            timeline,
+            ctx.fault_stats(),
+            ctx.take_fault_events(),
+            session.recovery_stats(),
+            FailureRecovery::default(),
+        )
     });
 
-    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery, failure) = fold_faults(reports);
     let (timers, checksum, summary, hidden) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -507,6 +587,7 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
         overlap_stats: None,
+        recovery: failure,
     }
 }
 
@@ -538,6 +619,7 @@ fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> Me
     let partitioned = cfg.partitioned;
     let interior_mask = decomp.interior_mask();
     let step_elems = decomp.step();
+    let rcfg = cfg.recovery_cfg();
 
     let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
@@ -565,119 +647,145 @@ fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> Me
         let mut timer = OverlapTimer::new();
         let mut completed: Vec<usize> = Vec::new();
         let mut ready: Vec<u32> = Vec::new();
-        for step in 0..steps + warmup {
-            if step == warmup {
-                ctx.reset_timers();
-                if profile {
-                    ctx.enable_profiling();
-                }
-                timer = OverlapTimer::new();
-                session.reset_partition_stats();
-            }
-            // Early fragments are timestamped on the running virtual
-            // clock, so skip `pready` on the step whose flush straddles
-            // the warmup timer reset, and on the final step (whose
-            // fragments would never flush).
-            let pready_live =
-                partitioned && step + 1 != warmup && step + 1 != steps + warmup;
-            timer.begin_step(wire_clock(ctx));
-            completed.clear();
-            session.begin(ctx, &mut cur, &mut completed).expect("begin exchange");
-            // Interior compute hides the in-flight exchange: it reads no
-            // ghost bricks.
-            let t0 = std::time::Instant::now();
-            ctx.time_calc_with(|rec| {
-                engine.apply_profiled(info, &cur, &mut nxt, split.interior(), rec)
-            });
-            timer.hide(t0.elapsed().as_secs_f64());
-            ready.clear();
-            ready.extend_from_slice(graph.begin_step());
-            for &c in &completed {
-                graph.complete(c, &mut ready);
-            }
-            loop {
-                if !ready.is_empty() {
-                    match &prio {
-                        // Partitioned mode: compute the batch in
-                        // destination-priority groups, marking each
-                        // group's bricks ready the moment they exist so
-                        // the most-exposed channel drains first.
-                        Some(pr) => {
-                            pr.order(&mut ready);
-                            for batch in pr.groups(&ready) {
-                                let t0 = std::time::Instant::now();
-                                let mask = split.stage_batch(batch);
+        let mut body = |ctx: &mut RankCtx<'_>, op: DriveOp<'_>| -> Result<(), NetsimError> {
+            match op {
+                DriveOp::Step(step) => {
+                    if step == warmup {
+                        ctx.reset_timers();
+                        if profile {
+                            ctx.enable_profiling();
+                        }
+                        timer = OverlapTimer::new();
+                        session.reset_partition_stats();
+                    }
+                    // Early fragments are timestamped on the running virtual
+                    // clock, so skip `pready` on the step whose flush straddles
+                    // the warmup timer reset, and on the final step (whose
+                    // fragments would never flush).
+                    let pready_live =
+                        partitioned && step + 1 != warmup && step + 1 != steps + warmup;
+                    timer.begin_step(wire_clock(ctx));
+                    completed.clear();
+                    session.begin(ctx, &mut cur, &mut completed)?;
+                    // Interior compute hides the in-flight exchange: it reads no
+                    // ghost bricks.
+                    let t0 = std::time::Instant::now();
+                    ctx.time_calc_with(|rec| {
+                        engine.apply_profiled(info, &cur, &mut nxt, split.interior(), rec)
+                    });
+                    timer.hide(t0.elapsed().as_secs_f64());
+                    ready.clear();
+                    ready.extend_from_slice(graph.begin_step());
+                    for &c in &completed {
+                        graph.complete(c, &mut ready);
+                    }
+                    loop {
+                        if !ready.is_empty() {
+                            match &prio {
+                                // Partitioned mode: compute the batch in
+                                // destination-priority groups, marking each
+                                // group's bricks ready the moment they exist so
+                                // the most-exposed channel drains first.
+                                Some(pr) => {
+                                    pr.order(&mut ready);
+                                    for batch in pr.groups(&ready) {
+                                        let t0 = std::time::Instant::now();
+                                        let mask = split.stage_batch(batch);
+                                        ctx.time_calc_with(|rec| {
+                                            engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
+                                        });
+                                        split.clear_batch();
+                                        timer.hide(t0.elapsed().as_secs_f64());
+                                        if pready_live {
+                                            session.pready_bricks(ctx, batch, &nxt)?;
+                                        }
+                                    }
+                                }
+                                None => {
+                                    let t0 = std::time::Instant::now();
+                                    let mask = split.stage_batch(&ready);
+                                    ctx.time_calc_with(|rec| {
+                                        engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
+                                    });
+                                    split.clear_batch();
+                                    timer.hide(t0.elapsed().as_secs_f64());
+                                }
+                            }
+                            ready.clear();
+                        }
+                        if graph.pending() == 0 {
+                            break;
+                        }
+                        completed.clear();
+                        let newly = session.poll(ctx, &mut cur, &mut completed)?;
+                        for &c in &completed {
+                            graph.complete(c, &mut ready);
+                        }
+                        if newly == 0 && ready.is_empty() {
+                            // Nothing on the wire yet and nothing to compute:
+                            // stop probing; the finishing wait exposes the rest.
+                            break;
+                        }
+                    }
+                    session.finish(ctx, &mut cur)?;
+                    timer.end_step(wire_clock(ctx));
+                    // Boundary bricks whose dependencies only resolved at the
+                    // blocking finish — the exposed part of the step. They are
+                    // still marked ready so the *next* step's messages start
+                    // draining before its begin().
+                    if graph.pending() > 0 {
+                        ready.clear();
+                        graph.unready(&mut ready);
+                        match &prio {
+                            Some(pr) => {
+                                pr.order(&mut ready);
+                                for batch in pr.groups(&ready) {
+                                    let mask = split.stage_batch(batch);
+                                    ctx.time_calc_with(|rec| {
+                                        engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
+                                    });
+                                    split.clear_batch();
+                                    if pready_live {
+                                        session.pready_bricks(ctx, batch, &nxt)?;
+                                    }
+                                }
+                            }
+                            None => {
+                                let mask = split.stage_batch(&ready);
                                 ctx.time_calc_with(|rec| {
                                     engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
                                 });
                                 split.clear_batch();
-                                timer.hide(t0.elapsed().as_secs_f64());
-                                if pready_live {
-                                    session.pready_bricks(ctx, batch, &nxt).expect("pready");
-                                }
                             }
                         }
-                        None => {
-                            let t0 = std::time::Instant::now();
-                            let mask = split.stage_batch(&ready);
-                            ctx.time_calc_with(|rec| {
-                                engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
-                            });
-                            split.clear_batch();
-                            timer.hide(t0.elapsed().as_secs_f64());
-                        }
                     }
+                    std::mem::swap(&mut cur, &mut nxt);
+                }
+                DriveOp::Snapshot(buf) => {
+                    buf.extend_from_slice(cur.as_slice());
+                }
+                DriveOp::Restore(data) => {
+                    cur.as_mut_slice().copy_from_slice(data);
+                }
+                DriveOp::Rebuild => {
+                    session = exchanger.session(ctx);
+                    if partitioned {
+                        session.enable_partitioned(
+                            step_elems,
+                            decomp.bricks(),
+                            netsim::DEFAULT_EAGER_BYTES,
+                        );
+                    }
+                    split = PlanSplit::new(&interior_mask, compute);
+                    graph = DepGraph::build(info, split.boundary(), &recv_ghosts);
+                    timer = OverlapTimer::new();
+                    completed.clear();
                     ready.clear();
                 }
-                if graph.pending() == 0 {
-                    break;
-                }
-                completed.clear();
-                let newly = session.poll(ctx, &mut cur, &mut completed).expect("poll exchange");
-                for &c in &completed {
-                    graph.complete(c, &mut ready);
-                }
-                if newly == 0 && ready.is_empty() {
-                    // Nothing on the wire yet and nothing to compute:
-                    // stop probing; the finishing wait exposes the rest.
-                    break;
-                }
             }
-            session.finish(ctx, &mut cur).expect("finish exchange");
-            timer.end_step(wire_clock(ctx));
-            // Boundary bricks whose dependencies only resolved at the
-            // blocking finish — the exposed part of the step. They are
-            // still marked ready so the *next* step's messages start
-            // draining before its begin().
-            if graph.pending() > 0 {
-                ready.clear();
-                graph.unready(&mut ready);
-                match &prio {
-                    Some(pr) => {
-                        pr.order(&mut ready);
-                        for batch in pr.groups(&ready) {
-                            let mask = split.stage_batch(batch);
-                            ctx.time_calc_with(|rec| {
-                                engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
-                            });
-                            split.clear_batch();
-                            if pready_live {
-                                session.pready_bricks(ctx, batch, &nxt).expect("pready");
-                            }
-                        }
-                    }
-                    None => {
-                        let mask = split.stage_batch(&ready);
-                        ctx.time_calc_with(|rec| {
-                            engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
-                        });
-                        split.clear_batch();
-                    }
-                }
-            }
-            std::mem::swap(&mut cur, &mut nxt);
-            ctx.barrier();
-        }
+            Ok(())
+        };
+        let frec = drive(ctx, &rcfg, &mut body).expect("dag drive");
         let ps = session.partition_stats();
         timer.record_partition(ps.early_bytes, ps.total_bytes);
         let t = ctx.timers().per_step(steps);
@@ -685,10 +793,10 @@ fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> Me
         let summary = ctx.reduce_timers(&t).expect("timer reduction");
         let payload =
             (t, checksum_bricks(&decomp, &cur), summary, timer.hidden_total() / steps as f64, timer.stats());
-        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), session.recovery_stats())
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), session.recovery_stats(), frec)
     });
 
-    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery, failure) = fold_faults(reports);
     let (timers, checksum, summary, hidden, ostats) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -704,6 +812,7 @@ fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> Me
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
         overlap_stats: Some(ostats),
+        recovery: failure,
     }
 }
 
@@ -723,6 +832,7 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
     let partitioned = cfg.partitioned;
     let interior_mask = decomp.interior_mask();
     let step_elems = decomp.step();
+    let rcfg = cfg.recovery_cfg();
 
     let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
@@ -756,48 +866,129 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
         let mut completed: Vec<usize> = Vec::new();
         let mut ready: Vec<u32> = Vec::new();
         let mut flip = false;
-        for step in 0..steps + warmup {
-            if step == warmup {
-                ctx.reset_timers();
-                if profile {
-                    ctx.enable_profiling();
-                }
-                timer = OverlapTimer::new();
-                eva.reset_partition_stats();
-                evb.reset_partition_stats();
-            }
-            let pready_live =
-                partitioned && step + 1 != warmup && step + 1 != steps + warmup;
-            // `ev` drives this step's exchange out of `cur`; `evn` is the
-            // view aliasing `nxt`, whose bricks become shippable as the
-            // stencil writes them — `pready` on it feeds the NEXT step's
-            // partitioned channels.
-            let (cur, nxt, ev, evn) = if flip {
-                (&mut sb, &mut sa, &mut evb, &mut eva)
-            } else {
-                (&mut sa, &mut sb, &mut eva, &mut evb)
-            };
-            timer.begin_step(wire_clock(ctx));
-            completed.clear();
-            ev.begin(ctx, cur, &mut completed).expect("begin exchange");
-            let t0 = std::time::Instant::now();
-            ctx.time_calc_with(|rec| {
-                engine.apply_profiled(info, &cur.storage, &mut nxt.storage, split.interior(), rec)
-            });
-            timer.hide(t0.elapsed().as_secs_f64());
-            ready.clear();
-            ready.extend_from_slice(graph.begin_step());
-            for &c in &completed {
-                graph.complete(c, &mut ready);
-            }
-            loop {
-                if !ready.is_empty() {
-                    match &prio {
-                        Some(pr) => {
-                            pr.order(&mut ready);
-                            for batch in pr.groups(&ready) {
-                                let t0 = std::time::Instant::now();
-                                let mask = split.stage_batch(batch);
+        let mut body = |ctx: &mut RankCtx<'_>, op: DriveOp<'_>| -> Result<(), NetsimError> {
+            match op {
+                DriveOp::Step(step) => {
+                    if step == warmup {
+                        ctx.reset_timers();
+                        if profile {
+                            ctx.enable_profiling();
+                        }
+                        timer = OverlapTimer::new();
+                        eva.reset_partition_stats();
+                        evb.reset_partition_stats();
+                    }
+                    let pready_live =
+                        partitioned && step + 1 != warmup && step + 1 != steps + warmup;
+                    // `ev` drives this step's exchange out of `cur`; `evn` is the
+                    // view aliasing `nxt`, whose bricks become shippable as the
+                    // stencil writes them — `pready` on it feeds the NEXT step's
+                    // partitioned channels.
+                    let (cur, nxt, ev, evn) = if flip {
+                        (&mut sb, &mut sa, &mut evb, &mut eva)
+                    } else {
+                        (&mut sa, &mut sb, &mut eva, &mut evb)
+                    };
+                    timer.begin_step(wire_clock(ctx));
+                    completed.clear();
+                    ev.begin(ctx, cur, &mut completed)?;
+                    let t0 = std::time::Instant::now();
+                    ctx.time_calc_with(|rec| {
+                        engine.apply_profiled(
+                            info,
+                            &cur.storage,
+                            &mut nxt.storage,
+                            split.interior(),
+                            rec,
+                        )
+                    });
+                    timer.hide(t0.elapsed().as_secs_f64());
+                    ready.clear();
+                    ready.extend_from_slice(graph.begin_step());
+                    for &c in &completed {
+                        graph.complete(c, &mut ready);
+                    }
+                    loop {
+                        if !ready.is_empty() {
+                            match &prio {
+                                Some(pr) => {
+                                    pr.order(&mut ready);
+                                    for batch in pr.groups(&ready) {
+                                        let t0 = std::time::Instant::now();
+                                        let mask = split.stage_batch(batch);
+                                        ctx.time_calc_with(|rec| {
+                                            engine.apply_profiled(
+                                                info,
+                                                &cur.storage,
+                                                &mut nxt.storage,
+                                                mask,
+                                                rec,
+                                            )
+                                        });
+                                        split.clear_batch();
+                                        timer.hide(t0.elapsed().as_secs_f64());
+                                        if pready_live {
+                                            evn.pready_bricks(ctx, batch)?;
+                                        }
+                                    }
+                                }
+                                None => {
+                                    let t0 = std::time::Instant::now();
+                                    let mask = split.stage_batch(&ready);
+                                    ctx.time_calc_with(|rec| {
+                                        engine.apply_profiled(
+                                            info,
+                                            &cur.storage,
+                                            &mut nxt.storage,
+                                            mask,
+                                            rec,
+                                        )
+                                    });
+                                    split.clear_batch();
+                                    timer.hide(t0.elapsed().as_secs_f64());
+                                }
+                            }
+                            ready.clear();
+                        }
+                        if graph.pending() == 0 {
+                            break;
+                        }
+                        completed.clear();
+                        let newly = ev.poll(ctx, cur, &mut completed)?;
+                        for &c in &completed {
+                            graph.complete(c, &mut ready);
+                        }
+                        if newly == 0 && ready.is_empty() {
+                            break;
+                        }
+                    }
+                    ev.finish(ctx, cur)?;
+                    timer.end_step(wire_clock(ctx));
+                    if graph.pending() > 0 {
+                        ready.clear();
+                        graph.unready(&mut ready);
+                        match &prio {
+                            Some(pr) => {
+                                pr.order(&mut ready);
+                                for batch in pr.groups(&ready) {
+                                    let mask = split.stage_batch(batch);
+                                    ctx.time_calc_with(|rec| {
+                                        engine.apply_profiled(
+                                            info,
+                                            &cur.storage,
+                                            &mut nxt.storage,
+                                            mask,
+                                            rec,
+                                        )
+                                    });
+                                    split.clear_batch();
+                                    if pready_live {
+                                        evn.pready_bricks(ctx, batch)?;
+                                    }
+                                }
+                            }
+                            None => {
+                                let mask = split.stage_batch(&ready);
                                 ctx.time_calc_with(|rec| {
                                     engine.apply_profiled(
                                         info,
@@ -808,79 +999,46 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
                                     )
                                 });
                                 split.clear_batch();
-                                timer.hide(t0.elapsed().as_secs_f64());
-                                if pready_live {
-                                    evn.pready_bricks(ctx, batch).expect("pready");
-                                }
                             }
                         }
-                        None => {
-                            let t0 = std::time::Instant::now();
-                            let mask = split.stage_batch(&ready);
-                            ctx.time_calc_with(|rec| {
-                                engine.apply_profiled(
-                                    info,
-                                    &cur.storage,
-                                    &mut nxt.storage,
-                                    mask,
-                                    rec,
-                                )
-                            });
-                            split.clear_batch();
-                            timer.hide(t0.elapsed().as_secs_f64());
-                        }
                     }
+                    flip = !flip;
+                }
+                DriveOp::Snapshot(buf) => {
+                    let cur = if flip { &sb } else { &sa };
+                    buf.extend_from_slice(cur.storage.as_slice());
+                }
+                DriveOp::Restore(data) => {
+                    let cur = if flip { &mut sb } else { &mut sa };
+                    cur.storage.as_mut_slice().copy_from_slice(data);
+                }
+                DriveOp::Rebuild => {
+                    eva = ExchangeView::build(&decomp, &sa).expect("view construction");
+                    evb = ExchangeView::build(&decomp, &sb).expect("view construction");
+                    eva.ensure_bound(ctx, &sa);
+                    evb.ensure_bound(ctx, &sb);
+                    if partitioned {
+                        eva.enable_partitioned(
+                            step_elems,
+                            decomp.bricks(),
+                            netsim::DEFAULT_EAGER_BYTES,
+                        );
+                        evb.enable_partitioned(
+                            step_elems,
+                            decomp.bricks(),
+                            netsim::DEFAULT_EAGER_BYTES,
+                        );
+                    }
+                    split = PlanSplit::new(&interior_mask, compute);
+                    graph = DepGraph::build(info, split.boundary(), &recv_ghosts);
+                    timer = OverlapTimer::new();
+                    completed.clear();
                     ready.clear();
                 }
-                if graph.pending() == 0 {
-                    break;
-                }
-                completed.clear();
-                let newly = ev.poll(ctx, cur, &mut completed).expect("poll exchange");
-                for &c in &completed {
-                    graph.complete(c, &mut ready);
-                }
-                if newly == 0 && ready.is_empty() {
-                    break;
-                }
             }
-            ev.finish(ctx, cur).expect("finish exchange");
-            timer.end_step(wire_clock(ctx));
-            if graph.pending() > 0 {
-                ready.clear();
-                graph.unready(&mut ready);
-                match &prio {
-                    Some(pr) => {
-                        pr.order(&mut ready);
-                        for batch in pr.groups(&ready) {
-                            let mask = split.stage_batch(batch);
-                            ctx.time_calc_with(|rec| {
-                                engine.apply_profiled(
-                                    info,
-                                    &cur.storage,
-                                    &mut nxt.storage,
-                                    mask,
-                                    rec,
-                                )
-                            });
-                            split.clear_batch();
-                            if pready_live {
-                                evn.pready_bricks(ctx, batch).expect("pready");
-                            }
-                        }
-                    }
-                    None => {
-                        let mask = split.stage_batch(&ready);
-                        ctx.time_calc_with(|rec| {
-                            engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
-                        });
-                        split.clear_batch();
-                    }
-                }
-            }
-            flip = !flip;
-            ctx.barrier();
-        }
+            Ok(())
+        };
+        let frec = drive(ctx, &rcfg, &mut body).expect("memmap dag drive");
         let mut ps = eva.partition_stats();
         ps.merge(&evb.partition_stats());
         timer.record_partition(ps.early_bytes, ps.total_bytes);
@@ -898,10 +1056,10 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
             timer.hidden_total() / steps as f64,
             timer.stats(),
         );
-        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec)
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec, frec)
     });
 
-    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery, failure) = fold_faults(reports);
     let (timers, checksum, mut stats, summary, hidden, ostats) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -917,6 +1075,7 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
         overlap_stats: Some(ostats),
+        recovery: failure,
     }
 }
 
@@ -936,6 +1095,7 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
     let partitioned = cfg.partitioned;
     let interior_mask = decomp.interior_mask();
     let step_elems = decomp.step();
+    let rcfg = cfg.recovery_cfg();
 
     let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
@@ -966,46 +1126,127 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
         let mut completed: Vec<usize> = Vec::new();
         let mut ready: Vec<u32> = Vec::new();
         let mut flip = false;
-        for step in 0..steps + warmup {
-            if step == warmup {
-                ctx.reset_timers();
-                if profile {
-                    ctx.enable_profiling();
-                }
-                timer = OverlapTimer::new();
-                sha.reset_partition_stats();
-                shb.reset_partition_stats();
-            }
-            let pready_live =
-                partitioned && step + 1 != warmup && step + 1 != steps + warmup;
-            // `sh` is bound to `cur`; `shn` aliases `nxt` and owns the
-            // NEXT step's final-pass channels — readiness flows to it.
-            let (cur, nxt, sh, shn) = if flip {
-                (&mut sb, &mut sa, &mut shb, &mut sha)
-            } else {
-                (&mut sa, &mut sb, &mut sha, &mut shb)
-            };
-            timer.begin_step(wire_clock(ctx));
-            completed.clear();
-            sh.begin(ctx, cur, &mut completed).expect("begin exchange");
-            let t0 = std::time::Instant::now();
-            ctx.time_calc_with(|rec| {
-                engine.apply_profiled(info, &cur.storage, &mut nxt.storage, split.interior(), rec)
-            });
-            timer.hide(t0.elapsed().as_secs_f64());
-            ready.clear();
-            ready.extend_from_slice(graph.begin_step());
-            for &c in &completed {
-                graph.complete(c, &mut ready);
-            }
-            loop {
-                if !ready.is_empty() {
-                    match &prio {
-                        Some(pr) => {
-                            pr.order(&mut ready);
-                            for batch in pr.groups(&ready) {
-                                let t0 = std::time::Instant::now();
-                                let mask = split.stage_batch(batch);
+        let mut body = |ctx: &mut RankCtx<'_>, op: DriveOp<'_>| -> Result<(), NetsimError> {
+            match op {
+                DriveOp::Step(step) => {
+                    if step == warmup {
+                        ctx.reset_timers();
+                        if profile {
+                            ctx.enable_profiling();
+                        }
+                        timer = OverlapTimer::new();
+                        sha.reset_partition_stats();
+                        shb.reset_partition_stats();
+                    }
+                    let pready_live =
+                        partitioned && step + 1 != warmup && step + 1 != steps + warmup;
+                    // `sh` is bound to `cur`; `shn` aliases `nxt` and owns the
+                    // NEXT step's final-pass channels — readiness flows to it.
+                    let (cur, nxt, sh, shn) = if flip {
+                        (&mut sb, &mut sa, &mut shb, &mut sha)
+                    } else {
+                        (&mut sa, &mut sb, &mut sha, &mut shb)
+                    };
+                    timer.begin_step(wire_clock(ctx));
+                    completed.clear();
+                    sh.begin(ctx, cur, &mut completed)?;
+                    let t0 = std::time::Instant::now();
+                    ctx.time_calc_with(|rec| {
+                        engine.apply_profiled(
+                            info,
+                            &cur.storage,
+                            &mut nxt.storage,
+                            split.interior(),
+                            rec,
+                        )
+                    });
+                    timer.hide(t0.elapsed().as_secs_f64());
+                    ready.clear();
+                    ready.extend_from_slice(graph.begin_step());
+                    for &c in &completed {
+                        graph.complete(c, &mut ready);
+                    }
+                    loop {
+                        if !ready.is_empty() {
+                            match &prio {
+                                Some(pr) => {
+                                    pr.order(&mut ready);
+                                    for batch in pr.groups(&ready) {
+                                        let t0 = std::time::Instant::now();
+                                        let mask = split.stage_batch(batch);
+                                        ctx.time_calc_with(|rec| {
+                                            engine.apply_profiled(
+                                                info,
+                                                &cur.storage,
+                                                &mut nxt.storage,
+                                                mask,
+                                                rec,
+                                            )
+                                        });
+                                        split.clear_batch();
+                                        timer.hide(t0.elapsed().as_secs_f64());
+                                        if pready_live {
+                                            shn.pready_bricks(ctx, batch)?;
+                                        }
+                                    }
+                                }
+                                None => {
+                                    let t0 = std::time::Instant::now();
+                                    let mask = split.stage_batch(&ready);
+                                    ctx.time_calc_with(|rec| {
+                                        engine.apply_profiled(
+                                            info,
+                                            &cur.storage,
+                                            &mut nxt.storage,
+                                            mask,
+                                            rec,
+                                        )
+                                    });
+                                    split.clear_batch();
+                                    timer.hide(t0.elapsed().as_secs_f64());
+                                }
+                            }
+                            ready.clear();
+                        }
+                        if graph.pending() == 0 {
+                            break;
+                        }
+                        completed.clear();
+                        let newly = sh.poll(ctx, &mut completed)?;
+                        for &c in &completed {
+                            graph.complete(c, &mut ready);
+                        }
+                        if newly == 0 && ready.is_empty() {
+                            break;
+                        }
+                    }
+                    sh.finish(ctx)?;
+                    timer.end_step(wire_clock(ctx));
+                    if graph.pending() > 0 {
+                        ready.clear();
+                        graph.unready(&mut ready);
+                        match &prio {
+                            Some(pr) => {
+                                pr.order(&mut ready);
+                                for batch in pr.groups(&ready) {
+                                    let mask = split.stage_batch(batch);
+                                    ctx.time_calc_with(|rec| {
+                                        engine.apply_profiled(
+                                            info,
+                                            &cur.storage,
+                                            &mut nxt.storage,
+                                            mask,
+                                            rec,
+                                        )
+                                    });
+                                    split.clear_batch();
+                                    if pready_live {
+                                        shn.pready_bricks(ctx, batch)?;
+                                    }
+                                }
+                            }
+                            None => {
+                                let mask = split.stage_batch(&ready);
                                 ctx.time_calc_with(|rec| {
                                     engine.apply_profiled(
                                         info,
@@ -1016,79 +1257,46 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
                                     )
                                 });
                                 split.clear_batch();
-                                timer.hide(t0.elapsed().as_secs_f64());
-                                if pready_live {
-                                    shn.pready_bricks(ctx, batch).expect("pready");
-                                }
                             }
                         }
-                        None => {
-                            let t0 = std::time::Instant::now();
-                            let mask = split.stage_batch(&ready);
-                            ctx.time_calc_with(|rec| {
-                                engine.apply_profiled(
-                                    info,
-                                    &cur.storage,
-                                    &mut nxt.storage,
-                                    mask,
-                                    rec,
-                                )
-                            });
-                            split.clear_batch();
-                            timer.hide(t0.elapsed().as_secs_f64());
-                        }
                     }
+                    flip = !flip;
+                }
+                DriveOp::Snapshot(buf) => {
+                    let cur = if flip { &sb } else { &sa };
+                    buf.extend_from_slice(cur.storage.as_slice());
+                }
+                DriveOp::Restore(data) => {
+                    let cur = if flip { &mut sb } else { &mut sa };
+                    cur.storage.as_mut_slice().copy_from_slice(data);
+                }
+                DriveOp::Rebuild => {
+                    sha = crate::shift::ShiftExchanger::build(&decomp, &sa).expect("shift views");
+                    shb = crate::shift::ShiftExchanger::build(&decomp, &sb).expect("shift views");
+                    if partitioned {
+                        sha.ensure_bound(ctx, &sa);
+                        shb.ensure_bound(ctx, &sb);
+                        sha.enable_partitioned(
+                            step_elems,
+                            decomp.bricks(),
+                            netsim::DEFAULT_EAGER_BYTES,
+                        );
+                        shb.enable_partitioned(
+                            step_elems,
+                            decomp.bricks(),
+                            netsim::DEFAULT_EAGER_BYTES,
+                        );
+                    }
+                    split = PlanSplit::new(&interior_mask, compute);
+                    graph = DepGraph::build(info, split.boundary(), &recv_ghosts);
+                    timer = OverlapTimer::new();
+                    completed.clear();
                     ready.clear();
                 }
-                if graph.pending() == 0 {
-                    break;
-                }
-                completed.clear();
-                let newly = sh.poll(ctx, &mut completed).expect("poll exchange");
-                for &c in &completed {
-                    graph.complete(c, &mut ready);
-                }
-                if newly == 0 && ready.is_empty() {
-                    break;
-                }
             }
-            sh.finish(ctx).expect("finish exchange");
-            timer.end_step(wire_clock(ctx));
-            if graph.pending() > 0 {
-                ready.clear();
-                graph.unready(&mut ready);
-                match &prio {
-                    Some(pr) => {
-                        pr.order(&mut ready);
-                        for batch in pr.groups(&ready) {
-                            let mask = split.stage_batch(batch);
-                            ctx.time_calc_with(|rec| {
-                                engine.apply_profiled(
-                                    info,
-                                    &cur.storage,
-                                    &mut nxt.storage,
-                                    mask,
-                                    rec,
-                                )
-                            });
-                            split.clear_batch();
-                            if pready_live {
-                                shn.pready_bricks(ctx, batch).expect("pready");
-                            }
-                        }
-                    }
-                    None => {
-                        let mask = split.stage_batch(&ready);
-                        ctx.time_calc_with(|rec| {
-                            engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
-                        });
-                        split.clear_batch();
-                    }
-                }
-            }
-            flip = !flip;
-            ctx.barrier();
-        }
+            Ok(())
+        };
+        let frec = drive(ctx, &rcfg, &mut body).expect("shift dag drive");
         let mut ps = sha.partition_stats();
         ps.merge(&shb.partition_stats());
         timer.record_partition(ps.early_bytes, ps.total_bytes);
@@ -1106,10 +1314,10 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
             timer.hidden_total() / steps as f64,
             timer.stats(),
         );
-        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec)
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec, frec)
     });
 
-    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery, failure) = fold_faults(reports);
     let (timers, checksum, mut stats, summary, hidden, ostats) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -1125,6 +1333,7 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
         overlap_stats: Some(ostats),
+        recovery: failure,
     }
 }
 
@@ -1168,6 +1377,7 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
     let profile = cfg.profile;
+    let rcfg = cfg.recovery_cfg();
 
     let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
@@ -1185,29 +1395,45 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
         // Persistent per-rank session: neighbor ranks, tags, ghost
         // ranges and loopback pairings resolved once, reused every step.
         let mut session = exchanger.as_ref().map(|e| e.session(ctx));
-        for step in 0..steps + warmup {
-            if step == warmup {
-                ctx.reset_timers();
-                if profile {
-                    ctx.enable_profiling();
+        let mut body = |ctx: &mut RankCtx<'_>, op: DriveOp<'_>| -> Result<(), NetsimError> {
+            match op {
+                DriveOp::Step(step) => {
+                    if step == warmup {
+                        ctx.reset_timers();
+                        if profile {
+                            ctx.enable_profiling();
+                        }
+                    }
+                    if let Some(sess) = session.as_mut() {
+                        sess.exchange(ctx, &mut cur)?;
+                    }
+                    ctx.time_calc_with(|rec| {
+                        engine.apply_profiled(info, &cur, &mut nxt, mask, rec)
+                    });
+                    std::mem::swap(&mut cur, &mut nxt);
+                }
+                DriveOp::Snapshot(buf) => {
+                    buf.extend_from_slice(cur.as_slice());
+                }
+                DriveOp::Restore(data) => {
+                    cur.as_mut_slice().copy_from_slice(data);
+                }
+                DriveOp::Rebuild => {
+                    session = exchanger.as_ref().map(|e| e.session(ctx));
                 }
             }
-            if let Some(sess) = session.as_mut() {
-                sess.exchange(ctx, &mut cur).expect("brick exchange");
-            }
-            ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur, &mut nxt, mask, rec));
-            std::mem::swap(&mut cur, &mut nxt);
-            ctx.barrier();
-        }
+            Ok(())
+        };
+        let frec = drive(ctx, &rcfg, &mut body).expect("brick drive");
         let t = ctx.timers().per_step(steps);
         let timeline = ctx.take_timeline();
         let summary = ctx.reduce_timers(&t).expect("timer reduction");
         let rec = session.as_ref().map(|s| s.recovery_stats()).unwrap_or_default();
         let payload = (t, checksum_bricks(&decomp, &cur), summary);
-        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec)
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec, frec)
     });
 
-    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery, failure) = fold_faults(reports);
     let (timers, checksum, summary) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -1223,6 +1449,7 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
         overlap_stats: None,
+        recovery: failure,
     }
 }
 
@@ -1239,6 +1466,7 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
     let (steps, warmup) = (cfg.steps, cfg.warmup);
     let kernel = cfg.kernel;
     let profile = cfg.profile;
+    let rcfg = cfg.recovery_cfg();
 
     let reports = run_cluster_on(cfg.backend, topo, cfg.net, cfg.faults, |ctx| {
         arm_fault_timeout(ctx);
@@ -1252,20 +1480,42 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
         fill_bricks(&decomp, &mut sa.storage);
         let mut flip = false;
         let stats = eva.stats();
-        for step in 0..steps + warmup {
-            if step == warmup {
-                ctx.reset_timers();
-                if profile {
-                    ctx.enable_profiling();
+        let mut body = |ctx: &mut RankCtx<'_>, op: DriveOp<'_>| -> Result<(), NetsimError> {
+            match op {
+                DriveOp::Step(step) => {
+                    if step == warmup {
+                        ctx.reset_timers();
+                        if profile {
+                            ctx.enable_profiling();
+                        }
+                    }
+                    let (cur, nxt, ev) = if flip {
+                        (&mut sb, &mut sa, &mut evb)
+                    } else {
+                        (&mut sa, &mut sb, &mut eva)
+                    };
+                    ev.exchange(ctx, cur)?;
+                    ctx.time_calc_with(|rec| {
+                        engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec)
+                    });
+                    flip = !flip;
+                }
+                DriveOp::Snapshot(buf) => {
+                    let cur = if flip { &sb } else { &sa };
+                    buf.extend_from_slice(cur.storage.as_slice());
+                }
+                DriveOp::Restore(data) => {
+                    let cur = if flip { &mut sb } else { &mut sa };
+                    cur.storage.as_mut_slice().copy_from_slice(data);
+                }
+                DriveOp::Rebuild => {
+                    eva = ExchangeView::build(&decomp, &sa).expect("view construction");
+                    evb = ExchangeView::build(&decomp, &sb).expect("view construction");
                 }
             }
-            let (cur, nxt, ev) =
-                if flip { (&mut sb, &mut sa, &mut evb) } else { (&mut sa, &mut sb, &mut eva) };
-            ev.exchange(ctx, cur).expect("memmap exchange");
-            ctx.time_calc_with(|rec| engine.apply_profiled(info, &cur.storage, &mut nxt.storage, mask, rec));
-            flip = !flip;
-            ctx.barrier();
-        }
+            Ok(())
+        };
+        let frec = drive(ctx, &rcfg, &mut body).expect("memmap drive");
         let last = if flip { &sb } else { &sa };
         let t = ctx.timers().per_step(steps);
         let timeline = ctx.take_timeline();
@@ -1273,10 +1523,10 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
         let mut rec = eva.recovery_stats();
         rec.merge(&evb.recovery_stats());
         let payload = (t, checksum_bricks(&decomp, &last.storage), stats, summary);
-        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec)
+        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), rec, frec)
     });
 
-    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery, failure) = fold_faults(reports);
     let (timers, checksum, mut stats, summary) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -1292,6 +1542,7 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
         overlap_stats: None,
+        recovery: failure,
     }
 }
 
@@ -1333,10 +1584,17 @@ fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: 
         let timeline = ctx.take_timeline();
         let summary = ctx.reduce_timers(&t).expect("timer reduction");
         let payload = (t, cur.interior_sum(), stats, summary);
-        (payload, timeline, ctx.fault_stats(), ctx.take_fault_events(), ex.recovery_stats())
+        (
+            payload,
+            timeline,
+            ctx.fault_stats(),
+            ctx.take_fault_events(),
+            ex.recovery_stats(),
+            FailureRecovery::default(),
+        )
     });
 
-    let (payload, timelines, faults, fault_events, recovery) = fold_faults(reports);
+    let (payload, timelines, faults, fault_events, recovery, failure) = fold_faults(reports);
     let (timers, checksum, mut stats, summary) = payload;
     stats.absorb_recovery(&recovery);
     MethodReport {
@@ -1352,6 +1610,7 @@ fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: 
         timelines: keep_timelines(profile, timelines),
         fault_seed: fault_seed(cfg),
         overlap_stats: None,
+        recovery: failure,
     }
 }
 

@@ -245,6 +245,7 @@ pub fn run_gpu_experiment(cfg: &GpuExperimentConfig) -> GpuReport {
         kernel: crate::experiment::KernelKind::Plan,
         faults: netsim::FaultConfig::off(),
         profile: false,
+        checkpoint_every: 0,
         overlap: false,
         partitioned: false,
         backend: netsim::Backend::from_env(),

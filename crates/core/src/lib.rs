@@ -36,6 +36,7 @@
 
 pub mod baselines;
 pub mod calibrated;
+pub mod checkpoint;
 pub mod decomp;
 pub mod exchange;
 pub mod experiment;
@@ -45,6 +46,7 @@ pub mod memmap;
 pub mod reliable;
 pub mod shift;
 
+pub use checkpoint::{DriveOp, FailureRecovery, RecoveryCfg};
 pub use decomp::{pad_bricks_for, BrickDecomp, Chunk, GhostGroup};
 pub use exchange::{split_disjoint_mut, ExchangeStats, Exchanger, RecvMsg, SendMsg};
 pub use memmap::{ExchangeView, MemMapStorage};

@@ -257,6 +257,17 @@ impl ReliableSession {
         let mut degraded = false;
         let mut round: u32 = 0;
         loop {
+            // A revoked communicator cannot converge: the dead peer will
+            // never answer the control phase or the termination
+            // collective. Surface the failure instead of burning retry
+            // rounds until the timeout fires (recovery-epoch traffic is
+            // exempt — the session never runs inside one, but be safe).
+            if !ctx.recovering() {
+                if let Some(e) = ctx.rank_failure() {
+                    ctx.flush_epoch();
+                    return Err(e);
+                }
+            }
             // --- Data phase: shared deadline, keep popping per key so a
             // clean duplicate can satisfy a channel whose first copy was
             // damaged. ---
@@ -296,6 +307,13 @@ impl ReliableSession {
                 let ctl_deadline = Instant::now() + CONTROL_DEADLINE;
                 let Some(msg) = ctx.recv_deadline(h, ctl_deadline) else {
                     ctx.flush_epoch();
+                    // A silent control peer usually means it died: report
+                    // the crash (recoverable) over the opaque timeout.
+                    if !ctx.recovering() {
+                        if let Some(e) = ctx.rank_failure() {
+                            return Err(e);
+                        }
+                    }
                     return Err(NetsimError::Timeout {
                         rank: ctx.rank(),
                         pending: vec![(dest, CTRL_EXCHANGE_TAG)],

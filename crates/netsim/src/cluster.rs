@@ -47,14 +47,17 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use telemetry::{Phase, Recorder, Timeline};
 
-use crate::error::NetsimError;
-use crate::fault::{FaultConfig, FaultDecision, FaultEvent, FaultKind, FaultPlan, FaultStats};
+use crate::error::{NetsimError, MAX_DIAG_KEYS};
+use crate::fault::{
+    FaultConfig, FaultDecision, FaultEvent, FaultKind, FaultPlan, FaultStats, ProcFault,
+    CTRL_TAG_BIT,
+};
 use crate::model::NetworkModel;
 use crate::timers::{timed, Timers};
 use crate::topo::CartTopo;
@@ -162,6 +165,45 @@ impl AbortableBarrier {
     }
 }
 
+/// Shared process-liveness state for one cluster run: which ranks are
+/// currently dead, whether the communicator is revoked (ULFM-style: a
+/// crash-stop was observed and every blocking operation must unwind
+/// with [`NetsimError::RankFailed`] instead of waiting on traffic that
+/// cannot arrive), and the failure the survivors must agree on.
+struct ProcState {
+    /// Per-rank crash flag. A dead rank's incoming sends vanish (the
+    /// NIC is gone); cleared when the runner respawns the rank.
+    dead: Vec<AtomicBool>,
+    /// Set by [`RankCtx::die`], cleared by rank 0 at the end of the
+    /// recovery epoch (before releasing the recovery fence, so no
+    /// survivor can observe a stale revocation afterwards).
+    revoked: AtomicBool,
+    /// The failed rank (`usize::MAX` = none).
+    failed_rank: AtomicUsize,
+    /// The timestep the victim was executing when it died.
+    failed_step: AtomicU64,
+    /// Wall-clock kill instant, for detection-latency telemetry.
+    killed_at: Mutex<Option<Instant>>,
+}
+
+impl ProcState {
+    fn new(size: usize) -> ProcState {
+        ProcState {
+            dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            revoked: AtomicBool::new(false),
+            failed_rank: AtomicUsize::new(usize::MAX),
+            failed_step: AtomicU64::new(0),
+            killed_at: Mutex::new(None),
+        }
+    }
+}
+
+/// Panic payload thrown by [`RankCtx::die`] to unwind a crash-stopped
+/// rank out of arbitrarily deep protocol code. The runners' respawn
+/// loops catch it and re-enter the rank body with a fresh incarnation;
+/// any other panic payload keeps the existing abort-the-cluster path.
+struct KillSentinel;
+
 struct Mailbox {
     inner: Mutex<MailboxInner>,
     signal: Condvar,
@@ -179,10 +221,17 @@ impl Mailbox {
     }
 
     /// Pop the next message for `key`, blocking until `deadline` (or
-    /// forever when `None`). `None` return = deadline expired, or the
-    /// cluster is aborting (a peer rank panicked) — both mean "stop
-    /// waiting, the message is not coming".
-    fn pop_deadline(&self, key: Key, deadline: Option<Instant>, abort: &AtomicBool) -> Option<Msg> {
+    /// forever when `None`). `None` return = deadline expired, or
+    /// `stopped` reports the wait is pointless — the cluster is
+    /// aborting (a peer rank panicked) or revoked (a peer rank
+    /// crash-stopped) — all meaning "stop waiting, the message is not
+    /// coming".
+    fn pop_deadline(
+        &self,
+        key: Key,
+        deadline: Option<Instant>,
+        stopped: &dyn Fn() -> bool,
+    ) -> Option<Msg> {
         let mut g = self.inner.lock();
         loop {
             if let Some(q) = g.queues.get_mut(&key) {
@@ -190,7 +239,7 @@ impl Mailbox {
                     return Some(v);
                 }
             }
-            if abort.load(Ordering::SeqCst) {
+            if stopped() {
                 return None;
             }
             match deadline {
@@ -227,17 +276,46 @@ impl Mailbox {
         }
     }
 
-    /// Diagnostic dump: `(source, tag, queued)` for every non-empty
-    /// queue, sorted for deterministic error messages.
+    /// Remove every queued message whose key fails `keep` — the
+    /// recovery epoch's mailbox flush, which must evict all stale
+    /// data-plane traffic from before a rank failure while preserving
+    /// in-flight recovery-protocol frames.
+    fn drain_except(&self, keep: &dyn Fn(usize, u64) -> bool) -> Vec<Msg> {
+        let mut g = self.inner.lock();
+        let mut out = Vec::new();
+        g.queues.retain(|&(src, tag), q| {
+            if keep(src, tag) {
+                true
+            } else {
+                out.extend(q.drain(..));
+                false
+            }
+        });
+        out
+    }
+
+    /// Diagnostic dump: `(source, tag, queued)` for the non-empty
+    /// queues with the smallest keys, sorted, capped at
+    /// [`MAX_DIAG_KEYS`] by bounded insertion so the error path stays
+    /// allocation-bounded at high rank counts — and allocation-free
+    /// when the mailbox is empty, which the steady-state timeout guard
+    /// (`tests/event_alloc.rs`) counts on.
     fn unmatched_keys(&self) -> Vec<(usize, u64, usize)> {
         let g = self.inner.lock();
-        let mut keys: Vec<(usize, u64, usize)> = g
-            .queues
-            .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(&(src, tag), q)| (src, tag, q.len()))
-            .collect();
-        keys.sort_unstable();
+        let mut keys: Vec<(usize, u64, usize)> = Vec::new();
+        for (&(src, tag), q) in g.queues.iter().filter(|(_, q)| !q.is_empty()) {
+            if keys.capacity() == 0 {
+                keys.reserve_exact(MAX_DIAG_KEYS);
+            }
+            let k = (src, tag, q.len());
+            let pos = keys.binary_search(&k).unwrap_or_else(|p| p);
+            if pos < MAX_DIAG_KEYS {
+                if keys.len() == MAX_DIAG_KEYS {
+                    keys.pop();
+                }
+                keys.insert(pos, k);
+            }
+        }
         keys
     }
 }
@@ -306,6 +384,20 @@ pub struct RankCtx<'a> {
     fault: Option<FaultPlan>,
     fault_bypass: bool,
     recv_timeout: Option<Duration>,
+    // Process-fault machinery (see `ProcState`). `kill`/`stall` are
+    // this rank's armed process faults (first incarnation only);
+    // `cur_step` is the timestep window armed by the resilient driver
+    // (`u64::MAX` = disarmed: harness/recovery traffic cannot be
+    // killed) and `step_ops` counts data-plane ops within it.
+    proc: &'a ProcState,
+    kill: Option<ProcFault>,
+    stall: Option<ProcFault>,
+    cur_step: u64,
+    step_ops: u64,
+    stall_fired: bool,
+    recovery_mode: bool,
+    incarnation: usize,
+    detect_latency: Option<f64>,
 }
 
 impl<'a> RankCtx<'a> {
@@ -507,6 +599,188 @@ impl<'a> RankCtx<'a> {
         self.recv_timeout
     }
 
+    /// Arm the process-fault window for timestep `step`: a `kill:` /
+    /// `stall:` schedule targeting this step can now fire, at the
+    /// scheduled data-plane operation count. Resilient drivers call
+    /// this right before each step body and
+    /// [`RankCtx::clear_fault_step`] right after, so checkpointing and
+    /// recovery traffic can never be killed — which is what keeps every
+    /// rank's checkpoint set identical.
+    pub fn set_fault_step(&mut self, step: u64) {
+        self.cur_step = step;
+        self.step_ops = 0;
+    }
+
+    /// Disarm the process-fault window (see [`RankCtx::set_fault_step`]).
+    pub fn clear_fault_step(&mut self) {
+        self.cur_step = u64::MAX;
+    }
+
+    /// How many times this rank's body has been (re)started: 0 for the
+    /// original process, ≥ 1 for a respawn after a crash-stop fault.
+    /// A resilient driver seeing a nonzero incarnation skips straight
+    /// to the recovery epoch to adopt its buddy's checkpoint.
+    pub fn incarnation(&self) -> usize {
+        self.incarnation
+    }
+
+    /// Whether the communicator is revoked: a crash-stop fault was
+    /// observed somewhere and blocking operations outside recovery
+    /// mode unwind with [`NetsimError::RankFailed`].
+    pub fn revoked(&self) -> bool {
+        self.proc.revoked.load(Ordering::SeqCst)
+    }
+
+    /// The pending failure the survivors must recover from, as
+    /// `(failed rank, failed step)` — `None` once recovery completed.
+    pub fn failed_info(&self) -> Option<(usize, u64)> {
+        let r = self.proc.failed_rank.load(Ordering::SeqCst);
+        (r != usize::MAX).then(|| (r, self.proc.failed_step.load(Ordering::SeqCst)))
+    }
+
+    /// This rank's view of the pending failure as a structured error,
+    /// recording the detection latency (wall-clock seconds from kill to
+    /// first observation, telemetry only) the first time it fires.
+    pub fn rank_failure(&mut self) -> Option<NetsimError> {
+        let (rank, step) = self.failed_info()?;
+        if self.detect_latency.is_none() {
+            let at: Option<Instant> = *self.proc.killed_at.lock();
+            self.detect_latency = Some(at.map_or(0.0, |t| t.elapsed().as_secs_f64()));
+        }
+        Some(NetsimError::RankFailed { rank, detected_by: self.rank, step })
+    }
+
+    /// Detection latency recorded by [`RankCtx::rank_failure`], if this
+    /// rank ever observed a failure.
+    pub fn detect_latency(&self) -> Option<f64> {
+        self.detect_latency
+    }
+
+    /// Enter recovery mode: blocking operations wait normally again
+    /// (the recovery protocol's own traffic must flow on a revoked
+    /// communicator) until [`RankCtx::end_recovery`].
+    pub fn begin_recovery(&mut self) {
+        self.recovery_mode = true;
+    }
+
+    /// Leave recovery mode (see [`RankCtx::begin_recovery`]).
+    pub fn end_recovery(&mut self) {
+        self.recovery_mode = false;
+    }
+
+    /// Whether this rank is inside a recovery epoch.
+    pub fn recovering(&self) -> bool {
+        self.recovery_mode
+    }
+
+    /// Acknowledge the failure cluster-wide: clear the failed-rank
+    /// record and un-revoke the communicator. Called by rank 0 at the
+    /// end of the recovery epoch, *before* releasing the recovery
+    /// fence, so no rank can leave recovery and still observe the
+    /// stale revocation.
+    pub fn clear_failure(&self) {
+        self.proc.failed_rank.store(usize::MAX, Ordering::SeqCst);
+        self.proc.failed_step.store(0, Ordering::SeqCst);
+        *self.proc.killed_at.lock() = None;
+        self.proc.revoked.store(false, Ordering::SeqCst);
+    }
+
+    /// Flush this rank's mailbox of everything whose `(source, tag)`
+    /// fails `keep`, recycling the buffers; returns how many messages
+    /// were evicted. The recovery epoch calls this after the join
+    /// fence — when every pre-failure send has landed (delivery is
+    /// eager) — so stale data-plane frames from the aborted step can
+    /// never be matched by the replay, while in-flight recovery frames
+    /// survive.
+    pub fn drain_all_except(&mut self, keep: impl Fn(usize, u64) -> bool) -> usize {
+        let evicted = self.mailboxes[self.rank].drain_except(&keep);
+        let n = evicted.len();
+        for msg in evicted {
+            if let Some(owner) = msg.owner {
+                self.pools[owner].put(msg.data);
+            }
+        }
+        n
+    }
+
+    /// Record a process-fault trace event. The victim's own trace dies
+    /// with its first incarnation, so the resilient driver re-records
+    /// the kill on the respawned context; stalls are recorded in place
+    /// by [`RankCtx::proc_tick`].
+    pub fn record_proc_fault_event(&mut self, kind: FaultKind, step: u64, op: u64) {
+        self.trace.record_fault(FaultEvent {
+            kind,
+            src: self.rank,
+            dest: self.rank,
+            tag: step,
+            attempt: op,
+            bytes: 0,
+        });
+    }
+
+    /// Process-fault injection point, called once per data-plane
+    /// transport operation (send posts, receive posts, waits, overlap
+    /// polls). Ops are counted per armed timestep so a `kill:R@S+OP`
+    /// schedule lands at a reproducible point *inside* the step body —
+    /// including mid-overlap-window and mid-pready.
+    fn proc_tick(&mut self) {
+        if self.cur_step == u64::MAX {
+            return;
+        }
+        if let Some(k) = self.kill {
+            if k.step == self.cur_step && self.step_ops >= k.op {
+                self.die(k.step);
+            }
+        }
+        if let Some(st) = self.stall {
+            if st.step == self.cur_step && self.step_ops >= st.op && !self.stall_fired {
+                self.stall_fired = true;
+                self.bill(Phase::Wait, st.stall_secs);
+                self.recorder.count("fault_stalls", 1);
+                self.record_proc_fault_event(FaultKind::Stall, st.step, st.op);
+            }
+        }
+        self.step_ops += 1;
+    }
+
+    /// Crash-stop this rank: publish the failure, make in-flight
+    /// traffic to it vanish, wake every blocked peer so the failure
+    /// detector can run, and unwind via a [`KillSentinel`] panic that
+    /// the runner's respawn loop catches.
+    fn die(&mut self, step: u64) -> ! {
+        self.proc.dead[self.rank].store(true, Ordering::SeqCst);
+        self.proc.failed_rank.store(self.rank, Ordering::SeqCst);
+        self.proc.failed_step.store(step, Ordering::SeqCst);
+        *self.proc.killed_at.lock() = Some(Instant::now());
+        self.proc.revoked.store(true, Ordering::SeqCst);
+        // The victim's queued data-plane messages vanish with it;
+        // recycle their buffers so the owners' pools keep circulating.
+        // Control-plane traffic (fault-exempt by construction) is
+        // preserved: a survivor that detects the failure first may
+        // already have posted recovery-protocol frames to this mailbox,
+        // and eating them would deadlock the join fence. Stale control
+        // frames are purged by the recovery epoch's own drain instead.
+        let stale = self.mailboxes[self.rank].drain_except(&|_, tag| tag & CTRL_TAG_BIT != 0);
+        for msg in stale {
+            if let Some(owner) = msg.owner {
+                self.pools[owner].put(msg.data);
+            }
+        }
+        match self.runtime {
+            Runtime::Thread { .. } => {
+                for mb in self.mailboxes {
+                    mb.interrupt();
+                }
+            }
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Runtime::Event { sched } => sched.wake_all(),
+        }
+        // `resume_unwind` rather than `panic_any`: the unwind is the
+        // modeled crash, not a program bug, so the process-global panic
+        // hook (message + backtrace on stderr) must not fire for it.
+        std::panic::resume_unwind(Box::new(KillSentinel));
+    }
+
     /// Charge the send-side wire model for one message of `bytes`
     /// payload: `o` seconds of `call`, message/byte counters, epoch
     /// accounting (skipped for deferred sends, whose `wait` the caller
@@ -561,8 +835,18 @@ impl<'a> RankCtx<'a> {
         if dest >= self.topo.size() {
             return Err(NetsimError::InvalidRank { rank: dest, size: self.topo.size() });
         }
+        self.proc_tick();
         let bytes = std::mem::size_of_val(data);
         self.charge_send(dest, tag, bytes, epoch);
+        // A data-plane send to a dead rank vanishes (its NIC is gone).
+        // The call cost above is still billed: the sender cannot know
+        // yet. Control-plane sends are fault-exempt and still land in
+        // the mailbox — it outlives the incarnation, and the recovery
+        // protocol's join fence depends on tokens posted in the window
+        // between the crash and the respawn.
+        if self.proc.dead[dest].load(Ordering::SeqCst) && tag & CTRL_TAG_BIT == 0 {
+            return Ok(());
+        }
         let decision = match self.fault.as_mut() {
             Some(plan) if !self.fault_bypass => plan.decide(dest, tag, data.len()),
             _ => FaultDecision::default(),
@@ -682,6 +966,7 @@ impl<'a> RankCtx<'a> {
         if source >= self.topo.size() {
             return Err(NetsimError::InvalidRank { rank: source, size: self.topo.size() });
         }
+        self.proc_tick();
         self.bill(Phase::Wire, self.net.call_time(1));
         Ok(RecvHandle { source, tag })
     }
@@ -706,12 +991,27 @@ impl<'a> RankCtx<'a> {
     /// lossy chaos run times out instantly instead of sleeping.
     fn blocking_pop(&self, key: Key, deadline: Option<Instant>) -> Option<Msg> {
         let mb = &self.mailboxes[self.rank];
+        // Outside recovery mode a revoked communicator stops every
+        // blocking wait — that is the failure detector: the caller maps
+        // the miss to `RankFailed` via `rank_failure()`. Recovery-mode
+        // waits ignore revocation (the recovery protocol's own frames
+        // must flow on the revoked communicator).
+        let abort = self.abort;
+        let proc = self.proc;
+        let recovering = self.recovery_mode;
+        let stopped = move || {
+            abort.load(Ordering::SeqCst)
+                || (!recovering && proc.revoked.load(Ordering::SeqCst))
+        };
         match self.runtime {
-            Runtime::Thread { .. } => mb.pop_deadline(key, deadline, self.abort),
+            Runtime::Thread { .. } => mb.pop_deadline(key, deadline, &stopped),
             #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
             Runtime::Event { sched } => loop {
                 if let Some(m) = mb.try_pop(key) {
                     return Some(m);
+                }
+                if stopped() {
+                    return None;
                 }
                 sched.arm_mailbox(self.rank);
                 // Close the arm/push race: the push may have landed
@@ -762,6 +1062,7 @@ impl<'a> RankCtx<'a> {
     /// frame is handed back raw so callers can verify checksums and
     /// sequence trailers; recycle it with [`RankCtx::recycle`].
     pub fn recv_deadline(&mut self, h: RecvHandle, deadline: Instant) -> Option<RecvdMsg> {
+        self.proc_tick();
         let msg = self.blocking_pop((h.source, h.tag), Some(deadline))?;
         self.trace.record(MsgEvent {
             send: false,
@@ -778,8 +1079,14 @@ impl<'a> RankCtx<'a> {
     /// leaves the send epoch open; the frame is handed back raw, so
     /// recycle it with [`RankCtx::recycle`].
     pub fn recv_blocking(&mut self, h: RecvHandle) -> Result<RecvdMsg, NetsimError> {
+        self.proc_tick();
         let deadline = self.recv_timeout.map(|t| Instant::now() + t);
         let Some(msg) = self.blocking_pop((h.source, h.tag), deadline) else {
+            if !self.recovery_mode {
+                if let Some(e) = self.rank_failure() {
+                    return Err(e);
+                }
+            }
             return Err(NetsimError::Timeout {
                 rank: self.rank,
                 pending: vec![(h.source, h.tag)],
@@ -815,6 +1122,7 @@ impl<'a> RankCtx<'a> {
     /// mailbox entry, so probing the same handle again waits for the
     /// *next* message on that channel (non-overtaking order).
     pub fn try_wait(&mut self, h: RecvHandle) -> Option<RecvdMsg> {
+        self.proc_tick();
         let Some(msg) = self.mailboxes[self.rank].try_pop((h.source, h.tag)) else {
             self.poll_miss();
             return None;
@@ -853,6 +1161,14 @@ impl<'a> RankCtx<'a> {
     ) -> Result<usize, NetsimError> {
         assert_eq!(handles.len(), ranges.len());
         assert_eq!(handles.len(), done.len());
+        self.proc_tick();
+        // Failure detection on the overlap path: a poll loop spinning
+        // on `progress` would otherwise never observe the revocation.
+        if !self.recovery_mode && self.revoked() {
+            if let Some(e) = self.rank_failure() {
+                return Err(e);
+            }
+        }
         let mut newly = 0usize;
         for (i, h) in handles.iter().enumerate() {
             if done[i] {
@@ -919,12 +1235,22 @@ impl<'a> RankCtx<'a> {
         expect_len: impl Fn(usize) -> usize,
     ) -> Result<(), NetsimError> {
         self.recv_scratch.clear();
+        self.proc_tick();
         let deadline = self.recv_timeout.map(|t| Instant::now() + t);
         for (i, h) in handles.iter().enumerate() {
             let Some(msg) = self.blocking_pop((h.source, h.tag), deadline) else {
-                let pending = handles[i..].iter().map(|h| (h.source, h.tag)).collect();
-                let mailbox = self.mailboxes[self.rank].unmatched_keys();
                 self.recycle_scratch();
+                if !self.recovery_mode {
+                    if let Some(e) = self.rank_failure() {
+                        return Err(e);
+                    }
+                }
+                let pending = handles[i..]
+                    .iter()
+                    .take(MAX_DIAG_KEYS)
+                    .map(|h| (h.source, h.tag))
+                    .collect();
+                let mailbox = self.mailboxes[self.rank].unmatched_keys();
                 return Err(NetsimError::Timeout { rank: self.rank, pending, mailbox });
             };
             if msg.data.len() != expect_len(i) {
@@ -1072,6 +1398,13 @@ impl<'a> RankCtx<'a> {
     /// aborting (a peer panicked): the surviving ranks are being
     /// unwound via timeout errors, not blocked forever.
     pub fn barrier(&self) {
+        // A revoked communicator cannot complete a rendezvous (the
+        // failed rank is dead or mid-respawn): return silently, like
+        // the abort path. Resilient drivers synchronize through their
+        // own revocation-aware fence instead.
+        if self.proc.revoked.load(Ordering::SeqCst) {
+            return;
+        }
         match self.runtime {
             Runtime::Thread { barrier } => {
                 barrier.wait();
@@ -1225,12 +1558,18 @@ fn rank_ctx<'a>(
     pools: &'a [BufferPool],
     runtime: Runtime<'a>,
     abort: &'a AtomicBool,
+    proc: &'a ProcState,
+    incarnation: usize,
 ) -> RankCtx<'a> {
     let fault = faults.is_active().then(|| FaultPlan::new(faults, rank));
     let net = match &fault {
         Some(plan) => net.slowed(plan.slowdown()),
         None => net,
     };
+    // Process faults fire only in a rank's first incarnation: a
+    // respawned rank must not be re-killed, and a replayed step must
+    // not re-stall.
+    let first = incarnation == 0;
     RankCtx {
         rank,
         topo,
@@ -1250,6 +1589,15 @@ fn rank_ctx<'a>(
         fault,
         fault_bypass: false,
         recv_timeout: None,
+        proc,
+        kill: faults.kill.filter(|k| first && k.rank == rank),
+        stall: faults.stall.filter(|s| first && s.rank == rank),
+        cur_step: u64::MAX,
+        step_ops: 0,
+        stall_fired: false,
+        recovery_mode: false,
+        incarnation,
+        detect_latency: None,
     }
 }
 
@@ -1385,6 +1733,7 @@ where
     let pools: Vec<BufferPool> = (0..size).map(|_| BufferPool::new()).collect();
     let barrier = AbortableBarrier::new(size);
     let abort = AtomicBool::new(false);
+    let proc = ProcState::new(size);
     let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
 
@@ -1395,26 +1744,44 @@ where
             let pools = &pools;
             let barrier = &barrier;
             let abort = &abort;
+            let proc = &proc;
             let panics = &panics;
             joins.push(s.spawn(move || {
-                let mut ctx = rank_ctx(
-                    rank,
-                    topo,
-                    net,
-                    faults,
-                    mailboxes,
-                    pools,
-                    Runtime::Thread { barrier },
-                    abort,
-                );
-                match catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
-                    Ok(r) => *slot = Some(r),
-                    Err(p) => {
-                        panics.lock().push((rank, payload_string(p)));
-                        abort.store(true, Ordering::SeqCst);
-                        barrier.abort();
-                        for mb in mailboxes {
-                            mb.interrupt();
+                let mut incarnation = 0usize;
+                loop {
+                    let mut ctx = rank_ctx(
+                        rank,
+                        topo,
+                        net,
+                        faults,
+                        mailboxes,
+                        pools,
+                        Runtime::Thread { barrier },
+                        abort,
+                        proc,
+                        incarnation,
+                    );
+                    match catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
+                        Ok(r) => {
+                            *slot = Some(r);
+                            break;
+                        }
+                        Err(p) if p.is::<KillSentinel>() => {
+                            // Crash-stop fault: respawn in place with a
+                            // fresh incarnation. The resilient driver's
+                            // recovery epoch restores the lost state
+                            // from the buddy checkpoint.
+                            incarnation += 1;
+                            proc.dead[rank].store(false, Ordering::SeqCst);
+                        }
+                        Err(p) => {
+                            panics.lock().push((rank, payload_string(p)));
+                            abort.store(true, Ordering::SeqCst);
+                            barrier.abort();
+                            for mb in mailboxes {
+                                mb.interrupt();
+                            }
+                            break;
                         }
                     }
                 }
@@ -1430,7 +1797,21 @@ where
     if let Some((rank, payload)) = panics.into_inner().into_iter().next() {
         return Err(NetsimError::RankPanicked { rank, payload });
     }
-    Ok(results.into_iter().map(|r| r.unwrap()).collect())
+    let mut out = Vec::with_capacity(size);
+    for (rank, slot) in results.into_iter().enumerate() {
+        match slot {
+            Some(r) => out.push(r),
+            // No panic was recorded, yet this rank never produced a
+            // result: report it structurally instead of unwrapping.
+            None => {
+                return Err(NetsimError::RankPanicked {
+                    rank,
+                    payload: "rank body never completed (cluster aborted)".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Event-driven runner: one resumable task per rank on a work-stealing
@@ -1452,6 +1833,7 @@ where
     let mailboxes: Vec<Mailbox> = (0..size).map(|_| Mailbox::new()).collect();
     let pools: Vec<BufferPool> = (0..size).map(|_| BufferPool::new()).collect();
     let abort = AtomicBool::new(false);
+    let proc = ProcState::new(size);
     let results: Vec<Mutex<Option<R>>> = (0..size).map(|_| Mutex::new(None)).collect();
 
     // Rank bodies need `&Sched` (for parking), but the scheduler is
@@ -1466,6 +1848,7 @@ where
                 let mailboxes = &mailboxes;
                 let pools = &pools;
                 let abort = &abort;
+                let proc = &proc;
                 let results = &results;
                 let sched_cell = &sched_cell;
                 Box::new(move || {
@@ -1473,18 +1856,37 @@ where
                     // before run(); the Sched outlives all its tasks.
                     let sched: &Sched =
                         unsafe { &*(sched_cell.load(Ordering::SeqCst) as *const Sched) };
-                    let mut ctx = rank_ctx(
-                        rank,
-                        topo,
-                        net,
-                        faults,
-                        mailboxes,
-                        pools,
-                        Runtime::Event { sched },
-                        abort,
-                    );
-                    let r = body(&mut ctx);
-                    *results[rank].lock() = Some(r);
+                    let mut incarnation = 0usize;
+                    loop {
+                        let mut ctx = rank_ctx(
+                            rank,
+                            topo,
+                            net,
+                            faults,
+                            mailboxes,
+                            pools,
+                            Runtime::Event { sched },
+                            abort,
+                            proc,
+                            incarnation,
+                        );
+                        match catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
+                            Ok(r) => {
+                                *results[rank].lock() = Some(r);
+                                break;
+                            }
+                            Err(p) if p.is::<KillSentinel>() => {
+                                // Crash-stop fault: respawn in place
+                                // (see the thread runner).
+                                incarnation += 1;
+                                proc.dead[rank].store(false, Ordering::SeqCst);
+                            }
+                            // Real panics keep the existing path: the
+                            // task harness catches them and the run
+                            // reports RankPanicked.
+                            Err(p) => std::panic::resume_unwind(p),
+                        }
+                    }
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
@@ -1504,10 +1906,21 @@ where
         }
     }
 
-    Ok(results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("rank task completed without a result"))
-        .collect())
+    let mut out = Vec::with_capacity(size);
+    for (rank, slot) in results.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some(r) => out.push(r),
+            // A task abandoned by a scheduler abort without a recorded
+            // panic: report it structurally instead of unwrapping.
+            None => {
+                return Err(NetsimError::RankPanicked {
+                    rank,
+                    payload: "rank body never completed (cluster aborted)".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

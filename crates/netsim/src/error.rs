@@ -9,6 +9,16 @@
 
 use std::fmt;
 
+/// Upper bound on the `(source, tag)` entries a [`NetsimError::Timeout`]
+/// diagnostic carries in `pending` and `mailbox`. The error path is the
+/// one place the steady-state transport allocates (see
+/// `netsim/tests/event_alloc.rs`); capping the dump keeps that
+/// allocation bounded regardless of rank count, and keeps the rendered
+/// error readable when thousands of receives expire at once. Builders
+/// keep the lexicographically smallest keys so the dump is
+/// deterministic.
+pub const MAX_DIAG_KEYS: usize = 16;
+
 /// Errors surfaced by the netsim public API.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NetsimError {
@@ -67,6 +77,20 @@ pub enum NetsimError {
         /// `(source, tag)` pairs still missing.
         pending: Vec<(usize, u64)>,
     },
+    /// A rank suffered a crash-stop process fault. The failure detector
+    /// surfaces this on every survivor whose blocking receive, wait, or
+    /// fence observed the revocation — instead of hanging on messages
+    /// the dead rank will never send. Resilient drivers (see the core
+    /// checkpoint harness) catch it and run a recovery epoch; everyone
+    /// else propagates it as a structured run failure.
+    RankFailed {
+        /// The rank that died.
+        rank: usize,
+        /// The surviving rank that observed (or reports) the failure.
+        detected_by: usize,
+        /// The timestep the victim was executing when it died.
+        step: u64,
+    },
     /// A rank body panicked. The panic was caught at the rank boundary,
     /// the surviving ranks were woken and unwound, and the first panic
     /// observed (the root cause — later ones are usually secondary
@@ -95,12 +119,18 @@ impl fmt::Display for NetsimError {
                     }
                     write!(f, "(src {src}, tag {tag:#x})")?;
                 }
+                if pending.len() >= MAX_DIAG_KEYS {
+                    write!(f, ", … (dump capped at {MAX_DIAG_KEYS})")?;
+                }
                 if mailbox.is_empty() {
                     write!(f, "; mailbox is empty (likely dropped or never sent)")
                 } else {
                     write!(f, "; unmatched mailbox keys:")?;
                     for (src, tag, n) in mailbox {
                         write!(f, " (src {src}, tag {tag:#x}) x{n}")?;
+                    }
+                    if mailbox.len() >= MAX_DIAG_KEYS {
+                        write!(f, " … (dump capped at {MAX_DIAG_KEYS})")?;
                     }
                     Ok(())
                 }
@@ -123,6 +153,11 @@ impl fmt::Display for NetsimError {
                 "rank {rank}: retry budget exhausted after {rounds} round(s) with \
                  {} message(s) still missing",
                 pending.len()
+            ),
+            NetsimError::RankFailed { rank, detected_by, step } => write!(
+                f,
+                "rank {rank} failed (crash-stop) during step {step}, \
+                 detected by rank {detected_by}"
             ),
             NetsimError::RankPanicked { rank, payload } => {
                 write!(f, "rank {rank} panicked: {payload}")
@@ -164,6 +199,22 @@ mod tests {
     fn empty_mailbox_hints_at_drop() {
         let e = NetsimError::Timeout { rank: 0, pending: vec![(1, 1)], mailbox: vec![] };
         assert!(e.to_string().contains("dropped or never sent"));
+    }
+
+    #[test]
+    fn rank_failed_names_victim_detector_and_step() {
+        let e = NetsimError::RankFailed { rank: 2, detected_by: 0, step: 5 };
+        let s = e.to_string();
+        assert!(s.contains("rank 2 failed"));
+        assert!(s.contains("step 5"));
+        assert!(s.contains("detected by rank 0"));
+    }
+
+    #[test]
+    fn capped_timeout_dump_says_so() {
+        let pending: Vec<(usize, u64)> = (0..MAX_DIAG_KEYS).map(|i| (i, 1)).collect();
+        let e = NetsimError::Timeout { rank: 0, pending, mailbox: vec![] };
+        assert!(e.to_string().contains("dump capped at 16"));
     }
 
     #[test]

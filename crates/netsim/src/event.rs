@@ -372,6 +372,18 @@ impl Sched {
         }
     }
 
+    /// Wake every task so each can re-examine shared state — the
+    /// revocation broadcast a dying rank issues so survivors blocked in
+    /// receives or fences observe the failure instead of parking until
+    /// their deadlines. Unlike the abort path this leaves the scheduler
+    /// healthy: woken tasks see a plain [`Wake::Notified`], re-check,
+    /// and may park again.
+    pub fn wake_all(&self) {
+        for t in 0..self.tasks.len() {
+            self.make_runnable(t as u32);
+        }
+    }
+
     /// Make `tid` runnable because the event it parked for fired. Safe
     /// against every phase of the park protocol: a still-running task
     /// gets `wake_pending`, a parked one is re-queued, a queued or

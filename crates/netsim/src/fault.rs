@@ -30,6 +30,45 @@
 /// fault-injected (retry protocols use them to re-request lost data).
 pub const CTRL_TAG_BIT: u64 = 1 << 62;
 
+/// One scheduled process-level fault: a crash-stop kill or a fail-slow
+/// stall, pinned to a deterministic point in the run — the `op`-th
+/// data-plane transport operation rank `rank` performs inside timestep
+/// `step`. Counting transport operations (sends, receive posts, waits)
+/// instead of wall-clock time keeps process faults exactly replayable
+/// on both execution backends, and lets a schedule land mid-overlap
+/// window or between two `pready` calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProcFault {
+    /// The rank that fails.
+    pub rank: usize,
+    /// The timestep (driver-defined, counted from 0 incl. warmup) the
+    /// fault fires in.
+    pub step: u64,
+    /// Data-plane transport operations to let pass within the step
+    /// before firing (0 = fire on the first operation).
+    pub op: u64,
+    /// Fail-slow only: modeled seconds of stall billed to the rank's
+    /// wait timer. Zero for a crash-stop kill.
+    pub stall_secs: f64,
+}
+
+impl ProcFault {
+    fn parse_at(name: &str, at: &str) -> Result<ProcFault, String> {
+        let (rank, rest) = at
+            .split_once('@')
+            .ok_or_else(|| format!("--faults {name} spec must be RANK@STEP[+OP]"))?;
+        let rank = rank.parse::<usize>().map_err(|e| format!("--faults {name} rank: {e}"))?;
+        let (step, op) = match rest.split_once('+') {
+            Some((s, o)) => (
+                s.parse::<u64>().map_err(|e| format!("--faults {name} step: {e}"))?,
+                o.parse::<u64>().map_err(|e| format!("--faults {name} op: {e}"))?,
+            ),
+            None => (rest.parse::<u64>().map_err(|e| format!("--faults {name} step: {e}"))?, 0),
+        };
+        Ok(ProcFault { rank, step, op, stall_secs: 0.0 })
+    }
+}
+
 /// Fault probabilities plus the seed that makes them deterministic.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FaultConfig {
@@ -46,6 +85,13 @@ pub struct FaultConfig {
     /// Per-rank wire slowdown spread: each rank's model is scaled by a
     /// factor in `[1, 1 + jitter]` drawn from the seed.
     pub jitter: f64,
+    /// Crash-stop process fault: the named rank dies at the scheduled
+    /// point. In-flight messages to and from it vanish; survivors
+    /// observe [`crate::NetsimError::RankFailed`] instead of a hang.
+    pub kill: Option<ProcFault>,
+    /// Fail-slow process fault: the named rank bills `stall_secs` of
+    /// modeled wait time at the scheduled point, once.
+    pub stall: Option<ProcFault>,
 }
 
 impl FaultConfig {
@@ -61,6 +107,12 @@ impl FaultConfig {
             || self.dup > 0.0
             || self.delay > 0.0
             || self.jitter > 0.0
+            || self.proc_active()
+    }
+
+    /// Whether a process-level fault (kill or stall) is scheduled.
+    pub fn proc_active(&self) -> bool {
+        self.kill.is_some() || self.stall.is_some()
     }
 
     /// Whether data can be lost or damaged in flight. Delay and jitter
@@ -72,16 +124,51 @@ impl FaultConfig {
     }
 
     /// Parse the CLI form `seed[,drop[,corrupt[,dup[,delay[,jitter]]]]]`,
-    /// e.g. `--faults 42,0.1,0.05`.
+    /// e.g. `--faults 42,0.1,0.05`. Process-fault tokens may appear
+    /// anywhere in the comma list: `kill:RANK@STEP[+OP]` schedules a
+    /// crash-stop kill and `stall:RANK@STEP[+OP]:SECS` a fail-slow
+    /// stall (`+OP` pins the data-plane transport operation within the
+    /// step; default 0, the step's first). A spec of only process
+    /// faults needs no seed: `--faults kill:1@3`.
     pub fn parse(spec: &str) -> Result<FaultConfig, String> {
-        let mut parts = spec.split(',');
-        let seed = parts
-            .next()
-            .filter(|s| !s.is_empty())
-            .ok_or("--faults needs at least a seed")?
-            .parse::<u64>()
-            .map_err(|e| format!("--faults seed: {e}"))?;
-        let mut cfg = FaultConfig { seed, ..FaultConfig::default() };
+        if spec.is_empty() {
+            return Err("--faults needs at least a seed or a kill:/stall: spec".into());
+        }
+        let mut cfg = FaultConfig::default();
+        let mut positional: Vec<&str> = Vec::new();
+        for tok in spec.split(',') {
+            if let Some(at) = tok.strip_prefix("kill:") {
+                if cfg.kill.is_some() {
+                    return Err("--faults takes at most one kill: spec".into());
+                }
+                cfg.kill = Some(ProcFault::parse_at("kill", at)?);
+            } else if let Some(body) = tok.strip_prefix("stall:") {
+                if cfg.stall.is_some() {
+                    return Err("--faults takes at most one stall: spec".into());
+                }
+                let (at, secs) = body
+                    .rsplit_once(':')
+                    .ok_or("--faults stall spec must be RANK@STEP[+OP]:SECS")?;
+                let mut st = ProcFault::parse_at("stall", at)?;
+                st.stall_secs =
+                    secs.parse::<f64>().map_err(|e| format!("--faults stall secs: {e}"))?;
+                if !st.stall_secs.is_finite() || st.stall_secs <= 0.0 {
+                    return Err("--faults stall secs must be positive".into());
+                }
+                cfg.stall = Some(st);
+            } else {
+                positional.push(tok);
+            }
+        }
+        let mut parts = positional.into_iter();
+        match parts.next() {
+            Some(s) if !s.is_empty() => {
+                cfg.seed = s.parse::<u64>().map_err(|e| format!("--faults seed: {e}"))?;
+            }
+            // `kill:`/`stall:`-only specs carry no seed token.
+            None | Some("") if cfg.proc_active() => {}
+            _ => return Err("--faults needs at least a seed or a kill:/stall: spec".into()),
+        }
         let fields: [(&str, &mut f64); 5] = [
             ("drop", &mut cfg.drop),
             ("corrupt", &mut cfg.corrupt),
@@ -119,6 +206,11 @@ pub enum FaultKind {
     Duplicate,
     /// Extra modeled latency charged to the sender's wait timer.
     Delay,
+    /// Crash-stop process fault: the rank died. `src` and `dest` name
+    /// the victim, `tag` the timestep, `attempt` the operation index.
+    Kill,
+    /// Fail-slow process fault: the rank stalled for modeled seconds.
+    Stall,
 }
 
 impl FaultKind {
@@ -129,6 +221,8 @@ impl FaultKind {
             FaultKind::Corrupt => "corrupt",
             FaultKind::Duplicate => "duplicate",
             FaultKind::Delay => "delay",
+            FaultKind::Kill => "kill",
+            FaultKind::Stall => "stall",
         }
     }
 }
@@ -252,6 +346,16 @@ impl FaultPlan {
         self.stats
     }
 
+    /// This rank's scheduled crash-stop kill, if any.
+    pub fn kill(&self) -> Option<ProcFault> {
+        self.cfg.kill.filter(|k| k.rank == self.rank)
+    }
+
+    /// This rank's scheduled fail-slow stall, if any.
+    pub fn stall(&self) -> Option<ProcFault> {
+        self.cfg.stall.filter(|s| s.rank == self.rank)
+    }
+
     /// Decide the fate of one outgoing message. Control-plane tags
     /// (carrying [`CTRL_TAG_BIT`]) are exempt and do not advance the
     /// attempt counter, so the data-message fault schedule is identical
@@ -355,6 +459,44 @@ mod tests {
         assert!(FaultConfig::parse("1,2.0").is_err());
         assert!(FaultConfig::parse("1,0.1,0.1,0.1,0.1,0.1,0.1").is_err());
         assert!(FaultConfig::parse("1,-0.5").is_err());
+    }
+
+    #[test]
+    fn parse_process_faults() {
+        let c = FaultConfig::parse("kill:1@3").unwrap();
+        assert_eq!(c.kill, Some(ProcFault { rank: 1, step: 3, op: 0, stall_secs: 0.0 }));
+        assert!(c.is_active() && c.proc_active() && !c.lossy());
+        assert_eq!(c.seed, 0);
+
+        let c = FaultConfig::parse("42,0.1,kill:2@5+7").unwrap();
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.drop, 0.1);
+        assert_eq!(c.kill, Some(ProcFault { rank: 2, step: 5, op: 7, stall_secs: 0.0 }));
+
+        let c = FaultConfig::parse("stall:0@2+1:0.5").unwrap();
+        let st = c.stall.unwrap();
+        assert_eq!((st.rank, st.step, st.op), (0, 2, 1));
+        assert_eq!(st.stall_secs, 0.5);
+        assert!(!c.lossy(), "stall must stay data-safe");
+
+        assert!(FaultConfig::parse("kill:1").is_err());
+        assert!(FaultConfig::parse("kill:x@3").is_err());
+        assert!(FaultConfig::parse("stall:1@3").is_err());
+        assert!(FaultConfig::parse("stall:1@3:0").is_err());
+        assert!(FaultConfig::parse("kill:1@2,kill:2@2").is_err());
+    }
+
+    #[test]
+    fn proc_faults_bind_to_their_rank() {
+        let cfg = FaultConfig {
+            kill: Some(ProcFault { rank: 2, step: 1, op: 0, stall_secs: 0.0 }),
+            stall: Some(ProcFault { rank: 3, step: 1, op: 0, stall_secs: 0.1 }),
+            ..FaultConfig::off()
+        };
+        assert!(FaultPlan::new(cfg, 2).kill().is_some());
+        assert!(FaultPlan::new(cfg, 0).kill().is_none());
+        assert!(FaultPlan::new(cfg, 3).stall().is_some());
+        assert!(FaultPlan::new(cfg, 2).stall().is_none());
     }
 
     #[test]

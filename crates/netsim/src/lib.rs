@@ -61,7 +61,8 @@ pub use cluster::{
 pub use collective::TimerSummary;
 pub use error::NetsimError;
 pub use fault::{
-    frame_checksum, FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultStats, CTRL_TAG_BIT,
+    frame_checksum, FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultStats, ProcFault,
+    CTRL_TAG_BIT,
 };
 pub use partition::{
     PartitionStats, PartitionTable, PartitionedRecv, PartitionedSend, DEFAULT_EAGER_BYTES,

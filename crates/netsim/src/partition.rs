@@ -103,6 +103,8 @@ impl PartitionTable {
 
     /// Total elements across all partitions.
     pub fn total_elems(&self) -> usize {
+        // `bounds` always holds parts+1 entries (the constructor seeds
+        // index 0), so `last()` cannot fail even for an empty table.
         *self.bounds.last().unwrap()
     }
 

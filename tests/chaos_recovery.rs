@@ -1,0 +1,131 @@
+//! Rank-failure acceptance suite: a crash-stop kill anywhere in the
+//! schedule is survived by buddy checkpoints and an epoch-based
+//! recovery, and the run converges **bit-identically** to the
+//! fault-free result — across every resilient exchange engine, both
+//! rank substrates, and the phased, overlap, and partitioned
+//! schedules. Fail-slow stalls must never trigger recovery at all.
+
+use bricklib::prelude::*;
+use netsim::{FaultKind, ProcFault};
+
+fn kill(rank: usize, step: u64, op: u64) -> FaultConfig {
+    FaultConfig {
+        kill: Some(ProcFault { rank, step, op, stall_secs: 0.0 }),
+        ..FaultConfig::off()
+    }
+}
+
+fn cfg(method: CpuMethod, faults: FaultConfig, every: usize, backend: Backend) -> ExperimentConfig {
+    let mut c = ExperimentConfig::k1(method, 16);
+    c.steps = 4;
+    c.warmup = 0;
+    c.ranks = vec![2, 1, 1];
+    c.net = NetworkModel::instant();
+    c.faults = faults;
+    c.checkpoint_every = every;
+    c.backend = backend;
+    c
+}
+
+fn resilient_methods() -> Vec<CpuMethod> {
+    vec![
+        CpuMethod::Layout,
+        CpuMethod::Basic,
+        CpuMethod::MemMap { page_size: memview::PAGE_4K },
+        CpuMethod::Shift { page_size: memview::PAGE_4K },
+    ]
+}
+
+/// The headline invariant: for every engine and backend, killing a rank
+/// mid-run leaves the physics bit-identical to the fault-free run, and
+/// the report shows the recovery actually happened.
+#[test]
+fn killed_runs_converge_bit_identically() {
+    for backend in [Backend::Thread, Backend::Event] {
+        for method in resilient_methods() {
+            let clean = run_experiment(&cfg(method.clone(), FaultConfig::off(), 0, backend));
+            for (victim, step) in [(1usize, 0u64), (0, 2)] {
+                let faulty =
+                    run_experiment(&cfg(method.clone(), kill(victim, step, 0), 1, backend));
+                assert_eq!(
+                    faulty.checksum.to_bits(),
+                    clean.checksum.to_bits(),
+                    "{} diverged after kill:{victim}@{step} on {backend:?}",
+                    method.name()
+                );
+                let rv = &faulty.recovery;
+                assert!(rv.recovery_epochs >= 1, "{}: no recovery ran", method.name());
+                assert_eq!(rv.failed_rank, victim as i64);
+                assert_eq!(rv.failed_step, step as i64);
+                assert!(rv.restore_bytes > 0, "victim was never restored");
+                assert!(rv.checkpoints > 0 && rv.checkpoint_bytes > 0);
+            }
+        }
+    }
+}
+
+/// A kill pinned deep into the step's transport schedule lands inside
+/// the dependency-graph overlap loop (and, with partitioned channels,
+/// between `pready` calls) — recovery must still converge bitwise.
+#[test]
+fn kill_mid_overlap_and_mid_pready_recovers() {
+    for (overlap, partitioned) in [(true, false), (true, true)] {
+        for method in
+            [CpuMethod::Layout, CpuMethod::MemMap { page_size: memview::PAGE_4K }]
+        {
+            let mut clean = cfg(method.clone(), FaultConfig::off(), 0, Backend::Thread);
+            clean.overlap = overlap;
+            clean.partitioned = partitioned;
+            let clean = run_experiment(&clean);
+
+            let mut faulty = cfg(method.clone(), kill(1, 1, 7), 1, Backend::Thread);
+            faulty.overlap = overlap;
+            faulty.partitioned = partitioned;
+            let faulty = run_experiment(&faulty);
+
+            assert_eq!(
+                faulty.checksum.to_bits(),
+                clean.checksum.to_bits(),
+                "{} diverged after a mid-{} kill",
+                method.name(),
+                if partitioned { "pready" } else { "overlap" }
+            );
+            assert!(faulty.recovery.recovery_epochs >= 1);
+        }
+    }
+}
+
+/// Fail-slow is not fail-stop: a stalled rank bills wait time, records
+/// its fault event, and must not trip the failure detector.
+#[test]
+fn stall_bills_wait_without_recovery() {
+    let faults = FaultConfig {
+        stall: Some(ProcFault { rank: 1, step: 1, op: 0, stall_secs: 0.25 }),
+        ..FaultConfig::off()
+    };
+    let clean = run_experiment(&cfg(CpuMethod::Layout, FaultConfig::off(), 0, Backend::Thread));
+    let slow = run_experiment(&cfg(CpuMethod::Layout, faults, 2, Backend::Thread));
+    assert_eq!(slow.checksum.to_bits(), clean.checksum.to_bits());
+    assert_eq!(slow.recovery.recovery_epochs, 0, "a stall must not look like a crash");
+    assert!(slow.recovery.checkpoints > 0, "checkpoint interval was armed");
+    assert!(
+        slow.fault_events.iter().any(|e| e.kind == FaultKind::Stall),
+        "stall event missing from the merged trace"
+    );
+}
+
+/// Checkpointing without faults is pure overhead accounting: the
+/// physics must stay bit-identical to the plain run and no recovery
+/// counters may move.
+#[test]
+fn clean_checkpointed_run_matches_plain() {
+    for backend in [Backend::Thread, Backend::Event] {
+        let plain = run_experiment(&cfg(CpuMethod::Layout, FaultConfig::off(), 0, backend));
+        let ck = run_experiment(&cfg(CpuMethod::Layout, FaultConfig::off(), 2, backend));
+        assert_eq!(ck.checksum.to_bits(), plain.checksum.to_bits());
+        assert!(ck.recovery.checkpoints > 0);
+        assert_eq!(ck.recovery.recovery_epochs, 0);
+        assert_eq!(ck.recovery.restore_bytes, 0);
+        assert!(!plain.recovery.armed(), "plain run must not pay for resilience");
+    }
+}

@@ -18,6 +18,7 @@ fn cfg(method: CpuMethod, n: usize, shape: StencilShape, ranks: Vec<usize>) -> E
         kernel: KernelKind::Plan,
         faults: netsim::FaultConfig::off(),
         profile: false,
+        checkpoint_every: 0,
         overlap: false,
         partitioned: false,
         backend: Backend::from_env(),

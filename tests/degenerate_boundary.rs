@@ -24,6 +24,7 @@ fn cfg(method: CpuMethod, n: usize, brick: usize, ranks: Vec<usize>) -> Experime
         kernel: KernelKind::Plan,
         faults: FaultConfig::off(),
         profile: false,
+        checkpoint_every: 0,
         overlap: false,
         partitioned: false,
         backend: Backend::from_env(),

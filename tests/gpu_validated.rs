@@ -33,6 +33,7 @@ fn gpu_modes_match_cpu_physics() {
         kernel: KernelKind::Plan,
         faults: netsim::FaultConfig::off(),
         profile: false,
+        checkpoint_every: 0,
         overlap: false,
         partitioned: false,
         backend: Backend::from_env(),

@@ -39,6 +39,7 @@ fn backends_match(
         kernel: KernelKind::Plan,
         faults,
         profile: false,
+        checkpoint_every: 0,
         overlap,
         partitioned: false,
         backend: Backend::Thread,

@@ -33,6 +33,7 @@ fn overlap_matches_phased(
         kernel: KernelKind::Plan,
         faults,
         profile: false,
+        checkpoint_every: 0,
         overlap: false,
         partitioned: false,
         backend: Backend::from_env(),

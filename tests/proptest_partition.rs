@@ -38,6 +38,7 @@ fn partitioned_matches_phased(
         kernel: KernelKind::Plan,
         faults,
         profile: false,
+        checkpoint_every: 0,
         overlap: false,
         partitioned: false,
         backend,
@@ -135,6 +136,36 @@ proptest! {
             vec![1, 1, 2],
             faults,
         Backend::Thread,
+        ));
+    }
+
+    /// A crash-stop kill landing between `pready` calls — on top of
+    /// seeded drop/corrupt chaos — is survived by the buddy-checkpoint
+    /// recovery epoch: partitioned channels are rebuilt from scratch and
+    /// the partitioned run still matches the phased run bit for bit.
+    #[test]
+    fn killed_partitioned_bit_identical(
+        seed in 1u64..32,
+        victim in 0usize..2,
+        step in 0u64..3,
+        op in prop_oneof![Just(0u64), Just(3u64), Just(9u64)],
+        lossy in any::<bool>(),
+    ) {
+        let spec = if lossy {
+            format!("{seed},0.03,0.02,kill:{victim}@{step}+{op}")
+        } else {
+            format!("kill:{victim}@{step}+{op}")
+        };
+        let mut faults = FaultConfig::parse(&spec).unwrap();
+        faults.seed = seed;
+        prop_assert!(partitioned_matches_phased(
+            CpuMethod::Layout,
+            StencilShape::star7_default(),
+            8,
+            16,
+            vec![1, 1, 2],
+            faults,
+            Backend::Thread,
         ));
     }
 
