@@ -5,8 +5,9 @@
 
 #![warn(missing_docs)]
 
-use netsim::telemetry::{chrome_trace, critical_path, OverlapStats, PhaseBreakdown};
+use netsim::telemetry::{chrome_trace, critical_path, OverlapStats, PhaseBreakdown, BRICK_COST_HIST};
 use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig, KernelKind, MethodReport};
+use rebalance::{run_rebalance, GridCfg, RebalanceCfg};
 use stencil::StencilShape;
 
 /// Parsed command line.
@@ -49,6 +50,15 @@ pub struct Options {
     /// the event-driven multiplexer (`event`). Defaults to the
     /// `NETSIM_BACKEND` environment variable, then `thread`.
     pub backend: netsim::Backend,
+    /// Run the dynamic-ownership rebalance driver (`-m rebalance`)
+    /// instead of a static brick engine.
+    pub rebalance: bool,
+    /// Migration-epoch period in steps for `-m rebalance`
+    /// (0 = ownership stays static).
+    pub migrate: usize,
+    /// The `--imbalance` preset: skew the rebalance workload's compute
+    /// cost onto a hotspot slab so the diffusion balancer has work.
+    pub imbalance: bool,
     /// Write a Chrome-trace JSON file of the profiled run (implies
     /// `profile`).
     pub trace: Option<String>,
@@ -88,6 +98,15 @@ const JITTER_SEED: u64 = 2021;
 /// scaled by a factor in `[1, 1.35]`.
 const JITTER_SPREAD: f64 = 0.35;
 
+/// Hotspot cost multiplier of the `--imbalance` preset: bricks in the
+/// skewed slab charge 8x the compute of the rest of the grid.
+const IMBALANCE_SKEW: f64 = 8.0;
+
+/// Bricks per rank per axis in the rebalance proxy grid: the global
+/// grid is `2 * ranks` bricks on each axis, so every rank starts with
+/// eight bricks and the diffusion ring always has something to trade.
+const REBALANCE_BRICKS_PER_AXIS: usize = 2;
+
 impl Default for Options {
     fn default() -> Options {
         Options {
@@ -106,6 +125,9 @@ impl Default for Options {
             overlap: false,
             partitioned: false,
             backend: netsim::Backend::from_env(),
+            rebalance: false,
+            migrate: 0,
+            imbalance: false,
             trace: None,
             help: false,
         }
@@ -120,9 +142,14 @@ USAGE: brick-bench [OPTIONS]
 
 OPTIONS:
   -m, --method <name>   memmap | layout | basic | shift | yask | yask-ol |
-                        mpi-types   (default: memmap)
+                        mpi-types | rebalance   (default: memmap);
+                        rebalance runs the dynamic-ownership proxy: a
+                        periodic brick grid (2 bricks per rank per axis,
+                        --size cells per brick) whose brick->rank map
+                        migrates under a diffusion load balancer
   -d, --size <N>        cubic subdomain extent per rank, multiple of 8
-                        (default: 64)
+                        (default: 64; for -m rebalance: f64 cells per
+                        brick)
   -I, --iters <N>       timed iterations (default: 8)
   -w, --warmup <N>      warmup iterations (default: 1)
   -r, --ranks <XxYxZ>   rank grid, e.g. 2x2x2 (default: 1x1x1 self-periodic)
@@ -153,6 +180,18 @@ OPTIONS:
                         steps each rank snapshots its grid to rank+1's
                         memory (0 = off; a kill:/stall: schedule forces
                         K=1 when unset; memmap/layout/basic/shift only)
+  -M, --migrate <M>     (-m rebalance only) run a migration epoch every M
+                        steps: fence, exchange window loads with the
+                        diffusion ring, ship surplus bricks to
+                        under-loaded neighbors, then rediscover the
+                        sparse exchange plan with NBX nonblocking-
+                        barrier consensus — no alltoall. 0 keeps
+                        ownership static (default: 0); the migrated run
+                        stays bit-identical to the static one
+      --imbalance       (-m rebalance only) skew preset: bricks in the
+                        low-z hotspot slab charge 8x compute, so block
+                        ownership starts badly imbalanced and --migrate
+                        has load to spread
   -B, --backend <name>  thread | event — rank execution substrate: one OS
                         thread per rank (the reference) or the
                         event-driven multiplexer that simulates
@@ -260,6 +299,10 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--checkpoint-every: {e}"))?;
             }
+            "-M" | "--migrate" => {
+                o.migrate = take("--migrate")?.parse().map_err(|e| format!("--migrate: {e}"))?;
+            }
+            "--imbalance" => o.imbalance = true,
             "-B" | "--backend" => {
                 let name = take("--backend")?;
                 o.backend = netsim::Backend::parse(&name)
@@ -282,8 +325,32 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         "yask" => CpuMethod::Yask,
         "yask-ol" => CpuMethod::YaskOverlap,
         "mpi-types" => CpuMethod::MpiTypes,
+        // The rebalance driver runs its own proxy workload; the static
+        // engine selection is irrelevant and stays at the default.
+        "rebalance" => {
+            o.rebalance = true;
+            o.method.clone()
+        }
         other => return Err(format!("unknown method '{other}'")),
     };
+    if (o.migrate > 0 || o.imbalance) && !o.rebalance {
+        let flag = if o.migrate > 0 { "--migrate" } else { "--imbalance" };
+        return Err(format!("{flag} needs -m rebalance (dynamic brick ownership)"));
+    }
+    if o.rebalance && o.partitioned {
+        return Err(
+            "-m rebalance drives whole-brick halo frames; --partitioned \
+             early-bird channels are not supported"
+                .into(),
+        );
+    }
+    if o.rebalance && o.faults.lossy() {
+        return Err(
+            "-m rebalance halos carry no retry protocol — lossy fault specs \
+             (drop/corrupt/dup) are not supported; use delay/jitter/kill/stall"
+                .into(),
+        );
+    }
     if (o.overlap || o.partitioned)
         && !matches!(
             o.method,
@@ -356,10 +423,64 @@ pub fn config(o: &Options) -> ExperimentConfig {
     }
 }
 
+/// Build the rebalance-driver configuration from parsed options: the
+/// proxy grid is `2 * ranks` bricks per axis with `--size` cells per
+/// brick, skewed onto the hotspot slab under `--imbalance`.
+pub fn rebalance_config(o: &Options) -> RebalanceCfg {
+    let grid = GridCfg {
+        dims: [
+            REBALANCE_BRICKS_PER_AXIS * o.ranks[0],
+            REBALANCE_BRICKS_PER_AXIS * o.ranks[1],
+            REBALANCE_BRICKS_PER_AXIS * o.ranks[2],
+        ],
+        cells: o.size,
+        skew: if o.imbalance { IMBALANCE_SKEW } else { 1.0 },
+    };
+    let mut cfg = RebalanceCfg::new(grid, o.ranks.clone());
+    cfg.steps = o.iters;
+    cfg.warmup = o.warmup;
+    cfg.migrate_every = o.migrate;
+    cfg.net = match o.net {
+        Net::Aries | Net::AriesJitter => netsim::NetworkModel::theta_aries(),
+        Net::Edr => netsim::NetworkModel::summit_edr(),
+        Net::Instant => netsim::NetworkModel::instant(),
+    };
+    cfg.faults = if o.net == Net::AriesJitter && !o.faults.is_active() {
+        netsim::FaultConfig { seed: JITTER_SEED, jitter: JITTER_SPREAD, ..netsim::FaultConfig::off() }
+    } else {
+        o.faults
+    };
+    // A kill/stall schedule without an explicit interval checkpoints
+    // every step, same convention as the static engines.
+    cfg.checkpoint_every = if o.checkpoint_every == 0 && cfg.faults.proc_active() {
+        1
+    } else {
+        o.checkpoint_every
+    };
+    cfg.backend = o.backend;
+    cfg.profile = o.profile;
+    cfg.overlap = o.overlap;
+    cfg
+}
+
+/// The method label reports print: the static engine's name, or the
+/// rebalance driver.
+fn method_label(o: &Options) -> &str {
+    if o.rebalance {
+        "rebalance"
+    } else {
+        o.method.name()
+    }
+}
+
 /// Run and render the artifact metrics. With `--trace`, the profiled
 /// run is also written to that path as Chrome-trace JSON.
 pub fn run(o: &Options) -> String {
-    let r = run_experiment(&config(o));
+    let r = if o.rebalance {
+        run_rebalance(&rebalance_config(o))
+    } else {
+        run_experiment(&config(o))
+    };
     if let Some(path) = &o.trace {
         std::fs::write(path, trace_json(o, &r))
             .unwrap_or_else(|e| panic!("writing trace file {path}: {e}"));
@@ -376,7 +497,7 @@ pub fn run(o: &Options) -> String {
 /// metadata and per-rank counters in `otherData`.
 pub fn trace_json(o: &Options, r: &MethodReport) -> String {
     let meta = [
-        ("method", format!("\"{}\"", o.method.name())),
+        ("method", format!("\"{}\"", method_label(o))),
         ("size", o.size.to_string()),
         (
             "rank_grid",
@@ -451,6 +572,24 @@ fn render_profile(o: &Options, r: &MethodReport) -> String {
         out.push_str(&phase_row(name, &b));
     }
     out.push_str(&phase_row("(all)", &tl.phase_breakdown()));
+    // Per-brick cost attribution (engines that call charge_calc_brick):
+    // the balancer's raw load signal, hottest bricks first.
+    let top = tl.top_brick_costs(8);
+    if !top.is_empty() {
+        let cells: Vec<String> =
+            top.iter().map(|(b, c)| format!("{b}:{:.6}s", c)).collect();
+        out.push_str(&format!("hot bricks (rank 0): {}\n", cells.join(" ")));
+        if let Some((_, h)) = tl.hists.iter().find(|(n, _)| *n == BRICK_COST_HIST) {
+            out.push_str(&format!(
+                "brick cost histogram: {} charges | min {:.0} ns | \
+                 mean {:.0} ns | max {:.0} ns\n",
+                h.count,
+                h.min,
+                h.mean(),
+                h.max
+            ));
+        }
+    }
     if let Some(mut cp) = critical_path(&r.timelines) {
         cp.overlap = r.overlap_stats;
         out.push_str(&format!(
@@ -494,7 +633,7 @@ pub fn render(o: &Options, r: &MethodReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "# {} | {}^3/rank | {:?} ranks | {} iters\n",
-        o.method.name(),
+        method_label(o),
         o.size,
         o.ranks,
         o.iters
@@ -560,6 +699,23 @@ pub fn render(o: &Options, r: &MethodReport) -> String {
             ));
         }
     }
+    // Only the rebalance driver populates migration accounting.
+    if let Some(m) = &r.migration {
+        if m.epochs > 0 {
+            out.push_str(&format!(
+                "migration: {} epoch(s) | {} brick(s) moved | {} bytes | \
+                 imbalance {:.2} -> {:.2}\n",
+                m.epochs, m.bricks_moved, m.bytes_moved, m.imbalance_initial, m.imbalance_final
+            ));
+        } else {
+            out.push_str("migration: static ownership (no epochs ran)\n");
+        }
+        out.push_str(&format!(
+            "nbx discovery: {} round(s) | {} data msg(s) | {} barrier msg(s) | \
+             ownership {:#018x}\n",
+            m.nbx_rounds, m.nbx_data_msgs, m.nbx_barrier_msgs, m.ownership_digest
+        ));
+    }
     out
 }
 
@@ -584,6 +740,14 @@ fn profile_json(r: &MethodReport) -> Option<String> {
         .map(|(n, b)| format!("{{\"name\": \"{n}\", \"phases\": {}}}", pb(b)))
         .collect();
     out.push_str(&format!("    \"scopes\": [{}],\n", scopes.join(", ")));
+    let top: Vec<String> = tl
+        .top_brick_costs(8)
+        .iter()
+        .map(|&(b, c)| format!("{{\"brick\": {b}, \"seconds\": {c:.9}}}"))
+        .collect();
+    if !top.is_empty() {
+        out.push_str(&format!("    \"top_bricks\": [{}],\n", top.join(", ")));
+    }
     match critical_path(&r.timelines) {
         Some(mut cp) => {
             cp.overlap = r.overlap_stats;
@@ -628,7 +792,7 @@ pub fn render_json(o: &Options, r: &MethodReport) -> String {
         format!("  \"{name}\": [{min:.9}, {avg:.9}, {max:.9}],\n")
     };
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"method\": \"{}\",\n", o.method.name()));
+    out.push_str(&format!("  \"method\": \"{}\",\n", method_label(o)));
     out.push_str(&format!("  \"size\": {},\n", o.size));
     out.push_str(&format!(
         "  \"ranks\": [{}, {}, {}],\n",
@@ -680,6 +844,23 @@ pub fn render_json(o: &Options, r: &MethodReport) -> String {
             rv.detect_latency_s,
             rv.failed_rank,
             rv.failed_step
+        ));
+    }
+    if let Some(m) = &r.migration {
+        out.push_str(&format!(
+            "  \"migration\": {{\"epochs\": {}, \"bricks_moved\": {}, \
+             \"bytes_moved\": {}, \"nbx_rounds\": {}, \"nbx_data_msgs\": {}, \
+             \"nbx_barrier_msgs\": {}, \"imbalance_initial\": {:.6}, \
+             \"imbalance_final\": {:.6}, \"ownership_digest\": \"{:#018x}\"}},\n",
+            m.epochs,
+            m.bricks_moved,
+            m.bytes_moved,
+            m.nbx_rounds,
+            m.nbx_data_msgs,
+            m.nbx_barrier_msgs,
+            m.imbalance_initial,
+            m.imbalance_final,
+            m.ownership_digest
         ));
     }
     out.push_str(&format!("  \"gstencil_per_rank\": {:.6}\n", r.gstencil()));
@@ -1088,6 +1269,106 @@ mod tests {
         assert_eq!(event.checksum.to_bits(), thread.checksum.to_bits());
         assert_eq!(event.timers.call.to_bits(), thread.timers.call.to_bits());
         assert_eq!(event.timers.wait.to_bits(), thread.timers.wait.to_bits());
+    }
+
+    #[test]
+    fn rebalance_flags() {
+        let o = p(&["-m", "rebalance", "-M", "3", "--imbalance"]).unwrap();
+        assert!(o.rebalance);
+        assert_eq!(o.migrate, 3);
+        assert!(o.imbalance);
+        assert!(!p(&["-m", "rebalance"]).unwrap().imbalance);
+        // --migrate/--imbalance are rebalance-only; rebalance rejects
+        // lossy fault specs and the partitioned channel path.
+        assert!(p(&["--migrate", "2"]).is_err());
+        assert!(p(&["--imbalance"]).is_err());
+        assert!(p(&["-m", "memmap", "-M", "2"]).is_err());
+        assert!(p(&["-m", "rebalance", "-e"]).is_err());
+        assert!(p(&["-m", "rebalance", "-f", "7,0.1"]).is_err());
+        assert!(p(&["-m", "rebalance", "-o"]).is_ok(), "overlap engine is supported");
+        assert!(p(&["-m", "rebalance", "-M", "x"]).is_err());
+        assert!(USAGE.contains("--migrate") && USAGE.contains("--imbalance"));
+        assert!(USAGE.contains("rebalance"));
+    }
+
+    #[test]
+    fn rebalance_config_maps_options() {
+        let o = p(&[
+            "-m", "rebalance", "-r", "2x2x1", "-d", "16", "-I", "5", "-w", "2",
+            "-M", "2", "--imbalance", "-n", "instant", "-o",
+        ])
+        .unwrap();
+        let cfg = rebalance_config(&o);
+        assert_eq!(cfg.grid.dims, [4, 4, 2]);
+        assert_eq!(cfg.grid.cells, 16);
+        assert_eq!(cfg.grid.skew, IMBALANCE_SKEW);
+        assert_eq!(cfg.steps, 5);
+        assert_eq!(cfg.warmup, 2);
+        assert_eq!(cfg.migrate_every, 2);
+        assert!(cfg.overlap);
+        assert_eq!(cfg.net, netsim::NetworkModel::instant());
+        // A kill schedule without an interval checkpoints every step.
+        let o = p(&[
+            "-m", "rebalance", "-r", "2x1x1", "-f", "kill:1@1",
+        ])
+        .unwrap();
+        assert_eq!(rebalance_config(&o).checkpoint_every, 1);
+        // A uniform grid stays unskewed.
+        let o = p(&["-m", "rebalance"]).unwrap();
+        assert_eq!(rebalance_config(&o).grid.skew, 1.0);
+    }
+
+    /// The CLI's migrated run moves bricks, stays bit-identical to its
+    /// static twin, and reports the migration block in both formats.
+    #[test]
+    fn end_to_end_rebalance_run() {
+        let base = p(&[
+            "-m", "rebalance", "-r", "2x1x1", "-d", "16", "-I", "4", "-w", "1",
+            "-M", "2", "--imbalance", "-n", "instant",
+        ])
+        .unwrap();
+        let migrated = run_rebalance(&rebalance_config(&base));
+        let stat = run_rebalance(&rebalance_config(&Options { migrate: 0, ..base.clone() }));
+        let m = migrated.migration.expect("rebalance reports migration stats");
+        assert!(m.epochs >= 1, "skewed 2-rank run must trade");
+        assert!(m.bricks_moved > 0);
+        assert_eq!(migrated.checksum.to_bits(), stat.checksum.to_bits());
+        let text = render(&base, &migrated);
+        assert!(text.contains("# rebalance |"));
+        assert!(text.contains("migration:") && text.contains("imbalance"));
+        assert!(text.contains("nbx discovery:") && text.contains("ownership 0x"));
+        let js = render_json(&base, &migrated);
+        assert!(js.contains("\"method\": \"rebalance\""));
+        assert!(js.contains("\"migration\": {\"epochs\""));
+        assert!(js.contains("\"ownership_digest\": \"0x"));
+        let static_text = render(&base, &stat);
+        assert!(static_text.contains("migration: static ownership"));
+        // The classic engines never emit the migration block.
+        let mm = p(&["-m", "layout", "-d", "16", "-I", "2", "-w", "0", "-n", "instant"]).unwrap();
+        let r = run_experiment(&config(&mm));
+        assert!(!render(&mm, &r).contains("migration:"));
+        assert!(!render_json(&mm, &r).contains("\"migration\""));
+    }
+
+    /// `--profile` on a rebalance run surfaces the per-brick cost
+    /// signal: hot-brick totals and the log2 cost histogram.
+    #[test]
+    fn rebalance_profile_shows_brick_costs() {
+        let o = p(&[
+            "-m", "rebalance", "-r", "2x1x1", "-d", "16", "-I", "2", "-w", "0",
+            "--imbalance", "-n", "instant", "-P",
+        ])
+        .unwrap();
+        let r = run_rebalance(&rebalance_config(&o));
+        let text = render(&o, &r);
+        assert!(text.contains("hot bricks (rank 0):"));
+        assert!(text.contains("brick cost histogram:"));
+        let js = render_json(&o, &r);
+        assert!(js.contains("\"top_bricks\": [{\"brick\""));
+        // Hot bricks must outrank cold ones in rank 0's attribution.
+        let top = r.timelines[0].top_brick_costs(1);
+        let grid = rebalance_config(&o).grid;
+        assert!(grid.hot(top[0].0), "costliest brick must be in the hotspot slab");
     }
 
     #[test]

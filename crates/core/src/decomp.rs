@@ -146,18 +146,24 @@ impl<const D: usize> BrickDecomp<D> {
             if is_ghost {
                 let s = dir_from(&bands, true);
                 let t = dir_from(&bands, false); // ghost + surf axes = local slot
-                let g_idx = regions.iter().position(|r| *r == s).unwrap();
+                let g_idx = regions.iter().position(|r| *r == s).unwrap_or_else(|| {
+                    panic!("ghost cell banded to {s:?}, which is not one of the 3^D-1 regions")
+                });
                 let p_idx = recv_orders[g_idx]
                     .iter()
                     .position(|p| p.local_slot == t)
-                    .unwrap();
+                    .unwrap_or_else(|| {
+                        panic!("ghost piece slot {t:?} missing from recv order of region {s:?}")
+                    });
                 ghost_cells[g_idx][p_idx].push(lex);
             } else {
                 let t = dir_from(&bands, false);
                 if t.is_empty() {
                     interior_cells.push(lex);
                 } else {
-                    let r_idx = surface_order.iter().position(|r| *r == t).unwrap();
+                    let r_idx = surface_order.iter().position(|r| *r == t).unwrap_or_else(|| {
+                        panic!("surface cell banded to {t:?}, which the layout order does not list")
+                    });
                     surface_cells[r_idx].push(lex);
                 }
             }
@@ -368,12 +374,18 @@ impl<const D: usize> BrickDecomp<D> {
 
     /// Surface chunk for a region.
     pub fn surface_chunk(&self, t: &Dir) -> &Chunk {
-        self.surface.iter().find(|c| c.dir == *t).expect("unknown region")
+        self.surface
+            .iter()
+            .find(|c| c.dir == *t)
+            .unwrap_or_else(|| panic!("no surface chunk for region {t:?}"))
     }
 
     /// Ghost group for a neighbor.
     pub fn ghost_group(&self, s: &Dir) -> &GhostGroup {
-        self.ghosts.iter().find(|g| g.dir == *s).expect("unknown neighbor")
+        self.ghosts
+            .iter()
+            .find(|g| g.dir == *s)
+            .unwrap_or_else(|| panic!("no ghost group for neighbor {s:?}"))
     }
 
     /// Heap-allocate storage (paper's `bInfo.allocate`).
@@ -432,6 +444,112 @@ impl<const D: usize> BrickDecomp<D> {
     /// Elements per brick across all fields.
     pub fn step(&self) -> usize {
         self.bdims.elements() * self.fields
+    }
+}
+
+/// Mutable brick→rank ownership map — the dynamic counterpart of the
+/// static Cartesian decomposition above. A static run builds it once
+/// and never touches it; a rebalanced run mutates it at each migration
+/// epoch and bumps the epoch counter so every layer (exchange plan,
+/// dependency graph, buddy checkpoints) can tell stale bindings from
+/// current ones.
+///
+/// The map is deliberately *per-rank local and possibly stale for
+/// non-local bricks*: after a migration only the two endpoint ranks
+/// know a brick's true owner, and everyone else discovers lazily via
+/// NBX forwarding (the stale entry acts as a forwarding pointer to a
+/// rank that knows more). Only `owned_by(me)` is authoritative.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ownership {
+    owner: Vec<u32>,
+    epoch: u64,
+}
+
+impl Ownership {
+    /// Ownership from an explicit per-brick owner vector (epoch 0).
+    pub fn from_owners(owner: Vec<u32>) -> Ownership {
+        Ownership { owner, epoch: 0 }
+    }
+
+    /// Contiguous block distribution of `nbricks` bricks over `ranks`
+    /// ranks: brick `b` starts on rank `b * ranks / nbricks` (every
+    /// rank gets `nbricks/ranks` bricks ±1, in id order).
+    pub fn block(nbricks: usize, ranks: usize) -> Ownership {
+        assert!(ranks > 0, "ownership over zero ranks");
+        let owner = (0..nbricks).map(|b| (b * ranks / nbricks) as u32).collect();
+        Ownership { owner, epoch: 0 }
+    }
+
+    /// Number of bricks in the map.
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// True when the map covers no bricks.
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    /// This rank's current belief about who owns `brick` (authoritative
+    /// only for bricks it owns itself; otherwise a forwarding hint).
+    pub fn owner_of(&self, brick: u32) -> u32 {
+        let b = brick as usize;
+        assert!(b < self.owner.len(), "brick {brick} outside the ownership map");
+        self.owner[b]
+    }
+
+    /// Update the believed owner of `brick`.
+    pub fn set_owner(&mut self, brick: u32, rank: u32) {
+        let b = brick as usize;
+        assert!(b < self.owner.len(), "brick {brick} outside the ownership map");
+        self.owner[b] = rank;
+    }
+
+    /// Bricks believed owned by `rank`, in ascending id order.
+    pub fn owned_by(&self, rank: u32) -> Vec<u32> {
+        (0..self.owner.len() as u32).filter(|&b| self.owner[b as usize] == rank).collect()
+    }
+
+    /// Migration epoch this map reflects (0 = the initial static
+    /// distribution).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Enter the next migration epoch.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// FNV-1a digest of the owner vector — two ranks (or two runs)
+    /// holding the same distribution agree bit-for-bit.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &o in &self.owner {
+            for byte in o.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Serialize into a checkpoint buffer (owner vector + epoch).
+    pub fn encode(&self, out: &mut Vec<f64>) {
+        out.push(f64::from_bits(self.owner.len() as u64));
+        out.push(f64::from_bits(self.epoch));
+        out.extend(self.owner.iter().map(|&o| f64::from_bits(u64::from(o))));
+    }
+
+    /// Inverse of [`Ownership::encode`]; returns the map and the number
+    /// of `f64`s consumed.
+    pub fn decode(data: &[f64]) -> (Ownership, usize) {
+        assert!(data.len() >= 2, "ownership snapshot truncated");
+        let n = data[0].to_bits() as usize;
+        let epoch = data[1].to_bits();
+        assert!(data.len() >= 2 + n, "ownership snapshot truncated");
+        let owner = data[2..2 + n].iter().map(|v| v.to_bits() as u32).collect();
+        (Ownership { owner, epoch }, 2 + n)
     }
 }
 
@@ -615,6 +733,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ownership_block_distribution_is_balanced() {
+        let o = Ownership::block(10, 4);
+        // 10 bricks over 4 ranks: 3/2/3/2 in id order, non-decreasing.
+        let counts: Vec<usize> = (0..4).map(|r| o.owned_by(r).len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().all(|&c| c == 2 || c == 3));
+        for b in 1..10u32 {
+            assert!(o.owner_of(b) >= o.owner_of(b - 1));
+        }
+    }
+
+    #[test]
+    fn ownership_mutation_epoch_and_digest() {
+        let mut o = Ownership::block(6, 2);
+        let d0 = o.digest();
+        assert_eq!(o.epoch(), 0);
+        o.set_owner(5, 0);
+        o.advance_epoch();
+        assert_eq!(o.epoch(), 1);
+        assert_eq!(o.owned_by(0), vec![0, 1, 2, 5]);
+        assert_ne!(o.digest(), d0, "digest must track the owner vector");
+    }
+
+    #[test]
+    fn ownership_snapshot_roundtrip() {
+        let mut o = Ownership::from_owners(vec![1, 0, 1, 2]);
+        o.advance_epoch();
+        let mut buf = vec![9.0]; // pre-existing content must survive
+        o.encode(&mut buf);
+        let (d, used) = Ownership::decode(&buf[1..]);
+        assert_eq!(used, buf.len() - 1);
+        assert_eq!(d, o);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the ownership map")]
+    fn ownership_rejects_unknown_bricks() {
+        Ownership::block(4, 2).owner_of(4);
     }
 
     #[test]

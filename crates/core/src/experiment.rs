@@ -271,6 +271,10 @@ pub struct MethodReport {
     /// `!recovery.armed()` — unless the run was resilient; see
     /// [`ExperimentConfig::checkpoint_every`]).
     pub recovery: FailureRecovery,
+    /// Migration/imbalance accounting, `Some` only for runs driven by
+    /// the dynamic-ownership rebalance subsystem (`crates/rebalance`);
+    /// every static driver reports `None`.
+    pub migration: Option<netsim::telemetry::MigrationStats>,
 }
 
 impl MethodReport {
@@ -503,6 +507,7 @@ fn run_shift(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Metho
         fault_seed: fault_seed(cfg),
         overlap_stats: None,
         recovery: failure,
+        migration: None,
     }
 }
 
@@ -588,6 +593,7 @@ fn run_brick_overlap(cfg: &ExperimentConfig, topo: &CartTopo) -> MethodReport {
         fault_seed: fault_seed(cfg),
         overlap_stats: None,
         recovery: failure,
+        migration: None,
     }
 }
 
@@ -813,6 +819,7 @@ fn run_brick_dag(cfg: &ExperimentConfig, topo: &CartTopo, msgs: BrickMsgs) -> Me
         fault_seed: fault_seed(cfg),
         overlap_stats: Some(ostats),
         recovery: failure,
+        migration: None,
     }
 }
 
@@ -1076,6 +1083,7 @@ fn run_memmap_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> 
         fault_seed: fault_seed(cfg),
         overlap_stats: Some(ostats),
         recovery: failure,
+        migration: None,
     }
 }
 
@@ -1334,6 +1342,7 @@ fn run_shift_dag(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> M
         fault_seed: fault_seed(cfg),
         overlap_stats: Some(ostats),
         recovery: failure,
+        migration: None,
     }
 }
 
@@ -1450,6 +1459,7 @@ fn run_brick(cfg: &ExperimentConfig, topo: &CartTopo, order: BrickOrder, msgs: B
         fault_seed: fault_seed(cfg),
         overlap_stats: None,
         recovery: failure,
+        migration: None,
     }
 }
 
@@ -1543,6 +1553,7 @@ fn run_memmap(cfg: &ExperimentConfig, topo: &CartTopo, page_size: usize) -> Meth
         fault_seed: fault_seed(cfg),
         overlap_stats: None,
         recovery: failure,
+        migration: None,
     }
 }
 
@@ -1611,6 +1622,7 @@ fn run_array(cfg: &ExperimentConfig, topo: &CartTopo, mode: ArrayMode, overlap: 
         fault_seed: fault_seed(cfg),
         overlap_stats: None,
         recovery: failure,
+        migration: None,
     }
 }
 

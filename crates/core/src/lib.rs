@@ -47,7 +47,7 @@ pub mod reliable;
 pub mod shift;
 
 pub use checkpoint::{DriveOp, FailureRecovery, RecoveryCfg};
-pub use decomp::{pad_bricks_for, BrickDecomp, Chunk, GhostGroup};
+pub use decomp::{pad_bricks_for, BrickDecomp, Chunk, GhostGroup, Ownership};
 pub use exchange::{split_disjoint_mut, ExchangeStats, Exchanger, RecvMsg, SendMsg};
 pub use memmap::{ExchangeView, MemMapStorage};
 pub use reliable::{RecoveryStats, RelRecv, RelSend, ReliableConfig, ReliableSession};

@@ -1028,6 +1028,18 @@ impl<'a> RankCtx<'a> {
         }
     }
 
+    /// One unproductive tick of a hand-rolled spin loop: advance the
+    /// process-fault schedule (so a kill/stall scheduled at this point
+    /// fires even while the rank only waits) and yield to peers on the
+    /// cooperative event backend. Bills nothing. Protocols that poll
+    /// [`RankCtx::mailbox_keys`] directly (rather than spinning on
+    /// `try_wait`, which ticks internally) must call this on every
+    /// empty poll or they starve the producers they wait on.
+    pub fn idle_tick(&mut self) {
+        self.proc_tick();
+        self.poll_miss();
+    }
+
     /// Give other ranks CPU time after an unproductive poll. The event
     /// backend is cooperative: a spin-polling rank (overlap `try_wait`
     /// / `progress` loops) must yield on a miss or it starves the very
@@ -1392,6 +1404,16 @@ impl<'a> RankCtx<'a> {
     /// Charge additional modeled seconds to `pack`.
     pub fn charge_pack(&mut self, secs: f64) {
         self.bill(Phase::Pack, secs);
+    }
+
+    /// Charge modeled compute seconds *attributed to a brick*: the time
+    /// lands on `calc` exactly like [`RankCtx::charge_calc`], and — when
+    /// profiling is on — is additionally credited to `brick` on the
+    /// recorder, feeding the per-brick cost signal a load balancer
+    /// harvests.
+    pub fn charge_calc_brick(&mut self, brick: u32, secs: f64) {
+        self.bill(Phase::Compute, secs);
+        self.recorder.charge_brick(brick, secs);
     }
 
     /// Synchronize all ranks. Returns silently even if the cluster is

@@ -47,6 +47,7 @@ pub mod error;
 pub mod event;
 pub mod fault;
 pub mod model;
+pub mod nbx;
 pub mod partition;
 pub mod timers;
 pub mod topo;
@@ -64,6 +65,7 @@ pub use fault::{
     frame_checksum, FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultStats, ProcFault,
     CTRL_TAG_BIT,
 };
+pub use nbx::{Ibarrier, NbxStats};
 pub use partition::{
     PartitionStats, PartitionTable, PartitionedRecv, PartitionedSend, DEFAULT_EAGER_BYTES,
 };

@@ -1,0 +1,40 @@
+//! # rebalance — dynamic brick ownership via diffusion load balancing
+//!
+//! Makes the brick→rank assignment *dynamic*: a per-brick cost signal
+//! harvested from telemetry drives a diffusion-style balancer that
+//! proposes migrations every M steps, and a migration epoch moves brick
+//! interiors between ranks, rediscovers the sparse exchange plan with
+//! NBX nonblocking-barrier consensus (no alltoall), and rebuilds the
+//! dependency graph — all inside the resilient checkpoint driver, so
+//! a rank killed mid-epoch recovers to the post-migration ownership.
+//!
+//! * [`workload`] — the migratable proxy physics (owner-independent
+//!   relaxation + a deterministic modeled cost skew),
+//! * [`balance`] — the pure diffusion proposal,
+//! * [`plan`] — NBX ownership discovery with forwarding pointers,
+//! * [`driver`] — the step loop, migration epoch, and recovery hooks.
+//!
+//! ```
+//! use rebalance::{GridCfg, RebalanceCfg, run_rebalance};
+//! use netsim::{Backend, NetworkModel};
+//!
+//! let mut cfg = RebalanceCfg::new(
+//!     GridCfg { dims: [4, 2, 2], cells: 8, skew: 6.0 }, vec![2]);
+//! cfg.backend = Backend::Thread;
+//! cfg.net = NetworkModel::instant();
+//! cfg.migrate_every = 2;
+//! let report = run_rebalance(&cfg);
+//! assert!(report.migration.unwrap().epochs >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod driver;
+pub mod plan;
+pub mod workload;
+
+pub use balance::{propose_moves, Move};
+pub use driver::{run_rebalance, RebalanceCfg};
+pub use plan::{discover_plan, ExchangePlan};
+pub use workload::{GridCfg, COST_PER_CELL};

@@ -82,30 +82,69 @@ impl DepGraph {
                 owner[g as usize] = i as u32;
             }
         }
+        Self::assemble(
+            bricks,
+            recv_ghosts.len(),
+            boundary.iter().map(|&b| {
+                let mut seen: Vec<u32> = Vec::with_capacity(8);
+                for &nb in info.adjacency_row(b) {
+                    if nb == NO_BRICK {
+                        continue;
+                    }
+                    let o = owner[nb as usize];
+                    if o != u32::MAX && !seen.contains(&o) {
+                        seen.push(o);
+                    }
+                }
+                (b, seen)
+            }),
+        )
+    }
+
+    /// Build the graph from explicit dependency lists instead of the
+    /// static Cartesian adjacency: `deps` maps each gated brick to the
+    /// distinct receive indices it waits on (`0..nrecvs`). This is the
+    /// dynamic-ownership path — after a migration epoch the dependency
+    /// sets follow the rebuilt exchange plan, not a fixed decomposition,
+    /// so the scheduler replays the same readiness machinery against
+    /// whatever sparse plan discovery produced. Brick ids only key the
+    /// internal slot table; they need not be dense, just `< nbricks`.
+    pub fn from_deps(
+        nbricks: usize,
+        nrecvs: usize,
+        deps: impl IntoIterator<Item = (u32, Vec<u32>)>,
+    ) -> DepGraph {
+        Self::assemble(nbricks, nrecvs, deps.into_iter())
+    }
+
+    /// Shared assembly: fold `(brick, distinct receive deps)` pairs into
+    /// the slot tables ([`DepGraph::build`] derives the pairs from the
+    /// static adjacency, [`DepGraph::from_deps`] takes them verbatim).
+    fn assemble(
+        nbricks: usize,
+        nrecvs: usize,
+        deps: impl Iterator<Item = (u32, Vec<u32>)>,
+    ) -> DepGraph {
         let mut initially_ready = Vec::new();
         let mut gated = Vec::new();
         let mut base_deps = Vec::new();
-        let mut slot_of = vec![NO_SLOT; bricks];
-        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); recv_ghosts.len()];
-        let mut seen: Vec<u32> = Vec::with_capacity(27);
-        for &b in boundary {
-            seen.clear();
-            for &nb in info.adjacency_row(b) {
-                if nb == NO_BRICK {
-                    continue;
-                }
-                let o = owner[nb as usize];
-                if o != u32::MAX && !seen.contains(&o) {
-                    seen.push(o);
-                }
-            }
-            if seen.is_empty() {
+        let mut slot_of = vec![NO_SLOT; nbricks];
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); nrecvs];
+        for (b, recvs) in deps {
+            assert!((b as usize) < nbricks, "gated brick {b} outside the graph");
+            if recvs.is_empty() {
                 initially_ready.push(b);
             } else {
                 slot_of[b as usize] = gated.len() as u32;
                 gated.push(b);
-                base_deps.push(seen.len() as u32);
-                for &o in &seen {
+                base_deps.push(recvs.len() as u32);
+                for &o in &recvs {
+                    debug_assert!((o as usize) < nrecvs, "dep on unknown receive {o}");
+                    debug_assert_eq!(
+                        recvs.iter().filter(|&&x| x == o).count(),
+                        1,
+                        "brick {b} lists receive {o} twice"
+                    );
                     dependents[o as usize].push(b);
                 }
             }
@@ -398,6 +437,39 @@ mod tests {
         exposed.clear();
         g.unready(&mut exposed);
         assert!(exposed.is_empty());
+    }
+
+    #[test]
+    fn from_deps_matches_build_semantics() {
+        // Explicit dependency lists, as a post-migration rebuild would
+        // produce them: brick 7 waits on receives {0, 2}, brick 3 on
+        // {2}, brick 9 on nothing (ready at begin).
+        let mut g = DepGraph::from_deps(
+            12,
+            3,
+            vec![(7u32, vec![0u32, 2]), (3, vec![2]), (9, vec![])],
+        );
+        assert_eq!(g.begin_step(), &[9][..]);
+        assert_eq!(g.pending(), 2);
+        assert_eq!(g.boundary_count(), 3);
+        let mut ready = Vec::new();
+        g.complete(2, &mut ready);
+        assert_eq!(ready, vec![3], "brick 7 still waits on receive 0");
+        g.complete(0, &mut ready);
+        assert_eq!(ready, vec![3, 7]);
+        assert_eq!(g.pending(), 0);
+        // Replay across steps works exactly like the static graph.
+        g.begin_step();
+        let mut exposed = Vec::new();
+        g.unready(&mut exposed);
+        exposed.sort_unstable();
+        assert_eq!(exposed, vec![3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the graph")]
+    fn from_deps_rejects_out_of_range_bricks() {
+        DepGraph::from_deps(4, 1, vec![(4u32, vec![0u32])]);
     }
 
     #[test]

@@ -26,12 +26,19 @@
 mod critical;
 mod export;
 mod hist;
+mod migrate;
 mod timeline;
 
 pub use critical::{critical_path, CriticalPath, OverlapStats, Segment};
 pub use export::chrome_trace;
 pub use hist::Histogram;
+pub use migrate::{BrickCosts, MigrationStats};
 pub use timeline::{PhaseBreakdown, Timeline};
+
+/// Histogram name under which [`Recorder::charge_brick`] buckets each
+/// per-brick charge, in nanoseconds (the log2 buckets resolve <1.0 to
+/// bucket 0, so seconds would flatten every realistic kernel).
+pub const BRICK_COST_HIST: &str = "brick_cost_ns";
 
 /// Where a slice of virtual time went. Leaf spans carry exactly one
 /// phase; the per-phase sums are the paper's stacked-bar breakdown.
@@ -113,6 +120,10 @@ pub struct Recorder {
     last_leaf: i32,
     counters: Vec<(&'static str, u64)>,
     hists: Vec<(&'static str, Histogram)>,
+    /// Dense per-brick compute-cost totals (seconds), grown on demand by
+    /// [`Recorder::charge_brick`]. Empty unless a brick-aware engine
+    /// attributed its charges.
+    brick_costs: Vec<f64>,
 }
 
 impl Recorder {
@@ -149,6 +160,7 @@ impl Recorder {
         self.last_leaf = -1;
         self.counters.clear();
         self.hists.clear();
+        self.brick_costs.clear();
     }
 
     /// Record `secs` of `phase` work ending the current virtual instant
@@ -224,6 +236,26 @@ impl Recorder {
         }
     }
 
+    /// Attribute `secs` of compute cost to `brick`: accumulates the
+    /// per-brick total and buckets the charge (in nanoseconds) into the
+    /// [`BRICK_COST_HIST`] histogram. Unlike [`Recorder::charge`] this
+    /// advances no clock and opens no span — it is a *cost attribution*,
+    /// recorded alongside whichever timer already billed the seconds —
+    /// so load-balancer signals and timelines agree on where compute
+    /// went without double-counting the virtual time axis.
+    #[inline]
+    pub fn charge_brick(&mut self, brick: u32, secs: f64) {
+        if !self.enabled || secs <= 0.0 {
+            return;
+        }
+        let idx = brick as usize;
+        if idx >= self.brick_costs.len() {
+            self.brick_costs.resize(idx + 1, 0.0);
+        }
+        self.brick_costs[idx] += secs;
+        self.observe(BRICK_COST_HIST, secs * 1e9);
+    }
+
     /// Record one observation in the named log2-bucketed histogram.
     #[inline]
     pub fn observe(&mut self, name: &'static str, value: f64) {
@@ -253,6 +285,7 @@ impl Recorder {
             spans: std::mem::take(&mut self.spans),
             counters: std::mem::take(&mut self.counters),
             hists: std::mem::take(&mut self.hists),
+            brick_costs: std::mem::take(&mut self.brick_costs),
         };
         self.now = 0.0;
         self.last_leaf = -1;
@@ -338,6 +371,32 @@ mod tests {
         assert_eq!(t.counters, vec![("msgs", 5)]);
         assert_eq!(t.hists[0].1.count, 2);
         assert_eq!(t.hists[0].1.sum, 1100.0);
+    }
+
+    #[test]
+    fn brick_charges_accumulate_without_advancing_the_clock() {
+        let mut r = Recorder::disabled();
+        r.enable(0);
+        r.charge_brick(2, 0.25);
+        r.charge_brick(2, 0.25);
+        r.charge_brick(5, 1.0);
+        assert_eq!(r.now(), 0.0, "brick attribution must not move the virtual clock");
+        let t = r.take_timeline();
+        assert_eq!(t.brick_costs.len(), 6);
+        assert_eq!(t.brick_costs[2], 0.5);
+        assert_eq!(t.brick_costs[5], 1.0);
+        assert_eq!(t.brick_costs[0], 0.0);
+        let (_, h) = t.hists.iter().find(|(n, _)| *n == BRICK_COST_HIST).expect("cost hist");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1.5e9);
+    }
+
+    #[test]
+    fn disabled_recorder_ignores_brick_charges() {
+        let mut r = Recorder::disabled();
+        r.charge_brick(7, 3.0);
+        let t = r.take_timeline();
+        assert!(t.brick_costs.is_empty() && t.hists.is_empty());
     }
 
     #[test]

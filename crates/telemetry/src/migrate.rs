@@ -1,0 +1,268 @@
+//! Load-balancing telemetry: the per-brick cost signal a diffusion
+//! balancer consumes, and the migration/imbalance accounting a
+//! rebalanced run reports.
+//!
+//! [`BrickCosts`] is the harvesting side: engines attribute modeled (or
+//! measured) compute seconds to brick ids as they execute; the balancer
+//! reads the accumulated *window* — costs since the last harvest — as
+//! its load signal, so the signal always reflects the most recent
+//! migration epoch, not the whole run. Totals are kept separately for
+//! end-of-run reporting. Both arrays are plain `f64` vectors so a
+//! resilient driver can snapshot and restore them bit-exactly alongside
+//! the physics state (a replayed migration epoch must see the same
+//! signal and propose the same moves).
+
+/// Dense per-brick compute-cost accumulator (seconds), harvested in
+/// windows by a load balancer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BrickCosts {
+    totals: Vec<f64>,
+    window: Vec<f64>,
+}
+
+impl BrickCosts {
+    /// Accumulator over `bricks` brick ids, all costs zero.
+    pub fn new(bricks: usize) -> BrickCosts {
+        BrickCosts { totals: vec![0.0; bricks], window: vec![0.0; bricks] }
+    }
+
+    /// Attribute `secs` of compute to `brick` (both the running total
+    /// and the current harvest window).
+    #[inline]
+    pub fn charge(&mut self, brick: u32, secs: f64) {
+        let b = brick as usize;
+        assert!(b < self.totals.len(), "brick {brick} outside the cost accumulator");
+        self.totals[b] += secs;
+        self.window[b] += secs;
+    }
+
+    /// Cost charged to `brick` since the last [`BrickCosts::harvest`].
+    pub fn window(&self, brick: u32) -> f64 {
+        self.window[brick as usize]
+    }
+
+    /// Sum of the current window over a set of bricks — a rank's load
+    /// signal over the bricks it owns.
+    pub fn load<'a>(&self, bricks: impl IntoIterator<Item = &'a u32>) -> f64 {
+        bricks.into_iter().map(|&b| self.window[b as usize]).sum()
+    }
+
+    /// Close the harvest window: zero the window array, keeping totals.
+    pub fn harvest(&mut self) {
+        self.window.iter_mut().for_each(|w| *w = 0.0);
+    }
+
+    /// Running per-brick totals since construction (or restore).
+    pub fn totals(&self) -> &[f64] {
+        &self.totals
+    }
+
+    /// Serialize into `out` (a resilient driver's snapshot buffer).
+    pub fn encode(&self, out: &mut Vec<f64>) {
+        out.push(f64::from_bits(self.totals.len() as u64));
+        out.extend_from_slice(&self.totals);
+        out.extend_from_slice(&self.window);
+    }
+
+    /// Inverse of [`BrickCosts::encode`]: rebuild from `data`, returning
+    /// the accumulator and the number of `f64`s consumed.
+    pub fn decode(data: &[f64]) -> (BrickCosts, usize) {
+        let n = data.first().map(|v| v.to_bits() as usize).unwrap_or_else(|| {
+            panic!("brick-cost snapshot is empty");
+        });
+        assert!(data.len() > 2 * n, "brick-cost snapshot truncated");
+        (
+            BrickCosts {
+                totals: data[1..1 + n].to_vec(),
+                window: data[1 + n..1 + 2 * n].to_vec(),
+            },
+            1 + 2 * n,
+        )
+    }
+}
+
+/// Migration/imbalance accounting for one rebalanced run, merged across
+/// ranks by the driver (counts sum on the side that performed the work;
+/// cluster-wide values take rank 0's copy).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MigrationStats {
+    /// Migration epochs executed (cluster-wide; identical on all ranks).
+    pub epochs: u64,
+    /// Bricks handed to another rank (counted once, on the sender).
+    pub bricks_moved: u64,
+    /// Payload bytes serialized into migration frames (sender side).
+    pub bytes_moved: u64,
+    /// Sparse neighbor-discovery rounds run (initial plan + one per
+    /// migration epoch + any recovery rebuilds).
+    pub nbx_rounds: u64,
+    /// Point-to-point discovery messages (requests + forwards +
+    /// replies) across all rounds — the no-alltoall witness: stays
+    /// proportional to the real partner degree, not to `ranks²`.
+    pub nbx_data_msgs: u64,
+    /// Nonblocking-barrier tokens sent across all discovery rounds
+    /// (`ranks × ceil(log2 ranks)` per round).
+    pub nbx_barrier_msgs: u64,
+    /// Load imbalance (max rank load / mean rank load) observed at the
+    /// first migration epoch, before any bricks moved.
+    pub imbalance_initial: f64,
+    /// Load imbalance after the last migration epoch's moves.
+    pub imbalance_final: f64,
+    /// FNV-1a digest of the final brick→rank ownership vector,
+    /// gathered at run end — two runs landing the same distribution
+    /// agree bit-for-bit (the recovery suite's restored-ownership
+    /// witness).
+    pub ownership_digest: u64,
+}
+
+impl MigrationStats {
+    /// Fold another rank's accounting into this one. Work counters sum
+    /// (each is counted on exactly one rank); cluster-wide observations
+    /// (epochs, imbalance, digest) take the first non-default value,
+    /// which rank 0 always holds.
+    pub fn merge(&mut self, o: &MigrationStats) {
+        self.epochs = self.epochs.max(o.epochs);
+        self.bricks_moved += o.bricks_moved;
+        self.bytes_moved += o.bytes_moved;
+        self.nbx_rounds = self.nbx_rounds.max(o.nbx_rounds);
+        self.nbx_data_msgs += o.nbx_data_msgs;
+        self.nbx_barrier_msgs += o.nbx_barrier_msgs;
+        if self.imbalance_initial == 0.0 {
+            self.imbalance_initial = o.imbalance_initial;
+        }
+        if self.imbalance_final == 0.0 {
+            self.imbalance_final = o.imbalance_final;
+        }
+        if self.ownership_digest == 0 {
+            self.ownership_digest = o.ownership_digest;
+        }
+    }
+
+    /// Encode into a snapshot buffer (a replayed epoch must restart
+    /// from the pre-failure counters or recovery would double-count).
+    pub fn encode(&self, out: &mut Vec<f64>) {
+        out.push(f64::from_bits(self.epochs));
+        out.push(f64::from_bits(self.bricks_moved));
+        out.push(f64::from_bits(self.bytes_moved));
+        out.push(f64::from_bits(self.nbx_rounds));
+        out.push(f64::from_bits(self.nbx_data_msgs));
+        out.push(f64::from_bits(self.nbx_barrier_msgs));
+        out.push(self.imbalance_initial);
+        out.push(self.imbalance_final);
+    }
+
+    /// Inverse of [`MigrationStats::encode`]; returns the stats and the
+    /// number of `f64`s consumed. The ownership digest is not part of
+    /// the snapshot — it is computed once, at run end.
+    pub fn decode(data: &[f64]) -> (MigrationStats, usize) {
+        assert!(data.len() >= 8, "migration-stats snapshot truncated");
+        (
+            MigrationStats {
+                epochs: data[0].to_bits(),
+                bricks_moved: data[1].to_bits(),
+                bytes_moved: data[2].to_bits(),
+                nbx_rounds: data[3].to_bits(),
+                nbx_data_msgs: data[4].to_bits(),
+                nbx_barrier_msgs: data[5].to_bits(),
+                imbalance_initial: data[6],
+                imbalance_final: data[7],
+                ownership_digest: 0,
+            },
+            8,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_charge_window_and_totals_independently() {
+        let mut c = BrickCosts::new(4);
+        c.charge(1, 2.0);
+        c.charge(3, 1.0);
+        assert_eq!(c.window(1), 2.0);
+        assert_eq!(c.load([1u32, 3].iter()), 3.0);
+        c.harvest();
+        assert_eq!(c.window(1), 0.0);
+        c.charge(1, 0.5);
+        assert_eq!(c.window(1), 0.5);
+        assert_eq!(c.totals()[1], 2.5, "totals survive the harvest");
+    }
+
+    #[test]
+    fn costs_roundtrip_through_snapshots() {
+        let mut c = BrickCosts::new(3);
+        c.charge(0, 1.5);
+        c.harvest();
+        c.charge(2, 0.25);
+        let mut buf = Vec::new();
+        c.encode(&mut buf);
+        let (d, used) = BrickCosts::decode(&buf);
+        assert_eq!(used, buf.len());
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the cost accumulator")]
+    fn out_of_range_charge_panics() {
+        BrickCosts::new(2).charge(2, 1.0);
+    }
+
+    #[test]
+    fn stats_merge_sums_work_and_keeps_cluster_values() {
+        let mut a = MigrationStats {
+            epochs: 3,
+            bricks_moved: 2,
+            bytes_moved: 100,
+            nbx_rounds: 4,
+            nbx_data_msgs: 10,
+            nbx_barrier_msgs: 12,
+            imbalance_initial: 2.5,
+            imbalance_final: 1.1,
+            ownership_digest: 42,
+        };
+        let b = MigrationStats {
+            epochs: 3,
+            bricks_moved: 5,
+            bytes_moved: 50,
+            nbx_rounds: 4,
+            nbx_data_msgs: 7,
+            nbx_barrier_msgs: 12,
+            imbalance_initial: 2.5,
+            imbalance_final: 1.1,
+            ownership_digest: 42,
+        };
+        a.merge(&b);
+        assert_eq!(a.bricks_moved, 7);
+        assert_eq!(a.bytes_moved, 150);
+        assert_eq!(a.nbx_data_msgs, 17);
+        assert_eq!(a.nbx_barrier_msgs, 24);
+        assert_eq!(a.epochs, 3);
+        assert_eq!(a.imbalance_initial, 2.5);
+        assert_eq!(a.ownership_digest, 42);
+    }
+
+    #[test]
+    fn stats_roundtrip_through_snapshots() {
+        let s = MigrationStats {
+            epochs: 2,
+            bricks_moved: 9,
+            bytes_moved: 4096,
+            nbx_rounds: 3,
+            nbx_data_msgs: 31,
+            nbx_barrier_msgs: 24,
+            imbalance_initial: 2.875,
+            imbalance_final: 1.0625,
+            ownership_digest: 7,
+        };
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let (d, used) = MigrationStats::decode(&buf);
+        assert_eq!(used, 8);
+        assert_eq!(d.epochs, 2);
+        assert_eq!(d.bricks_moved, 9);
+        assert_eq!(d.imbalance_final, 1.0625);
+        assert_eq!(d.ownership_digest, 0, "digest is recomputed, not restored");
+    }
+}

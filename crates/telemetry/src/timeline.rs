@@ -18,6 +18,10 @@ pub struct Timeline {
     pub counters: Vec<(&'static str, u64)>,
     /// Named log2 histograms.
     pub hists: Vec<(&'static str, Histogram)>,
+    /// Per-brick compute-cost totals in seconds, indexed by brick id
+    /// (empty unless the engine attributed charges via
+    /// [`crate::Recorder::charge_brick`]).
+    pub brick_costs: Vec<f64>,
 }
 
 /// Seconds attributed to each phase — the paper's stacked-bar columns.
@@ -82,6 +86,22 @@ impl PhaseBreakdown {
 }
 
 impl Timeline {
+    /// The `k` most expensive bricks as `(brick id, seconds)`, cost
+    /// descending (ties broken by brick id so the ordering is total).
+    /// Empty when no engine attributed per-brick charges.
+    pub fn top_brick_costs(&self, k: usize) -> Vec<(u32, f64)> {
+        let mut out: Vec<(u32, f64)> = self
+            .brick_costs
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .map(|(b, &c)| (b as u32, c))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
     /// Sum leaf-span durations per phase. Only leaves contribute, so
     /// scopes never double-count their children.
     pub fn phase_breakdown(&self) -> PhaseBreakdown {

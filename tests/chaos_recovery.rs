@@ -114,6 +114,55 @@ fn stall_bills_wait_without_recovery() {
     );
 }
 
+/// A crash-stop landing *inside* a migration epoch — between the fence,
+/// the load trade, the manifest shipment, and the NBX rediscovery — is
+/// the nastiest recovery case: half the cluster may already believe the
+/// new ownership. Replay from buddy checkpoints must restore the
+/// post-migration ownership exactly: same physics bits, same final
+/// brick→rank digest, same epoch/trade counts as the fault-free
+/// migrated run.
+#[test]
+fn kill_mid_migration_epoch_restores_post_migration_ownership() {
+    let mut base = RebalanceCfg::new(
+        GridCfg { dims: [4, 2, 2], cells: 8, skew: 6.0 },
+        vec![2, 2, 1],
+    );
+    base.steps = 6;
+    base.warmup = 2;
+    base.migrate_every = 2;
+    base.backend = Backend::Thread;
+    base.net = NetworkModel::instant();
+    let clean = run_rebalance(&base);
+    let clean_m = clean.migration.expect("migration stats");
+    assert!(clean_m.epochs >= 1 && clean_m.bricks_moved > 0, "no epoch to crash into");
+
+    // Step 2 opens the first migration epoch; ops 1/4/8 land in the
+    // fence join, the load/manifest trade, and the NBX discovery.
+    for (victim, op) in [(1usize, 1u64), (2, 4), (3, 8)] {
+        let mut chaos = base.clone();
+        chaos.faults = FaultConfig {
+            kill: Some(ProcFault { rank: victim, step: 2, op, stall_secs: 0.0 }),
+            ..FaultConfig::off()
+        };
+        chaos.checkpoint_every = 1;
+        let r = run_rebalance(&chaos);
+        assert_eq!(
+            r.checksum.to_bits(),
+            clean.checksum.to_bits(),
+            "kill:{victim}@2+{op} diverged the physics"
+        );
+        let m = r.migration.expect("migration stats");
+        assert_eq!(
+            m.ownership_digest, clean_m.ownership_digest,
+            "kill:{victim}@2+{op} landed a different final ownership"
+        );
+        assert_eq!(m.epochs, clean_m.epochs);
+        assert_eq!(m.bricks_moved, clean_m.bricks_moved);
+        assert!(r.recovery.recovery_epochs >= 1, "no recovery ran");
+        assert!(r.recovery.restore_bytes > 0, "victim was never restored");
+    }
+}
+
 /// Checkpointing without faults is pure overhead accounting: the
 /// physics must stay bit-identical to the plain run and no recovery
 /// counters may move.

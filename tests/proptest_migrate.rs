@@ -1,0 +1,163 @@
+//! Property-based acceptance suite for dynamic brick ownership: for
+//! every migration period, step schedule (phased vs dependency-graph),
+//! rank substrate, and chaos seed, the migrated run must converge
+//! **bit-identically** to the static-ownership run — migration is a
+//! pure performance transformation, never a numerics one. The suite
+//! also pins the ownership trajectory itself (via the FNV digest of the
+//! final brick→rank map) across backends and across crash/recovery
+//! replays, and witnesses that NBX neighbor discovery never degenerates
+//! into an alltoall.
+
+use bricklib::prelude::*;
+use netsim::ProcFault;
+use proptest::prelude::*;
+
+/// The shared skewed workload: 16 bricks over 4 ranks with 6x compute
+/// on the hotspot slab, enough pressure that every migration period
+/// actually trades bricks.
+fn cfg(migrate: usize, overlap: bool, backend: Backend) -> RebalanceCfg {
+    let mut c = RebalanceCfg::new(
+        GridCfg { dims: [4, 2, 2], cells: 8, skew: 6.0 },
+        vec![2, 2, 1],
+    );
+    c.steps = 6;
+    c.warmup = 2;
+    c.migrate_every = migrate;
+    c.overlap = overlap;
+    c.backend = backend;
+    c.net = NetworkModel::instant();
+    c
+}
+
+fn kill(rank: usize, step: u64, op: u64) -> FaultConfig {
+    FaultConfig {
+        kill: Some(ProcFault { rank, step, op, stall_secs: 0.0 }),
+        ..FaultConfig::off()
+    }
+}
+
+/// The ownership-trajectory fingerprint two equivalent runs must share:
+/// physics bits, the final brick→rank digest, and the migration work
+/// itself (epoch count and bricks traded).
+fn fingerprint(r: &MethodReport) -> (u64, u64, u64, u64) {
+    let m = r.migration.expect("rebalance runs always report migration stats");
+    (r.checksum.to_bits(), m.ownership_digest, m.epochs, m.bricks_moved)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Headline invariant: any migration period, on either step
+    /// schedule, converges bit-identically to the static run — and when
+    /// bricks actually moved, the final ownership differs from block
+    /// ownership (the run really was dynamic).
+    #[test]
+    fn migrated_runs_match_static_bits(
+        migrate in 1usize..4,
+        overlap in any::<bool>(),
+        jitter_seed in 0u64..16,
+    ) {
+        let mut stat = cfg(0, overlap, Backend::Thread);
+        let mut mig = cfg(migrate, overlap, Backend::Thread);
+        // Data-safe wire chaos (delay/jitter) must perturb timing only.
+        if jitter_seed > 0 {
+            let f = FaultConfig {
+                seed: jitter_seed,
+                delay: 0.2,
+                jitter: 0.3,
+                ..FaultConfig::off()
+            };
+            stat.faults = f;
+            mig.faults = f;
+        }
+        let s = run_rebalance(&stat);
+        let m = run_rebalance(&mig);
+        prop_assert_eq!(s.checksum.to_bits(), m.checksum.to_bits());
+        let ms = m.migration.unwrap();
+        prop_assert!(ms.epochs >= 1);
+        if ms.bricks_moved > 0 {
+            prop_assert!(
+                ms.ownership_digest != s.migration.unwrap().ownership_digest,
+                "bricks moved yet the final ownership still looks static"
+            );
+        }
+    }
+
+    /// Crash-stop chaos: killing any rank at any step — including the
+    /// steps that open migration epochs — leaves the physics AND the
+    /// ownership trajectory identical to the fault-free migrated run.
+    #[test]
+    fn killed_migrated_runs_recover_the_same_trajectory(
+        victim in 0usize..4,
+        step in 1u64..6,
+        op in prop_oneof![Just(0u64), Just(3), Just(9)],
+        overlap in any::<bool>(),
+    ) {
+        let clean = run_rebalance(&cfg(2, overlap, Backend::Thread));
+        let mut chaos = cfg(2, overlap, Backend::Thread);
+        chaos.faults = kill(victim, step, op);
+        chaos.checkpoint_every = 1;
+        let c = run_rebalance(&chaos);
+        prop_assert_eq!(fingerprint(&clean), fingerprint(&c));
+        prop_assert!(c.recovery.recovery_epochs >= 1, "no recovery ran");
+        prop_assert!(c.recovery.restore_bytes > 0, "victim was never restored");
+    }
+}
+
+/// The event multiplexer and the thread-per-rank reference schedule
+/// discovery and migration completely differently in real time; the
+/// virtual-clock protocol must still land the identical trajectory —
+/// including the NBX round count, which recovery replays must not
+/// inflate differently per backend.
+#[test]
+fn backends_agree_on_the_whole_trajectory() {
+    if !Backend::event_supported() {
+        return;
+    }
+    for migrate in [0usize, 2] {
+        for overlap in [false, true] {
+            let t = run_rebalance(&cfg(migrate, overlap, Backend::Thread));
+            let e = run_rebalance(&cfg(migrate, overlap, Backend::Event));
+            assert_eq!(
+                fingerprint(&t),
+                fingerprint(&e),
+                "backends diverged at migrate={migrate} overlap={overlap}"
+            );
+            let (tm, em) = (t.migration.unwrap(), e.migration.unwrap());
+            assert_eq!(tm.nbx_rounds, em.nbx_rounds);
+            assert_eq!(tm.nbx_data_msgs, em.nbx_data_msgs);
+        }
+    }
+}
+
+/// The no-alltoall witness: on a 12-rank ring every discovery round's
+/// point-to-point traffic stays proportional to the true partner degree
+/// (2 per rank), far under the `ranks × (ranks-1)` floor an alltoall
+/// would pay — even after migration epochs leave stale views that need
+/// forwarding chases.
+#[test]
+fn discovery_traffic_stays_sparse_after_migrations() {
+    let n = 12usize;
+    let mut c = RebalanceCfg::new(
+        GridCfg { dims: [2 * n, 1, 1], cells: 8, skew: 5.0 },
+        vec![n, 1, 1],
+    );
+    c.steps = 6;
+    c.warmup = 0;
+    c.migrate_every = 2;
+    c.backend = Backend::Thread;
+    c.net = NetworkModel::instant();
+    let r = run_rebalance(&c);
+    let m = r.migration.unwrap();
+    assert!(m.epochs >= 2, "want several rediscovery rounds, got {}", m.epochs);
+    assert_eq!(m.nbx_rounds, 1 + m.epochs, "setup + one per epoch");
+    let alltoall_floor = (n * (n - 1)) as u64 * m.nbx_rounds;
+    assert!(
+        m.nbx_data_msgs < alltoall_floor,
+        "discovery sent {} msgs over {} rounds — at least alltoall volume ({})",
+        m.nbx_data_msgs,
+        m.nbx_rounds,
+        alltoall_floor
+    );
+    assert!(m.nbx_barrier_msgs > 0, "consensus must use the nonblocking barrier");
+}
