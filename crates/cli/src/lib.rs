@@ -5,6 +5,8 @@
 
 #![warn(missing_docs)]
 
+use mapping::MappingPolicy;
+use netsim::hier::HierarchicalNetworkModel;
 use netsim::telemetry::{chrome_trace, critical_path, OverlapStats, PhaseBreakdown, BRICK_COST_HIST};
 use packfree::experiment::{run_experiment, CpuMethod, ExperimentConfig, KernelKind, MethodReport};
 use rebalance::{run_rebalance, GridCfg, RebalanceCfg};
@@ -27,6 +29,12 @@ pub struct Options {
     pub stencil: Stencil,
     /// Fabric model name.
     pub net: Net,
+    /// Hierarchical node topology (`-t/--topology`); `None` keeps the
+    /// flat fabric selected by `--net`.
+    pub topology: Option<Topology>,
+    /// Rank-mapping policy (`--mapping`; needs a hierarchical
+    /// topology for anything beyond the lexicographic baseline).
+    pub mapping: MappingPolicy,
     /// Brick compute engine (precompiled plan vs per-step gather).
     pub kernel: KernelKind,
     /// Seeded fault injection (chaos mode); off by default.
@@ -92,6 +100,52 @@ pub enum Net {
     Instant,
 }
 
+/// Hierarchical topology choice (`-t/--topology`). Each preset pins
+/// its own inter-node fabric — dragonfly puts Aries behind the node
+/// boundary, fat-tree EDR InfiniBand — with the shared-memory tier
+/// inside every node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Dragonfly (Theta-like): Aries fabric, N ranks per node.
+    Dragonfly(usize),
+    /// Fat-tree (Summit-like): EDR fabric, N ranks per node.
+    FatTree(usize),
+}
+
+impl Topology {
+    /// The two-tier wire model this choice selects.
+    pub fn model(self) -> HierarchicalNetworkModel {
+        match self {
+            Topology::Dragonfly(r) => HierarchicalNetworkModel::dragonfly(r),
+            Topology::FatTree(r) => HierarchicalNetworkModel::fat_tree(r),
+        }
+    }
+}
+
+/// Parse a `--topology` spec: `flat`, `dragonfly:R`, or `fat-tree:R`
+/// with `R` ranks per node.
+fn parse_topology(spec: &str) -> Result<Option<Topology>, String> {
+    if spec == "flat" {
+        return Ok(None);
+    }
+    let (kind, rpn) = spec.split_once(':').ok_or_else(|| {
+        format!("--topology '{spec}': want flat, dragonfly:R, or fat-tree:R")
+    })?;
+    let r: usize = rpn
+        .parse()
+        .map_err(|e| format!("--topology ranks-per-node: {e}"))?;
+    if r == 0 {
+        return Err("--topology needs at least 1 rank per node".into());
+    }
+    match kind {
+        "dragonfly" => Ok(Some(Topology::Dragonfly(r))),
+        "fat-tree" => Ok(Some(Topology::FatTree(r))),
+        other => Err(format!(
+            "unknown topology '{other}' (flat | dragonfly:R | fat-tree:R)"
+        )),
+    }
+}
+
 /// Seed of the `aries-jitter` preset's per-rank slowdown draw.
 const JITTER_SEED: u64 = 2021;
 /// Slowdown spread of the `aries-jitter` preset: each rank's wire is
@@ -117,6 +171,8 @@ impl Default for Options {
             ranks: vec![1, 1, 1],
             stencil: Stencil::Star7,
             net: Net::Aries,
+            topology: None,
+            mapping: Default::default(),
             kernel: KernelKind::Plan,
             faults: netsim::FaultConfig::off(),
             checkpoint_every: 0,
@@ -159,6 +215,21 @@ OPTIONS:
                         per-rank wire slowdown in [1, 1.35] — data-safe
                         jitter that stresses early shipping (an explicit
                         --faults spec overrides the preset's seed)
+  -t, --topology <spec> flat | dragonfly:R | fat-tree:R — node topology
+                        with R ranks per node (default: flat, every
+                        rank on its own node). Hierarchical presets
+                        charge on-node messages to a shared-memory
+                        tier and pin the inter-node fabric (dragonfly:
+                        Aries, fat-tree: EDR InfiniBand); the report
+                        gains a mapping block with the on-/off-node
+                        traffic split
+      --mapping <name>  lex | bisect | joint — process-to-node mapping
+                        policy under -t (default: lex, MPI's rank-order
+                        placement): bisect groups nearby subdomains
+                        onto nodes by geometric recursive bisection;
+                        joint anneals the (layout x mapping) product
+                        space under the two-tier model and is never
+                        worse than bisect or lex alone
   -k, --kernel <name>   plan | gather — brick compute engine: precompiled
                         kernel plan vs per-step halo gather (default: plan)
   -p, --page <bytes>    MemMap page size: 4096 | 16384 | 65536
@@ -284,6 +355,14 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown net '{other}'")),
                 };
             }
+            "-t" | "--topology" => {
+                o.topology = parse_topology(&take("--topology")?)?;
+            }
+            "--mapping" => {
+                let name = take("--mapping")?;
+                o.mapping = MappingPolicy::parse(&name)
+                    .ok_or_else(|| format!("unknown mapping '{name}' (lex | bisect | joint)"))?;
+            }
             "-k" | "--kernel" => {
                 o.kernel = match take("--kernel")?.as_str() {
                     "plan" => KernelKind::Plan,
@@ -333,6 +412,20 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         }
         other => return Err(format!("unknown method '{other}'")),
     };
+    if o.mapping != MappingPolicy::Lex && o.topology.is_none() {
+        return Err(format!(
+            "--mapping {} needs a hierarchical topology \
+             (-t dragonfly:R | fat-tree:R)",
+            o.mapping.label()
+        ));
+    }
+    if o.rebalance && (o.topology.is_some() || o.mapping != MappingPolicy::Lex) {
+        return Err(
+            "-m rebalance owns its brick->rank map; -t/--mapping apply to the \
+             static engines only"
+                .into(),
+        );
+    }
     if (o.migrate > 0 || o.imbalance) && !o.rebalance {
         let flag = if o.migrate > 0 { "--migrate" } else { "--imbalance" };
         return Err(format!("{flag} needs -m rebalance (dynamic brick ownership)"));
@@ -386,6 +479,29 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
+/// The flat fabric model `-n/--net` selects, shared by the static
+/// experiment and the rebalance driver. A hierarchical `-t` preset
+/// pins its own inter-node fabric and leaves this as the flat
+/// fallback.
+fn wire_model(net: Net) -> netsim::NetworkModel {
+    match net {
+        Net::Aries | Net::AriesJitter => netsim::NetworkModel::theta_aries(),
+        Net::Edr => netsim::NetworkModel::summit_edr(),
+        Net::Instant => netsim::NetworkModel::instant(),
+    }
+}
+
+/// The fault configuration after presets: `aries-jitter` supplies a
+/// seeded, data-safe slowdown spread — unless the user armed their own
+/// fault spec, which then rules (it may already carry jitter).
+fn preset_faults(o: &Options) -> netsim::FaultConfig {
+    if o.net == Net::AriesJitter && !o.faults.is_active() {
+        netsim::FaultConfig { seed: JITTER_SEED, jitter: JITTER_SPREAD, ..netsim::FaultConfig::off() }
+    } else {
+        o.faults
+    }
+}
+
 /// Build the experiment configuration from parsed options.
 pub fn config(o: &Options) -> ExperimentConfig {
     ExperimentConfig {
@@ -401,20 +517,11 @@ pub fn config(o: &Options) -> ExperimentConfig {
         steps: o.iters,
         warmup: o.warmup,
         ranks: o.ranks.clone(),
-        net: match o.net {
-            Net::Aries | Net::AriesJitter => netsim::NetworkModel::theta_aries(),
-            Net::Edr => netsim::NetworkModel::summit_edr(),
-            Net::Instant => netsim::NetworkModel::instant(),
-        },
+        net: wire_model(o.net),
+        topology: o.topology.map(Topology::model),
+        mapping: o.mapping,
         kernel: o.kernel,
-        // The jitter preset supplies a seeded, data-safe slowdown
-        // spread — unless the user armed their own fault spec, which
-        // then rules (it may already carry jitter).
-        faults: if o.net == Net::AriesJitter && !o.faults.is_active() {
-            netsim::FaultConfig { seed: JITTER_SEED, jitter: JITTER_SPREAD, ..netsim::FaultConfig::off() }
-        } else {
-            o.faults
-        },
+        faults: preset_faults(o),
         profile: o.profile,
         checkpoint_every: o.checkpoint_every,
         overlap: o.overlap,
@@ -440,16 +547,8 @@ pub fn rebalance_config(o: &Options) -> RebalanceCfg {
     cfg.steps = o.iters;
     cfg.warmup = o.warmup;
     cfg.migrate_every = o.migrate;
-    cfg.net = match o.net {
-        Net::Aries | Net::AriesJitter => netsim::NetworkModel::theta_aries(),
-        Net::Edr => netsim::NetworkModel::summit_edr(),
-        Net::Instant => netsim::NetworkModel::instant(),
-    };
-    cfg.faults = if o.net == Net::AriesJitter && !o.faults.is_active() {
-        netsim::FaultConfig { seed: JITTER_SEED, jitter: JITTER_SPREAD, ..netsim::FaultConfig::off() }
-    } else {
-        o.faults
-    };
+    cfg.net = wire_model(o.net);
+    cfg.faults = preset_faults(o);
     // A kill/stall schedule without an explicit interval checkpoints
     // every step, same convention as the static engines.
     cfg.checkpoint_every = if o.checkpoint_every == 0 && cfg.faults.proc_active() {
@@ -662,6 +761,21 @@ pub fn render(o: &Options, r: &MethodReport) -> String {
             ));
         }
     }
+    // Only hierarchical-topology runs carry the mapping split.
+    if let Some(m) = &r.mapping {
+        out.push_str(&format!(
+            "mapping: {} on {} ({} ranks/node) | on-node {:.1}% of bytes | \
+             off-node {} B vs lex {} B ({:.2}x) | modeled speedup {:.2}x\n",
+            m.policy,
+            m.topology,
+            m.ranks_per_node,
+            m.on_node_fraction() * 100.0,
+            m.off_bytes,
+            m.lex_off_bytes,
+            m.off_bytes_vs_lex(),
+            m.modeled_speedup()
+        ));
+    }
     out.push_str(&render_profile(o, r));
     // Gate on the run's own armed state, not the (possibly unrelated)
     // options: a fault-free report never prints a fault block.
@@ -799,12 +913,39 @@ pub fn render_json(o: &Options, r: &MethodReport) -> String {
         o.ranks[0], o.ranks[1], o.ranks[2]
     ));
     out.push_str(&format!("  \"iters\": {},\n", o.iters));
+    // Bit-exact interior checksum: two runs are equivalent iff these
+    // hex strings match, with no float-printing round-trip in between.
+    out.push_str(&format!(
+        "  \"checksum_bits\": \"{:#018x}\",\n",
+        r.checksum.to_bits()
+    ));
     out.push_str(&metric("calc", r.summary.calc));
     out.push_str(&metric("pack", r.summary.pack));
     out.push_str(&metric("call", r.summary.call));
     out.push_str(&metric("wait", r.summary.wait));
     if let Some(ov) = r.overlap_stats {
         out.push_str(&format!("  \"overlap\": {},\n", overlap_json(&ov)));
+    }
+    if let Some(m) = &r.mapping {
+        out.push_str(&format!(
+            "  \"mapping\": {{\"topology\": \"{}\", \"ranks_per_node\": {}, \
+             \"policy\": \"{}\", \"on_bytes\": {}, \"off_bytes\": {}, \
+             \"on_msgs\": {}, \"off_msgs\": {}, \"on_node_fraction\": {:.6}, \
+             \"off_bytes_vs_lex\": {:.6}, \"modeled_time\": {:.9}, \
+             \"lex_modeled_time\": {:.9}, \"modeled_speedup\": {:.6}}},\n",
+            m.topology,
+            m.ranks_per_node,
+            m.policy,
+            m.on_bytes,
+            m.off_bytes,
+            m.on_msgs,
+            m.off_msgs,
+            m.on_node_fraction(),
+            m.off_bytes_vs_lex(),
+            m.modeled_time,
+            m.lex_modeled_time,
+            m.modeled_speedup()
+        ));
     }
     if let Some(pf) = profile_json(r) {
         out.push_str(&pf);
@@ -1119,6 +1260,70 @@ mod tests {
         let cfg = config(&o);
         assert_eq!(cfg.faults.seed, 9);
         assert_eq!(cfg.faults.jitter, 0.1);
+    }
+
+    #[test]
+    fn topology_and_mapping_flags() {
+        assert_eq!(p(&[]).unwrap().topology, None);
+        assert_eq!(p(&[]).unwrap().mapping, MappingPolicy::Lex);
+        assert_eq!(p(&["-t", "flat"]).unwrap().topology, None);
+        let o = p(&["-t", "dragonfly:8", "--mapping", "bisect"]).unwrap();
+        assert_eq!(o.topology, Some(Topology::Dragonfly(8)));
+        assert_eq!(o.mapping, MappingPolicy::Bisect);
+        let cfg = config(&o);
+        let h = cfg.topology.expect("hierarchical model selected");
+        assert_eq!(h.name, "dragonfly");
+        assert_eq!(h.node.ranks_per_node(), 8);
+        let o = p(&["--topology", "fat-tree:16", "--mapping", "joint"]).unwrap();
+        assert_eq!(o.topology, Some(Topology::FatTree(16)));
+        assert_eq!(o.mapping, MappingPolicy::Joint);
+        assert!(config(&p(&[]).unwrap()).topology.is_none(), "flat default");
+        // Bad specs, mapping without a topology, rebalance conflicts.
+        assert!(p(&["-t", "torus:4"]).is_err());
+        assert!(p(&["-t", "dragonfly"]).is_err());
+        assert!(p(&["-t", "dragonfly:0"]).is_err());
+        assert!(p(&["-t", "dragonfly:x"]).is_err());
+        assert!(p(&["-t", "dragonfly:4", "--mapping", "magic"]).is_err());
+        assert!(p(&["--mapping", "bisect"]).is_err());
+        assert!(p(&["-m", "rebalance", "-t", "dragonfly:4"]).is_err());
+        assert!(USAGE.contains("--topology") && USAGE.contains("--mapping"));
+    }
+
+    /// A remapped hierarchical run computes bit-identical physics to
+    /// the flat lexicographic run and reports the on-/off-node traffic
+    /// split in both output formats; flat runs never claim one.
+    #[test]
+    fn end_to_end_mapping_run() {
+        let o = p(&[
+            "-m", "layout", "-d", "16", "-I", "2", "-w", "0", "-r", "2x2x2",
+            "-t", "dragonfly:4", "--mapping", "bisect",
+        ])
+        .unwrap();
+        let mapped = run_experiment(&config(&o));
+        let flat = run_experiment(&config(&Options {
+            topology: None,
+            mapping: MappingPolicy::Lex,
+            ..o.clone()
+        }));
+        assert_eq!(mapped.checksum.to_bits(), flat.checksum.to_bits());
+        let m = mapped.mapping.expect("hierarchical run records mapping stats");
+        assert_eq!(m.policy, "bisect");
+        assert_eq!(m.topology, "dragonfly");
+        assert!(m.off_bytes <= m.lex_off_bytes, "bisect must not lose to lex");
+        assert!(m.on_bytes > 0, "4 ranks/node must put some traffic on-node");
+        let text = render(&o, &mapped);
+        assert!(text.contains("mapping: bisect on dragonfly (4 ranks/node)"));
+        let js = render_json(&o, &mapped);
+        assert!(
+            js.contains(&format!("\"checksum_bits\": \"{:#018x}\"", flat.checksum.to_bits())),
+            "remapped JSON must carry the flat run's exact checksum bits"
+        );
+        assert!(js.contains("\"mapping\": {\"topology\": \"dragonfly\""));
+        assert!(js.contains("\"off_bytes_vs_lex\""));
+        assert!(js.contains("\"modeled_speedup\""));
+        assert!(flat.mapping.is_none(), "flat run must not compute a split");
+        assert!(!render(&o, &flat).contains("mapping:"));
+        assert!(!render_json(&o, &flat).contains("\"mapping\""));
     }
 
     /// A partitioned CLI run stays bit-identical to phased and overlap

@@ -242,6 +242,8 @@ pub fn run_gpu_experiment(cfg: &GpuExperimentConfig) -> GpuReport {
         warmup: 0,
         ranks: cfg.ranks.clone(),
         net: NetworkModel::instant(),
+        topology: None,
+        mapping: Default::default(),
         kernel: crate::experiment::KernelKind::Plan,
         faults: netsim::FaultConfig::off(),
         profile: false,

@@ -7,6 +7,7 @@
 //! contiguous in the layout can be sent as a single message.
 
 use crate::dir::{all_regions, Dir};
+use crate::error::LayoutError;
 use crate::formulas;
 
 /// An ordered placement of all surface regions of a `d`-dimensional
@@ -20,18 +21,24 @@ pub struct SurfaceLayout {
 
 impl SurfaceLayout {
     /// Build from an explicit region order. Panics unless `order` is a
-    /// permutation of all non-empty direction sets over `d` axes.
+    /// permutation of all non-empty direction sets over `d` axes; use
+    /// [`SurfaceLayout::try_new`] to validate untrusted input instead.
     pub fn new(d: usize, order: Vec<Dir>) -> SurfaceLayout {
+        SurfaceLayout::try_new(d, order).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SurfaceLayout::new`]: rejects orders that are not a
+    /// permutation of all `3^d - 1` non-empty regions.
+    pub fn try_new(d: usize, order: Vec<Dir>) -> Result<SurfaceLayout, LayoutError> {
         let mut sorted = order.clone();
         sorted.sort();
         sorted.dedup();
         let mut expected = all_regions(d);
         expected.sort();
-        assert_eq!(
-            sorted, expected,
-            "layout must be a permutation of all 3^d-1 non-empty regions"
-        );
-        SurfaceLayout { d, order }
+        if sorted != expected {
+            return Err(LayoutError::NotAPermutation { d });
+        }
+        Ok(SurfaceLayout { d, order })
     }
 
     /// Build from the paper's notation: a list of signed-axis lists as in
@@ -56,12 +63,18 @@ impl SurfaceLayout {
         &self.order
     }
 
-    /// Position of region `t` in the layout.
+    /// Position of region `t` in the layout. Panics if `t` is not a
+    /// region of this layout; see [`SurfaceLayout::try_position`].
     pub fn position(&self, t: &Dir) -> usize {
+        self.try_position(t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SurfaceLayout::position`].
+    pub fn try_position(&self, t: &Dir) -> Result<usize, LayoutError> {
         self.order
             .iter()
             .position(|x| x == t)
-            .expect("region not in layout")
+            .ok_or(LayoutError::RegionNotInLayout(*t))
     }
 
     /// Messages needed by this layout for a full exchange: for every
@@ -214,12 +227,18 @@ impl MessagePlan {
         self.neighbors.iter().map(|n| n.send_runs.len() as u64).sum()
     }
 
-    /// Plan for a specific neighbor direction.
+    /// Plan for a specific neighbor direction. Panics if `s` is not a
+    /// neighbor; see [`MessagePlan::try_neighbor`].
     pub fn neighbor(&self, s: &Dir) -> &NeighborPlan {
+        self.try_neighbor(s).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MessagePlan::neighbor`].
+    pub fn try_neighbor(&self, s: &Dir) -> Result<&NeighborPlan, LayoutError> {
         self.neighbors
             .iter()
             .find(|n| n.dir == *s)
-            .expect("neighbor not in plan")
+            .ok_or(LayoutError::NeighborNotInPlan(*s))
     }
 }
 
@@ -227,6 +246,35 @@ impl MessagePlan {
 mod tests {
     use super::*;
     use crate::formulas::*;
+
+    #[test]
+    fn try_constructors_reject_bad_input() {
+        // A missing or duplicated region is not a permutation.
+        let mut order = all_regions(2);
+        order.pop();
+        assert_eq!(
+            SurfaceLayout::try_new(2, order.clone()).unwrap_err(),
+            LayoutError::NotAPermutation { d: 2 }
+        );
+        order.push(order[0]);
+        assert!(SurfaceLayout::try_new(2, order).is_err());
+        assert!(SurfaceLayout::try_new(3, all_regions(3)).is_ok());
+
+        // Lookups of direction sets the layout/plan does not hold.
+        let l = SurfaceLayout::lexicographic(2);
+        let alien = Dir::from_spec(&[-3]);
+        assert_eq!(
+            l.try_position(&alien).unwrap_err(),
+            LayoutError::RegionNotInLayout(alien)
+        );
+        assert!(l.try_position(&Dir::from_spec(&[-1])).is_ok());
+        let plan = MessagePlan::build(&l);
+        assert_eq!(
+            plan.try_neighbor(&alien).unwrap_err(),
+            LayoutError::NeighborNotInPlan(alien)
+        );
+        assert!(plan.try_neighbor(&Dir::from_spec(&[1, 2])).is_ok());
+    }
 
     #[test]
     fn lexicographic_is_valid_permutation() {

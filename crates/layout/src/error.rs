@@ -1,0 +1,66 @@
+//! Structured errors for user-reachable layout operations.
+//!
+//! The panicking entry points ([`SurfaceLayout::new`],
+//! [`optimize::exhaustive`], [`optimize::anneal`], ...) wrap their
+//! `try_` twins and keep the original contract for internal callers
+//! whose inputs are already validated; external callers building
+//! layouts from untrusted input (CLI specs, config files) should use
+//! the `try_` forms and surface the error.
+//!
+//! [`SurfaceLayout::new`]: crate::SurfaceLayout::new
+//! [`optimize::exhaustive`]: crate::optimize::exhaustive
+//! [`optimize::anneal`]: crate::optimize::anneal
+
+use crate::dir::Dir;
+
+/// Error from a fallible layout operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The supplied order is not a permutation of all `3^d - 1`
+    /// non-empty regions over `d` axes.
+    NotAPermutation {
+        /// Number of axes the layout claims.
+        d: usize,
+    },
+    /// A region lookup named a direction set the layout does not hold.
+    RegionNotInLayout(Dir),
+    /// A neighbor lookup named a direction set the plan does not hold.
+    NeighborNotInPlan(Dir),
+    /// Exhaustive search was asked for a dimensionality whose
+    /// factorial search space is infeasible.
+    ExhaustiveInfeasible {
+        /// Requested dimensionality.
+        d: usize,
+        /// Largest supported dimensionality.
+        max: usize,
+    },
+    /// The annealer was asked to run zero restart chains.
+    NoRestarts,
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::NotAPermutation { d } => write!(
+                f,
+                "layout order must be a permutation of all 3^{d}-1 non-empty regions"
+            ),
+            LayoutError::RegionNotInLayout(t) => {
+                write!(f, "region {t:?} is not in the layout")
+            }
+            LayoutError::NeighborNotInPlan(s) => {
+                write!(f, "neighbor {s:?} is not in the message plan")
+            }
+            LayoutError::ExhaustiveInfeasible { d, max } => write!(
+                f,
+                "exhaustive layout search over (3^{d}-1)! permutations is \
+                 infeasible (supported: d <= {max})"
+            ),
+            LayoutError::NoRestarts => {
+                write!(f, "anneal needs at least one restart chain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}

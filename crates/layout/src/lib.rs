@@ -31,6 +31,7 @@
 
 pub mod count;
 pub mod dir;
+pub mod error;
 pub mod formulas;
 pub mod optimize;
 
@@ -38,4 +39,5 @@ mod constants;
 
 pub use constants::{surface2d, surface3d};
 pub use count::{MessagePlan, NeighborPlan, RecvPiece, SurfaceLayout};
+pub use error::LayoutError;
 pub use dir::{all_regions, all_regions_with_empty, Dir, MAX_DIMS};

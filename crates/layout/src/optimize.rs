@@ -8,6 +8,7 @@
 
 use crate::count::SurfaceLayout;
 use crate::dir::{all_regions, Dir};
+use crate::error::LayoutError;
 use crate::formulas::optimal_message_count;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -26,9 +27,19 @@ pub struct SearchResult {
 }
 
 /// Exhaustively search all `(3^d - 1)!` layouts. Only feasible for
-/// `d <= 2` (8! = 40320 permutations); panics for larger `d`.
+/// `d <= 2` (8! = 40320 permutations); panics for larger `d` — use
+/// [`try_exhaustive`] to get a structured error instead.
 pub fn exhaustive(d: usize) -> SearchResult {
-    assert!(d <= 2, "exhaustive search is only feasible for d <= 2");
+    try_exhaustive(d).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`exhaustive`]: rejects dimensionalities whose factorial
+/// search space is infeasible.
+pub fn try_exhaustive(d: usize) -> Result<SearchResult, LayoutError> {
+    const MAX_EXHAUSTIVE_D: usize = 2;
+    if d > MAX_EXHAUSTIVE_D {
+        return Err(LayoutError::ExhaustiveInfeasible { d, max: MAX_EXHAUSTIVE_D });
+    }
     let regions = all_regions(d);
     let bound = optimal_message_count(d);
     let mut best: Option<(Vec<Dir>, u64)> = None;
@@ -41,12 +52,12 @@ pub fn exhaustive(d: usize) -> SearchResult {
         // Early exit: cannot beat the proven bound.
         best.as_ref().is_some_and(|(_, bm)| *bm == bound)
     });
-    let (order, messages) = best.unwrap();
-    SearchResult {
+    let (order, messages) = best.expect("permute visits at least one order");
+    Ok(SearchResult {
         layout: SurfaceLayout::new(d, order),
         messages,
         optimal: messages == bound,
-    }
+    })
 }
 
 /// Heap-style recursive permutation generator; the visitor returns `true`
@@ -231,7 +242,19 @@ fn anneal_chain(
 /// best; chain 0 refines the [`greedy`] layout, the rest start from
 /// seeded random shuffles.
 pub fn anneal(d: usize, seed: u64, iters_per_chain: usize, restarts: usize) -> SearchResult {
-    assert!(restarts > 0, "anneal needs at least one restart");
+    try_anneal(d, seed, iters_per_chain, restarts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`anneal`]: rejects a zero restart count.
+pub fn try_anneal(
+    d: usize,
+    seed: u64,
+    iters_per_chain: usize,
+    restarts: usize,
+) -> Result<SearchResult, LayoutError> {
+    if restarts == 0 {
+        return Err(LayoutError::NoRestarts);
+    }
     let bound = optimal_message_count(d);
     let regions = all_regions(d);
     let ev = Eval::new(&regions);
@@ -240,7 +263,12 @@ pub fn anneal(d: usize, seed: u64, iters_per_chain: usize, restarts: usize) -> S
         g.layout
             .order()
             .iter()
-            .map(|t| regions.iter().position(|r| r == t).unwrap())
+            .map(|t| {
+                regions
+                    .iter()
+                    .position(|r| r == t)
+                    .expect("greedy orders exactly the regions of all_regions(d)")
+            })
             .collect()
     };
 
@@ -264,12 +292,12 @@ pub fn anneal(d: usize, seed: u64, iters_per_chain: usize, restarts: usize) -> S
     let (order, messages) = chains
         .into_iter()
         .reduce(|a, b| if b.1 < a.1 { b } else { a })
-        .unwrap();
-    SearchResult {
+        .expect("restarts > 0 chains ran");
+    Ok(SearchResult {
         layout: SurfaceLayout::new(d, order.into_iter().map(|i| regions[i]).collect()),
         messages,
         optimal: messages == bound,
-    }
+    })
 }
 
 /// Greedy construction: repeatedly append the region that increases the
@@ -337,6 +365,16 @@ fn shared_neighbors(a: &Dir, b: &Dir) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_searches_reject_bad_parameters() {
+        assert_eq!(
+            try_exhaustive(3).unwrap_err(),
+            LayoutError::ExhaustiveInfeasible { d: 3, max: 2 }
+        );
+        assert_eq!(try_anneal(3, 1, 10, 0).unwrap_err(), LayoutError::NoRestarts);
+        assert!(try_exhaustive(2).unwrap().optimal);
+    }
 
     #[test]
     fn exhaustive_1d_finds_two_messages() {

@@ -1,0 +1,230 @@
+//! Joint (layout × mapping) annealing under the hierarchical model.
+//!
+//! The layout annealer minimizes message *count*; the mappers minimize
+//! where messages *go*. Neither alone finds the optimum of the two-tier
+//! model: once some neighbors are on-node, a region order that splits a
+//! run toward an off-node neighbor while fusing runs toward on-node
+//! ones can beat the count-optimal order, and vice versa. This module
+//! searches the product space with the same move set and acceptance
+//! rule as `layout::optimize`, extended with rank-swap moves, and is
+//! *seeded* with the best layout-alone and mapping-alone solutions —
+//! the result is therefore never worse than either (the acceptance
+//! criterion the bench pins).
+
+use layout::{all_regions, SurfaceLayout};
+use netsim::hier::HierarchicalNetworkModel;
+use netsim::CartTopo;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{CommGraph, DirLoad};
+use crate::map::lexicographic;
+
+/// Exchange-schedule loads induced by `layout` on a subdomain of
+/// `extents` elements per axis with `ghost`-deep ghost zones: one
+/// [`DirLoad`] per neighbor direction, messages = contiguous runs,
+/// bytes = sent region volumes.
+pub fn schedule_loads(
+    layout: &SurfaceLayout,
+    extents: &[usize],
+    ghost: usize,
+    elem_bytes: u64,
+) -> Vec<DirLoad> {
+    let d = layout.dims();
+    assert_eq!(extents.len(), d, "one extent per layout dimension");
+    all_regions(d)
+        .into_iter()
+        .map(|s| {
+            let msgs = layout.runs_for_neighbor(&s).len() as u64;
+            let bytes: u64 = layout
+                .send_set(&s)
+                .into_iter()
+                .map(|t| {
+                    (0..d)
+                        .map(|a| if t.axis(a) != 0 { ghost as u64 } else { extents[a] as u64 })
+                        .product::<u64>()
+                        * elem_bytes
+                })
+                .sum();
+            DirLoad { trits: s.offsets(d), msgs, bytes }
+        })
+        .collect()
+}
+
+/// Search parameters for [`joint_anneal`].
+#[derive(Clone, Copy, Debug)]
+pub struct JointConfig {
+    /// Subdomain elements per axis.
+    pub extents: [usize; 3],
+    /// Ghost-zone depth.
+    pub ghost: usize,
+    /// Bytes per element (8 for `f64`).
+    pub elem_bytes: u64,
+    /// The two-tier model the score is evaluated under.
+    pub hier: HierarchicalNetworkModel,
+    /// Annealing iterations.
+    pub iters: usize,
+    /// RNG seed (the search is deterministic per seed).
+    pub seed: u64,
+}
+
+/// Outcome of a joint search.
+#[derive(Clone, Debug)]
+pub struct JointResult {
+    /// Best region order found.
+    pub layout: SurfaceLayout,
+    /// Best rank permutation found (`perm[cart] = phys`).
+    pub perm: Vec<usize>,
+    /// Modeled bottleneck exchange time of (layout, perm).
+    pub cost: f64,
+    /// Modeled time of the best seed the search started from — the
+    /// stronger of (seed layout × seed mapping) and (seed layout ×
+    /// lexicographic); `cost <= seed_cost` always holds.
+    pub seed_cost: f64,
+}
+
+/// Anneal over (region order × rank permutation) jointly. Starts from
+/// the better of `(seed_layout, seed_perm)` and `(seed_layout, lex)`
+/// and never returns anything worse than its start.
+pub fn joint_anneal(
+    topo: &CartTopo,
+    cfg: &JointConfig,
+    seed_layout: &SurfaceLayout,
+    seed_perm: &[usize],
+) -> JointResult {
+    let n = topo.size();
+    assert_eq!(seed_perm.len(), n, "seed permutation must cover the topology");
+    let cost_of = |layout: &SurfaceLayout, perm: &[usize]| -> f64 {
+        let loads = schedule_loads(layout, &cfg.extents, cfg.ghost, cfg.elem_bytes);
+        CommGraph::from_dir_loads(topo, &loads).modeled_time(perm, &cfg.hier)
+    };
+
+    // Two seeds: mapping-alone and layout-alone (lex mapping). Their
+    // minimum is both the starting point and the result floor.
+    let lex = lexicographic(n);
+    let mut order: Vec<_> = seed_layout.order().to_vec();
+    let mut perm = seed_perm.to_vec();
+    let seeded = cost_of(seed_layout, seed_perm);
+    let lex_cost = cost_of(seed_layout, &lex);
+    if lex_cost < seeded {
+        perm = lex.clone();
+    }
+    let seed_cost = seeded.min(lex_cost);
+
+    let mut cur = seed_cost;
+    let mut best = seed_cost;
+    let mut best_order = order.clone();
+    let mut best_perm = perm.clone();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6A09_E667_F3BC_C908);
+    let regions = order.len();
+    // Relative temperature schedule: deltas are compared against the
+    // seed cost's magnitude so the accept rate is scale-free.
+    let scale = seed_cost.max(f64::MIN_POSITIVE);
+    let (t0, t1) = (0.08f64, 0.002f64);
+    for it in 0..cfg.iters {
+        let temp = t0 * (t1 / t0).powf(it as f64 / cfg.iters.max(1) as f64) * scale;
+        // Half the moves permute ranks, half permute regions; a move
+        // is applied, rescored from scratch (the schedule is tiny),
+        // and undone on rejection.
+        let layout_move = rng.gen_range(0..2u8) == 0;
+        let (i, j) = if layout_move {
+            (rng.gen_range(0..regions), rng.gen_range(0..regions))
+        } else {
+            (rng.gen_range(0..n), rng.gen_range(0..n))
+        };
+        if i == j {
+            continue;
+        }
+        if layout_move {
+            order.swap(i, j);
+        } else {
+            perm.swap(i, j);
+        }
+        let trial_layout = SurfaceLayout::new(seed_layout.dims(), order.clone());
+        let trial = cost_of(&trial_layout, &perm);
+        let delta = trial - cur;
+        if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
+            cur = trial;
+            if cur < best {
+                best = cur;
+                best_order = order.clone();
+                best_perm = perm.clone();
+            }
+        } else if layout_move {
+            order.swap(i, j);
+        } else {
+            perm.swap(i, j);
+        }
+    }
+
+    JointResult {
+        layout: SurfaceLayout::new(seed_layout.dims(), best_order),
+        perm: best_perm,
+        cost: best,
+        seed_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::recursive_bisection;
+    use layout::surface3d;
+    use netsim::hier::NodeShape;
+
+    fn cfg(iters: usize) -> JointConfig {
+        JointConfig {
+            extents: [16; 3],
+            ghost: 1,
+            elem_bytes: 8,
+            hier: HierarchicalNetworkModel::dragonfly(8),
+            iters,
+            seed: 2021,
+        }
+    }
+
+    #[test]
+    fn schedule_loads_match_layout_counts() {
+        let l = surface3d();
+        let loads = schedule_loads(&l, &[16; 3], 1, 8);
+        assert_eq!(loads.len(), 26);
+        let msgs: u64 = loads.iter().map(|l| l.msgs).sum();
+        assert_eq!(msgs, l.message_count());
+        // Total bytes = every region counted once per neighbor it goes
+        // to; a face region (one signed axis) has volume 16*16*1.
+        let face = loads
+            .iter()
+            .find(|l| l.trits.iter().filter(|&&t| t != 0).count() == 1)
+            .unwrap();
+        assert!(face.bytes >= 16 * 16 * 8, "face load includes its 256-elem region");
+    }
+
+    #[test]
+    fn joint_never_loses_to_its_seeds() {
+        let topo = CartTopo::new(&[4, 4, 4], true);
+        let node = NodeShape::new(8);
+        let c = cfg(300);
+        let seed_perm = recursive_bisection(&topo, &node);
+        let r = joint_anneal(&topo, &c, &surface3d(), &seed_perm);
+        assert!(r.cost <= r.seed_cost, "joint {} vs seed {}", r.cost, r.seed_cost);
+        // Sanity: the result is still a valid bijection and layout.
+        let mut sorted = r.perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        r.layout.validate();
+    }
+
+    #[test]
+    fn joint_search_is_deterministic_per_seed() {
+        let topo = CartTopo::new(&[2, 2, 2], true);
+        let node = NodeShape::new(4);
+        let c = cfg(150);
+        let seed_perm = recursive_bisection(&topo, &node);
+        let a = joint_anneal(&topo, &c, &surface3d(), &seed_perm);
+        let b = joint_anneal(&topo, &c, &surface3d(), &seed_perm);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.perm, b.perm);
+        assert_eq!(a.layout.order(), b.layout.order());
+    }
+}

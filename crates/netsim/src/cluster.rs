@@ -58,6 +58,7 @@ use crate::fault::{
     FaultConfig, FaultDecision, FaultEvent, FaultKind, FaultPlan, FaultStats, ProcFault,
     CTRL_TAG_BIT,
 };
+use crate::hier::{HierarchicalNetworkModel, NodeShape};
 use crate::model::NetworkModel;
 use crate::timers::{timed, Timers};
 use crate::topo::CartTopo;
@@ -374,9 +375,18 @@ pub struct RankCtx<'a> {
     timers: Timers,
     trace: Trace,
     recorder: Recorder,
-    // Sends posted since the last waitall (the current epoch).
+    // Sends posted since the last waitall (the current epoch). In a
+    // hierarchical run these count only the off-node (fabric) portion.
     epoch_msgs: usize,
     epoch_bytes: usize,
+    // Two-tier fabric state: `Some((intra, node))` only when the run's
+    // topology is genuinely hierarchical; `net` is then the inter-node
+    // tier (with this rank's jitter applied to both). Flat runs keep
+    // this `None` and bill through the unchanged flat path.
+    hier: Option<(NetworkModel, NodeShape)>,
+    // On-node portion of the current epoch (hierarchical runs only).
+    epoch_msgs_on: usize,
+    epoch_bytes_on: usize,
     // Completed-but-uncopied messages, reused across epochs.
     recv_scratch: Vec<Msg>,
     pooling: bool,
@@ -417,9 +427,35 @@ impl<'a> RankCtx<'a> {
     }
 
     /// The wire model in use (already includes this rank's fault-plan
-    /// slowdown factor, if any).
+    /// slowdown factor, if any). Under a hierarchical topology this is
+    /// the inter-node *fabric* tier; see [`RankCtx::network_to`] for
+    /// the tier a specific peer is charged on.
     pub fn network(&self) -> NetworkModel {
         self.net
+    }
+
+    /// The wire model charged for messages between this rank and
+    /// `peer`: the shared-memory tier when both live on the same node
+    /// of a hierarchical topology, the fabric tier otherwise. On a flat
+    /// topology this is always [`RankCtx::network`].
+    pub fn network_to(&self, peer: usize) -> NetworkModel {
+        self.net_to(peer)
+    }
+
+    #[inline]
+    fn net_to(&self, peer: usize) -> NetworkModel {
+        match &self.hier {
+            Some((intra, node)) if node.same_node(self.rank, peer) => *intra,
+            _ => self.net,
+        }
+    }
+
+    /// Whether `peer` shares this rank's node (true only in a
+    /// hierarchical run; the flat degenerate case has one rank per
+    /// node, so nothing — not even a self-send — counts as on-node).
+    #[inline]
+    fn on_node(&self, peer: usize) -> bool {
+        matches!(&self.hier, Some((_, node)) if node.same_node(self.rank, peer))
     }
 
     /// Single billing point: every second this rank is charged flows
@@ -786,12 +822,17 @@ impl<'a> RankCtx<'a> {
     /// accounting (skipped for deferred sends, whose `wait` the caller
     /// settles itself), and the trace event.
     fn charge_send(&mut self, peer: usize, tag: u64, bytes: usize, epoch: bool) {
-        self.bill(Phase::Wire, self.net.call_time(1));
+        self.bill(Phase::Wire, self.net_to(peer).call_time(1));
         self.timers.msgs += 1;
         self.timers.wire_bytes += bytes as u64;
         if epoch {
-            self.epoch_msgs += 1;
-            self.epoch_bytes += bytes;
+            if self.on_node(peer) {
+                self.epoch_msgs_on += 1;
+                self.epoch_bytes_on += bytes;
+            } else {
+                self.epoch_msgs += 1;
+                self.epoch_bytes += bytes;
+            }
         }
         self.recorder.count("msgs_sent", 1);
         self.recorder.observe("send_bytes", bytes as f64);
@@ -929,7 +970,7 @@ impl<'a> RankCtx<'a> {
         let bytes = src.len() * std::mem::size_of::<f64>();
         self.charge_send(self.rank, tag, bytes, true);
         // The matching receive post, as `irecv` would charge it.
-        self.bill(Phase::Wire, self.net.call_time(1));
+        self.bill(Phase::Wire, self.net_to(self.rank).call_time(1));
         data.copy_within(src, dst);
         self.trace.record(MsgEvent { send: false, peer: self.rank, tag, bytes });
         Ok(())
@@ -954,7 +995,7 @@ impl<'a> RankCtx<'a> {
         }
         let bytes = std::mem::size_of_val(src);
         self.charge_send(self.rank, tag, bytes, true);
-        self.bill(Phase::Wire, self.net.call_time(1));
+        self.bill(Phase::Wire, self.net_to(self.rank).call_time(1));
         dst.copy_from_slice(src);
         self.trace.record(MsgEvent { send: false, peer: self.rank, tag, bytes });
         Ok(())
@@ -967,7 +1008,7 @@ impl<'a> RankCtx<'a> {
             return Err(NetsimError::InvalidRank { rank: source, size: self.topo.size() });
         }
         self.proc_tick();
-        self.bill(Phase::Wire, self.net.call_time(1));
+        self.bill(Phase::Wire, self.net_to(source).call_time(1));
         Ok(RecvHandle { source, tag })
     }
 
@@ -1289,9 +1330,20 @@ impl<'a> RankCtx<'a> {
     }
 
     /// Charge the LogGP `wait` term for this epoch's posted sends and
-    /// close the epoch.
+    /// close the epoch. A hierarchical run waits on both tiers: the
+    /// fabric drains the off-node portion while shared memory drains
+    /// the on-node portion; the two proceed serially on the posting
+    /// core, so the terms add. A flat run performs the identical
+    /// single-term arithmetic as always (the intra term is absent, not
+    /// zero-valued — flat billing stays bit-identical).
     fn close_epoch(&mut self) {
-        self.bill(Phase::Wait, self.net.wait_time(self.epoch_msgs, self.epoch_bytes));
+        let mut wait = self.net.wait_time(self.epoch_msgs, self.epoch_bytes);
+        if let Some((intra, _)) = self.hier {
+            wait += intra.wait_time(self.epoch_msgs_on, self.epoch_bytes_on);
+            self.epoch_msgs_on = 0;
+            self.epoch_bytes_on = 0;
+        }
+        self.bill(Phase::Wait, wait);
         self.epoch_msgs = 0;
         self.epoch_bytes = 0;
     }
@@ -1574,7 +1626,7 @@ fn payload_string(p: Box<dyn std::any::Any + Send>) -> String {
 fn rank_ctx<'a>(
     rank: usize,
     topo: &'a CartTopo,
-    net: NetworkModel,
+    net: HierarchicalNetworkModel,
     faults: FaultConfig,
     mailboxes: &'a [Mailbox],
     pools: &'a [BufferPool],
@@ -1588,6 +1640,10 @@ fn rank_ctx<'a>(
         Some(plan) => net.slowed(plan.slowdown()),
         None => net,
     };
+    // Flat topologies (including every `NetworkModel` converted via
+    // `From`) carry no hier state, so their billing code path — and
+    // its float arithmetic — is exactly the pre-hierarchy one.
+    let hier = (!net.is_flat()).then_some((net.intra, net.node));
     // Process faults fire only in a rank's first incarnation: a
     // respawned rank must not be re-killed, and a replayed step must
     // not re-stall.
@@ -1595,7 +1651,7 @@ fn rank_ctx<'a>(
     RankCtx {
         rank,
         topo,
-        net,
+        net: net.inter,
         mailboxes,
         pools,
         runtime,
@@ -1605,6 +1661,9 @@ fn rank_ctx<'a>(
         recorder: Recorder::disabled(),
         epoch_msgs: 0,
         epoch_bytes: 0,
+        hier,
+        epoch_msgs_on: 0,
+        epoch_bytes_on: 0,
         recv_scratch: Vec::new(),
         pooling: true,
         transport_allocs: 0,
@@ -1628,7 +1687,11 @@ fn rank_ctx<'a>(
 /// results in rank order. Panics with the [`NetsimError::RankPanicked`]
 /// report if a rank body panics; use [`try_run_cluster`] to get it as
 /// a value.
-pub fn run_cluster<R, F>(topo: &CartTopo, net: NetworkModel, body: F) -> Vec<R>
+pub fn run_cluster<R, F>(
+    topo: &CartTopo,
+    net: impl Into<HierarchicalNetworkModel>,
+    body: F,
+) -> Vec<R>
 where
     R: Send,
     F: Fn(&mut RankCtx<'_>) -> R + Sync,
@@ -1640,7 +1703,7 @@ where
 /// panicking when a rank body panics.
 pub fn try_run_cluster<R, F>(
     topo: &CartTopo,
-    net: NetworkModel,
+    net: impl Into<HierarchicalNetworkModel>,
     body: F,
 ) -> Result<Vec<R>, NetsimError>
 where
@@ -1655,7 +1718,7 @@ where
 /// scaled by the plan's per-rank slowdown factor.
 pub fn run_cluster_faulty<R, F>(
     topo: &CartTopo,
-    net: NetworkModel,
+    net: impl Into<HierarchicalNetworkModel>,
     faults: FaultConfig,
     body: F,
 ) -> Vec<R>
@@ -1670,7 +1733,7 @@ where
 /// [`try_run_cluster`].
 pub fn try_run_cluster_faulty<R, F>(
     topo: &CartTopo,
-    net: NetworkModel,
+    net: impl Into<HierarchicalNetworkModel>,
     faults: FaultConfig,
     body: F,
 ) -> Result<Vec<R>, NetsimError>
@@ -1686,7 +1749,7 @@ where
 pub fn run_cluster_on<R, F>(
     backend: Backend,
     topo: &CartTopo,
-    net: NetworkModel,
+    net: impl Into<HierarchicalNetworkModel>,
     faults: FaultConfig,
     body: F,
 ) -> Vec<R>
@@ -1706,7 +1769,7 @@ where
 pub fn try_run_cluster_on<R, F>(
     backend: Backend,
     topo: &CartTopo,
-    net: NetworkModel,
+    net: impl Into<HierarchicalNetworkModel>,
     faults: FaultConfig,
     body: F,
 ) -> Result<Vec<R>, NetsimError>
@@ -1714,6 +1777,7 @@ where
     R: Send,
     F: Fn(&mut RankCtx<'_>) -> R + Sync,
 {
+    let net = net.into();
     match backend {
         Backend::Thread => run_thread_cluster(topo, net, faults, &body),
         Backend::Event => {
@@ -1742,7 +1806,7 @@ where
 /// first panic becomes the run's [`NetsimError::RankPanicked`].
 fn run_thread_cluster<R, F>(
     topo: &CartTopo,
-    net: NetworkModel,
+    net: HierarchicalNetworkModel,
     faults: FaultConfig,
     body: &F,
 ) -> Result<Vec<R>, NetsimError>
@@ -1841,7 +1905,7 @@ where
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
 fn run_event_cluster<R, F>(
     topo: &CartTopo,
-    net: NetworkModel,
+    net: HierarchicalNetworkModel,
     faults: FaultConfig,
     body: &F,
 ) -> Result<Vec<R>, NetsimError>
@@ -2542,5 +2606,78 @@ mod tests {
             assert_eq!(lat, expect);
             assert!(lat >= net.latency);
         }
+    }
+
+    /// One shifted-ring exchange; every rank returns its exact timers.
+    fn ring_once(topo: &CartTopo, net: impl Into<HierarchicalNetworkModel>) -> Vec<Timers> {
+        run_cluster(topo, net, |ctx| {
+            let peer = (ctx.rank() + 1) % ctx.size();
+            let from = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            let h = ctx.irecv(from, 7).unwrap();
+            ctx.isend(peer, 7, &[1.0; 64]).unwrap();
+            let mut buf = [0.0; 64];
+            ctx.waitall_into(&[h], &mut [&mut buf[..]]).unwrap();
+            ctx.timers()
+        })
+    }
+
+    #[test]
+    fn flat_hierarchy_is_bit_identical_to_flat_model() {
+        let topo = CartTopo::new(&[4], true);
+        let net = NetworkModel::theta_aries();
+        let flat = ring_once(&topo, net);
+        let hier = ring_once(&topo, HierarchicalNetworkModel::flat(net));
+        // Even one rank per node with distinct tiers stays on the
+        // fabric for every pair — same arithmetic, same bits.
+        let degenerate = ring_once(&topo, HierarchicalNetworkModel::dragonfly(1));
+        for rank in 0..topo.size() {
+            assert_eq!(flat[rank].call.to_bits(), hier[rank].call.to_bits());
+            assert_eq!(flat[rank].wait.to_bits(), hier[rank].wait.to_bits());
+            assert_eq!(flat[rank].call.to_bits(), degenerate[rank].call.to_bits());
+            assert_eq!(flat[rank].wait.to_bits(), degenerate[rank].wait.to_bits());
+        }
+    }
+
+    #[test]
+    fn hier_charges_each_message_by_node_locality() {
+        // Ring of 4, two ranks per node: nodes {0,1} and {2,3}. In the
+        // shifted ring every rank sends exactly one message — rank 0
+        // stays on-node (to 1), rank 1 crosses the fabric (to 2), etc.
+        let topo = CartTopo::new(&[4], true);
+        let h = HierarchicalNetworkModel::dragonfly(2);
+        let bytes = 64 * std::mem::size_of::<f64>();
+        let out = ring_once(&topo, h);
+        for (rank, timers) in out.iter().enumerate() {
+            let send_on = h.node.same_node(rank, (rank + 1) % 4);
+            let recv_on = h.node.same_node(rank, (rank + 3) % 4);
+            let send_o = if send_on { h.intra.overhead } else { h.inter.overhead };
+            let recv_o = if recv_on { h.intra.overhead } else { h.inter.overhead };
+            assert_eq!(timers.call, send_o + recv_o, "rank {rank} call");
+            let wait = if send_on {
+                h.intra.wait_time(1, bytes)
+            } else {
+                h.inter.wait_time(1, bytes)
+            };
+            assert_eq!(timers.wait, wait, "rank {rank} wait");
+        }
+        // On-node messages are strictly cheaper than off-node ones.
+        assert!(out[0].wait < out[1].wait);
+    }
+
+    #[test]
+    fn hier_loopback_is_an_on_node_transfer() {
+        let topo = CartTopo::new(&[1], true);
+        let h = HierarchicalNetworkModel::fat_tree(4);
+        let out = run_cluster(&topo, h, |ctx| {
+            let src = [3.0; 32];
+            let mut dst = [0.0; 32];
+            ctx.loopback_into(9, &src, &mut dst).unwrap();
+            ctx.flush_epoch();
+            assert_eq!(dst, src);
+            ctx.timers()
+        });
+        let bytes = 32 * std::mem::size_of::<f64>();
+        assert_eq!(out[0].call, 2.0 * h.intra.overhead);
+        assert_eq!(out[0].wait, h.intra.wait_time(1, bytes));
     }
 }

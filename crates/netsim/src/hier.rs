@@ -1,0 +1,232 @@
+//! Two-tier hierarchical wire model: intra-node shared memory vs
+//! inter-node fabric.
+//!
+//! Real clusters are not flat: ranks packed on one node talk through
+//! shared memory (sub-µs latency, tens of GB/s), while off-node
+//! neighbors cross the fabric. [`HierarchicalNetworkModel`] pairs two
+//! [`NetworkModel`] tiers with a [`NodeShape`] (how many consecutive
+//! ranks share a node) and every message is charged by whether its
+//! endpoints share a node. A flat [`NetworkModel`] converts losslessly
+//! (`From`) into the 1-rank-per-node degenerate case, whose billing is
+//! *bit-identical* to the flat code path — the hierarchical machinery
+//! only engages when `ranks_per_node > 1` or the tiers differ.
+//!
+//! The presets mirror the machines the artifact models: `dragonfly`
+//! puts the Aries fabric (Theta) behind the node boundary, `fat-tree`
+//! the EDR InfiniBand fabric (Summit); both share the same
+//! shared-memory intra tier.
+
+use crate::model::NetworkModel;
+
+/// How consecutive ranks are packed onto nodes: ranks `[k·r, (k+1)·r)`
+/// live on node `k` for `r = ranks_per_node`.
+///
+/// This is the *physical* grouping; a mapping policy permutes which
+/// logical (cartesian) rank lands in which physical slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeShape {
+    ranks_per_node: usize,
+}
+
+impl NodeShape {
+    /// Grouping with `ranks_per_node` consecutive ranks per node.
+    ///
+    /// Panics if `ranks_per_node` is zero; use [`NodeShape::try_new`]
+    /// for a structured error.
+    pub fn new(ranks_per_node: usize) -> NodeShape {
+        NodeShape::try_new(ranks_per_node).expect("ranks_per_node must be positive")
+    }
+
+    /// Fallible [`NodeShape::new`].
+    pub fn try_new(ranks_per_node: usize) -> Option<NodeShape> {
+        if ranks_per_node == 0 {
+            return None;
+        }
+        Some(NodeShape { ranks_per_node })
+    }
+
+    /// One rank per node — the degenerate grouping of a flat fabric.
+    pub fn single() -> NodeShape {
+        NodeShape { ranks_per_node: 1 }
+    }
+
+    /// Ranks sharing each node.
+    #[inline]
+    pub fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    /// Node index holding `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    /// Whether two ranks share a node.
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Nodes needed to host `ranks` ranks.
+    pub fn nodes(&self, ranks: usize) -> usize {
+        ranks.div_ceil(self.ranks_per_node)
+    }
+}
+
+impl Default for NodeShape {
+    fn default() -> NodeShape {
+        NodeShape::single()
+    }
+}
+
+/// Two-tier wire model: messages between ranks on the same node are
+/// charged to `intra`, everything else to `inter`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HierarchicalNetworkModel {
+    /// Human-readable topology name (`"flat"`, `"dragonfly"`, …).
+    pub name: &'static str,
+    /// Shared-memory tier for on-node messages.
+    pub intra: NetworkModel,
+    /// Fabric tier for off-node messages.
+    pub inter: NetworkModel,
+    /// Rank-to-node grouping.
+    pub node: NodeShape,
+}
+
+impl HierarchicalNetworkModel {
+    /// The degenerate hierarchy equivalent to a flat `model`: one rank
+    /// per node, both tiers identical. Billing through this value is
+    /// bit-identical to billing through `model` directly.
+    pub fn flat(model: NetworkModel) -> HierarchicalNetworkModel {
+        HierarchicalNetworkModel {
+            name: model.name,
+            intra: model,
+            inter: model,
+            node: NodeShape::single(),
+        }
+    }
+
+    /// The shared-memory intra-node tier used by every preset: cache-
+    /// coherent copies, so negligible injection gap, ~50 GB/s streaming
+    /// bandwidth, and ~0.12 µs one-way latency.
+    pub fn shared_memory() -> NetworkModel {
+        NetworkModel {
+            name: "shm",
+            overhead: 0.20e-6,
+            latency: 0.12e-6,
+            gap: 0.02e-6,
+            bandwidth: 48.0e9,
+        }
+    }
+
+    /// Dragonfly topology (Theta-like): Aries fabric between nodes,
+    /// shared memory within, `ranks_per_node` ranks per node.
+    pub fn dragonfly(ranks_per_node: usize) -> HierarchicalNetworkModel {
+        HierarchicalNetworkModel {
+            name: "dragonfly",
+            intra: HierarchicalNetworkModel::shared_memory(),
+            inter: NetworkModel::theta_aries(),
+            node: NodeShape::new(ranks_per_node),
+        }
+    }
+
+    /// Fat-tree topology (Summit-like): EDR InfiniBand between nodes,
+    /// shared memory within, `ranks_per_node` ranks per node.
+    pub fn fat_tree(ranks_per_node: usize) -> HierarchicalNetworkModel {
+        HierarchicalNetworkModel {
+            name: "fat-tree",
+            intra: HierarchicalNetworkModel::shared_memory(),
+            inter: NetworkModel::summit_edr(),
+            node: NodeShape::new(ranks_per_node),
+        }
+    }
+
+    /// Whether this hierarchy degenerates to a flat fabric (billing is
+    /// then routed through the unmodified flat code path).
+    pub fn is_flat(&self) -> bool {
+        self.node.ranks_per_node() == 1 && self.intra == self.inter
+    }
+
+    /// The tier charged for a message between `a` and `b`.
+    #[inline]
+    pub fn tier(&self, a: usize, b: usize) -> &NetworkModel {
+        if self.node.same_node(a, b) {
+            &self.intra
+        } else {
+            &self.inter
+        }
+    }
+
+    /// Both tiers slowed by `factor` (≥ 1) — per-rank fault jitter
+    /// stretches a straggler's NIC *and* its memory subsystem.
+    pub fn slowed(&self, factor: f64) -> HierarchicalNetworkModel {
+        HierarchicalNetworkModel {
+            name: self.name,
+            intra: self.intra.slowed(factor),
+            inter: self.inter.slowed(factor),
+            node: self.node,
+        }
+    }
+}
+
+impl From<NetworkModel> for HierarchicalNetworkModel {
+    fn from(model: NetworkModel) -> HierarchicalNetworkModel {
+        HierarchicalNetworkModel::flat(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_shape_groups_consecutive_ranks() {
+        let n = NodeShape::new(4);
+        assert_eq!(n.node_of(0), 0);
+        assert_eq!(n.node_of(3), 0);
+        assert_eq!(n.node_of(4), 1);
+        assert!(n.same_node(5, 7));
+        assert!(!n.same_node(3, 4));
+        assert_eq!(n.nodes(9), 3);
+        assert_eq!(NodeShape::try_new(0), None);
+    }
+
+    #[test]
+    fn flat_conversion_is_degenerate() {
+        let m = NetworkModel::theta_aries();
+        let h: HierarchicalNetworkModel = m.into();
+        assert!(h.is_flat());
+        assert_eq!(h.inter, m);
+        assert_eq!(h.intra, m);
+        assert_eq!(h.node.ranks_per_node(), 1);
+        // Every pair is off-node under the degenerate grouping, and the
+        // tier charged is exactly the flat model.
+        assert_eq!(*h.tier(0, 1), m);
+        assert_eq!(*h.tier(7, 7), m);
+    }
+
+    #[test]
+    fn presets_put_the_fabric_between_nodes() {
+        let d = HierarchicalNetworkModel::dragonfly(8);
+        assert!(!d.is_flat());
+        assert_eq!(d.inter, NetworkModel::theta_aries());
+        assert_eq!(*d.tier(0, 7), d.intra, "ranks 0..8 share node 0");
+        assert_eq!(*d.tier(7, 8), d.inter, "rank 8 is on the next node");
+        assert!(d.intra.latency < d.inter.latency);
+        assert!(d.intra.bandwidth > d.inter.bandwidth);
+
+        let f = HierarchicalNetworkModel::fat_tree(16);
+        assert_eq!(f.inter, NetworkModel::summit_edr());
+        assert_eq!(f.node.ranks_per_node(), 16);
+    }
+
+    #[test]
+    fn slowed_stretches_both_tiers() {
+        let d = HierarchicalNetworkModel::dragonfly(4);
+        let s = d.slowed(2.0);
+        assert_eq!(s.intra, d.intra.slowed(2.0));
+        assert_eq!(s.inter, d.inter.slowed(2.0));
+        assert_eq!(s.node, d.node);
+    }
+}

@@ -46,6 +46,7 @@ pub mod error;
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
 pub mod event;
 pub mod fault;
+pub mod hier;
 pub mod model;
 pub mod nbx;
 pub mod partition;
@@ -70,6 +71,7 @@ pub use partition::{
     PartitionStats, PartitionTable, PartitionedRecv, PartitionedSend, DEFAULT_EAGER_BYTES,
 };
 pub use trace::{MsgEvent, Trace};
+pub use hier::{HierarchicalNetworkModel, NodeShape};
 pub use model::NetworkModel;
 pub use timers::{timed, Timers};
-pub use topo::CartTopo;
+pub use topo::{CartTopo, TopoError};

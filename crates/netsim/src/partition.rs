@@ -260,8 +260,10 @@ impl PartitionedSend {
         if early {
             ctx.isend_deferred(self.dest, self.tag, frag)?;
             // Timestamp *after* the post: drain starts once injected,
-            // so the fragment's own `o` does not count as drain.
-            let net = ctx.network();
+            // so the fragment's own `o` does not count as drain. The
+            // drain rate is the tier this destination is reached over
+            // (shared memory for an on-node peer in a hierarchical run).
+            let net = ctx.network_to(self.dest);
             let cost = net.gap + std::mem::size_of_val(frag) as f64 / net.bandwidth;
             self.inflight.push((ctx.virtual_time(), cost));
             self.early_elems += frag.len();

@@ -698,6 +698,7 @@ fn fold_report(cfg: &RebalanceCfg, n: usize, outs: Vec<RankOut>) -> MethodReport
         overlap_stats,
         recovery,
         migration: Some(mig),
+        mapping: None,
     }
 }
 

@@ -26,12 +26,14 @@
 mod critical;
 mod export;
 mod hist;
+mod mapping;
 mod migrate;
 mod timeline;
 
 pub use critical::{critical_path, CriticalPath, OverlapStats, Segment};
 pub use export::chrome_trace;
 pub use hist::Histogram;
+pub use mapping::MappingStats;
 pub use migrate::{BrickCosts, MigrationStats};
 pub use timeline::{PhaseBreakdown, Timeline};
 

@@ -40,6 +40,8 @@ fn main() {
             warmup: 1,
             ranks: vec![1, 1, 1],
             net: NetworkModel::theta_aries(),
+            topology: None,
+            mapping: Default::default(),
             kernel: KernelKind::Plan,
             faults: netsim::FaultConfig::off(),
             profile: false,

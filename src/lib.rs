@@ -27,10 +27,12 @@
 //! | [`stencil`] | kernels, array baseline, MPI datatype engine |
 //! | [`packfree`] | the paper's contribution: `BrickDecomp` + exchanges |
 //! | [`rebalance`] | dynamic brick ownership via diffusion balancing |
+//! | [`mapping`] | topology-aware process-to-node mapping |
 
 pub use brick;
 pub use devsim;
 pub use layout;
+pub use mapping;
 pub use memview;
 pub use netsim;
 pub use packfree;
@@ -41,7 +43,12 @@ pub use stencil;
 pub mod prelude {
     pub use brick::{BrickDims, BrickGrid, BrickInfo, BrickStorage, BrickView, BrickViewMut};
     pub use layout::{all_regions, surface2d, surface3d, Dir, MessagePlan, SurfaceLayout};
+    pub use mapping::{
+        joint_anneal, optimal_reordering, recursive_bisection, CommGraph, JointConfig,
+        MappingPolicy,
+    };
     pub use memview::{ContiguousView, MemFile, Segment};
+    pub use netsim::hier::{HierarchicalNetworkModel, NodeShape};
     pub use netsim::{
         run_cluster, run_cluster_faulty, run_cluster_on, Backend, CartTopo, FaultConfig,
         FaultStats, NetworkModel, NetsimError, RankCtx, Timers,

@@ -15,6 +15,8 @@ fn cfg(method: CpuMethod, n: usize, shape: StencilShape, ranks: Vec<usize>) -> E
         warmup: 1,
         ranks,
         net: NetworkModel::theta_aries(),
+        topology: None,
+        mapping: Default::default(),
         kernel: KernelKind::Plan,
         faults: netsim::FaultConfig::off(),
         profile: false,

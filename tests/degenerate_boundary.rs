@@ -21,6 +21,8 @@ fn cfg(method: CpuMethod, n: usize, brick: usize, ranks: Vec<usize>) -> Experime
         warmup: 1,
         ranks,
         net: NetworkModel::theta_aries(),
+        topology: None,
+        mapping: Default::default(),
         kernel: KernelKind::Plan,
         faults: FaultConfig::off(),
         profile: false,

@@ -30,6 +30,8 @@ fn gpu_modes_match_cpu_physics() {
         warmup: 0,
         ranks: vec![1, 1, 1],
         net: NetworkModel::instant(),
+        topology: None,
+        mapping: Default::default(),
         kernel: KernelKind::Plan,
         faults: netsim::FaultConfig::off(),
         profile: false,

@@ -36,6 +36,8 @@ fn backends_match(
         warmup: 1,
         ranks,
         net: NetworkModel::theta_aries(),
+        topology: None,
+        mapping: Default::default(),
         kernel: KernelKind::Plan,
         faults,
         profile: false,

@@ -35,6 +35,8 @@ fn partitioned_matches_phased(
         warmup: 1,
         ranks,
         net: NetworkModel::theta_aries(),
+        topology: None,
+        mapping: Default::default(),
         kernel: KernelKind::Plan,
         faults,
         profile: false,
